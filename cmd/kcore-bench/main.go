@@ -1,0 +1,74 @@
+// Command kcore-bench regenerates the paper's tables and figures on the
+// synthetic dataset analogs (DESIGN.md §4 maps each experiment to its
+// driver; EXPERIMENTS.md records measured outputs).
+//
+// Usage:
+//
+//	kcore-bench                                 run every experiment
+//	kcore-bench -experiment table2 -edges 2000  one experiment, custom size
+//	kcore-bench -datasets facebook-sim,ca-sim   restrict datasets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"kcore/internal/bench"
+	"kcore/internal/datasets"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment name: all|"+strings.Join(bench.ExperimentNames, "|"))
+		edges      = flag.Int("edges", 10000, "workload edges per dataset (paper: 100000)")
+		groups     = flag.Int("groups", 10, "stability-test groups (paper: 100)")
+		hops       = flag.String("hops", "2,3,4,5,6", "traversal hop variants")
+		seed       = flag.Uint64("seed", 42, "RNG seed")
+		dsNames    = flag.String("datasets", "", "comma-separated dataset subset (default: all 11)")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{
+		Out:    os.Stdout,
+		Edges:  *edges,
+		Groups: *groups,
+		Seed:   *seed,
+	}
+	for _, h := range strings.Split(*hops, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(h))
+		if err != nil || v < 2 {
+			fatal(fmt.Errorf("bad hop value %q", h))
+		}
+		cfg.Hops = append(cfg.Hops, v)
+	}
+	if *dsNames != "" {
+		for _, name := range strings.Split(*dsNames, ",") {
+			d, err := datasets.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Datasets = append(cfg.Datasets, d)
+		}
+	}
+
+	names := bench.ExperimentNames
+	if *experiment != "all" {
+		if _, ok := bench.Experiments[*experiment]; !ok {
+			fatal(fmt.Errorf("unknown experiment %q (valid: all, %s)",
+				*experiment, strings.Join(bench.ExperimentNames, ", ")))
+		}
+		names = []string{*experiment}
+	}
+	for _, name := range names {
+		fmt.Printf("=== %s ===\n", name)
+		bench.Experiments[name](cfg)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kcore-bench:", err)
+	os.Exit(1)
+}

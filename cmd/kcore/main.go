@@ -1,0 +1,173 @@
+// Command kcore is a CLI for static and dynamic k-core decomposition.
+//
+// Usage:
+//
+//	kcore decompose <edgelist>           print core-number summary
+//	kcore stats <edgelist>               print graph statistics
+//	kcore stream <edgelist>              maintain cores over stdin updates
+//	kcore communities <edgelist> <k>     print connected k-core components
+//
+// Stream mode reads one operation per line from stdin: "+ u v" inserts an
+// edge, "- u v" removes one, "? v" prints the core number of v, "k n"
+// prints the n-core vertex count, and "quit" exits.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"kcore"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+	}
+	cmd, path := os.Args[1], os.Args[2]
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	engine, err := kcore.Load(f)
+	if err != nil {
+		fatal(err)
+	}
+	switch cmd {
+	case "decompose":
+		decompose(engine)
+	case "stats":
+		stats(engine)
+	case "stream":
+		stream(engine)
+	case "communities":
+		if len(os.Args) < 4 {
+			usage()
+		}
+		k, err := strconv.Atoi(os.Args[3])
+		if err != nil {
+			fatal(fmt.Errorf("bad k %q: %w", os.Args[3], err))
+		}
+		communities(engine, k)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: kcore (decompose|stats|stream) <edgelist> | kcore communities <edgelist> <k>")
+	os.Exit(2)
+}
+
+func communities(e *kcore.Engine, k int) {
+	comps := e.CoreComponents(k)
+	sort.Slice(comps, func(i, j int) bool { return len(comps[i]) > len(comps[j]) })
+	fmt.Printf("%d-core components: %d\n", k, len(comps))
+	for i, c := range comps {
+		sample := c
+		if len(sample) > 8 {
+			sample = sample[:8]
+		}
+		fmt.Printf("#%d size=%d sample=%v\n", i+1, len(c), sample)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kcore:", err)
+	os.Exit(1)
+}
+
+func decompose(e *kcore.Engine) {
+	cores := e.Cores()
+	hist := map[int]int{}
+	for _, c := range cores {
+		hist[c]++
+	}
+	keys := make([]int, 0, len(hist))
+	for k := range hist {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	fmt.Printf("vertices=%d edges=%d degeneracy=%d\n", e.NumVertices(), e.NumEdges(), e.Degeneracy())
+	for _, k := range keys {
+		fmt.Printf("core %4d: %d vertices\n", k, hist[k])
+	}
+}
+
+func stats(e *kcore.Engine) {
+	n := e.NumVertices()
+	m := e.NumEdges()
+	avg := 0.0
+	if n > 0 {
+		avg = 2 * float64(m) / float64(n)
+	}
+	fmt.Printf("n=%d m=%d avg_deg=%.2f max_k=%d\n", n, m, avg, e.Degeneracy())
+}
+
+func stream(e *kcore.Engine) {
+	fmt.Printf("loaded n=%d m=%d degeneracy=%d; reading ops from stdin\n",
+		e.NumVertices(), e.NumEdges(), e.Degeneracy())
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "quit", "q":
+			return
+		case "+", "-":
+			if len(fields) != 3 {
+				fmt.Println("error: want '+ u v' or '- u v'")
+				continue
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				fmt.Println("error: bad vertex ids")
+				continue
+			}
+			var info kcore.UpdateInfo
+			var err error
+			if fields[0] == "+" {
+				info, err = e.AddEdge(u, v)
+			} else {
+				info, err = e.RemoveEdge(u, v)
+			}
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("ok changed=%d visited=%d degeneracy=%d\n",
+				len(info.CoreChanged), info.Visited, e.Degeneracy())
+		case "?":
+			if len(fields) != 2 {
+				fmt.Println("error: want '? v'")
+				continue
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				fmt.Println("error: bad vertex id")
+				continue
+			}
+			fmt.Printf("core(%d)=%d\n", v, e.Core(v))
+		case "k":
+			if len(fields) != 2 {
+				fmt.Println("error: want 'k n'")
+				continue
+			}
+			k, err := strconv.Atoi(fields[1])
+			if err != nil {
+				fmt.Println("error: bad k")
+				continue
+			}
+			fmt.Printf("|%d-core|=%d\n", k, len(e.KCore(k)))
+		default:
+			fmt.Println("error: unknown op (use + - ? k quit)")
+		}
+	}
+}

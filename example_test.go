@@ -1,0 +1,89 @@
+package kcore_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"kcore"
+)
+
+// The most common flow: create an engine, stream edges, query cores.
+func ExampleNewEngine() {
+	e := kcore.NewEngine()
+	edges := [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}}
+	for _, ed := range edges {
+		if _, err := e.AddEdge(ed[0], ed[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println(e.Core(0), e.Core(3), e.Degeneracy())
+	// Output: 2 1 2
+}
+
+// Build from a batch in O(m+n), then maintain incrementally.
+func ExampleFromEdges() {
+	e, err := kcore.FromEdges([][2]int{{0, 1}, {1, 2}, {0, 2}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	info, err := e.RemoveEdge(0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(info.CoreChanged), e.Core(2))
+	// Output: 3 1
+}
+
+// One-shot static decomposition without an engine.
+func ExampleDecompose() {
+	cores, err := kcore.Decompose([][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(cores)
+	// Output: [2 2 2 1]
+}
+
+// Load an edge list in the common "u v" text format.
+func ExampleLoad() {
+	data := "# a triangle\n0 1\n1 2\n0 2\n"
+	e, err := kcore.Load(strings.NewReader(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(e.KCore(2))
+	// Output: [0 1 2]
+}
+
+// Vertex updates are sequences of edge updates (Section III of the paper).
+func ExampleEngine_AddVertexWithEdges() {
+	e, err := kcore.FromEdges([][2]int{{0, 1}, {1, 2}, {0, 2}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, _, err := e.AddVertexWithEdges([]int{0, 1, 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(v, e.Core(v)) // the new vertex completes K4
+	if _, err := e.RemoveVertex(v); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(e.Core(0), e.Degree(v))
+	// Output:
+	// 3 3
+	// 2 0
+}
+
+// The traversal baseline is available for comparison.
+func ExampleWithAlgorithm() {
+	e := kcore.NewEngine(kcore.WithAlgorithm(kcore.Traversal), kcore.WithTraversalHops(3))
+	for _, ed := range [][2]int{{0, 1}, {1, 2}, {0, 2}} {
+		if _, err := e.AddEdge(ed[0], ed[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println(e.Algorithm(), e.Core(1))
+	// Output: traversal 2
+}

@@ -1,0 +1,100 @@
+// Socialstream simulates the paper's motivating scenario: an evolving
+// online social network where friendships arrive (and occasionally
+// dissolve) continuously, while an analyst tracks engagement cohorts — the
+// k-core a user belongs to is a standard engagement/influence proxy.
+//
+// The demo grows a preferential-attachment network in streaming fashion
+// through the dynamic engine (no recomputation), reports cohort sizes over
+// time, and follows one early adopter's core number as the community
+// densifies and then partially churns away.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"kcore"
+)
+
+const (
+	users       = 4000
+	meetPerUser = 6
+	churnEvery  = 5 // one unfriend per this many friendships
+	reportEvery = 1000
+	trackedUser = 10 // an early adopter
+)
+
+func main() {
+	e := kcore.NewEngine(kcore.WithSeed(7))
+	rng := rand.New(rand.NewPCG(7, 99))
+
+	// endpoints doubles as a degree-proportional sampler: picking a random
+	// entry picks a user proportionally to its current friend count.
+	var endpoints []int
+	var friendships [][2]int
+	addFriendship := func(u, v int) bool {
+		if u == v || e.HasEdge(u, v) {
+			return false
+		}
+		if _, err := e.AddEdge(u, v); err != nil {
+			log.Fatal(err)
+		}
+		endpoints = append(endpoints, u, v)
+		friendships = append(friendships, [2]int{u, v})
+		return true
+	}
+
+	// Seed clique of early adopters.
+	for u := 0; u < meetPerUser+1; u++ {
+		for v := u + 1; v < meetPerUser+1; v++ {
+			addFriendship(u, v)
+		}
+	}
+
+	events := 0
+	for newUser := meetPerUser + 1; newUser < users; newUser++ {
+		// The new user befriends existing users, preferring popular ones.
+		for made := 0; made < meetPerUser; {
+			target := endpoints[rng.IntN(len(endpoints))]
+			if addFriendship(newUser, target) {
+				made++
+				events++
+			}
+		}
+		// Occasional churn: an old friendship dissolves.
+		if events%churnEvery == 0 && len(friendships) > 10 {
+			i := rng.IntN(len(friendships))
+			f := friendships[i]
+			if e.HasEdge(f[0], f[1]) {
+				if _, err := e.RemoveEdge(f[0], f[1]); err != nil {
+					log.Fatal(err)
+				}
+			}
+			friendships[i] = friendships[len(friendships)-1]
+			friendships = friendships[:len(friendships)-1]
+		}
+		if newUser%reportEvery == 0 {
+			report(e, newUser)
+		}
+	}
+	report(e, users)
+
+	fmt.Println("\n--- cohort summary at end of stream ---")
+	deg := e.Degeneracy()
+	for k := deg; k >= deg-2 && k > 0; k-- {
+		fmt.Printf("%2d-core (most engaged cohort at k=%d): %d users\n",
+			k, k, len(e.KCore(k)))
+	}
+	fmt.Printf("\nearly adopter %d: final core number %d (degeneracy %d)\n",
+		trackedUser, e.Core(trackedUser), deg)
+	if err := e.Validate(); err != nil {
+		log.Fatalf("maintained state diverged from recomputation: %v", err)
+	}
+	fmt.Println("maintained cores verified against full recomputation: OK")
+}
+
+func report(e *kcore.Engine, usersSoFar int) {
+	fmt.Printf("users=%-5d friendships=%-6d degeneracy=%-3d core(user %d)=%d\n",
+		usersSoFar, e.NumEdges(), e.Degeneracy(), trackedUser, e.Core(trackedUser))
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"kcore/internal/stats"
+	"kcore/internal/subcore"
+)
+
+// BaselineRow compares the insertion search space of the three maintenance
+// algorithm families on the same workload: SubCore (materializes the whole
+// subcore), Traversal (prunes with pcd), and Order-based (jumps along the
+// k-order). This extends Fig. 2 with the paper's Section II lineage:
+// sc ⊇ V' ⊇ ... and V+ ⊆ oc.
+type BaselineRow struct {
+	Dataset   string
+	Subcore   float64 // sum |sc| / sum |V*|
+	Traversal float64 // sum |V'| / sum |V*|
+	Order     float64 // sum |V+| / sum |V*|
+}
+
+// BaselineSearchSpace reproduces the search-space comparison across all
+// three algorithm families.
+func BaselineSearchSpace(cfg Config) []BaselineRow {
+	cfg = cfg.withDefaults()
+	var rows []BaselineRow
+	tb := &stats.Table{Header: []string{"dataset", "subcore |sc|/|V*|", "traversal |V'|/|V*|", "order |V+|/|V*|"}}
+	for _, d := range cfg.Datasets {
+		p := prepare(cfg, d)
+		var rS, rT, rO stats.Ratio
+		{
+			g := p.g.Clone()
+			m := subcore.New(g)
+			for _, e := range p.edges {
+				res, err := m.Insert(e.U, e.V)
+				if err != nil {
+					panic(err)
+				}
+				rS.Add(res.Visited, len(res.Changed))
+			}
+		}
+		{
+			g := p.g.Clone()
+			m := newTrav(g, 2)
+			for _, e := range p.edges {
+				res, err := m.Insert(e.U, e.V)
+				if err != nil {
+					panic(err)
+				}
+				rT.Add(res.Visited, len(res.Changed))
+			}
+		}
+		{
+			g := p.g.Clone()
+			m := newOrder(g, cfg.Seed)
+			for _, e := range p.edges {
+				res, err := m.Insert(e.U, e.V)
+				if err != nil {
+					panic(err)
+				}
+				rO.Add(res.Visited, len(res.Changed))
+			}
+		}
+		row := BaselineRow{Dataset: d.Name, Subcore: rS.Value(), Traversal: rT.Value(), Order: rO.Value()}
+		rows = append(rows, row)
+		tb.AddRow(d.Name, stats.F(row.Subcore), stats.F(row.Traversal), stats.F(row.Order))
+	}
+	fprintln(cfg.Out, "Baselines: insertion search space per updated vertex, three algorithm families")
+	fprintln(cfg.Out, tb.String())
+	return rows
+}

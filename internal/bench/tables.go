@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"fmt"
+
+	"kcore/internal/decomp"
+	"kcore/internal/stats"
+)
+
+// TableIRow holds one dataset's statistics (paper Table I).
+type TableIRow struct {
+	Dataset string
+	Paper   string
+	N       int
+	M       int
+	AvgDeg  float64
+	MaxCore int
+}
+
+// TableI reproduces Table I: dataset statistics for the synthetic analogs.
+func TableI(cfg Config) []TableIRow {
+	cfg = cfg.withDefaults()
+	var rows []TableIRow
+	tb := &stats.Table{Header: []string{"dataset", "paper graph", "n=|V|", "m=|E|", "avg. deg", "max k"}}
+	for _, d := range cfg.Datasets {
+		g := d.Build()
+		row := TableIRow{
+			Dataset: d.Name,
+			Paper:   d.Paper,
+			N:       g.NumVertices(),
+			M:       g.NumEdges(),
+			AvgDeg:  g.AvgDegree(),
+			MaxCore: decomp.Degeneracy(g),
+		}
+		rows = append(rows, row)
+		tb.AddRow(d.Name, d.Paper, stats.I(row.N), stats.I(row.M),
+			fmt.Sprintf("%.2f", row.AvgDeg), stats.I(row.MaxCore))
+	}
+	fprintln(cfg.Out, "Table I: dataset statistics (synthetic analogs; see DESIGN.md §3)")
+	fprintln(cfg.Out, tb.String())
+	return rows
+}
+
+// TableIIRow holds one dataset's accumulated maintenance times in seconds:
+// the order-based algorithms vs each traversal hop variant (paper Table II).
+type TableIIRow struct {
+	Dataset     string
+	OrderInsert float64
+	TravInsert  map[int]float64
+	OrderRemove float64
+	TravRemove  map[int]float64
+}
+
+// TableII reproduces Table II: accumulated time to insert the workload
+// edges one by one, then remove them, for OrderInsert/OrderRemoval vs
+// Trav-h for each configured h.
+func TableII(cfg Config) []TableIIRow {
+	cfg = cfg.withDefaults()
+	var rows []TableIIRow
+	header := []string{"dataset", "OrderInsert"}
+	for _, h := range cfg.Hops {
+		header = append(header, fmt.Sprintf("Trav-%d ins", h))
+	}
+	header = append(header, "OrderRemoval")
+	for _, h := range cfg.Hops {
+		header = append(header, fmt.Sprintf("Trav-%d rem", h))
+	}
+	tb := &stats.Table{Header: header}
+	for _, d := range cfg.Datasets {
+		p := prepare(cfg, d)
+		row := TableIIRow{
+			Dataset:    d.Name,
+			TravInsert: make(map[int]float64),
+			TravRemove: make(map[int]float64),
+		}
+		// Order-based pass: insert all, then remove all.
+		{
+			g := p.g.Clone()
+			m := newOrder(g, cfg.Seed)
+			row.OrderInsert = timeIt(func() {
+				for _, e := range p.edges {
+					if _, err := m.Insert(e.U, e.V); err != nil {
+						panic(err)
+					}
+				}
+			})
+			row.OrderRemove = timeIt(func() {
+				for _, e := range p.edges {
+					if _, err := m.Remove(e.U, e.V); err != nil {
+						panic(err)
+					}
+				}
+			})
+		}
+		// Traversal passes.
+		for _, h := range cfg.Hops {
+			g := p.g.Clone()
+			m := newTrav(g, h)
+			row.TravInsert[h] = timeIt(func() {
+				for _, e := range p.edges {
+					if _, err := m.Insert(e.U, e.V); err != nil {
+						panic(err)
+					}
+				}
+			})
+			row.TravRemove[h] = timeIt(func() {
+				for _, e := range p.edges {
+					if _, err := m.Remove(e.U, e.V); err != nil {
+						panic(err)
+					}
+				}
+			})
+		}
+		rows = append(rows, row)
+		cells := []string{d.Name, stats.FSec(row.OrderInsert)}
+		for _, h := range cfg.Hops {
+			cells = append(cells, stats.FSec(row.TravInsert[h]))
+		}
+		cells = append(cells, stats.FSec(row.OrderRemove))
+		for _, h := range cfg.Hops {
+			cells = append(cells, stats.FSec(row.TravRemove[h]))
+		}
+		tb.AddRow(cells...)
+		// Long-running experiment: stream progress so partial runs are
+		// still useful.
+		fprintln(cfg.Out, "# completed", d.Name)
+	}
+	fprintln(cfg.Out, fmt.Sprintf(
+		"Table II: accumulated maintenance time in seconds (%d edges inserted then removed)", cfg.Edges))
+	fprintln(cfg.Out, tb.String())
+	return rows
+}
+
+// TableIIIRow holds one dataset's index construction times in seconds.
+type TableIIIRow struct {
+	Dataset string
+	Order   float64
+	Trav    map[int]float64
+}
+
+// TableIII reproduces Table III: time to create each algorithm's index
+// (including the initial core decomposition).
+func TableIII(cfg Config) []TableIIIRow {
+	cfg = cfg.withDefaults()
+	var rows []TableIIIRow
+	header := []string{"dataset", "order-based"}
+	for _, h := range cfg.Hops {
+		header = append(header, fmt.Sprintf("Trav-%d", h))
+	}
+	tb := &stats.Table{Header: header}
+	for _, d := range cfg.Datasets {
+		g := d.Build()
+		row := TableIIIRow{Dataset: d.Name, Trav: make(map[int]float64)}
+		row.Order = timeIt(func() { _ = newOrder(g.Clone(), cfg.Seed) })
+		for _, h := range cfg.Hops {
+			h := h
+			row.Trav[h] = timeIt(func() { _ = newTrav(g.Clone(), h) })
+		}
+		rows = append(rows, row)
+		cells := []string{d.Name, stats.FSec(row.Order)}
+		for _, h := range cfg.Hops {
+			cells = append(cells, stats.FSec(row.Trav[h]))
+		}
+		tb.AddRow(cells...)
+	}
+	fprintln(cfg.Out, "Table III: index creation time in seconds")
+	fprintln(cfg.Out, tb.String())
+	return rows
+}
+
+// Experiments maps experiment names to runners for the CLI.
+var Experiments = map[string]func(Config){
+	"table1":             func(c Config) { TableI(c) },
+	"table2":             func(c Config) { TableII(c) },
+	"table3":             func(c Config) { TableIII(c) },
+	"fig1":               func(c Config) { Fig1(c) },
+	"fig2":               func(c Config) { Fig2(c) },
+	"fig5":               func(c Config) { Fig5(c) },
+	"fig9":               func(c Config) { Fig9(c) },
+	"fig10":              func(c Config) { Fig10(c) },
+	"fig11":              func(c Config) { Fig11(c) },
+	"fig12":              func(c Config) { Fig12(c) },
+	"ablation-order":     func(c Config) { AblationOrderStructure(c) },
+	"ablation-heuristic": func(c Config) { AblationHeuristicTiming(c) },
+	"baselines":          func(c Config) { BaselineSearchSpace(c) },
+}
+
+// ExperimentNames lists the runnable experiments in report order.
+var ExperimentNames = []string{
+	"table1", "fig1", "fig2", "fig5", "fig9", "fig10", "table2", "table3",
+	"fig11", "fig12", "ablation-order", "ablation-heuristic", "baselines",
+}
+
+// heuristicsAll returns the three k-order heuristics in paper order.
+func heuristicsAll() []decomp.Heuristic {
+	return []decomp.Heuristic{
+		decomp.SmallDegPlusFirst, decomp.LargeDegPlusFirst, decomp.RandomDegPlusFirst,
+	}
+}

@@ -1,0 +1,104 @@
+// Package datasets defines the 11 named synthetic analogs of the paper's
+// Table I datasets (DESIGN.md §3). Sizes are scaled down ~20x so the full
+// harness runs on commodity hardware; every analog is deterministic given
+// its name.
+package datasets
+
+import (
+	"fmt"
+	"sort"
+
+	"kcore/internal/gen"
+	"kcore/internal/graph"
+)
+
+// Dataset names a synthetic analog and builds it on demand.
+type Dataset struct {
+	// Name is the analog's identifier, e.g. "facebook-sim".
+	Name string
+	// Paper is the paper dataset this analog substitutes for.
+	Paper string
+	// Kind describes the graph family (social, web, road, ...).
+	Kind string
+	// Build constructs the graph (deterministic).
+	Build func() *graph.Undirected
+}
+
+// All returns the 11 analogs in the paper's Table I order.
+func All() []Dataset {
+	return []Dataset{
+		{"facebook-sim", "Facebook", "social (temporal)", func() *graph.Undirected {
+			return gen.BarabasiAlbert(3200, 13, 1)
+		}},
+		{"youtube-sim", "Youtube", "social (temporal)", func() *graph.Undirected {
+			return gen.BarabasiAlbert(60000, 3, 2)
+		}},
+		{"dblp-sim", "DBLP", "collaboration (temporal)", func() *graph.Undirected {
+			return gen.Community(40000, 8, 0.7, 60000, 3)
+		}},
+		{"patents-sim", "Patents", "citation", func() *graph.Undirected {
+			return gen.RMAT(16, 280000, 0.57, 0.19, 0.19, 4)
+		}},
+		{"orkut-sim", "Orkut", "social", func() *graph.Undirected {
+			return gen.BarabasiAlbert(24000, 38, 5)
+		}},
+		{"livejournal-sim", "LiveJournal", "social", func() *graph.Undirected {
+			return gen.RMAT(16, 560000, 0.55, 0.2, 0.2, 6)
+		}},
+		{"gowalla-sim", "Gowalla", "location social", func() *graph.Undirected {
+			return gen.BarabasiAlbert(10000, 5, 7)
+		}},
+		{"ca-sim", "CA", "road", func() *graph.Undirected {
+			return gen.Grid(300, 330, 0.62, 0.05, 8)
+		}},
+		{"pokec-sim", "Pokec", "social", func() *graph.Undirected {
+			return gen.BarabasiAlbert(30000, 14, 9)
+		}},
+		{"berkstan-sim", "BerkStan", "web", func() *graph.Undirected {
+			return gen.RMAT(15, 320000, 0.6, 0.18, 0.18, 10)
+		}},
+		{"google-sim", "Google", "web", func() *graph.Undirected {
+			return gen.RMAT(15, 160000, 0.57, 0.19, 0.19, 11)
+		}},
+	}
+}
+
+// Names lists all analog names in order.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, d := range all {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// ByName returns the dataset with the given name (the "-sim" suffix may be
+// omitted; the reduced "-tiny" variants are also resolvable), or an error
+// listing valid names.
+func ByName(name string) (Dataset, error) {
+	for _, d := range append(All(), Small()...) {
+		if d.Name == name || d.Name == name+"-sim" {
+			return d, nil
+		}
+	}
+	valid := Names()
+	sort.Strings(valid)
+	return Dataset{}, fmt.Errorf("datasets: unknown dataset %q (valid: %v)", name, valid)
+}
+
+// Small returns reduced-size variants of a few representative analogs for
+// fast benchmarks and tests.
+func Small() []Dataset {
+	return []Dataset{
+		{"facebook-tiny", "Facebook", "social", func() *graph.Undirected {
+			return gen.BarabasiAlbert(800, 10, 21)
+		}},
+		{"patents-tiny", "Patents", "citation", func() *graph.Undirected {
+			return gen.RMAT(12, 18000, 0.57, 0.19, 0.19, 22)
+		}},
+		{"ca-tiny", "CA", "road", func() *graph.Undirected {
+			return gen.Grid(60, 70, 0.62, 0.05, 23)
+		}},
+	}
+}

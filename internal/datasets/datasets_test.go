@@ -1,0 +1,102 @@
+package datasets
+
+import (
+	"testing"
+
+	"kcore/internal/decomp"
+)
+
+func TestAllHaveDistinctNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, d := range All() {
+		if seen[d.Name] {
+			t.Fatalf("duplicate dataset name %q", d.Name)
+		}
+		seen[d.Name] = true
+		if d.Paper == "" || d.Kind == "" || d.Build == nil {
+			t.Fatalf("dataset %q incomplete", d.Name)
+		}
+	}
+	if len(All()) != 11 {
+		t.Fatalf("expected 11 analogs, got %d", len(All()))
+	}
+	if len(Names()) != 11 {
+		t.Fatal("Names() wrong length")
+	}
+}
+
+func TestByName(t *testing.T) {
+	d, err := ByName("ca-sim")
+	if err != nil || d.Name != "ca-sim" {
+		t.Fatalf("ByName(ca-sim): %v, %v", d, err)
+	}
+	d, err = ByName("ca")
+	if err != nil || d.Name != "ca-sim" {
+		t.Fatalf("ByName(ca) suffix fallback: %v, %v", d, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+// TestAllAnalogsBuild builds every full-size analog once and sanity-checks
+// its statistics against the paper's Table I shape (skipped with -short:
+// building all 11 graphs takes tens of seconds).
+func TestAllAnalogsBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds all 11 full-size analogs")
+	}
+	for _, d := range All() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			g := d.Build()
+			if g.NumVertices() < 1000 || g.NumEdges() < 1000 {
+				t.Fatalf("%s: implausibly small (n=%d m=%d)", d.Name, g.NumVertices(), g.NumEdges())
+			}
+			avg := g.AvgDegree()
+			if avg < 2 || avg > 100 {
+				t.Fatalf("%s: avg degree %.2f out of range", d.Name, avg)
+			}
+		})
+	}
+}
+
+// TestAnalogShapes verifies each analog is deterministic and structurally in
+// line with its paper counterpart (relative density, road-network max core).
+func TestAnalogShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds all analogs")
+	}
+	for _, d := range Small() {
+		g := d.Build()
+		if g.NumEdges() == 0 {
+			t.Fatalf("%s: empty graph", d.Name)
+		}
+		h := d.Build()
+		if !g.Equal(h) {
+			t.Fatalf("%s: not deterministic", d.Name)
+		}
+	}
+	// Spot-check the full-size road analog: avg degree and max core must
+	// match the paper's CA characteristics (avg 2.8, max k=3).
+	ca, err := ByName("ca-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ca.Build()
+	if avg := g.AvgDegree(); avg < 2.3 || avg > 3.4 {
+		t.Fatalf("ca-sim avg degree %.2f out of range", avg)
+	}
+	if k := decomp.Degeneracy(g); k < 2 || k > 3 {
+		t.Fatalf("ca-sim degeneracy %d, want 2..3", k)
+	}
+	// Spot-check a social analog for degree skew.
+	fb, err := ByName("facebook-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf := fb.Build()
+	if float64(gf.MaxDegree()) < 3*gf.AvgDegree() {
+		t.Fatalf("facebook-sim lacks degree skew (max %d avg %.1f)", gf.MaxDegree(), gf.AvgDegree())
+	}
+}

@@ -1,0 +1,40 @@
+package decomp
+
+import "kcore/internal/graph"
+
+// GreedyColorByOrder colors g greedily processing vertices in the reverse
+// of the given k-order (a degeneracy ordering). Because each vertex has at
+// most degeneracy(g) already-colored neighbors at its turn, the result uses
+// at most degeneracy+1 colors — the classic k-core application to graph
+// coloring. Returns the color of every vertex and the number of colors.
+func GreedyColorByOrder(g *graph.Undirected, order []int) (colors []int, numColors int) {
+	n := g.NumVertices()
+	colors = make([]int, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	var used []bool
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		used = used[:0]
+		for _, w := range g.Neighbors(v) {
+			c := colors[w]
+			if c < 0 {
+				continue
+			}
+			for len(used) <= c {
+				used = append(used, false)
+			}
+			used[c] = true
+		}
+		c := 0
+		for c < len(used) && used[c] {
+			c++
+		}
+		colors[v] = c
+		if c+1 > numColors {
+			numColors = c + 1
+		}
+	}
+	return colors, numColors
+}

@@ -1,0 +1,85 @@
+package decomp
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"kcore/internal/graph"
+)
+
+func TestGreedyColorKnown(t *testing.T) {
+	// Triangle: 3 colors, all distinct.
+	g := buildGraph(t, 3, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+	dec := KOrder(g, SmallDegPlusFirst, 0)
+	colors, k := GreedyColorByOrder(g, dec.Order)
+	if k != 3 {
+		t.Fatalf("triangle colors=%d", k)
+	}
+	if colors[0] == colors[1] || colors[1] == colors[2] || colors[0] == colors[2] {
+		t.Fatalf("triangle coloring improper: %v", colors)
+	}
+	// Path: 2 colors.
+	g2 := buildGraph(t, 4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	dec2 := KOrder(g2, SmallDegPlusFirst, 0)
+	_, k2 := GreedyColorByOrder(g2, dec2.Order)
+	if k2 != 2 {
+		t.Fatalf("path colors=%d", k2)
+	}
+	// Empty graph.
+	colors3, k3 := GreedyColorByOrder(graph.New(2), []int{0, 1})
+	if k3 != 1 || colors3[0] != 0 {
+		t.Fatalf("isolated coloring k=%d colors=%v", k3, colors3)
+	}
+}
+
+func TestGreedyColorRandomized(t *testing.T) {
+	rng := rand.New(rand.NewPCG(61, 62))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.IntN(60)
+		g := graph.New(n)
+		m := rng.IntN(5 * n)
+		for i := 0; i < m; i++ {
+			u, v := rng.IntN(n), rng.IntN(n)
+			if u != v && !g.HasEdge(u, v) {
+				mustAdd(t, g, u, v)
+			}
+		}
+		dec := KOrder(g, SmallDegPlusFirst, uint64(trial))
+		colors, k := GreedyColorByOrder(g, dec.Order)
+		// Proper coloring.
+		g.ForEachEdge(func(u, v int) {
+			if colors[u] == colors[v] {
+				t.Fatalf("trial %d: edge (%d,%d) monochromatic", trial, u, v)
+			}
+		})
+		// Degeneracy bound.
+		if k > dec.MaxCore+1 {
+			t.Fatalf("trial %d: %d colors > degeneracy+1 = %d", trial, k, dec.MaxCore+1)
+		}
+	}
+}
+
+func TestQuickColoringBound(t *testing.T) {
+	f := func(pairs [][2]uint8) bool {
+		g := graph.New(1)
+		for _, p := range pairs {
+			u, v := int(p[0])%30, int(p[1])%30
+			if u != v && !g.HasEdge(u, v) {
+				_ = g.AddEdge(u, v)
+			}
+		}
+		dec := KOrder(g, SmallDegPlusFirst, 3)
+		colors, k := GreedyColorByOrder(g, dec.Order)
+		ok := k <= dec.MaxCore+1
+		g.ForEachEdge(func(u, v int) {
+			if colors[u] == colors[v] {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

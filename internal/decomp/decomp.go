@@ -1,0 +1,300 @@
+// Package decomp implements static core decomposition (Algorithm 1 of the
+// paper, the O(m+n) algorithm of Batagelj and Zaversnik), generation of the
+// initial k-order under the paper's three heuristics (Section VI), and the
+// subcore / pure-core / order-core statistics of Figure 5.
+package decomp
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"kcore/internal/graph"
+)
+
+// Heuristic selects the tie-breaking rule used by k-order generation when
+// several vertices are removable (Section VI, Fig. 9).
+type Heuristic int
+
+const (
+	// SmallDegPlusFirst removes a removable vertex of minimum remaining
+	// degree first. This is the paper's recommended heuristic.
+	SmallDegPlusFirst Heuristic = iota
+	// LargeDegPlusFirst removes a removable vertex of maximum remaining
+	// degree first.
+	LargeDegPlusFirst
+	// RandomDegPlusFirst removes a removable vertex chosen uniformly at
+	// random.
+	RandomDegPlusFirst
+)
+
+// String returns the paper's name for the heuristic.
+func (h Heuristic) String() string {
+	switch h {
+	case SmallDegPlusFirst:
+		return "small deg+ first"
+	case LargeDegPlusFirst:
+		return "large deg+ first"
+	case RandomDegPlusFirst:
+		return "random deg+ first"
+	default:
+		return "unknown"
+	}
+}
+
+// Decomposition is the result of running core decomposition while recording
+// the removal order (the initial k-order) and the remaining degree of each
+// vertex at removal time (its initial deg+).
+type Decomposition struct {
+	// Core holds the core number of every vertex.
+	Core []int
+	// Order lists all vertices in k-order (removal order of Algorithm 1).
+	Order []int
+	// Pos is the inverse of Order: Pos[Order[i]] = i.
+	Pos []int
+	// DegPlus holds deg+(v): the remaining degree of v when removed.
+	DegPlus []int
+	// MaxCore is the degeneracy of the graph (max core number).
+	MaxCore int
+}
+
+// Cores computes the core number of every vertex in O(m+n).
+func Cores(g *graph.Undirected) []int {
+	return KOrder(g, SmallDegPlusFirst, 0).Core
+}
+
+// Degeneracy returns the maximum core number of g.
+func Degeneracy(g *graph.Undirected) int {
+	return KOrder(g, SmallDegPlusFirst, 0).MaxCore
+}
+
+// bucketQueue is an array-of-intrusive-lists structure over vertex degrees.
+type bucketQueue struct {
+	head []int // head[d] = first vertex with degree d, or -1
+	next []int
+	prev []int
+	deg  []int
+}
+
+func newBucketQueue(deg []int, maxDeg int) *bucketQueue {
+	n := len(deg)
+	b := &bucketQueue{
+		head: make([]int, maxDeg+1),
+		next: make([]int, n),
+		prev: make([]int, n),
+		deg:  deg,
+	}
+	for d := range b.head {
+		b.head[d] = -1
+	}
+	for v := n - 1; v >= 0; v-- {
+		b.push(v, deg[v])
+	}
+	return b
+}
+
+func (b *bucketQueue) push(v, d int) {
+	b.prev[v] = -1
+	b.next[v] = b.head[d]
+	if b.head[d] != -1 {
+		b.prev[b.head[d]] = v
+	}
+	b.head[d] = v
+}
+
+func (b *bucketQueue) remove(v, d int) {
+	if b.prev[v] != -1 {
+		b.next[b.prev[v]] = b.next[v]
+	} else {
+		b.head[d] = b.next[v]
+	}
+	if b.next[v] != -1 {
+		b.prev[b.next[v]] = b.prev[v]
+	}
+}
+
+// decrement moves v from bucket d to bucket d-1.
+func (b *bucketQueue) decrement(v, d int) {
+	b.remove(v, d)
+	b.push(v, d-1)
+}
+
+// KOrder runs Algorithm 1 recording the removal order, producing an initial
+// k-order, core numbers, and initial deg+ values. The heuristic decides
+// which removable vertex (deg < k) is removed first; seed drives the random
+// heuristic (ignored by the deterministic ones).
+func KOrder(g *graph.Undirected, h Heuristic, seed uint64) *Decomposition {
+	n := g.NumVertices()
+	dec := &Decomposition{
+		Core:    make([]int, n),
+		Order:   make([]int, 0, n),
+		Pos:     make([]int, n),
+		DegPlus: make([]int, n),
+	}
+	if n == 0 {
+		return dec
+	}
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	bq := newBucketQueue(deg, maxDeg)
+	removed := make([]bool, n)
+
+	var rng *rand.Rand
+	var pool []int
+	var inPool []bool
+	if h == RandomDegPlusFirst {
+		rng = rand.New(rand.NewPCG(seed, seed^0xa5a5a5a5))
+		inPool = make([]bool, n)
+	}
+
+	// selectVictim returns a vertex with deg < k per heuristic, or -1.
+	k := 1
+	minCursor := 0
+	selectVictim := func() int {
+		switch h {
+		case SmallDegPlusFirst:
+			for minCursor < k {
+				if v := bq.head[minCursor]; v != -1 {
+					return v
+				}
+				minCursor++
+			}
+			return -1
+		case LargeDegPlusFirst:
+			top := k - 1
+			if top > maxDeg {
+				top = maxDeg
+			}
+			for d := top; d >= 0; d-- {
+				if v := bq.head[d]; v != -1 {
+					return v
+				}
+			}
+			return -1
+		default: // RandomDegPlusFirst
+			for len(pool) > 0 {
+				i := rng.IntN(len(pool))
+				v := pool[i]
+				pool[i] = pool[len(pool)-1]
+				pool = pool[:len(pool)-1]
+				inPool[v] = false
+				if !removed[v] && deg[v] < k {
+					return v
+				}
+			}
+			return -1
+		}
+	}
+	// addCandidates pushes bucket contents of degree d into the random pool.
+	addCandidates := func(d int) {
+		if h != RandomDegPlusFirst || d > maxDeg {
+			return
+		}
+		for v := bq.head[d]; v != -1; v = bq.next[v] {
+			if !inPool[v] {
+				inPool[v] = true
+				pool = append(pool, v)
+			}
+		}
+	}
+	if h == RandomDegPlusFirst {
+		addCandidates(0)
+	}
+
+	for len(dec.Order) < n {
+		u := selectVictim()
+		if u == -1 {
+			// No vertex with deg < k remains: move to the next core level.
+			addCandidates(k)
+			k++
+			continue
+		}
+		removed[u] = true
+		bq.remove(u, deg[u])
+		dec.Core[u] = k - 1
+		dec.DegPlus[u] = deg[u]
+		dec.Pos[u] = len(dec.Order)
+		dec.Order = append(dec.Order, u)
+		if k-1 > dec.MaxCore {
+			dec.MaxCore = k - 1
+		}
+		for _, w32 := range g.Neighbors(u) {
+			w := int(w32)
+			if removed[w] {
+				continue
+			}
+			bq.decrement(w, deg[w])
+			deg[w]--
+			if deg[w] < minCursor {
+				minCursor = deg[w]
+			}
+			if h == RandomDegPlusFirst && deg[w] < k && !inPool[w] {
+				inPool[w] = true
+				pool = append(pool, w)
+			}
+		}
+	}
+	return dec
+}
+
+// KCoreVertices returns the vertices of the k-core given core numbers.
+func KCoreVertices(core []int, k int) []int {
+	var out []int
+	for v, c := range core {
+		if c >= k {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ComputeMCD returns mcd(v) = |{w in nbr(v): core(w) >= core(v)}| for every
+// vertex.
+func ComputeMCD(g *graph.Undirected, core []int) []int {
+	n := g.NumVertices()
+	mcd := make([]int, n)
+	for v := 0; v < n; v++ {
+		for _, w := range g.Neighbors(v) {
+			if core[w] >= core[v] {
+				mcd[v]++
+			}
+		}
+	}
+	return mcd
+}
+
+// ComputePCD returns pcd(v) = |{w in nbr(v): core(w) > core(v) or
+// (core(w) == core(v) and mcd(w) > core(w))}| for every vertex.
+func ComputePCD(g *graph.Undirected, core, mcd []int) []int {
+	n := g.NumVertices()
+	pcd := make([]int, n)
+	for v := 0; v < n; v++ {
+		for _, w32 := range g.Neighbors(v) {
+			w := int(w32)
+			if core[w] > core[v] || (core[w] == core[v] && mcd[w] > core[w]) {
+				pcd[v]++
+			}
+		}
+	}
+	return pcd
+}
+
+// Validate checks that core is a correct core decomposition of g by
+// recomputation. Test helper exported for cross-package oracles.
+func Validate(g *graph.Undirected, core []int) error {
+	want := Cores(g)
+	if len(core) < len(want) {
+		return fmt.Errorf("decomp: core slice has %d entries, graph has %d vertices", len(core), len(want))
+	}
+	for v, c := range want {
+		if core[v] != c {
+			return fmt.Errorf("decomp: core(%d) = %d, want %d", v, core[v], c)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,489 @@
+package decomp
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"kcore/internal/graph"
+)
+
+// buildGraph constructs a graph from an edge list.
+func buildGraph(t testing.TB, n int, edges [][2]int) *graph.Undirected {
+	t.Helper()
+	g := graph.New(n)
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatalf("AddEdge(%v): %v", e, err)
+		}
+	}
+	return g
+}
+
+// paperGraph reproduces Fig. 3 of the paper at reduced scale: a path of
+// path vertices (core 1), a 2-core pentagon bridging into two 3-subcores
+// (two K4s).
+func paperGraph(t testing.TB, pathLen int) (*graph.Undirected, map[string][]int) {
+	t.Helper()
+	g := graph.New(0)
+	// Path u_0..u_{pathLen-1}, core 1.
+	us := make([]int, pathLen)
+	for i := range us {
+		us[i] = g.AddVertex()
+	}
+	for i := 0; i+1 < pathLen; i++ {
+		mustAdd(t, g, us[i], us[i+1])
+	}
+	// 2-core: 5-cycle v1..v5.
+	vs := make([]int, 5)
+	for i := range vs {
+		vs[i] = g.AddVertex()
+	}
+	for i := 0; i < 5; i++ {
+		mustAdd(t, g, vs[i], vs[(i+1)%5])
+	}
+	// Two K4s (3-cores), attached to the pentagon.
+	k4a := make([]int, 4)
+	k4b := make([]int, 4)
+	for i := range k4a {
+		k4a[i] = g.AddVertex()
+	}
+	for i := range k4b {
+		k4b[i] = g.AddVertex()
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			mustAdd(t, g, k4a[i], k4a[j])
+			mustAdd(t, g, k4b[i], k4b[j])
+		}
+	}
+	mustAdd(t, g, vs[0], k4a[0])
+	mustAdd(t, g, vs[1], k4b[0])
+	// Path attaches to pentagon.
+	mustAdd(t, g, us[pathLen-1], vs[2])
+	return g, map[string][]int{"path": us, "penta": vs, "k4a": k4a, "k4b": k4b}
+}
+
+func mustAdd(t testing.TB, g *graph.Undirected, u, v int) {
+	t.Helper()
+	if err := g.AddEdge(u, v); err != nil {
+		t.Fatalf("AddEdge(%d,%d): %v", u, v, err)
+	}
+}
+
+func TestCoresKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges [][2]int
+		want  []int
+	}{
+		{"empty", 0, nil, []int{}},
+		{"isolated", 3, nil, []int{0, 0, 0}},
+		{"single-edge", 2, [][2]int{{0, 1}}, []int{1, 1}},
+		{"path", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}}, []int{1, 1, 1, 1}},
+		{"triangle", 3, [][2]int{{0, 1}, {1, 2}, {0, 2}}, []int{2, 2, 2}},
+		{"triangle-with-tail", 4, [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}}, []int{2, 2, 2, 1}},
+		{"k4", 4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}, []int{3, 3, 3, 3}},
+		{"star", 5, [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}}, []int{1, 1, 1, 1, 1}},
+		{"two-triangles-bridge", 6,
+			[][2]int{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}},
+			[]int{2, 2, 2, 2, 2, 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := buildGraph(t, tc.n, tc.edges)
+			got := Cores(g)
+			for v := range tc.want {
+				if got[v] != tc.want[v] {
+					t.Fatalf("core(%d)=%d want %d (all: %v)", v, got[v], tc.want[v], got)
+				}
+			}
+		})
+	}
+}
+
+func TestCoresPaperGraph(t *testing.T) {
+	g, parts := paperGraph(t, 30)
+	core := Cores(g)
+	for _, u := range parts["path"] {
+		if core[u] != 1 {
+			t.Fatalf("path vertex %d core=%d want 1", u, core[u])
+		}
+	}
+	for _, v := range parts["penta"] {
+		if core[v] != 2 {
+			t.Fatalf("pentagon vertex %d core=%d want 2", v, core[v])
+		}
+	}
+	for _, v := range append(parts["k4a"], parts["k4b"]...) {
+		if core[v] != 3 {
+			t.Fatalf("K4 vertex %d core=%d want 3", v, core[v])
+		}
+	}
+	if Degeneracy(g) != 3 {
+		t.Fatalf("degeneracy=%d want 3", Degeneracy(g))
+	}
+}
+
+// brute computes core numbers by the definitional peeling, independent of
+// the bucket implementation.
+func brute(g *graph.Undirected) []int {
+	n := g.NumVertices()
+	core := make([]int, n)
+	removed := make([]bool, n)
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+	}
+	for k := 1; ; k++ {
+		changed := true
+		any := false
+		for changed {
+			changed = false
+			for v := 0; v < n; v++ {
+				if !removed[v] && deg[v] < k {
+					removed[v] = true
+					core[v] = k - 1
+					changed = true
+					for _, w := range g.Neighbors(v) {
+						if !removed[w] {
+							deg[w]--
+						}
+					}
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if !removed[v] {
+				any = true
+			}
+		}
+		if !any {
+			return core
+		}
+	}
+}
+
+func TestCoresAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.IntN(40)
+		g := graph.New(n)
+		m := rng.IntN(3 * n)
+		for i := 0; i < m; i++ {
+			u, v := rng.IntN(n), rng.IntN(n)
+			if u != v && !g.HasEdge(u, v) {
+				mustAdd(t, g, u, v)
+			}
+		}
+		want := brute(g)
+		got := Cores(g)
+		for v := 0; v < n; v++ {
+			if got[v] != want[v] {
+				t.Fatalf("trial %d: core(%d)=%d want %d", trial, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+// validKOrder checks Lemma 5.1 directly on the decomposition output: the
+// recorded order must be a valid removal sequence of Algorithm 1, i.e.
+// peeling vertices in that order, each vertex's remaining degree at its
+// removal equals DegPlus and is <= its core number (and cores match).
+func validKOrder(t *testing.T, g *graph.Undirected, dec *Decomposition) {
+	t.Helper()
+	n := g.NumVertices()
+	if len(dec.Order) != n {
+		t.Fatalf("order has %d vertices, want %d", len(dec.Order), n)
+	}
+	removed := make([]bool, n)
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+	}
+	prevCore := 0
+	for i, v := range dec.Order {
+		if dec.Core[v] < prevCore {
+			t.Fatalf("order position %d: core decreases (%d after %d)", i, dec.Core[v], prevCore)
+		}
+		prevCore = dec.Core[v]
+		if deg[v] > dec.Core[v] {
+			t.Fatalf("order position %d (vertex %d): remaining degree %d exceeds core %d",
+				i, v, deg[v], dec.Core[v])
+		}
+		if deg[v] != dec.DegPlus[v] {
+			t.Fatalf("vertex %d: DegPlus=%d but remaining degree %d", v, dec.DegPlus[v], deg[v])
+		}
+		if dec.Pos[v] != i {
+			t.Fatalf("Pos[%d]=%d want %d", v, dec.Pos[v], i)
+		}
+		removed[v] = true
+		for _, w := range g.Neighbors(v) {
+			if !removed[w] {
+				deg[w]--
+			}
+		}
+	}
+}
+
+func TestKOrderValidAllHeuristics(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.IntN(50)
+		g := graph.New(n)
+		m := rng.IntN(4 * n)
+		for i := 0; i < m; i++ {
+			u, v := rng.IntN(n), rng.IntN(n)
+			if u != v && !g.HasEdge(u, v) {
+				mustAdd(t, g, u, v)
+			}
+		}
+		want := Cores(g)
+		for _, h := range []Heuristic{SmallDegPlusFirst, LargeDegPlusFirst, RandomDegPlusFirst} {
+			dec := KOrder(g, h, uint64(trial))
+			for v := 0; v < n; v++ {
+				if dec.Core[v] != want[v] {
+					t.Fatalf("%v trial %d: core(%d)=%d want %d", h, trial, v, dec.Core[v], want[v])
+				}
+			}
+			validKOrder(t, g, dec)
+		}
+	}
+}
+
+func TestKOrderRandomHeuristicDeterminism(t *testing.T) {
+	g := buildGraph(t, 30, nil)
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < 80; i++ {
+		u, v := rng.IntN(30), rng.IntN(30)
+		if u != v && !g.HasEdge(u, v) {
+			mustAdd(t, g, u, v)
+		}
+	}
+	a := KOrder(g, RandomDegPlusFirst, 7)
+	b := KOrder(g, RandomDegPlusFirst, 7)
+	for i := range a.Order {
+		if a.Order[i] != b.Order[i] {
+			t.Fatal("random heuristic not deterministic for fixed seed")
+		}
+	}
+	c := KOrder(g, RandomDegPlusFirst, 8)
+	same := true
+	for i := range a.Order {
+		if a.Order[i] != c.Order[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical random orders (suspicious)")
+	}
+}
+
+func TestHeuristicString(t *testing.T) {
+	if SmallDegPlusFirst.String() != "small deg+ first" ||
+		LargeDegPlusFirst.String() != "large deg+ first" ||
+		RandomDegPlusFirst.String() != "random deg+ first" ||
+		Heuristic(9).String() != "unknown" {
+		t.Fatal("Heuristic.String broken")
+	}
+}
+
+func TestKCoreVertices(t *testing.T) {
+	core := []int{0, 1, 2, 3, 2}
+	got := KCoreVertices(core, 2)
+	if len(got) != 3 || got[0] != 2 || got[1] != 3 || got[2] != 4 {
+		t.Fatalf("KCoreVertices=%v", got)
+	}
+	if KCoreVertices(core, 9) != nil {
+		t.Fatal("expected empty k-core")
+	}
+}
+
+func TestComputeMCDAndPCD(t *testing.T) {
+	// Fig. 3 path structure: mcd/pcd values from the paper's example.
+	// Path u0-u1-...-u5 plus u0 attached to a triangle (2-core).
+	g := graph.New(0)
+	tri := []int{g.AddVertex(), g.AddVertex(), g.AddVertex()}
+	mustAdd(t, g, tri[0], tri[1])
+	mustAdd(t, g, tri[1], tri[2])
+	mustAdd(t, g, tri[0], tri[2])
+	u0 := g.AddVertex()
+	u1 := g.AddVertex()
+	u2 := g.AddVertex()
+	mustAdd(t, g, tri[0], u0)
+	mustAdd(t, g, u0, u1)
+	mustAdd(t, g, u1, u2)
+	core := Cores(g)
+	mcd := ComputeMCD(g, core)
+	pcd := ComputePCD(g, core, mcd)
+	// u0: neighbors tri[0] (core 2 >= 1) and u1 (core 1 >= 1) -> mcd 2.
+	if mcd[u0] != 2 {
+		t.Fatalf("mcd(u0)=%d want 2", mcd[u0])
+	}
+	// u2: neighbor u1 core 1 -> mcd 1. u1: neighbors u0,u2 -> mcd 2.
+	if mcd[u2] != 1 || mcd[u1] != 2 {
+		t.Fatalf("mcd(u1)=%d mcd(u2)=%d", mcd[u1], mcd[u2])
+	}
+	// pcd(u1): u0 qualifies (mcd 2 > core 1); u2 has mcd=core=1, excluded.
+	if pcd[u1] != 1 {
+		t.Fatalf("pcd(u1)=%d want 1", pcd[u1])
+	}
+	// Triangle vertices: all mcd=2=core, so same-core neighbors don't count.
+	if pcd[tri[1]] != 0 {
+		t.Fatalf("pcd(tri1)=%d want 0", pcd[tri[1]])
+	}
+	// tri[0] has neighbor u0 with core 1 < 2: excluded. pcd 0.
+	if pcd[tri[0]] != 0 {
+		t.Fatalf("pcd(tri0)=%d want 0", pcd[tri[0]])
+	}
+}
+
+func TestSubcores(t *testing.T) {
+	g, parts := paperGraph(t, 10)
+	core := Cores(g)
+	label, sizes := Subcores(g, core)
+	// Path is one 1-subcore of size 10; pentagon one 2-subcore of size 5;
+	// two 3-subcores of size 4.
+	if sizes[label[parts["path"][0]]] != 10 {
+		t.Fatalf("path subcore size=%d", sizes[label[parts["path"][0]]])
+	}
+	if sizes[label[parts["penta"][0]]] != 5 {
+		t.Fatalf("pentagon subcore size=%d", sizes[label[parts["penta"][0]]])
+	}
+	if sizes[label[parts["k4a"][0]]] != 4 || sizes[label[parts["k4b"][0]]] != 4 {
+		t.Fatal("k4 subcore sizes wrong")
+	}
+	if label[parts["k4a"][0]] == label[parts["k4b"][0]] {
+		t.Fatal("distinct 3-subcores merged")
+	}
+	sz := SubcoreSizes(g, core)
+	if sz[parts["path"][3]] != 10 {
+		t.Fatalf("SubcoreSizes path=%d", sz[parts["path"][3]])
+	}
+}
+
+func TestPureCoreSizes(t *testing.T) {
+	// Path graph: interior vertices have mcd 2 > core 1 (eligible); the two
+	// endpoints have mcd 1 = core (ineligible).
+	g := buildGraph(t, 5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	core := Cores(g)
+	mcd := ComputeMCD(g, core)
+	pc := PureCoreSizes(g, core, mcd)
+	// Eligible: 1,2,3 forming one component of size 3.
+	// pc(0) = {0} + comp{1,2,3} = 4; pc(2) = comp = 3; pc(4) = 4.
+	if pc[0] != 4 || pc[4] != 4 {
+		t.Fatalf("pc endpoints = %d,%d want 4,4", pc[0], pc[4])
+	}
+	if pc[1] != 3 || pc[2] != 3 || pc[3] != 3 {
+		t.Fatalf("pc interior = %v", pc[1:4])
+	}
+	// Triangle: nobody eligible, pc(v)=1.
+	g2 := buildGraph(t, 3, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+	core2 := Cores(g2)
+	mcd2 := ComputeMCD(g2, core2)
+	pc2 := PureCoreSizes(g2, core2, mcd2)
+	for v, s := range pc2 {
+		if s != 1 {
+			t.Fatalf("triangle pc(%d)=%d want 1", v, s)
+		}
+	}
+}
+
+func TestOrderCoreSize(t *testing.T) {
+	// Path 0-1-2-3: with the k-order being a removal order, the last vertex
+	// in the order has oc of size 1 and the first can reach further.
+	g := buildGraph(t, 4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	dec := KOrder(g, SmallDegPlusFirst, 0)
+	last := dec.Order[len(dec.Order)-1]
+	if s := OrderCoreSize(g, dec, last); s != 1 {
+		t.Fatalf("oc(last)=%d want 1", s)
+	}
+	for v := 0; v < 4; v++ {
+		s := OrderCoreSize(g, dec, v)
+		if s < 1 || s > 4 {
+			t.Fatalf("oc(%d)=%d out of range", v, s)
+		}
+	}
+	samples := SampleOrderCoreSizes(g, dec, 10, 1)
+	if len(samples) != 10 {
+		t.Fatalf("samples=%d", len(samples))
+	}
+	for _, s := range samples {
+		if s < 1 || s > 4 {
+			t.Fatalf("sampled oc=%d out of range", s)
+		}
+	}
+	if SampleOrderCoreSizes(graph.New(0), &Decomposition{}, 5, 1) != nil {
+		t.Fatal("sampling empty graph should return nil")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := buildGraph(t, 3, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+	core := Cores(g)
+	if err := Validate(g, core); err != nil {
+		t.Fatal(err)
+	}
+	core[1] = 0
+	if err := Validate(g, core); err == nil {
+		t.Fatal("Validate accepted wrong cores")
+	}
+	if err := Validate(g, []int{2}); err == nil {
+		t.Fatal("Validate accepted short slice")
+	}
+}
+
+func TestQuickCoreLeqDegree(t *testing.T) {
+	// Property: core(v) <= deg(v) and core(v) <= degeneracy for random graphs.
+	f := func(pairs [][2]uint8) bool {
+		g := graph.New(1)
+		for _, p := range pairs {
+			u, v := int(p[0])%30, int(p[1])%30
+			if u != v && !g.HasEdge(u, v) {
+				if err := g.AddEdge(u, v); err != nil {
+					return false
+				}
+			}
+		}
+		dec := KOrder(g, SmallDegPlusFirst, 0)
+		for v := 0; v < g.NumVertices(); v++ {
+			if dec.Core[v] > g.Degree(v) || dec.Core[v] > dec.MaxCore {
+				return false
+			}
+			if dec.DegPlus[v] > dec.Core[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMCDAtLeastCore(t *testing.T) {
+	// Property from Section IV: mcd(v) >= core(v), pcd(v) <= mcd(v).
+	f := func(pairs [][2]uint8) bool {
+		g := graph.New(1)
+		for _, p := range pairs {
+			u, v := int(p[0])%25, int(p[1])%25
+			if u != v && !g.HasEdge(u, v) {
+				_ = g.AddEdge(u, v)
+			}
+		}
+		core := Cores(g)
+		mcd := ComputeMCD(g, core)
+		pcd := ComputePCD(g, core, mcd)
+		for v := 0; v < g.NumVertices(); v++ {
+			if mcd[v] < core[v] || pcd[v] > mcd[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,187 @@
+package decomp
+
+import (
+	"fmt"
+	"sort"
+
+	"kcore/internal/graph"
+)
+
+// CoreComponent is one connected component of a k-core: the unit of the
+// core hierarchy. Components are nested: every (k+1)-core component lies
+// inside exactly one k-core component.
+type CoreComponent struct {
+	// K is the core level of this component.
+	K int
+	// Vertices lists the component members (sorted ascending).
+	Vertices []int
+	// Parent is the index (in Hierarchy.Components) of the enclosing
+	// (K-1)-core component, or -1 at the top level (K == minimum level).
+	Parent int
+	// Children are indices of the enclosed (K+1)-core components.
+	Children []int
+}
+
+// Hierarchy is the full nesting tree of k-core components of a graph — the
+// structure behind core-based community search and graph visualization
+// (the applications the paper's introduction cites).
+type Hierarchy struct {
+	// Components lists all components, grouped by increasing K.
+	Components []CoreComponent
+	// leaf[v] is the index of the deepest (highest-K) component containing
+	// v, i.e. the component of v's own core level.
+	leaf []int
+}
+
+// BuildHierarchy computes the core hierarchy of g given its core numbers.
+// Cost: O((m + n) * maxCore) in the worst case; levels with no vertices are
+// skipped.
+func BuildHierarchy(g *graph.Undirected, core []int) *Hierarchy {
+	n := g.NumVertices()
+	h := &Hierarchy{leaf: make([]int, n)}
+	for i := range h.leaf {
+		h.leaf[i] = -1
+	}
+	if n == 0 {
+		return h
+	}
+	maxCore := 0
+	for _, c := range core {
+		if c > maxCore {
+			maxCore = c
+		}
+	}
+	// prevComp[v] = component index of v at the previous (lower) level.
+	prevComp := make([]int, n)
+	comp := make([]int, n)
+	for i := range prevComp {
+		prevComp[i] = -1
+	}
+	for k := 0; k <= maxCore; k++ {
+		for i := range comp {
+			comp[i] = -1
+		}
+		var stack []int
+		for s := 0; s < n; s++ {
+			if core[s] < k || comp[s] != -1 {
+				continue
+			}
+			idx := len(h.Components)
+			c := CoreComponent{K: k, Parent: -1}
+			if k > 0 {
+				c.Parent = prevComp[s]
+			}
+			comp[s] = idx
+			stack = append(stack[:0], s)
+			for len(stack) > 0 {
+				v := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				c.Vertices = append(c.Vertices, v)
+				if core[v] == k {
+					h.leaf[v] = idx
+				}
+				for _, w32 := range g.Neighbors(v) {
+					w := int(w32)
+					if core[w] >= k && comp[w] == -1 {
+						comp[w] = idx
+						stack = append(stack, w)
+					}
+				}
+			}
+			sort.Ints(c.Vertices)
+			h.Components = append(h.Components, c)
+			if c.Parent >= 0 {
+				h.Components[c.Parent].Children = append(h.Components[c.Parent].Children, idx)
+			}
+		}
+		copy(prevComp, comp)
+	}
+	return h
+}
+
+// Component returns the component at index i.
+func (h *Hierarchy) Component(i int) (CoreComponent, error) {
+	if i < 0 || i >= len(h.Components) {
+		return CoreComponent{}, fmt.Errorf("decomp: component index %d out of range [0,%d)", i, len(h.Components))
+	}
+	return h.Components[i], nil
+}
+
+// Leaf returns the index of the deepest component containing v, or -1 for
+// unknown vertices.
+func (h *Hierarchy) Leaf(v int) int {
+	if v < 0 || v >= len(h.leaf) {
+		return -1
+	}
+	return h.leaf[v]
+}
+
+// CommunityOf answers a core-based community search query: the connected
+// k-core component containing the query vertex, for the largest k' <= k
+// at which the vertex participates. With k greater than core(v) it returns
+// v's deepest community; with small k it returns the broader component.
+// Returns nil when v is unknown or isolated at the requested level.
+func (h *Hierarchy) CommunityOf(v, k int) []int {
+	idx := h.Leaf(v)
+	if idx < 0 {
+		return nil
+	}
+	// Walk up until the component level is <= k.
+	for idx >= 0 && h.Components[idx].K > k {
+		idx = h.Components[idx].Parent
+	}
+	if idx < 0 {
+		return nil
+	}
+	out := make([]int, len(h.Components[idx].Vertices))
+	copy(out, h.Components[idx].Vertices)
+	return out
+}
+
+// LevelComponents returns the indices of all components at level k, in
+// construction order.
+func (h *Hierarchy) LevelComponents(k int) []int {
+	var out []int
+	for i, c := range h.Components {
+		if c.K == k {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Validate checks hierarchy invariants: component nesting, vertex
+// membership, and that each component is a maximal connected k-core piece.
+// Test helper.
+func (h *Hierarchy) Validate(g *graph.Undirected, core []int) error {
+	for i, c := range h.Components {
+		if len(c.Vertices) == 0 {
+			return fmt.Errorf("decomp: component %d empty", i)
+		}
+		for _, v := range c.Vertices {
+			if core[v] < c.K {
+				return fmt.Errorf("decomp: component %d (K=%d) contains vertex %d with core %d",
+					i, c.K, v, core[v])
+			}
+		}
+		if c.Parent >= 0 {
+			p := h.Components[c.Parent]
+			if p.K != c.K-1 {
+				return fmt.Errorf("decomp: component %d parent level %d, want %d", i, p.K, c.K-1)
+			}
+			// Every member must be inside the parent.
+			inParent := map[int]bool{}
+			for _, v := range p.Vertices {
+				inParent[v] = true
+			}
+			for _, v := range c.Vertices {
+				if !inParent[v] {
+					return fmt.Errorf("decomp: component %d vertex %d missing from parent", i, v)
+				}
+			}
+		} else if c.K > 0 {
+			return fmt.Errorf("decomp: component %d at level %d has no parent", i, c.K)
+		}
+	}
+	return nil
+}

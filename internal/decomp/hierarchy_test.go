@@ -1,0 +1,146 @@
+package decomp
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"kcore/internal/graph"
+)
+
+func TestHierarchyPaperGraph(t *testing.T) {
+	g, parts := paperGraph(t, 12)
+	core := Cores(g)
+	h := BuildHierarchy(g, core)
+	if err := h.Validate(g, core); err != nil {
+		t.Fatal(err)
+	}
+	// Level 3 must have exactly the two K4 components.
+	l3 := h.LevelComponents(3)
+	if len(l3) != 2 {
+		t.Fatalf("level-3 components = %d, want 2", len(l3))
+	}
+	for _, idx := range l3 {
+		c, err := h.Component(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c.Vertices) != 4 {
+			t.Fatalf("3-core component size %d, want 4", len(c.Vertices))
+		}
+	}
+	// The pentagon belongs to a 2-core component that contains both K4s
+	// (they hang off the pentagon).
+	penta := parts["penta"][0]
+	comm2 := h.CommunityOf(penta, 2)
+	if len(comm2) != 5+4+4 {
+		t.Fatalf("2-community of pentagon has %d vertices, want 13", len(comm2))
+	}
+	// Community search at the K4's own level returns only the K4.
+	k4v := parts["k4a"][0]
+	comm3 := h.CommunityOf(k4v, 3)
+	if len(comm3) != 4 {
+		t.Fatalf("3-community of K4 vertex = %v", comm3)
+	}
+	// Asking for a higher k than the vertex participates in returns its
+	// deepest community.
+	commHigh := h.CommunityOf(k4v, 99)
+	if len(commHigh) != 4 {
+		t.Fatalf("deep community = %v", commHigh)
+	}
+	// A path vertex at k=0 sits in the whole connected graph.
+	comm0 := h.CommunityOf(parts["path"][0], 0)
+	if len(comm0) != g.NumVertices() {
+		t.Fatalf("0-community size %d, want %d", len(comm0), g.NumVertices())
+	}
+}
+
+func TestHierarchyEdgeCases(t *testing.T) {
+	// Empty graph.
+	h := BuildHierarchy(graph.New(0), nil)
+	if len(h.Components) != 0 {
+		t.Fatal("empty graph should have no components")
+	}
+	if h.Leaf(0) != -1 || h.CommunityOf(0, 1) != nil {
+		t.Fatal("queries on empty hierarchy should be negative")
+	}
+	// Isolated vertices: each is its own 0-core component.
+	g := graph.New(3)
+	core := Cores(g)
+	h = BuildHierarchy(g, core)
+	if len(h.Components) != 3 {
+		t.Fatalf("components = %d, want 3", len(h.Components))
+	}
+	if err := h.Validate(g, core); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Component(99); err == nil {
+		t.Fatal("out-of-range component should error")
+	}
+	if h.Leaf(-1) != -1 {
+		t.Fatal("negative vertex leaf")
+	}
+}
+
+func TestHierarchyRandomized(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 18))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.IntN(60)
+		g := graph.New(n)
+		m := rng.IntN(4 * n)
+		for i := 0; i < m; i++ {
+			u, v := rng.IntN(n), rng.IntN(n)
+			if u != v && !g.HasEdge(u, v) {
+				mustAdd(t, g, u, v)
+			}
+		}
+		core := Cores(g)
+		h := BuildHierarchy(g, core)
+		if err := h.Validate(g, core); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Leaf component of every vertex has the vertex's core level and
+		// contains it.
+		for v := 0; v < n; v++ {
+			idx := h.Leaf(v)
+			if idx < 0 {
+				t.Fatalf("trial %d: vertex %d has no leaf", trial, v)
+			}
+			c := h.Components[idx]
+			if c.K != core[v] {
+				t.Fatalf("trial %d: leaf level %d != core %d", trial, c.K, core[v])
+			}
+			found := false
+			for _, w := range c.Vertices {
+				if w == v {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("trial %d: leaf of %d does not contain it", trial, v)
+			}
+		}
+		// CommunityOf(v, core(v)) is exactly the connected k-core piece:
+		// verify connectivity and degree bound within the community.
+		for probe := 0; probe < 5; probe++ {
+			v := rng.IntN(n)
+			k := core[v]
+			comm := h.CommunityOf(v, k)
+			inComm := map[int]bool{}
+			for _, w := range comm {
+				inComm[w] = true
+			}
+			for _, w := range comm {
+				deg := 0
+				for _, z := range g.Neighbors(w) {
+					if inComm[int(z)] {
+						deg++
+					}
+				}
+				if deg < k {
+					t.Fatalf("trial %d: community member %d has internal degree %d < k=%d",
+						trial, w, deg, k)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package decomp
+
+import (
+	"math/rand/v2"
+
+	"kcore/internal/graph"
+)
+
+// Subcores labels every vertex with the id of its subcore — the maximal
+// connected set of vertices sharing its core number (Section III) — and
+// returns the size of each subcore.
+func Subcores(g *graph.Undirected, core []int) (label []int, sizes []int) {
+	n := g.NumVertices()
+	label = make([]int, n)
+	for i := range label {
+		label[i] = -1
+	}
+	var stack []int
+	for s := 0; s < n; s++ {
+		if label[s] != -1 {
+			continue
+		}
+		id := len(sizes)
+		sizes = append(sizes, 0)
+		label[s] = id
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			sizes[id]++
+			for _, w32 := range g.Neighbors(v) {
+				w := int(w32)
+				if label[w] == -1 && core[w] == core[v] {
+					label[w] = id
+					stack = append(stack, w)
+				}
+			}
+		}
+	}
+	return label, sizes
+}
+
+// SubcoreSizes returns |sc(v)| for every vertex.
+func SubcoreSizes(g *graph.Undirected, core []int) []int {
+	label, sizes := Subcores(g, core)
+	out := make([]int, len(label))
+	for v, id := range label {
+		out[v] = sizes[id]
+	}
+	return out
+}
+
+// PureCoreSizes returns |pc(v)| for every vertex (Definition 4.1):
+// pc(v) = {v} plus the maximal set PC of vertices w with core(w) = core(v)
+// and mcd(w) > core(w) such that G({v} union PC) is connected.
+//
+// The eligible vertices (mcd > core) are decomposed into connected
+// components per core level; pc(v) is then {v} plus the union of the
+// eligible components touching v (v connects components that are otherwise
+// disjoint).
+func PureCoreSizes(g *graph.Undirected, core, mcd []int) []int {
+	n := g.NumVertices()
+	eligible := make([]bool, n)
+	for v := 0; v < n; v++ {
+		eligible[v] = mcd[v] > core[v]
+	}
+	// Components of the eligible subgraph restricted to equal-core edges.
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var sizes []int
+	var stack []int
+	for s := 0; s < n; s++ {
+		if !eligible[s] || comp[s] != -1 {
+			continue
+		}
+		id := len(sizes)
+		sizes = append(sizes, 0)
+		comp[s] = id
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			sizes[id]++
+			for _, w32 := range g.Neighbors(v) {
+				w := int(w32)
+				if eligible[w] && comp[w] == -1 && core[w] == core[v] {
+					comp[w] = id
+					stack = append(stack, w)
+				}
+			}
+		}
+	}
+	out := make([]int, n)
+	var touch []int
+	for v := 0; v < n; v++ {
+		touch = touch[:0]
+		if eligible[v] {
+			touch = append(touch, comp[v])
+		}
+		for _, w32 := range g.Neighbors(v) {
+			w := int(w32)
+			if eligible[w] && core[w] == core[v] {
+				touch = append(touch, comp[w])
+			}
+		}
+		total := 0
+		seen := map[int]bool{}
+		for _, id := range touch {
+			if !seen[id] {
+				seen[id] = true
+				total += sizes[id]
+			}
+		}
+		if eligible[v] {
+			out[v] = total // v is inside one of the components
+		} else {
+			out[v] = total + 1
+		}
+	}
+	return out
+}
+
+// OrderCoreSize returns |oc(u)| (Definition 5.4): the number of vertices
+// reachable from u along paths that stay within core(u)'s level and move
+// strictly forward in the k-order.
+func OrderCoreSize(g *graph.Undirected, dec *Decomposition, u int) int {
+	seen := map[int]bool{u: true}
+	stack := []int{u}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w32 := range g.Neighbors(v) {
+			w := int(w32)
+			if !seen[w] && dec.Core[w] == dec.Core[u] && dec.Pos[v] < dec.Pos[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return len(seen)
+}
+
+// SampleOrderCoreSizes estimates the distribution of |oc(u)| on a uniform
+// sample of vertices (exact per-vertex computation is Theta(nm); the paper
+// reports a distribution, for which sampling suffices — see DESIGN.md §7).
+func SampleOrderCoreSizes(g *graph.Undirected, dec *Decomposition, samples int, seed uint64) []int {
+	n := g.NumVertices()
+	if n == 0 || samples <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0x517cc1b727220a95))
+	out := make([]int, 0, samples)
+	for i := 0; i < samples; i++ {
+		out = append(out, OrderCoreSize(g, dec, rng.IntN(n)))
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+// Package gen provides seeded synthetic graph generators used as offline
+// substitutes for the paper's 11 real datasets (see DESIGN.md §3). Each
+// generator targets a structural property the maintenance algorithms are
+// sensitive to: degree skew (Barabási–Albert, R-MAT), community structure
+// (planted partition), and low-core planarity (grid road networks).
+package gen
+
+import (
+	"math/rand/v2"
+
+	"kcore/internal/graph"
+)
+
+func newRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0xda3e39cb94b95bdb))
+}
+
+// ErdosRenyi generates G(n, m): m distinct uniform random edges over n
+// vertices.
+func ErdosRenyi(n, m int, seed uint64) *graph.Undirected {
+	rng := newRNG(seed)
+	g := graph.New(n)
+	if n < 2 {
+		return g
+	}
+	for g.NumEdges() < m {
+		u, v := rng.IntN(n), rng.IntN(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// BarabasiAlbert generates a preferential-attachment graph: each new vertex
+// attaches to k distinct existing vertices chosen proportionally to degree
+// (approximated by sampling endpoints of existing edges). Produces the
+// heavy-tailed degree distributions of social networks.
+func BarabasiAlbert(n, k int, seed uint64) *graph.Undirected {
+	rng := newRNG(seed)
+	g := graph.New(n)
+	if n < 2 {
+		return g
+	}
+	if k < 1 {
+		k = 1
+	}
+	// endpoints records every edge endpoint: sampling from it is sampling
+	// vertices proportionally to degree.
+	endpoints := make([]int, 0, 2*n*k)
+	// Seed clique over the first k+1 vertices.
+	seedSize := k + 1
+	if seedSize > n {
+		seedSize = n
+	}
+	for u := 0; u < seedSize; u++ {
+		for v := u + 1; v < seedSize; v++ {
+			if err := g.AddEdge(u, v); err == nil {
+				endpoints = append(endpoints, u, v)
+			}
+		}
+	}
+	for v := seedSize; v < n; v++ {
+		attached := 0
+		for tries := 0; attached < k && tries < 20*k; tries++ {
+			var u int
+			if len(endpoints) == 0 {
+				u = rng.IntN(v)
+			} else {
+				u = endpoints[rng.IntN(len(endpoints))]
+			}
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			if err := g.AddEdge(u, v); err == nil {
+				endpoints = append(endpoints, u, v)
+				attached++
+			}
+		}
+	}
+	return g
+}
+
+// RMAT generates a recursive-matrix graph with 2^scale vertices and
+// approximately m edges using partition probabilities (a, b, c, d) with
+// a+b+c+d = 1. Duplicate edges and self loops are retried a bounded number
+// of times, so the edge count may fall slightly short on dense settings.
+// Produces skewed web/citation-like graphs.
+func RMAT(scale, m int, a, b, c float64, seed uint64) *graph.Undirected {
+	rng := newRNG(seed)
+	n := 1 << scale
+	g := graph.New(n)
+	for attempt := 0; g.NumEdges() < m && attempt < 20*m; attempt++ {
+		u, v := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left: no bits set
+			case r < a+b:
+				v |= 1 << bit
+			case r < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// Grid generates a road-network analog on a rows*cols lattice: each lattice
+// edge is kept with probability keepP, and with probability diagP a cell
+// gets both diagonals (a fully triangulated "city block", producing the
+// small max-core-3 pockets real road networks show). With keepP ~0.65 and
+// diagP ~0.08 the average degree lands near the paper's CA dataset (2.8).
+func Grid(rows, cols int, keepP, diagP float64, seed uint64) *graph.Undirected {
+	rng := newRNG(seed)
+	g := graph.New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols && rng.Float64() < keepP && !g.HasEdge(id(r, c), id(r, c+1)) {
+				mustAdd(g, id(r, c), id(r, c+1))
+			}
+			if r+1 < rows && rng.Float64() < keepP && !g.HasEdge(id(r, c), id(r+1, c)) {
+				mustAdd(g, id(r, c), id(r+1, c))
+			}
+			if r+1 < rows && c+1 < cols && rng.Float64() < diagP {
+				// Triangulate the whole cell (adds missing boundary too).
+				cell := [4]int{id(r, c), id(r, c+1), id(r+1, c), id(r+1, c+1)}
+				for i := 0; i < 4; i++ {
+					for j := i + 1; j < 4; j++ {
+						if !g.HasEdge(cell[i], cell[j]) {
+							mustAdd(g, cell[i], cell[j])
+						}
+					}
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Community generates a planted-partition graph: n vertices split into
+// communities of size csize; within-community edges appear with probability
+// pIn, and mOut random cross-community edges are added. A collaboration
+// network (DBLP-like) analog.
+func Community(n, csize int, pIn float64, mOut int, seed uint64) *graph.Undirected {
+	rng := newRNG(seed)
+	g := graph.New(n)
+	if csize < 2 {
+		csize = 2
+	}
+	for start := 0; start < n; start += csize {
+		end := start + csize
+		if end > n {
+			end = n
+		}
+		for u := start; u < end; u++ {
+			for v := u + 1; v < end; v++ {
+				if rng.Float64() < pIn {
+					mustAdd(g, u, v)
+				}
+			}
+		}
+	}
+	for added := 0; added < mOut; {
+		u, v := rng.IntN(n), rng.IntN(n)
+		if u == v || u/csize == v/csize || g.HasEdge(u, v) {
+			continue
+		}
+		mustAdd(g, u, v)
+		added++
+	}
+	return g
+}
+
+// WattsStrogatz generates a small-world ring lattice: n vertices, each
+// connected to its k nearest neighbors on each side, with each edge rewired
+// to a random endpoint with probability beta.
+func WattsStrogatz(n, k int, beta float64, seed uint64) *graph.Undirected {
+	rng := newRNG(seed)
+	g := graph.New(n)
+	if n < 3 {
+		return g
+	}
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k; j++ {
+			v := (u + j) % n
+			if rng.Float64() < beta {
+				for tries := 0; tries < 10; tries++ {
+					w := rng.IntN(n)
+					if w != u && !g.HasEdge(u, w) {
+						v = w
+						break
+					}
+				}
+			}
+			if u != v && !g.HasEdge(u, v) {
+				mustAdd(g, u, v)
+			}
+		}
+	}
+	return g
+}
+
+func mustAdd(g *graph.Undirected, u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}

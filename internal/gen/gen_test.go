@@ -1,0 +1,141 @@
+package gen
+
+import (
+	"testing"
+
+	"kcore/internal/decomp"
+	"kcore/internal/graph"
+)
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(100, 300, 1)
+	if g.NumVertices() != 100 || g.NumEdges() != 300 {
+		t.Fatalf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	// Determinism.
+	h := ErdosRenyi(100, 300, 1)
+	if !g.Equal(h) {
+		t.Fatal("same seed produced different graphs")
+	}
+	d := ErdosRenyi(100, 300, 2)
+	if g.Equal(d) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+	if ErdosRenyi(1, 10, 1).NumEdges() != 0 {
+		t.Fatal("n=1 should have no edges")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g := BarabasiAlbert(2000, 5, 3)
+	if g.NumVertices() != 2000 {
+		t.Fatalf("n=%d", g.NumVertices())
+	}
+	// m should be close to n*k.
+	if g.NumEdges() < 1800*5/2 {
+		t.Fatalf("m=%d too small", g.NumEdges())
+	}
+	// Heavy tail: max degree far above average.
+	if float64(g.MaxDegree()) < 3*g.AvgDegree() {
+		t.Fatalf("maxdeg=%d avgdeg=%.1f: no skew", g.MaxDegree(), g.AvgDegree())
+	}
+	if !BarabasiAlbert(2000, 5, 3).Equal(g) {
+		t.Fatal("not deterministic")
+	}
+	if BarabasiAlbert(1, 5, 1).NumEdges() != 0 {
+		t.Fatal("n=1 should be edgeless")
+	}
+	// k < 1 is clamped.
+	if BarabasiAlbert(50, 0, 1).NumEdges() == 0 {
+		t.Fatal("k clamp failed")
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	g := RMAT(10, 4000, 0.57, 0.19, 0.19, 4)
+	if g.NumVertices() != 1024 {
+		t.Fatalf("n=%d", g.NumVertices())
+	}
+	if g.NumEdges() < 3500 {
+		t.Fatalf("m=%d, wanted close to 4000", g.NumEdges())
+	}
+	if float64(g.MaxDegree()) < 3*g.AvgDegree() {
+		t.Fatalf("maxdeg=%d avgdeg=%.1f: RMAT should be skewed", g.MaxDegree(), g.AvgDegree())
+	}
+	if !RMAT(10, 4000, 0.57, 0.19, 0.19, 4).Equal(g) {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(60, 60, 0.62, 0.05, 5)
+	if g.NumVertices() != 3600 {
+		t.Fatalf("n=%d", g.NumVertices())
+	}
+	if mk := decomp.Degeneracy(g); mk != 3 {
+		t.Fatalf("road-network analog degeneracy=%d, want 3 (CA)", mk)
+	}
+	if avg := g.AvgDegree(); avg < 2.4 || avg > 3.2 {
+		t.Fatalf("avg degree %.2f out of road-network range (want ~2.8)", avg)
+	}
+	if !Grid(60, 60, 0.62, 0.05, 5).Equal(g) {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestCommunity(t *testing.T) {
+	g := Community(1000, 8, 0.8, 500, 6)
+	if g.NumVertices() != 1000 {
+		t.Fatalf("n=%d", g.NumVertices())
+	}
+	if g.NumEdges() < 1000 {
+		t.Fatalf("m=%d too small", g.NumEdges())
+	}
+	// Communities raise the degeneracy above a pure sparse random graph.
+	if decomp.Degeneracy(g) < 3 {
+		t.Fatalf("degeneracy=%d, communities should produce cores >= 3", decomp.Degeneracy(g))
+	}
+	if !Community(1000, 8, 0.8, 500, 6).Equal(g) {
+		t.Fatal("not deterministic")
+	}
+	// csize clamp.
+	if Community(20, 1, 1.0, 0, 1).NumEdges() == 0 {
+		t.Fatal("csize clamp failed")
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	g := WattsStrogatz(500, 3, 0.1, 7)
+	if g.NumVertices() != 500 {
+		t.Fatalf("n=%d", g.NumVertices())
+	}
+	if g.NumEdges() < 1200 {
+		t.Fatalf("m=%d", g.NumEdges())
+	}
+	if WattsStrogatz(2, 3, 0.1, 7).NumEdges() != 0 {
+		t.Fatal("tiny n should be edgeless")
+	}
+}
+
+func TestGeneratorsProduceSimpleGraphs(t *testing.T) {
+	gs := []*graph.Undirected{
+		ErdosRenyi(200, 500, 9),
+		BarabasiAlbert(200, 4, 9),
+		RMAT(8, 800, 0.57, 0.19, 0.19, 9),
+		Grid(15, 15, 0.62, 0.05, 9),
+		Community(200, 6, 0.7, 100, 9),
+		WattsStrogatz(200, 3, 0.2, 9),
+	}
+	for i, g := range gs {
+		count := 0
+		g.ForEachEdge(func(u, v int) {
+			count++
+			if u == v {
+				t.Fatalf("generator %d produced a self loop", i)
+			}
+		})
+		if count != g.NumEdges() {
+			t.Fatalf("generator %d: edge iteration %d != m %d", i, count, g.NumEdges())
+		}
+	}
+}

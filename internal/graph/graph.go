@@ -1,0 +1,250 @@
+// Package graph provides the dynamic undirected graph substrate used by all
+// core-maintenance algorithms in this repository.
+//
+// Vertices are dense non-negative integers. The adjacency representation is a
+// slice per vertex plus a position index, giving O(1) expected insertion,
+// removal, and membership tests while keeping neighbor iteration allocation
+// free and in deterministic (insertion) order.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSelfLoop is returned when an edge (v, v) is added.
+var ErrSelfLoop = errors.New("graph: self loops are not supported")
+
+// ErrDuplicateEdge is returned when an already-present edge is added.
+var ErrDuplicateEdge = errors.New("graph: edge already present")
+
+// ErrMissingEdge is returned when a non-existent edge is removed.
+var ErrMissingEdge = errors.New("graph: edge not present")
+
+// ErrVertexRange is returned for negative vertex identifiers.
+var ErrVertexRange = errors.New("graph: vertex id must be non-negative")
+
+// Undirected is a mutable simple undirected graph (no self loops, no
+// parallel edges). The zero value is an empty graph ready to use.
+//
+// Undirected is not safe for concurrent mutation; wrap it (or use the public
+// kcore API) if you need synchronization.
+type Undirected struct {
+	adj [][]int32         // adjacency lists, insertion ordered
+	pos []map[int32]int32 // pos[v][w] = index of w in adj[v]
+	m   int               // number of edges
+}
+
+// New returns a graph with n isolated vertices 0..n-1.
+func New(n int) *Undirected {
+	g := &Undirected{}
+	g.EnsureVertex(n - 1)
+	return g
+}
+
+// NumVertices reports the number of vertices (max vertex id + 1).
+func (g *Undirected) NumVertices() int { return len(g.adj) }
+
+// NumEdges reports the number of edges.
+func (g *Undirected) NumEdges() int { return g.m }
+
+// EnsureVertex grows the vertex set so that v is a valid vertex.
+// It is a no-op when v already exists or is negative.
+func (g *Undirected) EnsureVertex(v int) {
+	for len(g.adj) <= v {
+		g.adj = append(g.adj, nil)
+		g.pos = append(g.pos, nil)
+	}
+}
+
+// AddVertex appends a fresh isolated vertex and returns its id.
+func (g *Undirected) AddVertex() int {
+	g.adj = append(g.adj, nil)
+	g.pos = append(g.pos, nil)
+	return len(g.adj) - 1
+}
+
+// HasVertex reports whether v is a valid vertex id.
+func (g *Undirected) HasVertex(v int) bool { return v >= 0 && v < len(g.adj) }
+
+// Degree returns the degree of v (0 for unknown vertices).
+func (g *Undirected) Degree(v int) int {
+	if !g.HasVertex(v) {
+		return 0
+	}
+	return len(g.adj[v])
+}
+
+// HasEdge reports whether the edge (u, v) is present.
+func (g *Undirected) HasEdge(u, v int) bool {
+	if !g.HasVertex(u) || !g.HasVertex(v) || u == v {
+		return false
+	}
+	if g.pos[u] == nil {
+		return false
+	}
+	_, ok := g.pos[u][int32(v)]
+	return ok
+}
+
+// AddEdge inserts the undirected edge (u, v), growing the vertex set as
+// needed. It returns ErrSelfLoop, ErrVertexRange, or ErrDuplicateEdge on
+// invalid input.
+func (g *Undirected) AddEdge(u, v int) error {
+	if u < 0 || v < 0 {
+		return ErrVertexRange
+	}
+	if u == v {
+		return ErrSelfLoop
+	}
+	g.EnsureVertex(max(u, v))
+	if g.HasEdge(u, v) {
+		return ErrDuplicateEdge
+	}
+	g.addArc(u, v)
+	g.addArc(v, u)
+	g.m++
+	return nil
+}
+
+// RemoveEdge deletes the undirected edge (u, v). It returns ErrMissingEdge
+// when the edge is absent.
+func (g *Undirected) RemoveEdge(u, v int) error {
+	if !g.HasEdge(u, v) {
+		return ErrMissingEdge
+	}
+	g.removeArc(u, v)
+	g.removeArc(v, u)
+	g.m--
+	return nil
+}
+
+func (g *Undirected) addArc(u, v int) {
+	if g.pos[u] == nil {
+		g.pos[u] = make(map[int32]int32, 4)
+	}
+	g.pos[u][int32(v)] = int32(len(g.adj[u]))
+	g.adj[u] = append(g.adj[u], int32(v))
+}
+
+func (g *Undirected) removeArc(u, v int) {
+	i := g.pos[u][int32(v)]
+	last := int32(len(g.adj[u]) - 1)
+	w := g.adj[u][last]
+	g.adj[u][i] = w
+	g.pos[u][w] = i
+	g.adj[u] = g.adj[u][:last]
+	delete(g.pos[u], int32(v))
+}
+
+// Neighbors returns the adjacency list of v as int32 ids. The returned slice
+// aliases internal storage: callers must not mutate it and must not mutate
+// the graph while iterating it.
+func (g *Undirected) Neighbors(v int) []int32 {
+	if !g.HasVertex(v) {
+		return nil
+	}
+	return g.adj[v]
+}
+
+// AppendNeighbors appends the neighbors of v to dst and returns it. The
+// result is safe against subsequent graph mutation.
+func (g *Undirected) AppendNeighbors(dst []int, v int) []int {
+	for _, w := range g.Neighbors(v) {
+		dst = append(dst, int(w))
+	}
+	return dst
+}
+
+// ForEachEdge invokes fn(u, v) once per edge with u < v. Iteration order is
+// deterministic given the mutation history. fn must not mutate the graph.
+func (g *Undirected) ForEachEdge(fn func(u, v int)) {
+	for u := range g.adj {
+		for _, w := range g.adj[u] {
+			if int(w) > u {
+				fn(u, int(w))
+			}
+		}
+	}
+}
+
+// Edges returns all edges as [2]int pairs with u < v.
+func (g *Undirected) Edges() [][2]int {
+	out := make([][2]int, 0, g.m)
+	g.ForEachEdge(func(u, v int) { out = append(out, [2]int{u, v}) })
+	return out
+}
+
+// MaxDegree returns the maximum vertex degree (0 for empty graphs).
+func (g *Undirected) MaxDegree() int {
+	md := 0
+	for v := range g.adj {
+		if len(g.adj[v]) > md {
+			md = len(g.adj[v])
+		}
+	}
+	return md
+}
+
+// AvgDegree returns 2m/n, the average degree (0 for empty graphs).
+func (g *Undirected) AvgDegree() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	return 2 * float64(g.m) / float64(len(g.adj))
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Undirected) Clone() *Undirected {
+	c := &Undirected{
+		adj: make([][]int32, len(g.adj)),
+		pos: make([]map[int32]int32, len(g.pos)),
+		m:   g.m,
+	}
+	for v := range g.adj {
+		if len(g.adj[v]) > 0 {
+			c.adj[v] = append([]int32(nil), g.adj[v]...)
+			c.pos[v] = make(map[int32]int32, len(g.pos[v]))
+			for k, i := range g.pos[v] {
+				c.pos[v][k] = i
+			}
+		}
+	}
+	return c
+}
+
+// InducedSubgraph returns the subgraph induced by keep (vertices with
+// keep[v] true). Vertex ids are preserved; vertices outside keep become
+// isolated.
+func (g *Undirected) InducedSubgraph(keep []bool) *Undirected {
+	s := New(g.NumVertices())
+	g.ForEachEdge(func(u, v int) {
+		if u < len(keep) && v < len(keep) && keep[u] && keep[v] {
+			if err := s.AddEdge(u, v); err != nil {
+				panic(fmt.Sprintf("graph: induced subgraph internal error: %v", err))
+			}
+		}
+	})
+	return s
+}
+
+// Equal reports whether g and h have the same vertex count and edge set.
+func (g *Undirected) Equal(h *Undirected) bool {
+	if g.NumVertices() != h.NumVertices() || g.NumEdges() != h.NumEdges() {
+		return false
+	}
+	equal := true
+	g.ForEachEdge(func(u, v int) {
+		if !h.HasEdge(u, v) {
+			equal = false
+		}
+	})
+	return equal
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,430 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyGraph(t *testing.T) {
+	var g Undirected
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("zero value not empty: n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	if g.HasEdge(0, 1) {
+		t.Fatal("HasEdge on empty graph")
+	}
+	if g.Degree(5) != 0 {
+		t.Fatal("Degree of unknown vertex should be 0")
+	}
+	if g.MaxDegree() != 0 || g.AvgDegree() != 0 {
+		t.Fatal("degenerate degree stats wrong")
+	}
+}
+
+func TestNewAllocatesVertices(t *testing.T) {
+	g := New(5)
+	if g.NumVertices() != 5 {
+		t.Fatalf("New(5): n=%d", g.NumVertices())
+	}
+	if g.NumEdges() != 0 {
+		t.Fatalf("New(5): m=%d", g.NumEdges())
+	}
+	g2 := New(0)
+	if g2.NumVertices() != 0 {
+		t.Fatalf("New(0): n=%d", g2.NumVertices())
+	}
+}
+
+func TestAddEdgeBasics(t *testing.T) {
+	var g Undirected
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge not symmetric")
+	}
+	if g.NumEdges() != 1 || g.NumVertices() != 2 {
+		t.Fatalf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	if err := g.AddEdge(0, 1); !errors.Is(err, ErrDuplicateEdge) {
+		t.Fatalf("duplicate edge error = %v", err)
+	}
+	if err := g.AddEdge(1, 0); !errors.Is(err, ErrDuplicateEdge) {
+		t.Fatalf("reversed duplicate edge error = %v", err)
+	}
+	if err := g.AddEdge(2, 2); !errors.Is(err, ErrSelfLoop) {
+		t.Fatalf("self loop error = %v", err)
+	}
+	if err := g.AddEdge(-1, 0); !errors.Is(err, ErrVertexRange) {
+		t.Fatalf("negative vertex error = %v", err)
+	}
+}
+
+func TestAddEdgeGrowsVertices(t *testing.T) {
+	var g Undirected
+	if err := g.AddEdge(3, 7); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 8 {
+		t.Fatalf("n=%d, want 8", g.NumVertices())
+	}
+	if g.Degree(3) != 1 || g.Degree(7) != 1 || g.Degree(5) != 0 {
+		t.Fatal("degrees wrong after growth")
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	var g Undirected
+	mustAdd(t, &g, 0, 1)
+	mustAdd(t, &g, 1, 2)
+	mustAdd(t, &g, 0, 2)
+	if err := g.RemoveEdge(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Fatal("edge survived removal")
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("m=%d, want 2", g.NumEdges())
+	}
+	if err := g.RemoveEdge(0, 1); !errors.Is(err, ErrMissingEdge) {
+		t.Fatalf("missing edge error = %v", err)
+	}
+	if err := g.RemoveEdge(9, 10); !errors.Is(err, ErrMissingEdge) {
+		t.Fatalf("unknown vertices error = %v", err)
+	}
+	// Re-adding after removal must work.
+	mustAdd(t, &g, 0, 1)
+	if !g.HasEdge(0, 1) {
+		t.Fatal("re-added edge missing")
+	}
+}
+
+func TestAddVertex(t *testing.T) {
+	g := New(2)
+	id := g.AddVertex()
+	if id != 2 || g.NumVertices() != 3 {
+		t.Fatalf("AddVertex id=%d n=%d", id, g.NumVertices())
+	}
+}
+
+func TestNeighborsAndAppend(t *testing.T) {
+	var g Undirected
+	mustAdd(t, &g, 0, 1)
+	mustAdd(t, &g, 0, 2)
+	mustAdd(t, &g, 0, 3)
+	got := g.AppendNeighbors(nil, 0)
+	sort.Ints(got)
+	want := []int{1, 2, 3}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("neighbors = %v, want %v", got, want)
+	}
+	if g.Neighbors(99) != nil {
+		t.Fatal("Neighbors of unknown vertex should be nil")
+	}
+}
+
+func TestForEachEdgeAndEdges(t *testing.T) {
+	var g Undirected
+	mustAdd(t, &g, 2, 1)
+	mustAdd(t, &g, 0, 3)
+	edges := g.Edges()
+	if len(edges) != 2 {
+		t.Fatalf("edges = %v", edges)
+	}
+	for _, e := range edges {
+		if e[0] >= e[1] {
+			t.Fatalf("edge %v not normalized u<v", e)
+		}
+		if !g.HasEdge(e[0], e[1]) {
+			t.Fatalf("edge %v reported but absent", e)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	var g Undirected
+	mustAdd(t, &g, 0, 1)
+	mustAdd(t, &g, 1, 2)
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	if err := c.RemoveEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) {
+		t.Fatal("clone mutation leaked into original")
+	}
+	mustAdd(t, c, 0, 5)
+	if g.NumVertices() != 3 {
+		t.Fatal("clone vertex growth leaked into original")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	var g Undirected
+	mustAdd(t, &g, 0, 1)
+	mustAdd(t, &g, 1, 2)
+	mustAdd(t, &g, 2, 3)
+	keep := []bool{true, true, true, false}
+	s := g.InducedSubgraph(keep)
+	if s.NumVertices() != g.NumVertices() {
+		t.Fatalf("induced n=%d", s.NumVertices())
+	}
+	if !s.HasEdge(0, 1) || !s.HasEdge(1, 2) || s.HasEdge(2, 3) {
+		t.Fatal("induced edge set wrong")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	var a, b Undirected
+	mustAdd(t, &a, 0, 1)
+	mustAdd(t, &b, 0, 1)
+	if !a.Equal(&b) {
+		t.Fatal("equal graphs reported unequal")
+	}
+	mustAdd(t, &b, 1, 2)
+	if a.Equal(&b) {
+		t.Fatal("unequal edge counts reported equal")
+	}
+	var c Undirected
+	mustAdd(t, &c, 0, 2)
+	c.EnsureVertex(1)
+	if a.NumVertices() == c.NumVertices() && a.Equal(&c) {
+		t.Fatal("different edge sets reported equal")
+	}
+}
+
+// TestRandomizedAgainstMapModel drives the graph with random operations and
+// checks every observable against a simple map-based reference model.
+func TestRandomizedAgainstMapModel(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	const n = 40
+	var g Undirected
+	g.EnsureVertex(n - 1)
+	ref := make(map[[2]int]bool)
+	key := func(u, v int) [2]int {
+		if u > v {
+			u, v = v, u
+		}
+		return [2]int{u, v}
+	}
+	for step := 0; step < 5000; step++ {
+		u := rng.IntN(n)
+		v := rng.IntN(n)
+		if u == v {
+			continue
+		}
+		if rng.IntN(2) == 0 {
+			err := g.AddEdge(u, v)
+			if ref[key(u, v)] {
+				if !errors.Is(err, ErrDuplicateEdge) {
+					t.Fatalf("step %d: expected duplicate error, got %v", step, err)
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("step %d: add: %v", step, err)
+				}
+				ref[key(u, v)] = true
+			}
+		} else {
+			err := g.RemoveEdge(u, v)
+			if ref[key(u, v)] {
+				if err != nil {
+					t.Fatalf("step %d: remove: %v", step, err)
+				}
+				delete(ref, key(u, v))
+			} else if !errors.Is(err, ErrMissingEdge) {
+				t.Fatalf("step %d: expected missing error, got %v", step, err)
+			}
+		}
+		if g.NumEdges() != len(ref) {
+			t.Fatalf("step %d: m=%d want %d", step, g.NumEdges(), len(ref))
+		}
+	}
+	// Final full comparison of edge sets and degrees.
+	deg := make([]int, n)
+	for e := range ref {
+		if !g.HasEdge(e[0], e[1]) {
+			t.Fatalf("model edge %v missing", e)
+		}
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	for v := 0; v < n; v++ {
+		if g.Degree(v) != deg[v] {
+			t.Fatalf("degree(%d)=%d want %d", v, g.Degree(v), deg[v])
+		}
+	}
+	g.ForEachEdge(func(u, v int) {
+		if !ref[key(u, v)] {
+			t.Fatalf("graph edge (%d,%d) not in model", u, v)
+		}
+	})
+}
+
+func TestQuickDegreeSum(t *testing.T) {
+	// Property: sum of degrees == 2m for arbitrary edge sets.
+	f := func(pairs [][2]uint8) bool {
+		var g Undirected
+		for _, p := range pairs {
+			u, v := int(p[0])%50, int(p[1])%50
+			if u != v {
+				_ = g.AddEdge(u, v) // duplicates allowed to fail
+			}
+		}
+		sum := 0
+		for v := 0; v < g.NumVertices(); v++ {
+			sum += g.Degree(v)
+		}
+		return sum == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadEdgeList(t *testing.T) {
+	in := `# comment
+% another comment
+
+0 1
+1 2 extra-ignored
+2 0
+2 2
+0 1
+`
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("m=%d want 3 (dup and self loop skipped)", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) || !g.HasEdge(0, 2) {
+		t.Fatal("edges missing")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",
+		"a b\n",
+		"0 b\n",
+		"-1 2\n",
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	var g Undirected
+	g.EnsureVertex(29)
+	for i := 0; i < 100; i++ {
+		u, v := rng.IntN(30), rng.IntN(30)
+		if u != v && !g.HasEdge(u, v) {
+			mustAdd(t, &g, u, v)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, &g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != h.NumEdges() {
+		t.Fatalf("round trip m: %d vs %d", g.NumEdges(), h.NumEdges())
+	}
+	g.ForEachEdge(func(u, v int) {
+		if !h.HasEdge(u, v) {
+			t.Fatalf("edge (%d,%d) lost in round trip", u, v)
+		}
+	})
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	if w.n > 16 {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func TestWriteEdgeListError(t *testing.T) {
+	var g Undirected
+	for i := 0; i < 50; i++ {
+		mustAdd(t, &g, i, i+50)
+	}
+	if err := WriteEdgeList(&failWriter{}, &g); err == nil {
+		t.Fatal("expected write error to propagate")
+	}
+}
+
+func TestBFS(t *testing.T) {
+	var g Undirected
+	mustAdd(t, &g, 0, 1)
+	mustAdd(t, &g, 1, 2)
+	mustAdd(t, &g, 3, 4)
+	var visited []int
+	g.BFS(0, nil, func(v int) bool { visited = append(visited, v); return true })
+	sort.Ints(visited)
+	if len(visited) != 3 || visited[0] != 0 || visited[2] != 2 {
+		t.Fatalf("BFS visited %v", visited)
+	}
+	// Early stop.
+	count := 0
+	g.BFS(0, nil, func(v int) bool { count++; return false })
+	if count != 1 {
+		t.Fatalf("BFS early stop visited %d", count)
+	}
+	// Eligibility filter.
+	visited = visited[:0]
+	g.BFS(0, func(v int) bool { return v != 1 }, func(v int) bool { visited = append(visited, v); return true })
+	if len(visited) != 1 || visited[0] != 0 {
+		t.Fatalf("filtered BFS visited %v", visited)
+	}
+	// Unknown source is a no-op.
+	g.BFS(99, nil, func(v int) bool { t.Fatal("visited from unknown source"); return false })
+}
+
+func TestConnectedComponents(t *testing.T) {
+	var g Undirected
+	mustAdd(t, &g, 0, 1)
+	mustAdd(t, &g, 1, 2)
+	mustAdd(t, &g, 3, 4)
+	g.EnsureVertex(5)
+	label, k := g.ConnectedComponents()
+	if k != 3 {
+		t.Fatalf("k=%d want 3", k)
+	}
+	if label[0] != label[1] || label[1] != label[2] {
+		t.Fatal("component 0-1-2 split")
+	}
+	if label[3] != label[4] {
+		t.Fatal("component 3-4 split")
+	}
+	if label[5] == label[0] || label[5] == label[3] {
+		t.Fatal("isolated vertex merged")
+	}
+}
+
+func mustAdd(t *testing.T, g *Undirected, u, v int) {
+	t.Helper()
+	if err := g.AddEdge(u, v); err != nil {
+		t.Fatalf("AddEdge(%d,%d): %v", u, v, err)
+	}
+}

@@ -1,0 +1,75 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a whitespace-separated edge list ("u v" per line).
+// Lines starting with '#' or '%' and blank lines are ignored. Duplicate
+// edges and self loops in the input are silently skipped (common in raw
+// SNAP-style dumps); malformed lines are an error.
+func ReadEdgeList(r io.Reader) (*Undirected, error) {
+	g := &Undirected{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: expected two vertex ids, got %q", lineNo, line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex %q: %w", lineNo, fields[0], err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex %q: %w", lineNo, fields[1], err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative vertex id", lineNo)
+		}
+		if u == v {
+			continue
+		}
+		g.EnsureVertex(max(u, v))
+		if g.HasEdge(u, v) {
+			continue
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read: %w", err)
+	}
+	return g, nil
+}
+
+// WriteEdgeList writes the graph as a "u v" per line edge list with a
+// header comment recording vertex and edge counts.
+func WriteEdgeList(w io.Writer, g *Undirected) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# n=%d m=%d\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	var werr error
+	g.ForEachEdge(func(u, v int) {
+		if werr == nil {
+			_, werr = fmt.Fprintf(bw, "%d %d\n", u, v)
+		}
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,64 @@
+package graph
+
+// BFS runs a breadth-first search from src, invoking visit for every reached
+// vertex (including src). If visit returns false the search stops early.
+// eligible, when non-nil, restricts the search to vertices for which it
+// returns true (src is always visited).
+func (g *Undirected) BFS(src int, eligible func(v int) bool, visit func(v int) bool) {
+	if !g.HasVertex(src) {
+		return
+	}
+	seen := make(map[int]bool, 16)
+	queue := []int{src}
+	seen[src] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if !visit(v) {
+			return
+		}
+		for _, w32 := range g.Neighbors(v) {
+			w := int(w32)
+			if seen[w] {
+				continue
+			}
+			if eligible != nil && !eligible(w) {
+				continue
+			}
+			seen[w] = true
+			queue = append(queue, w)
+		}
+	}
+}
+
+// ConnectedComponents labels every vertex with a component id in [0, k) and
+// returns the labels along with the number of components k. Isolated
+// vertices form singleton components.
+func (g *Undirected) ConnectedComponents() (label []int, k int) {
+	n := g.NumVertices()
+	label = make([]int, n)
+	for i := range label {
+		label[i] = -1
+	}
+	var stack []int
+	for s := 0; s < n; s++ {
+		if label[s] != -1 {
+			continue
+		}
+		label[s] = k
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w32 := range g.Neighbors(v) {
+				w := int(w32)
+				if label[w] == -1 {
+					label[w] = k
+					stack = append(stack, w)
+				}
+			}
+		}
+		k++
+	}
+	return label, k
+}

@@ -1,0 +1,47 @@
+package korder
+
+import (
+	"testing"
+
+	"kcore/internal/graph"
+)
+
+// FuzzMaintainerAgainstOracle decodes the fuzz input as a stream of edge
+// toggles over a small vertex set (toggle = insert if absent, remove if
+// present) and validates the complete maintained state against
+// recomputation after the stream. Run with `go test -fuzz=Fuzz` for
+// extended differential fuzzing; the seed corpus keeps it meaningful as a
+// plain test.
+func FuzzMaintainerAgainstOracle(f *testing.F) {
+	f.Add([]byte{0x01, 0x12, 0x23, 0x30, 0x01, 0x12})
+	f.Add([]byte{0x01, 0x02, 0x03, 0x12, 0x13, 0x23}) // K4 build-up
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x00, 0x55, 0xAA, 0x77, 0x11, 0x22, 0x33, 0x44})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 12
+		g := graph.New(n)
+		m := New(g, Options{Seed: 17})
+		for i, b := range data {
+			if i > 300 {
+				break
+			}
+			u := int(b>>4) % n
+			v := int(b&0xF) % n
+			if u == v {
+				continue
+			}
+			var err error
+			if g.HasEdge(u, v) {
+				_, err = m.Remove(u, v)
+			} else {
+				_, err = m.Insert(u, v)
+			}
+			if err != nil {
+				t.Fatalf("op %d (%d,%d): %v", i, u, v, err)
+			}
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("invariants after %d ops: %v", len(data), err)
+		}
+	})
+}

@@ -1,0 +1,256 @@
+package order
+
+import (
+	"fmt"
+	"math"
+)
+
+type lnode struct {
+	v          int
+	tag        uint64
+	next, prev *lnode
+}
+
+// TagList is a labeled order-maintenance list in the style of Dietz and
+// Sleator: every element carries a 64-bit tag, order comparison is a tag
+// comparison (O(1)), and insertion places the new tag at the midpoint of
+// its neighbors' tags, renumbering the whole list in the rare case the gap
+// is exhausted. With 64-bit tags and the uniform renumbering below, global
+// renumbering is amortized away for the update patterns core maintenance
+// produces (front/back/cursor insertions).
+//
+// TagList is the ablation counterpart of Treap: Less costs O(1) instead of
+// O(log n), at the price of O(n) Rank (used only in tests/diagnostics).
+type TagList struct {
+	head, tail *lnode
+	nodes      map[int]*lnode
+	renumbers  int // diagnostic: how many global renumberings happened
+}
+
+var _ List = (*TagList)(nil)
+
+// NewTagList returns an empty TagList.
+func NewTagList() *TagList {
+	return &TagList{nodes: make(map[int]*lnode)}
+}
+
+// Len reports the number of elements.
+func (t *TagList) Len() int { return len(t.nodes) }
+
+// Contains reports whether v is present.
+func (t *TagList) Contains(v int) bool { _, ok := t.nodes[v]; return ok }
+
+// Renumbers reports how many global renumberings occurred (diagnostics).
+func (t *TagList) Renumbers() int { return t.renumbers }
+
+func (t *TagList) newNode(v int) *lnode {
+	if _, ok := t.nodes[v]; ok {
+		panic(fmt.Sprintf("order: vertex %d already in taglist", v))
+	}
+	n := &lnode{v: v}
+	t.nodes[v] = n
+	return n
+}
+
+// lowerTag returns the tag bound below n (exclusive); 0 when n is the head.
+func lowerTag(n *lnode) uint64 {
+	if n.prev == nil {
+		return 0
+	}
+	return n.prev.tag
+}
+
+// upperTag returns the tag bound above n (exclusive); MaxUint64 when n is
+// the tail.
+func upperTag(n *lnode) uint64 {
+	if n.next == nil {
+		return math.MaxUint64
+	}
+	return n.next.tag
+}
+
+// assignTag picks a tag strictly between lo and hi, renumbering first when
+// the gap is exhausted. n must already be linked into the DLL.
+func (t *TagList) assignTag(n *lnode) {
+	lo, hi := lowerTag(n), upperTag(n)
+	if hi-lo >= 2 {
+		n.tag = lo + (hi-lo)/2
+		return
+	}
+	t.renumber()
+}
+
+// renumber spreads all tags uniformly across the 64-bit space.
+func (t *TagList) renumber() {
+	t.renumbers++
+	n := uint64(len(t.nodes))
+	step := math.MaxUint64/(n+1) | 1
+	tag := step
+	for e := t.head; e != nil; e = e.next {
+		e.tag = tag
+		tag += step
+	}
+}
+
+// PushFront inserts v at the beginning.
+func (t *TagList) PushFront(v int) {
+	n := t.newNode(v)
+	n.next = t.head
+	if t.head != nil {
+		t.head.prev = n
+	}
+	t.head = n
+	if t.tail == nil {
+		t.tail = n
+	}
+	t.assignTag(n)
+}
+
+// PushBack inserts v at the end.
+func (t *TagList) PushBack(v int) {
+	n := t.newNode(v)
+	n.prev = t.tail
+	if t.tail != nil {
+		t.tail.next = n
+	}
+	t.tail = n
+	if t.head == nil {
+		t.head = n
+	}
+	t.assignTag(n)
+}
+
+// InsertAfter inserts v immediately after after.
+func (t *TagList) InsertAfter(after, v int) {
+	x, ok := t.nodes[after]
+	if !ok {
+		panic(fmt.Sprintf("order: InsertAfter: %d not in taglist", after))
+	}
+	n := t.newNode(v)
+	n.prev = x
+	n.next = x.next
+	if x.next != nil {
+		x.next.prev = n
+	} else {
+		t.tail = n
+	}
+	x.next = n
+	t.assignTag(n)
+}
+
+// InsertBefore inserts v immediately before before.
+func (t *TagList) InsertBefore(before, v int) {
+	x, ok := t.nodes[before]
+	if !ok {
+		panic(fmt.Sprintf("order: InsertBefore: %d not in taglist", before))
+	}
+	n := t.newNode(v)
+	n.next = x
+	n.prev = x.prev
+	if x.prev != nil {
+		x.prev.next = n
+	} else {
+		t.head = n
+	}
+	x.prev = n
+	t.assignTag(n)
+}
+
+// Remove deletes v.
+func (t *TagList) Remove(v int) {
+	n, ok := t.nodes[v]
+	if !ok {
+		panic(fmt.Sprintf("order: Remove: %d not in taglist", v))
+	}
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		t.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		t.tail = n.prev
+	}
+	n.next, n.prev = nil, nil
+	delete(t.nodes, v)
+}
+
+// Rank returns the 1-based position of v. O(n): TagList trades rank queries
+// for O(1) comparisons; use Treap when ranks are needed.
+func (t *TagList) Rank(v int) int {
+	n, ok := t.nodes[v]
+	if !ok {
+		panic(fmt.Sprintf("order: Rank: %d not in taglist", v))
+	}
+	r := 1
+	for e := t.head; e != n; e = e.next {
+		r++
+	}
+	return r
+}
+
+// Key returns the tag as a position-monotone key in O(1).
+func (t *TagList) Key(v int) uint64 {
+	n, ok := t.nodes[v]
+	if !ok {
+		panic(fmt.Sprintf("order: Key: %d not in taglist", v))
+	}
+	return n.tag
+}
+
+// Less reports whether a precedes b in O(1).
+func (t *TagList) Less(a, b int) bool {
+	if a == b {
+		return false
+	}
+	na, ok := t.nodes[a]
+	if !ok {
+		panic(fmt.Sprintf("order: Less: %d not in taglist", a))
+	}
+	nb, ok := t.nodes[b]
+	if !ok {
+		panic(fmt.Sprintf("order: Less: %d not in taglist", b))
+	}
+	return na.tag < nb.tag
+}
+
+// Front returns the first element.
+func (t *TagList) Front() (int, bool) {
+	if t.head == nil {
+		return 0, false
+	}
+	return t.head.v, true
+}
+
+// Back returns the last element.
+func (t *TagList) Back() (int, bool) {
+	if t.tail == nil {
+		return 0, false
+	}
+	return t.tail.v, true
+}
+
+// Next returns the element after v.
+func (t *TagList) Next(v int) (int, bool) {
+	n, ok := t.nodes[v]
+	if !ok {
+		panic(fmt.Sprintf("order: Next: %d not in taglist", v))
+	}
+	if n.next == nil {
+		return 0, false
+	}
+	return n.next.v, true
+}
+
+// Prev returns the element before v.
+func (t *TagList) Prev(v int) (int, bool) {
+	n, ok := t.nodes[v]
+	if !ok {
+		panic(fmt.Sprintf("order: Prev: %d not in taglist", v))
+	}
+	if n.prev == nil {
+		return 0, false
+	}
+	return n.prev.v, true
+}

@@ -1,0 +1,387 @@
+package order
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+type tnode struct {
+	v          int
+	prio       uint64
+	size       int
+	l, r, p    *tnode
+	next, prev *tnode // doubly linked list in order
+}
+
+func tsize(n *tnode) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+// Treap is an order-statistics tree keyed by position (not by value): every
+// node holds one vertex, subtree sizes give 1-based ranks in O(log n), and
+// parent pointers let Rank start from the vertex's node directly — this is
+// the one-to-one vertex→node mapping the paper introduces to make rank
+// queries possible without knowing the rank in advance (Section VI(A)).
+type Treap struct {
+	root  *tnode
+	nodes map[int]*tnode
+	head  *tnode
+	tail  *tnode
+	rng   *rand.Rand
+}
+
+var _ List = (*Treap)(nil)
+
+// NewTreap returns an empty treap whose priorities are drawn from a PCG
+// seeded with seed (deterministic for tests).
+func NewTreap(seed uint64) *Treap {
+	return &Treap{
+		nodes: make(map[int]*tnode),
+		rng:   rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+	}
+}
+
+// Len reports the number of elements.
+func (t *Treap) Len() int { return len(t.nodes) }
+
+// Contains reports whether v is present.
+func (t *Treap) Contains(v int) bool { _, ok := t.nodes[v]; return ok }
+
+func (t *Treap) newNode(v int) *tnode {
+	if _, ok := t.nodes[v]; ok {
+		panic(fmt.Sprintf("order: vertex %d already in treap", v))
+	}
+	n := &tnode{v: v, prio: t.rng.Uint64(), size: 1}
+	t.nodes[v] = n
+	return n
+}
+
+// PushFront inserts v at the beginning of the order.
+func (t *Treap) PushFront(v int) {
+	n := t.newNode(v)
+	// DLL.
+	n.next = t.head
+	if t.head != nil {
+		t.head.prev = n
+	}
+	t.head = n
+	if t.tail == nil {
+		t.tail = n
+	}
+	// Tree: attach at leftmost position.
+	if t.root == nil {
+		t.root = n
+		return
+	}
+	a := t.root
+	for a.l != nil {
+		a = a.l
+	}
+	a.l = n
+	n.p = a
+	t.fixupInsert(n)
+}
+
+// PushBack inserts v at the end of the order.
+func (t *Treap) PushBack(v int) {
+	n := t.newNode(v)
+	n.prev = t.tail
+	if t.tail != nil {
+		t.tail.next = n
+	}
+	t.tail = n
+	if t.head == nil {
+		t.head = n
+	}
+	if t.root == nil {
+		t.root = n
+		return
+	}
+	a := t.root
+	for a.r != nil {
+		a = a.r
+	}
+	a.r = n
+	n.p = a
+	t.fixupInsert(n)
+}
+
+// InsertAfter inserts v immediately after after.
+func (t *Treap) InsertAfter(after, v int) {
+	x, ok := t.nodes[after]
+	if !ok {
+		panic(fmt.Sprintf("order: InsertAfter: %d not in treap", after))
+	}
+	n := t.newNode(v)
+	// DLL.
+	n.prev = x
+	n.next = x.next
+	if x.next != nil {
+		x.next.prev = n
+	} else {
+		t.tail = n
+	}
+	x.next = n
+	// Tree: successor position of x.
+	if x.r == nil {
+		x.r = n
+		n.p = x
+	} else {
+		a := x.r
+		for a.l != nil {
+			a = a.l
+		}
+		a.l = n
+		n.p = a
+	}
+	t.fixupInsert(n)
+}
+
+// InsertBefore inserts v immediately before before.
+func (t *Treap) InsertBefore(before, v int) {
+	x, ok := t.nodes[before]
+	if !ok {
+		panic(fmt.Sprintf("order: InsertBefore: %d not in treap", before))
+	}
+	n := t.newNode(v)
+	n.next = x
+	n.prev = x.prev
+	if x.prev != nil {
+		x.prev.next = n
+	} else {
+		t.head = n
+	}
+	x.prev = n
+	if x.l == nil {
+		x.l = n
+		n.p = x
+	} else {
+		a := x.l
+		for a.r != nil {
+			a = a.r
+		}
+		a.r = n
+		n.p = a
+	}
+	t.fixupInsert(n)
+}
+
+// fixupInsert walks size increments up from the freshly attached leaf n and
+// then restores the min-heap priority invariant by rotations.
+func (t *Treap) fixupInsert(n *tnode) {
+	for a := n.p; a != nil; a = a.p {
+		a.size++
+	}
+	for n.p != nil && n.prio < n.p.prio {
+		t.rotateUp(n)
+	}
+}
+
+// rotateUp rotates n above its parent, preserving in-order sequence,
+// sizes, and parent pointers.
+func (t *Treap) rotateUp(n *tnode) {
+	p := n.p
+	g := p.p
+	if n == p.l {
+		p.l = n.r
+		if n.r != nil {
+			n.r.p = p
+		}
+		n.r = p
+	} else {
+		p.r = n.l
+		if n.l != nil {
+			n.l.p = p
+		}
+		n.l = p
+	}
+	p.p = n
+	n.p = g
+	if g == nil {
+		t.root = n
+	} else if g.l == p {
+		g.l = n
+	} else {
+		g.r = n
+	}
+	p.size = tsize(p.l) + tsize(p.r) + 1
+	n.size = tsize(n.l) + tsize(n.r) + 1
+}
+
+// Remove deletes v.
+func (t *Treap) Remove(v int) {
+	n, ok := t.nodes[v]
+	if !ok {
+		panic(fmt.Sprintf("order: Remove: %d not in treap", v))
+	}
+	// DLL unlink.
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		t.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		t.tail = n.prev
+	}
+	// Rotate n down to a leaf.
+	for n.l != nil || n.r != nil {
+		var c *tnode
+		switch {
+		case n.l == nil:
+			c = n.r
+		case n.r == nil:
+			c = n.l
+		case n.l.prio < n.r.prio:
+			c = n.l
+		default:
+			c = n.r
+		}
+		t.rotateUp(c)
+	}
+	// Detach leaf and decrement sizes on the path to the root.
+	p := n.p
+	if p == nil {
+		t.root = nil
+	} else {
+		if p.l == n {
+			p.l = nil
+		} else {
+			p.r = nil
+		}
+		for a := p; a != nil; a = a.p {
+			a.size--
+		}
+	}
+	n.p, n.l, n.r, n.next, n.prev = nil, nil, nil, nil, nil
+	delete(t.nodes, v)
+}
+
+// Rank returns the 1-based position of v in O(log n) expected time.
+func (t *Treap) Rank(v int) int {
+	n, ok := t.nodes[v]
+	if !ok {
+		panic(fmt.Sprintf("order: Rank: %d not in treap", v))
+	}
+	r := tsize(n.l) + 1
+	for a := n; a.p != nil; a = a.p {
+		if a == a.p.r {
+			r += tsize(a.p.l) + 1
+		}
+	}
+	return r
+}
+
+// Key returns the rank as a position-monotone key.
+func (t *Treap) Key(v int) uint64 { return uint64(t.Rank(v)) }
+
+// Less reports whether a precedes b.
+func (t *Treap) Less(a, b int) bool {
+	if a == b {
+		return false
+	}
+	return t.Rank(a) < t.Rank(b)
+}
+
+// Front returns the first element.
+func (t *Treap) Front() (int, bool) {
+	if t.head == nil {
+		return 0, false
+	}
+	return t.head.v, true
+}
+
+// Back returns the last element.
+func (t *Treap) Back() (int, bool) {
+	if t.tail == nil {
+		return 0, false
+	}
+	return t.tail.v, true
+}
+
+// Next returns the element after v in O(1).
+func (t *Treap) Next(v int) (int, bool) {
+	n, ok := t.nodes[v]
+	if !ok {
+		panic(fmt.Sprintf("order: Next: %d not in treap", v))
+	}
+	if n.next == nil {
+		return 0, false
+	}
+	return n.next.v, true
+}
+
+// Prev returns the element before v in O(1).
+func (t *Treap) Prev(v int) (int, bool) {
+	n, ok := t.nodes[v]
+	if !ok {
+		panic(fmt.Sprintf("order: Prev: %d not in treap", v))
+	}
+	if n.prev == nil {
+		return 0, false
+	}
+	return n.prev.v, true
+}
+
+// checkInvariants validates heap order, subtree sizes, parent pointers, and
+// DLL/tree order agreement. Test helper.
+func (t *Treap) checkInvariants() error {
+	var inorder []int
+	var walk func(n *tnode) (int, error)
+	walk = func(n *tnode) (int, error) {
+		if n == nil {
+			return 0, nil
+		}
+		if n.l != nil {
+			if n.l.p != n {
+				return 0, fmt.Errorf("parent pointer broken at %d.l", n.v)
+			}
+			if n.l.prio < n.prio {
+				return 0, fmt.Errorf("heap violated at %d", n.v)
+			}
+		}
+		if n.r != nil {
+			if n.r.p != n {
+				return 0, fmt.Errorf("parent pointer broken at %d.r", n.v)
+			}
+			if n.r.prio < n.prio {
+				return 0, fmt.Errorf("heap violated at %d", n.v)
+			}
+		}
+		ls, err := walk(n.l)
+		if err != nil {
+			return 0, err
+		}
+		inorder = append(inorder, n.v)
+		rs, err := walk(n.r)
+		if err != nil {
+			return 0, err
+		}
+		if n.size != ls+rs+1 {
+			return 0, fmt.Errorf("size broken at %d: %d != %d", n.v, n.size, ls+rs+1)
+		}
+		return ls + rs + 1, nil
+	}
+	total, err := walk(t.root)
+	if err != nil {
+		return err
+	}
+	if total != len(t.nodes) {
+		return fmt.Errorf("tree has %d nodes, map has %d", total, len(t.nodes))
+	}
+	i := 0
+	for n := t.head; n != nil; n = n.next {
+		if i >= len(inorder) || inorder[i] != n.v {
+			return fmt.Errorf("DLL and tree inorder diverge at index %d", i)
+		}
+		i++
+	}
+	if i != total {
+		return fmt.Errorf("DLL has %d nodes, tree has %d", i, total)
+	}
+	return nil
+}

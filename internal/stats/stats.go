@@ -1,0 +1,171 @@
+// Package stats provides the small statistics and formatting toolkit the
+// experiment drivers use: the paper's bucketed distributions (Fig. 1),
+// cumulative distributions (Figs. 5 and 10), ratio accumulators (Fig. 2 and
+// Fig. 9), and plain-text table rendering.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Buckets is the paper's Fig. 1 bucketing of visited-set sizes:
+// <=3, <=10, <=100, <=1000, >1000.
+var Buckets = []int{3, 10, 100, 1000}
+
+// BucketLabels are the display labels matching Buckets plus the overflow.
+var BucketLabels = []string{"<=3", "<=10", "<=100", "<=1000", ">1000"}
+
+// Bucketize counts how many values fall into each Fig. 1 bucket and returns
+// proportions summing to 1 (all zeros for empty input).
+func Bucketize(values []int) []float64 {
+	counts := make([]int, len(Buckets)+1)
+	for _, v := range values {
+		placed := false
+		for i, b := range Buckets {
+			if v <= b {
+				counts[i]++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			counts[len(Buckets)]++
+		}
+	}
+	out := make([]float64, len(counts))
+	if len(values) == 0 {
+		return out
+	}
+	for i, c := range counts {
+		out[i] = float64(c) / float64(len(values))
+	}
+	return out
+}
+
+// CDF summarizes a sample as cumulative proportions at the given
+// thresholds: result[i] = fraction of values <= thresholds[i].
+func CDF(values []int, thresholds []int) []float64 {
+	sorted := append([]int(nil), values...)
+	sort.Ints(sorted)
+	out := make([]float64, len(thresholds))
+	if len(sorted) == 0 {
+		return out
+	}
+	for i, t := range thresholds {
+		idx := sort.SearchInts(sorted, t+1)
+		out[i] = float64(idx) / float64(len(sorted))
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile (0..100) of values using the
+// nearest-rank method; 0 for empty input.
+func Percentile(values []int, p float64) int {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]int(nil), values...)
+	sort.Ints(sorted)
+	rank := int(p / 100 * float64(len(sorted)))
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Ratio is a sum-of-numerator over sum-of-denominator accumulator
+// (the paper's sum|V'| / sum|V*| metric).
+type Ratio struct {
+	Num int64
+	Den int64
+}
+
+// Add accumulates one observation.
+func (r *Ratio) Add(num, den int) {
+	r.Num += int64(num)
+	r.Den += int64(den)
+}
+
+// Value returns Num/Den (0 when Den is 0).
+func (r *Ratio) Value() float64 {
+	if r.Den == 0 {
+		return 0
+	}
+	return float64(r.Num) / float64(r.Den)
+}
+
+// Table renders rows as an aligned plain-text table with a header.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with column alignment.
+func (t *Table) String() string {
+	cols := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var sb strings.Builder
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(r) {
+				c = r[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", width[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Header)
+	total := 0
+	for i, w := range width {
+		total += w
+		if i > 0 {
+			total += 2
+		}
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteString("\n")
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// F formats a float compactly (3 significant decimals, trailing zeros kept
+// for alignment).
+func F(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+// FSec formats a duration in seconds with 4 decimals.
+func FSec(sec float64) string { return fmt.Sprintf("%.4f", sec) }
+
+// I formats an int.
+func I(x int) string { return fmt.Sprintf("%d", x) }

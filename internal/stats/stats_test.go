@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBucketize(t *testing.T) {
+	vals := []int{1, 2, 3, 4, 10, 11, 100, 101, 1000, 1001}
+	got := Bucketize(vals)
+	want := []float64{0.3, 0.2, 0.2, 0.2, 0.1}
+	for i := range want {
+		if diff := got[i] - want[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("bucket %d = %v want %v", i, got[i], want[i])
+		}
+	}
+	sum := 0.0
+	for _, p := range got {
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("buckets sum to %v", sum)
+	}
+	empty := Bucketize(nil)
+	for _, p := range empty {
+		if p != 0 {
+			t.Fatal("empty input should give zeros")
+		}
+	}
+	if len(BucketLabels) != len(Buckets)+1 {
+		t.Fatal("labels/buckets mismatch")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	vals := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	got := CDF(vals, []int{0, 5, 10, 20})
+	want := []float64{0, 0.5, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CDF[%d]=%v want %v", i, got[i], want[i])
+		}
+	}
+	if out := CDF(nil, []int{1}); out[0] != 0 {
+		t.Fatal("empty CDF should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []int{5, 1, 9, 3, 7}
+	if p := Percentile(vals, 0); p != 1 {
+		t.Fatalf("p0=%d", p)
+	}
+	if p := Percentile(vals, 100); p != 9 {
+		t.Fatalf("p100=%d", p)
+	}
+	if p := Percentile(vals, 50); p != 5 && p != 7 {
+		t.Fatalf("p50=%d", p)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	var r Ratio
+	if r.Value() != 0 {
+		t.Fatal("zero ratio should be 0")
+	}
+	r.Add(10, 2)
+	r.Add(10, 3)
+	if v := r.Value(); v != 4 {
+		t.Fatalf("ratio=%v want 4", v)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := &Table{Header: []string{"name", "value"}}
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "123456")
+	s := tb.String()
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "123456") {
+		t.Fatalf("table output missing cells:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), s)
+	}
+	if len(lines[0]) != len(lines[2]) {
+		t.Fatalf("misaligned rows:\n%s", s)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456) != "1.235" {
+		t.Fatalf("F=%s", F(1.23456))
+	}
+	if FSec(0.12345) != "0.1235" && FSec(0.12345) != "0.1234" {
+		t.Fatalf("FSec=%s", FSec(0.12345))
+	}
+	if I(42) != "42" {
+		t.Fatalf("I=%s", I(42))
+	}
+}

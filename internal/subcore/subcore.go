@@ -1,0 +1,203 @@
+// Package subcore implements the SubCore algorithm of Sariyüce et al.
+// (PVLDB'13) — the simpler baseline the traversal algorithm improves on,
+// and the algorithm the distributed approach of Aksu et al. approximates.
+//
+// SubCore maintains no index beyond the core numbers themselves: for every
+// update it materializes the subcore containing the edge (the maximal
+// connected set of vertices sharing core number K, Theorem 3.2's search
+// bound), computes local degree bounds, and peels. Per-update cost is
+// O(|sc| + vol(sc)) — cheap bookkeeping, large search space; it brackets
+// the traversal algorithm from the other side than the order-based one.
+package subcore
+
+import (
+	"kcore/internal/decomp"
+	"kcore/internal/graph"
+)
+
+// Maintainer maintains core numbers with the SubCore algorithm.
+type Maintainer struct {
+	g    *graph.Undirected
+	core []int
+
+	stats Stats
+}
+
+// Stats accumulates work counters.
+type Stats struct {
+	Inserts int64
+	Removes int64
+	// Visited accumulates subcore sizes (the algorithm's search space).
+	Visited int64
+}
+
+// UpdateResult describes one maintained update.
+type UpdateResult struct {
+	K       int
+	Changed []int
+	Visited int // |sc|: vertices of the materialized subcore(s)
+}
+
+// New builds a SubCore maintainer for g.
+func New(g *graph.Undirected) *Maintainer {
+	return &Maintainer{g: g, core: decomp.Cores(g)}
+}
+
+// Graph returns the underlying graph.
+func (m *Maintainer) Graph() *graph.Undirected { return m.g }
+
+// Core returns the current core number of v.
+func (m *Maintainer) Core(v int) int {
+	if v < 0 || v >= len(m.core) {
+		return 0
+	}
+	return m.core[v]
+}
+
+// Cores returns a copy of all core numbers.
+func (m *Maintainer) Cores() []int {
+	out := make([]int, len(m.core))
+	copy(out, m.core)
+	return out
+}
+
+// Stats returns accumulated counters.
+func (m *Maintainer) Stats() Stats { return m.stats }
+
+// EnsureVertex grows the maintained state to include v.
+func (m *Maintainer) EnsureVertex(v int) {
+	if v < 0 {
+		return
+	}
+	m.g.EnsureVertex(v)
+	for len(m.core) < m.g.NumVertices() {
+		m.core = append(m.core, 0)
+	}
+}
+
+// collectSubcore gathers the connected set of vertices with core number K
+// reachable from the roots through level-K vertices.
+func (m *Maintainer) collectSubcore(roots []int, K int) []int {
+	inS := make(map[int]bool, 16)
+	var s, stack []int
+	for _, r := range roots {
+		if m.core[r] == K && !inS[r] {
+			inS[r] = true
+			stack = append(stack, r)
+			s = append(s, r)
+		}
+	}
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, z32 := range m.g.Neighbors(w) {
+			z := int(z32)
+			if m.core[z] == K && !inS[z] {
+				inS[z] = true
+				stack = append(stack, z)
+				s = append(s, z)
+			}
+		}
+	}
+	return s
+}
+
+// peel removes from the candidate set every vertex whose bound on neighbors
+// in the new (K+1)-core (insertion) or K-core (removal) falls below need,
+// returning the survivors and the removed set.
+func (m *Maintainer) peel(s []int, K, need int) (survivors, removed []int) {
+	inS := make(map[int]bool, len(s))
+	for _, w := range s {
+		inS[w] = true
+	}
+	cd := make(map[int]int, len(s))
+	for _, w := range s {
+		c := 0
+		for _, z32 := range m.g.Neighbors(w) {
+			z := int(z32)
+			if m.core[z] > K || inS[z] {
+				c++
+			}
+		}
+		cd[w] = c
+	}
+	var queue []int
+	queued := make(map[int]bool, len(s))
+	for _, w := range s {
+		if cd[w] < need {
+			queue = append(queue, w)
+			queued[w] = true
+		}
+	}
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		inS[w] = false
+		removed = append(removed, w)
+		for _, z32 := range m.g.Neighbors(w) {
+			z := int(z32)
+			if inS[z] && !queued[z] {
+				cd[z]--
+				if cd[z] < need {
+					queue = append(queue, z)
+					queued[z] = true
+				}
+			}
+		}
+	}
+	for _, w := range s {
+		if inS[w] {
+			survivors = append(survivors, w)
+		}
+	}
+	return survivors, removed
+}
+
+// Insert adds edge (u, v) and updates core numbers: the subcore of the
+// lower endpoint is peeled against the (K+1)-core requirement; survivors
+// form V*.
+func (m *Maintainer) Insert(u, v int) (UpdateResult, error) {
+	m.EnsureVertex(u)
+	m.EnsureVertex(v)
+	if err := m.g.AddEdge(u, v); err != nil {
+		return UpdateResult{}, err
+	}
+	m.stats.Inserts++
+	K := m.core[u]
+	if m.core[v] < K {
+		K = m.core[v]
+	}
+	s := m.collectSubcore([]int{u, v}, K)
+	survivors, _ := m.peel(s, K, K+1)
+	for _, w := range survivors {
+		m.core[w] = K + 1
+	}
+	m.stats.Visited += int64(len(s))
+	return UpdateResult{K: K, Changed: survivors, Visited: len(s)}, nil
+}
+
+// Remove deletes edge (u, v) and updates core numbers: the subcore(s) of
+// the endpoints are peeled against the K-core requirement; peeled vertices
+// form V*.
+func (m *Maintainer) Remove(u, v int) (UpdateResult, error) {
+	if err := m.g.RemoveEdge(u, v); err != nil {
+		return UpdateResult{}, err
+	}
+	m.stats.Removes++
+	K := m.core[u]
+	if m.core[v] < K {
+		K = m.core[v]
+	}
+	s := m.collectSubcore([]int{u, v}, K)
+	_, removed := m.peel(s, K, K)
+	for _, w := range removed {
+		m.core[w] = K - 1
+	}
+	m.stats.Visited += int64(len(s))
+	return UpdateResult{K: K, Changed: removed, Visited: len(s)}, nil
+}
+
+// CheckInvariants validates the maintained cores by recomputation.
+func (m *Maintainer) CheckInvariants() error {
+	return decomp.Validate(m.g, m.core)
+}

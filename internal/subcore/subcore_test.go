@@ -1,0 +1,140 @@
+package subcore
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"kcore/internal/graph"
+	"kcore/internal/korder"
+)
+
+func TestTriangleLifecycle(t *testing.T) {
+	g := graph.New(3)
+	m := New(g)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}} {
+		if _, err := m.Insert(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for v := 0; v < 3; v++ {
+		if m.Core(v) != 2 {
+			t.Fatalf("core(%d)=%d", v, m.Core(v))
+		}
+	}
+	res, err := m.Remove(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Changed) != 3 {
+		t.Fatalf("V*=%v", res.Changed)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorsAndGrowth(t *testing.T) {
+	g := graph.New(0)
+	m := New(g)
+	if _, err := m.Insert(2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if m.Core(2) != 1 || m.Core(5) != 1 || m.Core(4) != 0 {
+		t.Fatalf("cores=%v", m.Cores())
+	}
+	if _, err := m.Insert(2, 5); err == nil {
+		t.Fatal("duplicate insert should fail")
+	}
+	if _, err := m.Remove(0, 1); err == nil {
+		t.Fatal("remove of absent edge should fail")
+	}
+	if m.Core(-1) != 0 || m.Core(99) != 0 {
+		t.Fatal("out-of-range Core should be 0")
+	}
+	if _, err := m.Remove(5, 2); err != nil {
+		t.Fatal(err)
+	}
+	if m.Core(2) != 0 {
+		t.Fatalf("core after removing last edge: %d", m.Core(2))
+	}
+	_ = m.Graph()
+}
+
+// TestOracleRandomStream validates cores against recomputation after every
+// update.
+func TestOracleRandomStream(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	n := 25
+	g := graph.New(n)
+	m := New(g)
+	for step := 0; step < 400; step++ {
+		u, v := rng.IntN(n), rng.IntN(n)
+		if u == v {
+			continue
+		}
+		var err error
+		if g.HasEdge(u, v) {
+			_, err = m.Remove(u, v)
+		} else {
+			_, err = m.Insert(u, v)
+		}
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+	if m.Stats().Inserts == 0 || m.Stats().Visited == 0 {
+		t.Fatal("stats not accumulated")
+	}
+}
+
+// TestAgreesWithOrderBased cross-validates SubCore against the order-based
+// maintainer, and checks the paper's search-space ordering: the subcore
+// search space is never smaller than the order-based one (V+ lives inside
+// the subcore).
+func TestAgreesWithOrderBased(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	n := 30
+	gS := graph.New(n)
+	gO := graph.New(n)
+	mS := New(gS)
+	mO := korder.New(gO, korder.Options{Seed: 2})
+	var visS, visO int64
+	for step := 0; step < 400; step++ {
+		u, v := rng.IntN(n), rng.IntN(n)
+		if u == v {
+			continue
+		}
+		if gS.HasEdge(u, v) {
+			if _, err := mS.Remove(u, v); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := mO.Remove(u, v); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			rs, err := mS.Insert(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ro, err := mO.Insert(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			visS += int64(rs.Visited)
+			visO += int64(ro.Visited)
+		}
+		for x := 0; x < n; x++ {
+			if mS.Core(x) != mO.Core(x) {
+				t.Fatalf("step %d: core(%d): subcore %d vs order %d",
+					step, x, mS.Core(x), mO.Core(x))
+			}
+		}
+	}
+	if visO > visS {
+		t.Fatalf("order-based visited %d > subcore's search space %d (V+ should live inside sc)",
+			visO, visS)
+	}
+}

@@ -1,0 +1,416 @@
+// Package traversal implements the state-of-the-art baseline the paper
+// compares against: the traversal core-maintenance algorithm of Sariyüce et
+// al. (PVLDB'13), including the VLDBJ'16 multi-hop enhancement (Trav-h).
+//
+// The maintainer keeps core numbers plus the residential core degrees
+// rcd^1..rcd^h, where rcd^1 = mcd, rcd^2 = pcd, and
+//
+//	rcd^i(u) = |{w in nbr(u): core(w) > core(u) or
+//	             (core(w) == core(u) and rcd^{i-1}(w) > core(w))}|.
+//
+// Insertion searches for V* with an expand–shrink DFS rooted at the
+// lower-core endpoint, using cd initialized from rcd^h and eviction
+// propagation; removal peels with cd initialized from mcd. After every
+// update the rcd values are repaired over the h-hop neighborhood of the
+// affected vertices — the maintenance cost the paper identifies as this
+// algorithm's bottleneck (it grows with h and with vertex degrees).
+package traversal
+
+import (
+	"fmt"
+
+	"kcore/internal/decomp"
+	"kcore/internal/graph"
+)
+
+// Maintainer is the traversal-algorithm counterpart of korder.Maintainer.
+type Maintainer struct {
+	g    *graph.Undirected
+	core []int
+	rcd  [][]int // rcd[i] = rcd^{i+1}; rcd[0] = mcd, rcd[1] = pcd
+	hops int
+
+	// repairRCD scratch: epoch-stamped membership plus reusable buffers.
+	mark     []uint64
+	epoch    uint64
+	region   []int
+	frontier []int
+
+	// Per-update search scratch (epoch-stamped).
+	visEp []uint64
+	eviEp []uint64
+	cdEp  []uint64
+	cdVal []int
+	opEp  uint64
+
+	stats Stats
+}
+
+func (m *Maintainer) growScratch() {
+	n := m.g.NumVertices()
+	for len(m.visEp) < n {
+		m.visEp = append(m.visEp, 0)
+		m.eviEp = append(m.eviEp, 0)
+		m.cdEp = append(m.cdEp, 0)
+		m.cdVal = append(m.cdVal, 0)
+	}
+}
+
+func (m *Maintainer) visited(v int) bool { return m.visEp[v] == m.opEp }
+func (m *Maintainer) evicted(v int) bool { return m.eviEp[v] == m.opEp }
+func (m *Maintainer) cd(v int) int {
+	if m.cdEp[v] == m.opEp {
+		return m.cdVal[v]
+	}
+	return 0
+}
+func (m *Maintainer) setCD(v, x int) {
+	m.cdEp[v] = m.opEp
+	m.cdVal[v] = x
+}
+
+// Stats accumulates work counters across the maintainer's lifetime.
+type Stats struct {
+	Inserts       int64
+	Removes       int64
+	VisitedInsert int64 // |V'|: vertices visited by the insertion DFS
+	ChangedInsert int64 // |V*|
+	ChangedRemove int64
+	RCDRepaired   int64 // vertices whose rcd values were recomputed
+}
+
+// UpdateResult describes one maintained update.
+type UpdateResult struct {
+	K       int
+	Changed []int
+	Visited int // insertion: |V'| (DFS-visited); removal: |V*|
+}
+
+// New builds a traversal maintainer with the given hop count h >= 2
+// (h=2 is the PVLDB'13 algorithm; larger h is the VLDBJ'16 enhancement).
+func New(g *graph.Undirected, hops int) *Maintainer {
+	if hops < 2 {
+		panic(fmt.Sprintf("traversal: hops must be >= 2, got %d", hops))
+	}
+	m := &Maintainer{g: g, hops: hops}
+	m.core = decomp.Cores(g)
+	m.rcd = make([][]int, hops)
+	n := g.NumVertices()
+	for i := range m.rcd {
+		m.rcd[i] = make([]int, n)
+	}
+	for v := 0; v < n; v++ {
+		m.rcd[0][v] = m.computeRCD1(v)
+	}
+	for i := 1; i < hops; i++ {
+		for v := 0; v < n; v++ {
+			m.rcd[i][v] = m.computeRCDNext(i, v)
+		}
+	}
+	return m
+}
+
+// Hops returns the configured hop count h.
+func (m *Maintainer) Hops() int { return m.hops }
+
+// Graph returns the underlying graph.
+func (m *Maintainer) Graph() *graph.Undirected { return m.g }
+
+// Core returns the current core number of v.
+func (m *Maintainer) Core(v int) int {
+	if v < 0 || v >= len(m.core) {
+		return 0
+	}
+	return m.core[v]
+}
+
+// Cores returns a copy of all core numbers.
+func (m *Maintainer) Cores() []int {
+	out := make([]int, len(m.core))
+	copy(out, m.core)
+	return out
+}
+
+// MCD returns the maintained mcd (= rcd^1) of v.
+func (m *Maintainer) MCD(v int) int { return m.rcd[0][v] }
+
+// PCD returns the maintained pcd (= rcd^2) of v.
+func (m *Maintainer) PCD(v int) int { return m.rcd[1][v] }
+
+// Stats returns accumulated counters.
+func (m *Maintainer) Stats() Stats { return m.stats }
+
+// ResetStats zeroes accumulated counters.
+func (m *Maintainer) ResetStats() { m.stats = Stats{} }
+
+// EnsureVertex grows the maintained state to include v.
+func (m *Maintainer) EnsureVertex(v int) {
+	if v < 0 {
+		return
+	}
+	m.g.EnsureVertex(v)
+	for len(m.core) < m.g.NumVertices() {
+		m.core = append(m.core, 0)
+		for i := range m.rcd {
+			m.rcd[i] = append(m.rcd[i], 0)
+		}
+	}
+}
+
+func (m *Maintainer) computeRCD1(v int) int {
+	c := 0
+	for _, w := range m.g.Neighbors(v) {
+		if m.core[w] >= m.core[v] {
+			c++
+		}
+	}
+	return c
+}
+
+// computeRCDNext computes rcd^{i+1}(v) from the stored rcd^i values.
+func (m *Maintainer) computeRCDNext(i, v int) int {
+	c := 0
+	for _, w32 := range m.g.Neighbors(v) {
+		w := int(w32)
+		if m.core[w] > m.core[v] || (m.core[w] == m.core[v] && m.rcd[i-1][w] > m.core[w]) {
+			c++
+		}
+	}
+	return c
+}
+
+// repairRCD recomputes rcd^1..rcd^h over the expanding neighborhood of the
+// seed set: rcd^1 changes only for seeds and their neighbors, rcd^2 one hop
+// further, and so on. This is the baseline's per-update index-maintenance
+// cost — it grows with h and with the degrees around the update, which is
+// exactly the bottleneck the paper identifies (Section IV-B).
+func (m *Maintainer) repairRCD(seeds []int) {
+	if n := m.g.NumVertices(); len(m.mark) < n {
+		m.mark = append(m.mark, make([]uint64, n-len(m.mark))...)
+	}
+	m.epoch++
+	m.region = m.region[:0]
+	m.frontier = m.frontier[:0]
+	add := func(v int) {
+		if m.mark[v] != m.epoch {
+			m.mark[v] = m.epoch
+			m.region = append(m.region, v)
+			m.frontier = append(m.frontier, v)
+		}
+	}
+	for _, s := range seeds {
+		add(s)
+	}
+	// expand grows the region by one hop; frontier holds only the newly
+	// added vertices so each expansion is proportional to the boundary.
+	expand := func() {
+		prev := m.frontier
+		m.frontier = nil
+		for _, v := range prev {
+			for _, w := range m.g.Neighbors(v) {
+				if m.mark[w] != m.epoch {
+					m.mark[w] = m.epoch
+					m.region = append(m.region, int(w))
+					m.frontier = append(m.frontier, int(w))
+				}
+			}
+		}
+	}
+	expand() // rcd^1 region: seeds + their neighbors
+	for i := 0; i < m.hops; i++ {
+		if i > 0 {
+			expand()
+		}
+		for _, v := range m.region {
+			if i == 0 {
+				m.rcd[0][v] = m.computeRCD1(v)
+			} else {
+				m.rcd[i][v] = m.computeRCDNext(i, v)
+			}
+		}
+		m.stats.RCDRepaired += int64(len(m.region))
+	}
+}
+
+// Insert adds edge (u, v) and updates cores and rcd values. The returned
+// Visited is |V'|, the number of vertices visited by the DFS — the quantity
+// plotted in the paper's Figures 1 and 2.
+func (m *Maintainer) Insert(u, v int) (UpdateResult, error) {
+	m.EnsureVertex(u)
+	m.EnsureVertex(v)
+	if err := m.g.AddEdge(u, v); err != nil {
+		return UpdateResult{}, err
+	}
+	m.stats.Inserts++
+	// Reflect the new edge in the rcd index before searching.
+	m.repairRCD([]int{u, v})
+	root := u
+	if m.core[v] < m.core[u] {
+		root = v
+	}
+	K := m.core[root]
+	res := UpdateResult{K: K}
+
+	// Expand–shrink DFS (Section IV-A).
+	m.growScratch()
+	m.opEp++
+	var stack, allVisited []int
+	// counted reports whether z contributes to a same-level neighbor's cd:
+	// the rcd^h criterion counts z iff rcd^{h-1}(z) > core(z).
+	counted := func(z int) bool { return m.rcd[m.hops-2][z] > K }
+	visit := func(w int) {
+		m.visEp[w] = m.opEp
+		allVisited = append(allVisited, w)
+		// cd(w) starts from the rcd^h criterion but must exclude vertices
+		// already evicted earlier in this update (their credit is gone).
+		c := 0
+		for _, z32 := range m.g.Neighbors(w) {
+			z := int(z32)
+			if m.core[z] > K || (m.core[z] == K && counted(z) && !m.evicted(z)) {
+				c++
+			}
+		}
+		m.setCD(w, c)
+		stack = append(stack, w)
+	}
+	// propagate evicts w and cascades: visited, non-evicted neighbors that
+	// gave cd credit to w's eviction lose one unit; w only removes credit
+	// from neighbors it was counted for (the rcd^h criterion).
+	var propagate func(w int)
+	propagate = func(w int) {
+		if m.evicted(w) {
+			return
+		}
+		m.eviEp[w] = m.opEp
+		if !counted(w) {
+			return // w never contributed cd credit to same-level neighbors
+		}
+		for _, z32 := range m.g.Neighbors(w) {
+			z := int(z32)
+			if m.core[z] != K || !m.visited(z) || m.evicted(z) {
+				continue
+			}
+			m.setCD(z, m.cd(z)-1)
+			if m.cd(z) <= K {
+				propagate(z)
+			}
+		}
+	}
+	if m.rcd[0][root] > K {
+		visit(root)
+	}
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if m.evicted(w) {
+			continue
+		}
+		if m.cd(w) > K {
+			for _, z32 := range m.g.Neighbors(w) {
+				z := int(z32)
+				if !m.visited(z) && m.core[z] == K && m.rcd[0][z] > K {
+					visit(z)
+				}
+			}
+		} else {
+			propagate(w)
+		}
+	}
+	var vstar []int
+	for _, w := range allVisited {
+		if !m.evicted(w) {
+			vstar = append(vstar, w)
+		}
+	}
+	for _, w := range vstar {
+		m.core[w] = K + 1
+	}
+	if len(vstar) > 0 {
+		m.repairRCD(vstar)
+	}
+	res.Changed = vstar
+	res.Visited = len(allVisited)
+	m.stats.VisitedInsert += int64(len(allVisited))
+	m.stats.ChangedInsert += int64(len(vstar))
+	return res, nil
+}
+
+// Remove deletes edge (u, v) and updates cores and rcd values via the
+// peeling routine of Section IV-B.
+func (m *Maintainer) Remove(u, v int) (UpdateResult, error) {
+	if err := m.g.RemoveEdge(u, v); err != nil {
+		return UpdateResult{}, err
+	}
+	m.stats.Removes++
+	m.repairRCD([]int{u, v})
+	K := m.core[u]
+	if m.core[v] < K {
+		K = m.core[v]
+	}
+	res := UpdateResult{K: K}
+
+	inVStar := make(map[int]bool, 8)
+	cd := make(map[int]int, 8)
+	touch := func(w int) int {
+		if c, ok := cd[w]; ok {
+			return c
+		}
+		cd[w] = m.rcd[0][w]
+		return cd[w]
+	}
+	var vstar, stack []int
+	dispose := func(w int) {
+		inVStar[w] = true
+		m.core[w] = K - 1
+		vstar = append(vstar, w)
+		stack = append(stack, w)
+	}
+	for _, r := range []int{u, v} {
+		if m.core[r] == K && !inVStar[r] && touch(r) < K {
+			dispose(r)
+		}
+	}
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, z32 := range m.g.Neighbors(w) {
+			z := int(z32)
+			if m.core[z] != K || inVStar[z] {
+				continue
+			}
+			c := touch(z) - 1
+			cd[z] = c
+			if c < K {
+				dispose(z)
+			}
+		}
+	}
+	if len(vstar) > 0 {
+		m.repairRCD(vstar)
+	}
+	res.Changed = vstar
+	res.Visited = len(vstar)
+	m.stats.ChangedRemove += int64(len(vstar))
+	return res, nil
+}
+
+// CheckInvariants validates cores and all rcd levels against recomputation.
+func (m *Maintainer) CheckInvariants() error {
+	if err := decomp.Validate(m.g, m.core); err != nil {
+		return err
+	}
+	n := m.g.NumVertices()
+	for v := 0; v < n; v++ {
+		if want := m.computeRCD1(v); m.rcd[0][v] != want {
+			return fmt.Errorf("traversal: rcd1(%d) = %d, want %d", v, m.rcd[0][v], want)
+		}
+	}
+	for i := 1; i < m.hops; i++ {
+		for v := 0; v < n; v++ {
+			if want := m.computeRCDNext(i, v); m.rcd[i][v] != want {
+				return fmt.Errorf("traversal: rcd%d(%d) = %d, want %d", i+1, v, m.rcd[i][v], want)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+// Package workload builds the edge-update workloads of the paper's
+// evaluation (Section VII): uniform and "latest-first" edge samples, group
+// partitions for the stability test, mixed insert/remove streams, and the
+// vertex/edge subsampling used by the scalability test.
+package workload
+
+import (
+	"math/rand/v2"
+	"sort"
+
+	"kcore/internal/graph"
+)
+
+// Edge is an undirected edge.
+type Edge struct{ U, V int }
+
+func newRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x2545f4914f6cdd1d))
+}
+
+// SampleEdges draws count distinct edges of g uniformly at random (all
+// edges when count >= m). This mirrors the paper's random sampling for the
+// eight non-temporal graphs.
+func SampleEdges(g *graph.Undirected, count int, seed uint64) []Edge {
+	all := g.Edges()
+	rng := newRNG(seed)
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	if count > len(all) {
+		count = len(all)
+	}
+	out := make([]Edge, count)
+	for i := 0; i < count; i++ {
+		out[i] = Edge{U: all[i][0], V: all[i][1]}
+	}
+	return out
+}
+
+// LatestEdges returns the count edges whose younger endpoint is largest,
+// approximating the paper's "latest timestamp" selection on temporal
+// graphs: the synthetic social analogs grow by vertex arrival, so an edge's
+// creation time is ordered by its larger endpoint id.
+func LatestEdges(g *graph.Undirected, count int) []Edge {
+	all := g.Edges()
+	// Sort by max endpoint ascending, then take the tail. Insertion-sort
+	// style partial selection would do; a full sort keeps this simple.
+	sortEdgesByMaxEndpoint(all)
+	if count > len(all) {
+		count = len(all)
+	}
+	tail := all[len(all)-count:]
+	out := make([]Edge, len(tail))
+	for i, e := range tail {
+		out[i] = Edge{U: e[0], V: e[1]}
+	}
+	return out
+}
+
+func sortEdgesByMaxEndpoint(edges [][2]int) {
+	key := func(e [2]int) int {
+		if e[0] > e[1] {
+			return e[0]
+		}
+		return e[1]
+	}
+	sort.Slice(edges, func(i, j int) bool { return key(edges[i]) < key(edges[j]) })
+}
+
+// SampleNonEdges draws count distinct vertex pairs that are not edges of g,
+// for insertion workloads on top of an existing graph.
+func SampleNonEdges(g *graph.Undirected, count int, seed uint64) []Edge {
+	rng := newRNG(seed)
+	n := g.NumVertices()
+	out := make([]Edge, 0, count)
+	seen := make(map[[2]int]bool, count)
+	if n < 2 {
+		return out
+	}
+	for len(out) < count {
+		u, v := rng.IntN(n), rng.IntN(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		k := [2]int{u, v}
+		if seen[k] || g.HasEdge(u, v) {
+			continue
+		}
+		seen[k] = true
+		out = append(out, Edge{U: u, V: v})
+	}
+	return out
+}
+
+// Partition splits edges into groups contiguous groups of near-equal size
+// (the stability test's group structure).
+func Partition(edges []Edge, groups int) [][]Edge {
+	if groups < 1 {
+		groups = 1
+	}
+	out := make([][]Edge, 0, groups)
+	per := (len(edges) + groups - 1) / groups
+	for start := 0; start < len(edges); start += per {
+		end := start + per
+		if end > len(edges) {
+			end = len(edges)
+		}
+		out = append(out, edges[start:end])
+	}
+	return out
+}
+
+// Op is a single update in a mixed stream.
+type Op struct {
+	Insert bool
+	E      Edge
+}
+
+// MixedStream interleaves the insertion of edges with random removals: after
+// each insertion, with probability p one previously (re)inserted edge is
+// removed (and becomes eligible for reinsertion later). This is the
+// workload of the paper's Fig. 12c/12d stability experiment.
+func MixedStream(edges []Edge, p float64, seed uint64) []Op {
+	rng := newRNG(seed)
+	var ops []Op
+	var present []Edge
+	for _, e := range edges {
+		ops = append(ops, Op{Insert: true, E: e})
+		present = append(present, e)
+		if p > 0 && rng.Float64() < p && len(present) > 0 {
+			i := rng.IntN(len(present))
+			victim := present[i]
+			present[i] = present[len(present)-1]
+			present = present[:len(present)-1]
+			ops = append(ops, Op{Insert: false, E: victim})
+		}
+	}
+	return ops
+}
+
+// VertexSample returns the subgraph induced by a uniform fraction of the
+// vertices (Fig. 11a/11b: vary |V|).
+func VertexSample(g *graph.Undirected, frac float64, seed uint64) *graph.Undirected {
+	rng := newRNG(seed)
+	n := g.NumVertices()
+	keep := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if rng.Float64() < frac {
+			keep[v] = true
+		}
+	}
+	return g.InducedSubgraph(keep)
+}
+
+// EdgeSample returns a subgraph keeping a uniform fraction of the edges,
+// preserving all vertices (Fig. 11c/11d: vary |E|).
+func EdgeSample(g *graph.Undirected, frac float64, seed uint64) *graph.Undirected {
+	rng := newRNG(seed)
+	s := graph.New(g.NumVertices())
+	g.ForEachEdge(func(u, v int) {
+		if rng.Float64() < frac {
+			if err := s.AddEdge(u, v); err != nil {
+				panic(err)
+			}
+		}
+	})
+	return s
+}
+
+// RemoveAll removes the given edges from g (ignoring already-absent ones)
+// so they can be reinserted by a maintenance workload.
+func RemoveAll(g *graph.Undirected, edges []Edge) {
+	for _, e := range edges {
+		_ = g.RemoveEdge(e.U, e.V)
+	}
+}

@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"testing"
+
+	"kcore/internal/gen"
+	"kcore/internal/graph"
+)
+
+func testGraph(t *testing.T) *graph.Undirected {
+	t.Helper()
+	return gen.ErdosRenyi(200, 600, 3)
+}
+
+func TestSampleEdges(t *testing.T) {
+	g := testGraph(t)
+	es := SampleEdges(g, 100, 1)
+	if len(es) != 100 {
+		t.Fatalf("len=%d", len(es))
+	}
+	seen := map[Edge]bool{}
+	for _, e := range es {
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("sampled non-edge %v", e)
+		}
+		if seen[e] {
+			t.Fatalf("duplicate sample %v", e)
+		}
+		seen[e] = true
+	}
+	// Oversampling clamps to m.
+	if got := SampleEdges(g, 10_000, 1); len(got) != g.NumEdges() {
+		t.Fatalf("oversample len=%d want %d", len(got), g.NumEdges())
+	}
+	// Determinism.
+	es2 := SampleEdges(g, 100, 1)
+	for i := range es {
+		if es[i] != es2[i] {
+			t.Fatal("same seed gave different samples")
+		}
+	}
+}
+
+func TestLatestEdges(t *testing.T) {
+	g := gen.BarabasiAlbert(500, 3, 2)
+	es := LatestEdges(g, 50)
+	if len(es) != 50 {
+		t.Fatalf("len=%d", len(es))
+	}
+	// All returned edges touch high-id ("recent") vertices: their younger
+	// endpoint must be >= the younger endpoint of any excluded edge.
+	minIncluded := 1 << 30
+	for _, e := range es {
+		hi := e.U
+		if e.V > hi {
+			hi = e.V
+		}
+		if hi < minIncluded {
+			minIncluded = hi
+		}
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("latest edge %v not in graph", e)
+		}
+	}
+	if minIncluded < 400 {
+		t.Fatalf("latest edges include old edge (max endpoint %d)", minIncluded)
+	}
+}
+
+func TestSampleNonEdges(t *testing.T) {
+	g := testGraph(t)
+	es := SampleNonEdges(g, 80, 4)
+	if len(es) != 80 {
+		t.Fatalf("len=%d", len(es))
+	}
+	for _, e := range es {
+		if g.HasEdge(e.U, e.V) {
+			t.Fatalf("non-edge sample %v exists", e)
+		}
+		if e.U == e.V {
+			t.Fatalf("self pair %v", e)
+		}
+	}
+	if got := SampleNonEdges(graph.New(1), 5, 1); len(got) != 0 {
+		t.Fatal("non-edges of a single vertex graph should be empty")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	es := make([]Edge, 103)
+	groups := Partition(es, 10)
+	total := 0
+	for _, gq := range groups {
+		total += len(gq)
+	}
+	if total != 103 {
+		t.Fatalf("partition lost edges: %d", total)
+	}
+	if len(groups) != 10 {
+		t.Fatalf("groups=%d", len(groups))
+	}
+	if len(Partition(es, 0)) != 1 {
+		t.Fatal("groups<1 should clamp to 1")
+	}
+}
+
+func TestMixedStream(t *testing.T) {
+	es := make([]Edge, 200)
+	for i := range es {
+		es[i] = Edge{U: i, V: i + 1000}
+	}
+	ops := MixedStream(es, 0, 1)
+	if len(ops) != 200 {
+		t.Fatalf("p=0 should be pure insertion, got %d ops", len(ops))
+	}
+	ops = MixedStream(es, 0.5, 1)
+	removes := 0
+	present := map[Edge]bool{}
+	for _, op := range ops {
+		if op.Insert {
+			if present[op.E] {
+				t.Fatalf("double insert of %v", op.E)
+			}
+			present[op.E] = true
+		} else {
+			removes++
+			if !present[op.E] {
+				t.Fatalf("remove of absent edge %v", op.E)
+			}
+			delete(present, op.E)
+		}
+	}
+	if removes < 50 {
+		t.Fatalf("p=0.5 produced only %d removals", removes)
+	}
+}
+
+func TestVertexAndEdgeSample(t *testing.T) {
+	g := testGraph(t)
+	vs := VertexSample(g, 0.5, 2)
+	if vs.NumVertices() != g.NumVertices() {
+		t.Fatalf("vertex sample changed n: %d", vs.NumVertices())
+	}
+	if vs.NumEdges() >= g.NumEdges() || vs.NumEdges() == 0 {
+		t.Fatalf("vertex sample m=%d (orig %d)", vs.NumEdges(), g.NumEdges())
+	}
+	es := EdgeSample(g, 0.5, 2)
+	if es.NumEdges() >= g.NumEdges() || es.NumEdges() == 0 {
+		t.Fatalf("edge sample m=%d (orig %d)", es.NumEdges(), g.NumEdges())
+	}
+	full := EdgeSample(g, 1.01, 2)
+	if full.NumEdges() != g.NumEdges() {
+		t.Fatalf("frac>1 should keep all edges")
+	}
+}
+
+func TestRemoveAll(t *testing.T) {
+	g := testGraph(t)
+	es := SampleEdges(g, 50, 9)
+	before := g.NumEdges()
+	RemoveAll(g, es)
+	if g.NumEdges() != before-50 {
+		t.Fatalf("m=%d want %d", g.NumEdges(), before-50)
+	}
+	// Idempotent on absent edges.
+	RemoveAll(g, es)
+	if g.NumEdges() != before-50 {
+		t.Fatal("second RemoveAll changed the graph")
+	}
+}

@@ -1,0 +1,493 @@
+// Package kcore provides dynamic k-core decomposition for evolving
+// undirected graphs: it maintains the core number of every vertex under
+// edge insertions and removals in time proportional to a small neighborhood
+// of the updated edge, instead of recomputing the decomposition from
+// scratch.
+//
+// The default engine implements the order-based core-maintenance algorithms
+// (OrderInsert / OrderRemoval) of Zhang, Yu, Zhang and Qin, "A Fast
+// Order-Based Approach for Core Maintenance" (ICDE 2017). The traversal
+// algorithm of Sariyüce et al. (PVLDB 2013 / VLDBJ 2016) is available as an
+// alternative for comparison.
+//
+// # Quick start
+//
+//	e := kcore.NewEngine()
+//	e.AddEdge(0, 1)
+//	e.AddEdge(1, 2)
+//	e.AddEdge(0, 2)          // 0,1,2 now form a triangle
+//	fmt.Println(e.Core(0))   // 2
+//	e.RemoveEdge(0, 2)
+//	fmt.Println(e.Core(0))   // 1
+package kcore
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"kcore/internal/decomp"
+	"kcore/internal/graph"
+	"kcore/internal/korder"
+	"kcore/internal/order"
+	"kcore/internal/traversal"
+)
+
+// Algorithm selects the maintenance algorithm.
+type Algorithm int
+
+const (
+	// OrderBased is the paper's order-based algorithm (recommended).
+	OrderBased Algorithm = iota
+	// Traversal is the Sariyüce et al. baseline.
+	Traversal
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case OrderBased:
+		return "order-based"
+	case Traversal:
+		return "traversal"
+	default:
+		return "unknown"
+	}
+}
+
+// Heuristic selects the initial k-order generation rule (order-based only).
+type Heuristic int
+
+const (
+	// SmallDegPlusFirst is the paper's recommended heuristic.
+	SmallDegPlusFirst Heuristic = iota
+	// LargeDegPlusFirst removes large remaining-degree vertices first.
+	LargeDegPlusFirst
+	// RandomDegPlusFirst removes a random removable vertex.
+	RandomDegPlusFirst
+)
+
+// OrderStructure selects the per-level order representation (order-based
+// engine only).
+type OrderStructure int
+
+const (
+	// TreapOrder uses the paper's order-statistics treap (O(log n)
+	// comparisons, O(log n) updates).
+	TreapOrder OrderStructure = iota
+	// TagOrder uses a labeled order-maintenance list (O(1) comparisons).
+	TagOrder
+)
+
+type config struct {
+	algorithm Algorithm
+	heuristic Heuristic
+	structure OrderStructure
+	hops      int
+	seed      uint64
+}
+
+// Option configures an Engine.
+type Option func(*config)
+
+// WithAlgorithm selects the maintenance algorithm (default OrderBased).
+func WithAlgorithm(a Algorithm) Option { return func(c *config) { c.algorithm = a } }
+
+// WithHeuristic selects the initial k-order heuristic (default
+// SmallDegPlusFirst; order-based engine only).
+func WithHeuristic(h Heuristic) Option { return func(c *config) { c.heuristic = h } }
+
+// WithOrderStructure selects the order representation (default TreapOrder;
+// order-based engine only).
+func WithOrderStructure(s OrderStructure) Option { return func(c *config) { c.structure = s } }
+
+// WithTraversalHops sets h for the traversal engine (default 2; ignored by
+// the order-based engine).
+func WithTraversalHops(h int) Option { return func(c *config) { c.hops = h } }
+
+// WithSeed makes all internal randomization deterministic (default 1).
+func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
+
+// UpdateInfo reports the effect of one edge update.
+type UpdateInfo struct {
+	// CoreChanged lists the vertices whose core number changed (by +1 for
+	// insertion, -1 for removal).
+	CoreChanged []int
+	// Visited is the number of vertices the algorithm examined to find
+	// CoreChanged (the paper's |V+| / |V'| search-space metric).
+	Visited int
+}
+
+// maintainer abstracts the two algorithm implementations.
+type maintainer interface {
+	Insert(u, v int) (changed []int, visited int, err error)
+	Remove(u, v int) (changed []int, visited int, err error)
+	Core(v int) int
+	Cores() []int
+}
+
+type orderImpl struct{ m *korder.Maintainer }
+
+func (o orderImpl) Insert(u, v int) ([]int, int, error) {
+	r, err := o.m.Insert(u, v)
+	return r.Changed, r.Visited, err
+}
+func (o orderImpl) Remove(u, v int) ([]int, int, error) {
+	r, err := o.m.Remove(u, v)
+	return r.Changed, r.Visited, err
+}
+func (o orderImpl) Core(v int) int { return o.m.Core(v) }
+func (o orderImpl) Cores() []int   { return o.m.Cores() }
+
+type travImpl struct{ m *traversal.Maintainer }
+
+func (t travImpl) Insert(u, v int) ([]int, int, error) {
+	r, err := t.m.Insert(u, v)
+	return r.Changed, r.Visited, err
+}
+func (t travImpl) Remove(u, v int) ([]int, int, error) {
+	r, err := t.m.Remove(u, v)
+	return r.Changed, r.Visited, err
+}
+func (t travImpl) Core(v int) int { return t.m.Core(v) }
+func (t travImpl) Cores() []int   { return t.m.Cores() }
+
+// Engine is a dynamic k-core decomposition engine. It is safe for
+// concurrent use by multiple goroutines (all operations take an internal
+// lock; reads do not run concurrently with writes).
+type Engine struct {
+	mu  sync.Mutex
+	g   *graph.Undirected
+	m   maintainer
+	cfg config
+}
+
+// NewEngine returns an empty engine. Vertices are dense non-negative
+// integers created implicitly by AddEdge/AddVertex.
+func NewEngine(opts ...Option) *Engine {
+	e, err := FromEdges(nil, opts...)
+	if err != nil {
+		// Unreachable: an empty edge set cannot fail.
+		panic(err)
+	}
+	return e
+}
+
+// FromEdges builds an engine from an initial edge list (duplicates and self
+// loops are rejected). Building from a batch is much faster than inserting
+// edges one by one: the initial decomposition runs in O(m + n).
+func FromEdges(edges [][2]int, opts ...Option) (*Engine, error) {
+	cfg := config{hops: 2, seed: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	g := &graph.Undirected{}
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, fmt.Errorf("kcore: edge (%d,%d): %w", e[0], e[1], err)
+		}
+	}
+	return fromGraph(g, cfg)
+}
+
+// Load builds an engine from a whitespace-separated edge list ("u v" per
+// line; '#' and '%' comments allowed; duplicate edges and self loops are
+// skipped).
+func Load(r io.Reader, opts ...Option) (*Engine, error) {
+	cfg := config{hops: 2, seed: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	g, err := graph.ReadEdgeList(r)
+	if err != nil {
+		return nil, fmt.Errorf("kcore: %w", err)
+	}
+	return fromGraph(g, cfg)
+}
+
+func fromGraph(g *graph.Undirected, cfg config) (*Engine, error) {
+	e := &Engine{g: g, cfg: cfg}
+	switch cfg.algorithm {
+	case OrderBased:
+		e.m = orderImpl{korder.New(g, korder.Options{
+			Heuristic: decomp.Heuristic(cfg.heuristic),
+			OrderKind: order.Kind(cfg.structure),
+			Seed:      cfg.seed,
+		})}
+	case Traversal:
+		if cfg.hops < 2 {
+			return nil, fmt.Errorf("kcore: traversal hops must be >= 2, got %d", cfg.hops)
+		}
+		e.m = travImpl{traversal.New(g, cfg.hops)}
+	default:
+		return nil, fmt.Errorf("kcore: unknown algorithm %d", cfg.algorithm)
+	}
+	return e, nil
+}
+
+// Algorithm reports the engine's maintenance algorithm.
+func (e *Engine) Algorithm() Algorithm { return e.cfg.algorithm }
+
+// AddEdge inserts the undirected edge (u, v), creating vertices as needed,
+// and updates all core numbers. It returns which vertices changed.
+func (e *Engine) AddEdge(u, v int) (UpdateInfo, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	changed, visited, err := e.m.Insert(u, v)
+	if err != nil {
+		return UpdateInfo{}, fmt.Errorf("kcore: add edge (%d,%d): %w", u, v, err)
+	}
+	return UpdateInfo{CoreChanged: changed, Visited: visited}, nil
+}
+
+// RemoveEdge deletes the undirected edge (u, v) and updates all core
+// numbers. It returns which vertices changed.
+func (e *Engine) RemoveEdge(u, v int) (UpdateInfo, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	changed, visited, err := e.m.Remove(u, v)
+	if err != nil {
+		return UpdateInfo{}, fmt.Errorf("kcore: remove edge (%d,%d): %w", u, v, err)
+	}
+	return UpdateInfo{CoreChanged: changed, Visited: visited}, nil
+}
+
+// AddVertexWithEdges inserts a fresh vertex connected to the given
+// neighbors (the paper's vertex insertion, simulated as a sequence of edge
+// insertions) and returns its id along with the union of core changes.
+func (e *Engine) AddVertexWithEdges(neighbors []int) (int, UpdateInfo, error) {
+	e.mu.Lock()
+	v := e.g.NumVertices()
+	e.mu.Unlock()
+	var all UpdateInfo
+	for _, w := range neighbors {
+		info, err := e.AddEdge(v, w)
+		if err != nil {
+			return v, all, err
+		}
+		all.CoreChanged = append(all.CoreChanged, info.CoreChanged...)
+		all.Visited += info.Visited
+	}
+	return v, all, nil
+}
+
+// RemoveVertex disconnects v by removing all of its incident edges (the
+// paper's vertex removal, simulated as a sequence of edge removals). The
+// vertex id remains valid with core number 0.
+func (e *Engine) RemoveVertex(v int) (UpdateInfo, error) {
+	e.mu.Lock()
+	nbrs := e.g.AppendNeighbors(nil, v)
+	e.mu.Unlock()
+	var all UpdateInfo
+	for _, w := range nbrs {
+		info, err := e.RemoveEdge(v, w)
+		if err != nil {
+			return all, err
+		}
+		all.CoreChanged = append(all.CoreChanged, info.CoreChanged...)
+		all.Visited += info.Visited
+	}
+	return all, nil
+}
+
+// HasEdge reports whether the edge (u, v) is present.
+func (e *Engine) HasEdge(u, v int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.g.HasEdge(u, v)
+}
+
+// NumVertices reports the vertex count (max vertex id + 1).
+func (e *Engine) NumVertices() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.g.NumVertices()
+}
+
+// NumEdges reports the edge count.
+func (e *Engine) NumEdges() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.g.NumEdges()
+}
+
+// Degree reports the degree of v (0 for unknown vertices).
+func (e *Engine) Degree(v int) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.g.Degree(v)
+}
+
+// Neighbors returns the neighbors of v as a fresh slice.
+func (e *Engine) Neighbors(v int) []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.g.AppendNeighbors(nil, v)
+}
+
+// Core returns the current core number of v (0 for unknown vertices).
+func (e *Engine) Core(v int) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.m.Core(v)
+}
+
+// Cores returns a copy of all current core numbers, indexed by vertex.
+func (e *Engine) Cores() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.m.Cores()
+}
+
+// KCore returns the vertices of the current k-core (every vertex whose core
+// number is at least k).
+func (e *Engine) KCore(k int) []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []int
+	for v, c := range e.m.Cores() {
+		if c >= k {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Degeneracy returns the maximum core number.
+func (e *Engine) Degeneracy() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	maxc := 0
+	for _, c := range e.m.Cores() {
+		if c > maxc {
+			maxc = c
+		}
+	}
+	return maxc
+}
+
+// Community answers a core-based community search query (the application
+// the paper's introduction motivates): the connected component of the
+// k-core containing v, for the largest level <= k at which v participates.
+// Returns nil for unknown or isolated-at-level vertices. Cost is
+// O((m+n) * degeneracy) per call — it recomputes the core hierarchy; batch
+// queries should use CoreComponents.
+func (e *Engine) Community(v, k int) []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	h := decomp.BuildHierarchy(e.g, e.m.Cores())
+	return h.CommunityOf(v, k)
+}
+
+// CoreComponents returns the connected components of the k-core, each as a
+// sorted vertex list.
+func (e *Engine) CoreComponents(k int) [][]int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	h := decomp.BuildHierarchy(e.g, e.m.Cores())
+	var out [][]int
+	for _, i := range h.LevelComponents(k) {
+		c, err := h.Component(i)
+		if err != nil {
+			continue
+		}
+		vs := make([]int, len(c.Vertices))
+		copy(vs, c.Vertices)
+		out = append(out, vs)
+	}
+	return out
+}
+
+// GreedyColoring colors the graph greedily along the maintained degeneracy
+// order, guaranteeing at most Degeneracy()+1 colors (the classic k-core
+// application to coloring). Only the order-based engine maintains an order;
+// other engines compute one on the fly. Returns per-vertex colors and the
+// number of colors used.
+func (e *Engine) GreedyColoring() ([]int, int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var ord []int
+	if impl, ok := e.m.(orderImpl); ok {
+		ord = impl.m.Order()
+	} else {
+		ord = decomp.KOrder(e.g, decomp.SmallDegPlusFirst, e.cfg.seed).Order
+	}
+	return decomp.GreedyColorByOrder(e.g, ord)
+}
+
+// Edges returns all current edges with u < v.
+func (e *Engine) Edges() [][2]int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.g.Edges()
+}
+
+// Save writes the current graph as an edge list readable by Load.
+func (e *Engine) Save(w io.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return graph.WriteEdgeList(w, e.g)
+}
+
+// SaveIndex serializes the full maintained index (graph, core numbers, and
+// k-order) so a later LoadIndex can resume without recomputing — and, more
+// importantly, with the exact same maintained order. Only the order-based
+// engine supports snapshots.
+func (e *Engine) SaveIndex(w io.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	impl, ok := e.m.(orderImpl)
+	if !ok {
+		return fmt.Errorf("kcore: SaveIndex requires the order-based engine (have %s)", e.cfg.algorithm)
+	}
+	return impl.m.WriteSnapshot(w)
+}
+
+// LoadIndex restores an order-based engine from a SaveIndex snapshot,
+// verifying its integrity in O(m + n).
+func LoadIndex(r io.Reader, opts ...Option) (*Engine, error) {
+	cfg := config{hops: 2, seed: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.algorithm != OrderBased {
+		return nil, fmt.Errorf("kcore: LoadIndex supports only the order-based engine")
+	}
+	m, err := korder.LoadSnapshot(r, korder.Options{
+		Heuristic: decomp.Heuristic(cfg.heuristic),
+		OrderKind: order.Kind(cfg.structure),
+		Seed:      cfg.seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("kcore: %w", err)
+	}
+	return &Engine{g: m.Graph(), m: orderImpl{m}, cfg: cfg}, nil
+}
+
+// Validate checks the maintained state against a from-scratch
+// recomputation. It is intended for tests and debugging; cost is
+// O((m+n) log n).
+func (e *Engine) Validate() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch impl := e.m.(type) {
+	case orderImpl:
+		return impl.m.CheckInvariants()
+	case travImpl:
+		return impl.m.CheckInvariants()
+	default:
+		return fmt.Errorf("kcore: unknown engine implementation")
+	}
+}
+
+// Decompose computes core numbers for a static edge list without building
+// an engine (one-shot O(m + n) decomposition).
+func Decompose(edges [][2]int) ([]int, error) {
+	g := &graph.Undirected{}
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, fmt.Errorf("kcore: edge (%d,%d): %w", e[0], e[1], err)
+		}
+	}
+	return decomp.Cores(g), nil
+}

@@ -1,0 +1,425 @@
+package kcore
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	info, err := e.AddEdge(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.CoreChanged) != 3 {
+		t.Fatalf("CoreChanged=%v", info.CoreChanged)
+	}
+	if e.Core(0) != 2 {
+		t.Fatalf("Core(0)=%d", e.Core(0))
+	}
+	if _, err := e.RemoveEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if e.Core(0) != 1 {
+		t.Fatalf("Core(0)=%d after removal", e.Core(0))
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromEdges(t *testing.T) {
+	e, err := FromEdges([][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumVertices() != 4 || e.NumEdges() != 4 {
+		t.Fatalf("n=%d m=%d", e.NumVertices(), e.NumEdges())
+	}
+	if e.Core(3) != 1 || e.Core(2) != 2 {
+		t.Fatalf("cores=%v", e.Cores())
+	}
+	if _, err := FromEdges([][2]int{{0, 0}}); err == nil {
+		t.Fatal("self loop should fail")
+	}
+	if _, err := FromEdges([][2]int{{0, 1}, {1, 0}}); err == nil {
+		t.Fatal("duplicate edge should fail")
+	}
+}
+
+func TestLoadAndSave(t *testing.T) {
+	in := "# demo\n0 1\n1 2\n0 2\n"
+	e, err := Load(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Degeneracy() != 2 {
+		t.Fatalf("degeneracy=%d", e.Degeneracy())
+	}
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.NumEdges() != e.NumEdges() {
+		t.Fatal("round trip lost edges")
+	}
+	if _, err := Load(strings.NewReader("bad line\n")); err == nil {
+		t.Fatal("malformed input should fail")
+	}
+}
+
+func TestAlgorithmsAgree(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	ord := NewEngine(WithAlgorithm(OrderBased), WithSeed(5))
+	trv := NewEngine(WithAlgorithm(Traversal), WithTraversalHops(3))
+	const n = 25
+	for step := 0; step < 300; step++ {
+		u, v := rng.IntN(n), rng.IntN(n)
+		if u == v {
+			continue
+		}
+		if ord.HasEdge(u, v) {
+			if _, err := ord.RemoveEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := trv.RemoveEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if _, err := ord.AddEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := trv.AddEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for x := 0; x < n; x++ {
+			if ord.Core(x) != trv.Core(x) {
+				t.Fatalf("step %d: core(%d) disagreement %d vs %d",
+					step, x, ord.Core(x), trv.Core(x))
+			}
+		}
+	}
+	if err := ord.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := trv.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptionCombos(t *testing.T) {
+	for _, h := range []Heuristic{SmallDegPlusFirst, LargeDegPlusFirst, RandomDegPlusFirst} {
+		for _, s := range []OrderStructure{TreapOrder, TagOrder} {
+			e := NewEngine(WithHeuristic(h), WithOrderStructure(s), WithSeed(9))
+			mustAdd(t, e, 0, 1)
+			mustAdd(t, e, 1, 2)
+			mustAdd(t, e, 0, 2)
+			if e.Core(1) != 2 {
+				t.Fatalf("h=%v s=%v: core=%d", h, s, e.Core(1))
+			}
+			if err := e.Validate(); err != nil {
+				t.Fatalf("h=%v s=%v: %v", h, s, err)
+			}
+		}
+	}
+	if _, err := FromEdges(nil, WithAlgorithm(Traversal), WithTraversalHops(1)); err == nil {
+		t.Fatal("hops=1 should fail")
+	}
+	if _, err := FromEdges(nil, WithAlgorithm(Algorithm(9))); err == nil {
+		t.Fatal("unknown algorithm should fail")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if OrderBased.String() != "order-based" || Traversal.String() != "traversal" ||
+		Algorithm(7).String() != "unknown" {
+		t.Fatal("Algorithm.String broken")
+	}
+}
+
+func TestQueries(t *testing.T) {
+	e, err := FromEdges([][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Algorithm() != OrderBased {
+		t.Fatal("default algorithm should be order-based")
+	}
+	if !e.HasEdge(0, 1) || e.HasEdge(0, 3) {
+		t.Fatal("HasEdge wrong")
+	}
+	if e.Degree(2) != 3 {
+		t.Fatalf("Degree(2)=%d", e.Degree(2))
+	}
+	nb := e.Neighbors(2)
+	if len(nb) != 3 {
+		t.Fatalf("Neighbors(2)=%v", nb)
+	}
+	kc := e.KCore(2)
+	if len(kc) != 3 {
+		t.Fatalf("KCore(2)=%v", kc)
+	}
+	if len(e.KCore(5)) != 0 {
+		t.Fatal("KCore(5) should be empty")
+	}
+	if len(e.Edges()) != 4 {
+		t.Fatalf("Edges()=%v", e.Edges())
+	}
+	if e.Core(-1) != 0 || e.Core(1000) != 0 {
+		t.Fatal("out-of-range Core should be 0")
+	}
+}
+
+func TestErrorsWrapped(t *testing.T) {
+	e := NewEngine()
+	mustAdd(t, e, 0, 1)
+	if _, err := e.AddEdge(0, 1); err == nil || !strings.Contains(err.Error(), "kcore:") {
+		t.Fatalf("duplicate add error = %v", err)
+	}
+	if _, err := e.RemoveEdge(5, 6); err == nil || !strings.Contains(err.Error(), "kcore:") {
+		t.Fatalf("missing remove error = %v", err)
+	}
+}
+
+func TestDecomposeStatic(t *testing.T) {
+	cores, err := Decompose([][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 2, 2, 1}
+	for v := range want {
+		if cores[v] != want[v] {
+			t.Fatalf("cores=%v want %v", cores, want)
+		}
+	}
+	if _, err := Decompose([][2]int{{1, 1}}); err == nil {
+		t.Fatal("self loop should fail")
+	}
+}
+
+// TestConcurrentAccess exercises the engine from multiple goroutines; run
+// with -race to verify the locking discipline.
+func TestConcurrentAccess(t *testing.T) {
+	e := NewEngine(WithSeed(3))
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(w), 9))
+			for i := 0; i < 200; i++ {
+				u, v := rng.IntN(20), rng.IntN(20)
+				if u == v {
+					continue
+				}
+				switch rng.IntN(3) {
+				case 0:
+					_, _ = e.AddEdge(u, v)
+				case 1:
+					_, _ = e.RemoveEdge(u, v)
+				default:
+					_ = e.Core(u)
+					_ = e.Degeneracy()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommunityQueries(t *testing.T) {
+	// Two K4s joined through a low-core middle vertex (the paper's Fig. 3
+	// shape: 3-subcores hang off a lower-core region): the 3-core has two
+	// components that merge at lower levels.
+	var edges [][2]int
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			edges = append(edges, [2]int{i, j}, [2]int{4 + i, 4 + j})
+		}
+	}
+	edges = append(edges, [2]int{3, 8}, [2]int{8, 4}) // middle vertex 8, core 2
+	e, err := FromEdges(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm := e.Community(0, 3)
+	if len(comm) != 4 {
+		t.Fatalf("Community(0,3)=%v", comm)
+	}
+	commB := e.Community(5, 3)
+	if len(commB) != 4 || commB[0] == comm[0] {
+		t.Fatalf("Community(5,3)=%v overlaps %v", commB, comm)
+	}
+	// At k<=2 the middle vertex merges everything into one community.
+	if len(e.Community(0, 2)) != 9 {
+		t.Fatalf("Community(0,2)=%v", e.Community(0, 2))
+	}
+	comps := e.CoreComponents(3)
+	if len(comps) != 2 {
+		t.Fatalf("CoreComponents(3)=%v", comps)
+	}
+	if len(e.CoreComponents(5)) != 0 {
+		t.Fatal("CoreComponents(5) should be empty")
+	}
+	if e.Community(-5, 2) != nil {
+		t.Fatal("unknown vertex community should be nil")
+	}
+}
+
+func TestGreedyColoring(t *testing.T) {
+	for _, alg := range []Algorithm{OrderBased, Traversal} {
+		e := NewEngine(WithAlgorithm(alg), WithSeed(3))
+		// K4 needs exactly 4 colors.
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				mustAdd(t, e, i, j)
+			}
+		}
+		mustAdd(t, e, 3, 4) // pendant
+		colors, k := e.GreedyColoring()
+		if k != 4 {
+			t.Fatalf("%v: colors=%d want 4", alg, k)
+		}
+		for u := 0; u < 4; u++ {
+			for v := u + 1; v < 4; v++ {
+				if colors[u] == colors[v] {
+					t.Fatalf("%v: K4 coloring improper", alg)
+				}
+			}
+		}
+		if colors[4] == colors[3] {
+			t.Fatalf("%v: pendant conflicts", alg)
+		}
+	}
+}
+
+func TestSaveLoadIndex(t *testing.T) {
+	e, err := FromEdges([][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := LoadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 5; v++ {
+		if e.Core(v) != e2.Core(v) {
+			t.Fatalf("core(%d): %d vs %d", v, e.Core(v), e2.Core(v))
+		}
+	}
+	// Restored engine keeps maintaining.
+	if _, err := e2.AddEdge(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Traversal engines do not support snapshots.
+	tr := NewEngine(WithAlgorithm(Traversal))
+	if err := tr.SaveIndex(&bytes.Buffer{}); err == nil {
+		t.Fatal("traversal SaveIndex should fail")
+	}
+	if _, err := LoadIndex(strings.NewReader("junk"), WithAlgorithm(Traversal)); err == nil {
+		t.Fatal("LoadIndex with traversal should fail")
+	}
+	if _, err := LoadIndex(strings.NewReader("junk")); err == nil {
+		t.Fatal("junk index should fail")
+	}
+}
+
+func TestSnapshotWithTagOrder(t *testing.T) {
+	e, err := FromEdges([][2]int{{0, 1}, {1, 2}, {0, 2}},
+		WithOrderStructure(TagOrder), WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := LoadIndex(&buf, WithOrderStructure(TagOrder), WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.AddEdge(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.AddEdge(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if e2.Core(3) != 3 {
+		t.Fatalf("core(3)=%d want 3", e2.Core(3))
+	}
+	if err := e2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVertexOps(t *testing.T) {
+	e, err := FromEdges([][2]int{{0, 1}, {1, 2}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, info, err := e.AddVertexWithEdges([]int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 3 || e.Core(v) != 3 {
+		t.Fatalf("v=%d core=%d", v, e.Core(v))
+	}
+	if len(info.CoreChanged) == 0 {
+		t.Fatal("no core changes reported")
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate neighbor in the list fails partway with an error.
+	if _, _, err := e.AddVertexWithEdges([]int{0, 0}); err == nil {
+		t.Fatal("duplicate neighbor should fail")
+	}
+	if _, err := e.RemoveVertex(3); err != nil {
+		t.Fatal(err)
+	}
+	if e.Core(3) != 0 || e.Degree(3) != 0 {
+		t.Fatalf("vertex 3 not disconnected: core=%d deg=%d", e.Core(3), e.Degree(3))
+	}
+	// Removing an isolated/unknown vertex is a no-op.
+	if _, err := e.RemoveVertex(999); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustAdd(t testing.TB, e *Engine, u, v int) {
+	t.Helper()
+	if _, err := e.AddEdge(u, v); err != nil {
+		t.Fatalf("AddEdge(%d,%d): %v", u, v, err)
+	}
+}
