@@ -1,0 +1,343 @@
+package kcore
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestApplyBatchSemantics is the table test for Apply: mixed operations,
+// validation failures (error-mid-batch must leave the engine untouched),
+// and the structured errors carried by *BatchError.
+func TestApplyBatchSemantics(t *testing.T) {
+	triangle := [][2]int{{0, 1}, {1, 2}, {0, 2}}
+	tests := []struct {
+		name     string
+		seed     [][2]int
+		batch    Batch
+		wantErr  error // sentinel expected via errors.Is; nil for success
+		wantIdx  int   // BatchError.Index when wantErr != nil
+		applied  int
+		edges    int // NumEdges after the call
+		cores    map[int]int
+		totalLen int // len(Total.CoreChanged); -1 to skip
+	}{
+		{
+			name:     "empty batch",
+			batch:    Batch{},
+			applied:  0,
+			edges:    0,
+			totalLen: 0,
+		},
+		{
+			name:     "pure insertions",
+			batch:    Batch{Add(0, 1), Add(1, 2), Add(0, 2)},
+			applied:  3,
+			edges:    3,
+			cores:    map[int]int{0: 2, 1: 2, 2: 2},
+			totalLen: 3,
+		},
+		{
+			name:     "mixed ops",
+			seed:     triangle,
+			batch:    Batch{Remove(0, 2), Add(2, 3), Add(0, 3)},
+			applied:  3,
+			edges:    4,
+			cores:    map[int]int{0: 2, 1: 2, 2: 2, 3: 2}, // the batch leaves a 4-cycle
+			totalLen: -1,
+		},
+		{
+			name:     "add then remove same edge",
+			batch:    Batch{Add(4, 5), Remove(4, 5)},
+			applied:  2,
+			edges:    0,
+			cores:    map[int]int{4: 0, 5: 0},
+			totalLen: -1,
+		},
+		{
+			name:     "remove then re-add present edge",
+			seed:     [][2]int{{0, 1}},
+			batch:    Batch{Remove(0, 1), Add(0, 1)},
+			applied:  2,
+			edges:    1,
+			cores:    map[int]int{0: 1, 1: 1},
+			totalLen: 2, // both endpoints changed twice; deduplicated once each
+		},
+		{
+			name:    "self loop rejected",
+			seed:    triangle,
+			batch:   Batch{Add(3, 4), Add(5, 5)},
+			wantErr: ErrSelfLoop,
+			wantIdx: 1,
+			edges:   3,
+		},
+		{
+			name:    "negative vertex rejected",
+			batch:   Batch{Add(-1, 2)},
+			wantErr: ErrVertexRange,
+			wantIdx: 0,
+			edges:   0,
+		},
+		{
+			name:    "duplicate against graph rejected",
+			seed:    triangle,
+			batch:   Batch{Add(2, 3), Add(0, 1)},
+			wantErr: ErrDuplicateEdge,
+			wantIdx: 1,
+			edges:   3,
+		},
+		{
+			name:    "duplicate within batch rejected",
+			batch:   Batch{Add(0, 1), Add(1, 0)},
+			wantErr: ErrDuplicateEdge,
+			wantIdx: 1,
+			edges:   0,
+		},
+		{
+			name:    "missing removal rejected",
+			seed:    triangle,
+			batch:   Batch{Remove(0, 3)},
+			wantErr: ErrMissingEdge,
+			wantIdx: 0,
+			edges:   3,
+		},
+		{
+			name:    "removal invalidated by earlier removal",
+			seed:    triangle,
+			batch:   Batch{Remove(0, 1), Remove(1, 0)},
+			wantErr: ErrMissingEdge,
+			wantIdx: 1,
+			edges:   3,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			e, err := FromEdges(tc.seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			before := e.Cores()
+			info, err := e.Apply(tc.batch)
+			if tc.wantErr != nil {
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("Apply error = %v, want errors.Is %v", err, tc.wantErr)
+				}
+				var be *BatchError
+				if !errors.As(err, &be) {
+					t.Fatalf("Apply error %T is not *BatchError", err)
+				}
+				if be.Index != tc.wantIdx {
+					t.Fatalf("BatchError.Index = %d, want %d", be.Index, tc.wantIdx)
+				}
+				// Error-mid-batch: nothing may have been applied.
+				if info.Applied != 0 {
+					t.Fatalf("Applied = %d after failed batch", info.Applied)
+				}
+				after := e.Cores()
+				for v := range before {
+					if before[v] != after[v] {
+						t.Fatalf("core(%d) mutated by failed batch: %d -> %d", v, before[v], after[v])
+					}
+				}
+				if e.Seq() != 0 {
+					t.Fatalf("Seq = %d after failed batch", e.Seq())
+				}
+			} else {
+				if err != nil {
+					t.Fatal(err)
+				}
+				if info.Applied != tc.applied {
+					t.Fatalf("Applied = %d, want %d", info.Applied, tc.applied)
+				}
+				if len(info.Updates) != tc.applied {
+					t.Fatalf("len(Updates) = %d, want %d", len(info.Updates), tc.applied)
+				}
+				if info.Seq != uint64(tc.applied) {
+					t.Fatalf("Seq = %d, want %d", info.Seq, tc.applied)
+				}
+				if tc.totalLen >= 0 && len(info.Total.CoreChanged) != tc.totalLen {
+					t.Fatalf("Total.CoreChanged = %v, want %d entries",
+						info.Total.CoreChanged, tc.totalLen)
+				}
+			}
+			if got := e.NumEdges(); got != tc.edges {
+				t.Fatalf("NumEdges = %d, want %d", got, tc.edges)
+			}
+			for v, c := range tc.cores {
+				if e.Core(v) != c {
+					t.Fatalf("core(%d) = %d, want %d", v, e.Core(v), c)
+				}
+			}
+			if err := e.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestApplyAggregatedDedup: a vertex whose core changes twice during a batch
+// must appear exactly once in the aggregated Total.CoreChanged, while the
+// per-update Updates keep every occurrence.
+func TestApplyAggregatedDedup(t *testing.T) {
+	e, err := FromEdges([][2]int{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closing the triangle lifts 0,1,2 to core 2; reopening drops them back.
+	info, err := e.Apply(Batch{Add(0, 2), Remove(0, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Updates[0].CoreChanged) != 3 || len(info.Updates[1].CoreChanged) != 3 {
+		t.Fatalf("per-update changes = %v", info.Updates)
+	}
+	if len(info.Total.CoreChanged) != 3 {
+		t.Fatalf("Total.CoreChanged = %v, want 3 deduplicated entries", info.Total.CoreChanged)
+	}
+	seen := map[int]bool{}
+	for _, v := range info.Total.CoreChanged {
+		if seen[v] {
+			t.Fatalf("vertex %d duplicated in %v", v, info.Total.CoreChanged)
+		}
+		seen[v] = true
+	}
+	if info.Total.Visited != info.Updates[0].Visited+info.Updates[1].Visited {
+		t.Fatalf("Total.Visited = %d, want sum of %v", info.Total.Visited, info.Updates)
+	}
+}
+
+// TestVertexOpsDedupAndAtomicity covers the batch-backed vertex operations:
+// aggregated results deduplicate, and invalid input applies nothing.
+func TestVertexOpsDedupAndAtomicity(t *testing.T) {
+	e, err := FromEdges([][2]int{{0, 1}, {1, 2}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate neighbors: atomic failure, no partial edges.
+	if _, _, err := e.AddVertexWithEdges([]int{0, 0}); !errors.Is(err, ErrDuplicateEdge) {
+		t.Fatalf("duplicate neighbor error = %v", err)
+	}
+	if e.NumEdges() != 3 || e.Degree(3) != 0 {
+		t.Fatalf("failed AddVertexWithEdges mutated the engine: m=%d deg(3)=%d",
+			e.NumEdges(), e.Degree(3))
+	}
+	v, info, err := e.AddVertexWithEdges([]int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 3 || e.Core(v) != 3 {
+		t.Fatalf("v=%d core=%d", v, e.Core(v))
+	}
+	for i, x := range info.CoreChanged {
+		for _, y := range info.CoreChanged[i+1:] {
+			if x == y {
+				t.Fatalf("aggregated CoreChanged has duplicate %d: %v", x, info.CoreChanged)
+			}
+		}
+	}
+	if _, err := e.RemoveVertex(v); err != nil {
+		t.Fatal(err)
+	}
+	if e.Core(v) != 0 || e.Degree(v) != 0 {
+		t.Fatalf("vertex %d not disconnected", v)
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSentinelErrors: every public mutation wraps the exported sentinels so
+// errors.Is works through all layers (engine -> korder/traversal -> graph).
+func TestSentinelErrors(t *testing.T) {
+	for _, alg := range []Algorithm{OrderBased, Traversal} {
+		e := NewEngine(WithAlgorithm(alg))
+		if _, err := e.AddEdge(0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.AddEdge(0, 1); !errors.Is(err, ErrDuplicateEdge) {
+			t.Fatalf("%v: duplicate add error = %v", alg, err)
+		}
+		if _, err := e.AddEdge(2, 2); !errors.Is(err, ErrSelfLoop) {
+			t.Fatalf("%v: self loop error = %v", alg, err)
+		}
+		if _, err := e.AddEdge(-3, 1); !errors.Is(err, ErrVertexRange) {
+			t.Fatalf("%v: negative id error = %v", alg, err)
+		}
+		// Both in-range and out-of-range missing edges.
+		if _, err := e.RemoveEdge(0, 5); !errors.Is(err, ErrMissingEdge) {
+			t.Fatalf("%v: missing remove error = %v", alg, err)
+		}
+		if _, err := e.RemoveEdge(50, 60); !errors.Is(err, ErrMissingEdge) {
+			t.Fatalf("%v: out-of-range remove error = %v", alg, err)
+		}
+	}
+	// ErrWrongEngine from snapshot operations on the traversal engine.
+	tr := NewEngine(WithAlgorithm(Traversal))
+	if err := tr.SaveIndex(discardWriter{}); !errors.Is(err, ErrWrongEngine) {
+		t.Fatalf("SaveIndex error = %v, want ErrWrongEngine", err)
+	}
+	if _, err := LoadIndex(nil, WithAlgorithm(Traversal)); !errors.Is(err, ErrWrongEngine) {
+		t.Fatalf("LoadIndex error = %v, want ErrWrongEngine", err)
+	}
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestViewSnapshot: a View must stay frozen while the engine moves on.
+func TestViewSnapshot(t *testing.T) {
+	e, err := FromEdges([][2]int{{0, 1}, {1, 2}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := e.View()
+	if v.Seq() != 0 || v.NumEdges() != 3 || v.Degeneracy() != 2 || v.Core(0) != 2 {
+		t.Fatalf("initial view wrong: seq=%d m=%d deg=%d", v.Seq(), v.NumEdges(), v.Degeneracy())
+	}
+	if len(v.KCore(2)) != 3 || len(v.KCore(3)) != 0 {
+		t.Fatalf("view KCore wrong: %v", v.KCore(2))
+	}
+	// Mutate the engine: the view must not move.
+	if _, err := e.Apply(Batch{Add(0, 3), Add(1, 3), Add(2, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Core(0) != 3 || e.Seq() != 3 {
+		t.Fatalf("engine core(0)=%d seq=%d", e.Core(0), e.Seq())
+	}
+	if v.Core(0) != 2 || v.Core(3) != 0 || v.NumEdges() != 3 || v.Seq() != 0 {
+		t.Fatal("view changed after engine mutation")
+	}
+	// Mutating the copy returned by Cores must not corrupt the view.
+	v.Cores()[0] = 99
+	if v.Core(0) != 2 {
+		t.Fatal("View.Cores aliases internal storage")
+	}
+	v2 := e.View()
+	if v2.Seq() != 3 || v2.Degeneracy() != 3 || v2.NumVertices() != 4 {
+		t.Fatalf("second view wrong: seq=%d deg=%d n=%d", v2.Seq(), v2.Degeneracy(), v2.NumVertices())
+	}
+}
+
+// TestAddRemoveEdgesConveniences covers the pure-batch helpers.
+func TestAddRemoveEdgesConveniences(t *testing.T) {
+	e := NewEngine()
+	info, err := e.AddEdges([][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Applied != 4 || e.NumEdges() != 4 || e.Core(0) != 2 {
+		t.Fatalf("AddEdges: applied=%d m=%d core(0)=%d", info.Applied, e.NumEdges(), e.Core(0))
+	}
+	if _, err := e.RemoveEdges([][2]int{{0, 2}, {2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if e.NumEdges() != 2 || e.Core(0) != 1 {
+		t.Fatalf("RemoveEdges: m=%d core(0)=%d", e.NumEdges(), e.Core(0))
+	}
+	if _, err := e.RemoveEdges([][2]int{{0, 1}, {0, 1}}); !errors.Is(err, ErrMissingEdge) {
+		t.Fatalf("double removal error = %v", err)
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,252 @@
+package kcore
+
+import "fmt"
+
+// Batched updates: Apply takes the engine's write lock once, pre-validates
+// the whole batch against the current graph (tracking intra-batch effects),
+// and only then mutates — a batch that fails validation leaves the engine
+// untouched. Per-update maintenance reuses the maintainer's epoch-stamped
+// scratch buffers, so a batch amortizes locking and bookkeeping over many
+// updates without giving up the incremental per-edge algorithms.
+
+// Op is the kind of one edge update.
+type Op uint8
+
+const (
+	// OpAdd inserts an edge.
+	OpAdd Op = iota
+	// OpRemove deletes an edge.
+	OpRemove
+)
+
+// String names the operation.
+func (o Op) String() string {
+	switch o {
+	case OpAdd:
+		return "add"
+	case OpRemove:
+		return "remove"
+	default:
+		return "unknown"
+	}
+}
+
+// Update is one edge insertion or removal.
+type Update struct {
+	Op   Op
+	U, V int
+}
+
+// Add returns an edge-insertion update for use in a Batch.
+func Add(u, v int) Update { return Update{Op: OpAdd, U: u, V: v} }
+
+// Remove returns an edge-removal update for use in a Batch.
+func Remove(u, v int) Update { return Update{Op: OpRemove, U: u, V: v} }
+
+// Batch is an ordered sequence of edge updates applied as one locked
+// operation. Updates may mix insertions and removals and may touch the same
+// edge repeatedly (add then remove is valid; adding a present edge is not).
+type Batch []Update
+
+// BatchInfo aggregates the effect of an applied batch.
+type BatchInfo struct {
+	// Applied is the number of updates that were applied.
+	Applied int
+	// Seq is the engine's update sequence number after the last applied
+	// update (see Engine.Seq); 0 when the batch was empty and no update had
+	// ever been applied.
+	Seq uint64
+	// Updates holds the per-update effects in batch order.
+	Updates []UpdateInfo
+	// Total aggregates the batch: CoreChanged lists every vertex whose core
+	// number changed at least once during the batch, deduplicated, in
+	// first-change order; Visited sums the per-update search-space sizes.
+	Total UpdateInfo
+}
+
+// Apply executes the batch under a single write-lock acquisition.
+//
+// The batch is validated in full before any mutation: every update is
+// checked (in order, accounting for the effect of the preceding updates in
+// the batch) for self loops, negative vertex ids, duplicate insertions and
+// missing removals. On a validation failure Apply returns a *BatchError
+// wrapping the corresponding sentinel and the engine is left unchanged.
+//
+// On success, subscribers (see Subscribe) receive one CoreChange event per
+// affected vertex per update.
+func (e *Engine) Apply(batch Batch) (BatchInfo, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.applyLocked(batch)
+}
+
+// AddEdges applies a pure-insertion batch built from an edge list.
+func (e *Engine) AddEdges(edges [][2]int) (BatchInfo, error) {
+	batch := make(Batch, len(edges))
+	for i, ed := range edges {
+		batch[i] = Add(ed[0], ed[1])
+	}
+	return e.Apply(batch)
+}
+
+// RemoveEdges applies a pure-removal batch built from an edge list.
+func (e *Engine) RemoveEdges(edges [][2]int) (BatchInfo, error) {
+	batch := make(Batch, len(edges))
+	for i, ed := range edges {
+		batch[i] = Remove(ed[0], ed[1])
+	}
+	return e.Apply(batch)
+}
+
+// applyLocked validates and applies a batch. Callers hold the write lock.
+func (e *Engine) applyLocked(batch Batch) (BatchInfo, error) {
+	if err := e.validateBatch(batch); err != nil {
+		return BatchInfo{Seq: e.seq}, err
+	}
+	info := BatchInfo{}
+	if len(batch) > 0 {
+		info.Updates = make([]UpdateInfo, 0, len(batch))
+	}
+	dedup := len(batch) > 1
+	if dedup {
+		e.dedupCur++
+	}
+	for i, up := range batch {
+		var changed []int
+		var visited int
+		var err error
+		if up.Op == OpAdd {
+			changed, visited, err = e.m.Insert(up.U, up.V)
+		} else {
+			changed, visited, err = e.m.Remove(up.U, up.V)
+		}
+		if err != nil {
+			// Unreachable after validation; reported structurally anyway so
+			// callers can tell how far the batch got.
+			info.Seq = e.seq
+			return info, &BatchError{Index: i, Update: up, Err: err}
+		}
+		e.seq++
+		e.notify(up.Op, changed)
+		info.Applied++
+		info.Updates = append(info.Updates, UpdateInfo{CoreChanged: changed, Visited: visited})
+		info.Total.Visited += visited
+		if !dedup {
+			info.Total.CoreChanged = append(info.Total.CoreChanged, changed...)
+		} else {
+			for _, v := range changed {
+				for v >= len(e.dedupEp) {
+					e.dedupEp = append(e.dedupEp, 0)
+				}
+				if e.dedupEp[v] != e.dedupCur {
+					e.dedupEp[v] = e.dedupCur
+					info.Total.CoreChanged = append(info.Total.CoreChanged, v)
+				}
+			}
+		}
+	}
+	info.Seq = e.seq
+	return info, nil
+}
+
+// validateBatch checks the whole batch against the current graph plus the
+// pending effect of earlier updates in the batch, without mutating anything.
+func (e *Engine) validateBatch(batch Batch) error {
+	// The overlay tracks edges whose presence diverges from the graph
+	// because of earlier updates in this batch. Single-update batches (the
+	// AddEdge/RemoveEdge fast path) skip it entirely.
+	track := len(batch) > 1
+	if track {
+		e.val.init(len(batch))
+	}
+	for i, up := range batch {
+		u, v := up.U, up.V
+		var cause error
+		switch {
+		case u < 0 || v < 0:
+			cause = ErrVertexRange
+		case u == v:
+			cause = ErrSelfLoop
+		}
+		if cause != nil {
+			return &BatchError{Index: i, Update: up, Err: cause}
+		}
+		var slot int
+		present, overlaid := false, false
+		if track {
+			slot, present, overlaid = e.val.lookup(u, v)
+		}
+		if !overlaid {
+			present = e.g.HasEdge(u, v)
+		}
+		switch up.Op {
+		case OpAdd:
+			if present {
+				return &BatchError{Index: i, Update: up, Err: ErrDuplicateEdge}
+			}
+		case OpRemove:
+			if !present {
+				return &BatchError{Index: i, Update: up, Err: ErrMissingEdge}
+			}
+		default:
+			return &BatchError{Index: i, Update: up, Err: fmt.Errorf("unknown op %d", up.Op)}
+		}
+		if track {
+			e.val.store(slot, u, v, up.Op == OpAdd)
+		}
+	}
+	return nil
+}
+
+// overlay is an open-addressed hash table from a packed edge key to the
+// edge's pending presence, reused across batches so validation costs one
+// (amortized zero) allocation per Apply instead of per-update map inserts.
+// Keys pack the sorted endpoint pair into one word; vertex ids are dense
+// and the graph stores them as int32, so 32 bits per endpoint suffice.
+// Key 0 would be the self loop (0,0), which validation rejects first, so 0
+// safely marks empty slots.
+type overlay struct {
+	keys    []uint64
+	present []bool
+	shift   uint
+}
+
+func edgeKey(u, v int) uint64 {
+	return uint64(uint32(min(u, v)))<<32 | uint64(uint32(max(u, v)))
+}
+
+// init clears the table and sizes it to at least 4n slots (load <= 1/4).
+func (o *overlay) init(n int) {
+	size, shift := 16, uint(60)
+	for size < 4*n {
+		size <<= 1
+		shift--
+	}
+	o.shift = shift
+	if cap(o.keys) >= size {
+		o.keys = o.keys[:size]
+		o.present = o.present[:size]
+		clear(o.keys)
+	} else {
+		o.keys = make([]uint64, size)
+		o.present = make([]bool, size)
+	}
+}
+
+// lookup probes for edge (u, v), returning the slot where it lives or would
+// live, its pending presence, and whether the batch touched it before.
+func (o *overlay) lookup(u, v int) (slot int, present, overlaid bool) {
+	key := edgeKey(u, v)
+	mask := uint64(len(o.keys) - 1)
+	i := (key * 0x9e3779b97f4a7c15) >> o.shift
+	for o.keys[i] != 0 && o.keys[i] != key {
+		i = (i + 1) & mask
+	}
+	return int(i), o.present[i], o.keys[i] == key
+}
+
+// store records the pending presence of the edge at slot (from lookup).
+func (o *overlay) store(slot int, u, v int, present bool) {
+	o.keys[slot] = edgeKey(u, v)
+	o.present[slot] = present
+}

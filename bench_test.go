@@ -209,6 +209,53 @@ func BenchmarkEngineAddRemove(b *testing.B) {
 	}
 }
 
+// --- Batch API: Apply amortizes locking, validation and result assembly
+// over the whole batch; the per-edge loop pays them per call. Same 10k-edge
+// insertion workload either way. ---
+
+func batchBenchEdges() [][2]int {
+	g := gen.BarabasiAlbert(3000, 4, 13)
+	edges := g.Edges()
+	if len(edges) > 10000 {
+		edges = edges[:10000]
+	}
+	return edges
+}
+
+func BenchmarkApplyBatch10k(b *testing.B) {
+	edges := batchBenchEdges()
+	batch := make(Batch, len(edges))
+	for i, ed := range edges {
+		batch[i] = Add(ed[0], ed[1])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e := NewEngine(WithSeed(1))
+		b.StartTimer()
+		if _, err := e.Apply(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(edges)), "edges/op")
+}
+
+func BenchmarkPerEdgeAdd10k(b *testing.B) {
+	edges := batchBenchEdges()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e := NewEngine(WithSeed(1))
+		b.StartTimer()
+		for _, ed := range edges {
+			if _, err := e.AddEdge(ed[0], ed[1]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(edges)), "edges/op")
+}
+
 // BenchmarkIndexBuild measures initial index construction (Table III's
 // unit operation) on the social micro graph.
 func BenchmarkIndexBuildOrder(b *testing.B) {

@@ -15,9 +15,12 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"kcore"
 	"kcore/internal/bench"
 	"kcore/internal/datasets"
+	"kcore/internal/gen"
 )
 
 func main() {
@@ -54,10 +57,15 @@ func main() {
 		}
 	}
 
+	if *experiment == "batchapi" {
+		batchAPI(*edges, *seed)
+		return
+	}
+
 	names := bench.ExperimentNames
 	if *experiment != "all" {
 		if _, ok := bench.Experiments[*experiment]; !ok {
-			fatal(fmt.Errorf("unknown experiment %q (valid: all, %s)",
+			fatal(fmt.Errorf("unknown experiment %q (valid: all, batchapi, %s)",
 				*experiment, strings.Join(bench.ExperimentNames, ", ")))
 		}
 		names = []string{*experiment}
@@ -71,4 +79,51 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "kcore-bench:", err)
 	os.Exit(1)
+}
+
+// batchAPI measures the v1 public API head to head: one Apply batch against
+// the same insertions through per-call AddEdge. It exercises the engine
+// boundary (locking, validation, result assembly), unlike the algorithm
+// experiments above which call the maintainers directly.
+func batchAPI(edges int, seed uint64) {
+	g := gen.BarabasiAlbert(max(edges/3, 100), 4, seed)
+	all := g.Edges()
+	if len(all) > edges {
+		all = all[:edges]
+	}
+	batch := make(kcore.Batch, len(all))
+	for i, ed := range all {
+		batch[i] = kcore.Add(ed[0], ed[1])
+	}
+	fmt.Printf("=== batchapi === (%d insertions, BA graph)\n", len(all))
+
+	const rounds = 5
+	var batchBest, singleBest time.Duration
+	for r := 0; r < rounds; r++ {
+		e := kcore.NewEngine(kcore.WithSeed(seed))
+		start := time.Now()
+		if _, err := e.Apply(batch); err != nil {
+			fatal(err)
+		}
+		if d := time.Since(start); r == 0 || d < batchBest {
+			batchBest = d
+		}
+	}
+	for r := 0; r < rounds; r++ {
+		e := kcore.NewEngine(kcore.WithSeed(seed))
+		start := time.Now()
+		for _, ed := range all {
+			if _, err := e.AddEdge(ed[0], ed[1]); err != nil {
+				fatal(err)
+			}
+		}
+		if d := time.Since(start); r == 0 || d < singleBest {
+			singleBest = d
+		}
+	}
+	fmt.Printf("Apply(batch):   %12v  (%.0f ns/edge)\n",
+		batchBest, float64(batchBest.Nanoseconds())/float64(len(all)))
+	fmt.Printf("AddEdge loop:   %12v  (%.0f ns/edge)\n",
+		singleBest, float64(singleBest.Nanoseconds())/float64(len(all)))
+	fmt.Printf("speedup:        %12.2fx\n", float64(singleBest)/float64(batchBest))
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"kcore"
 	"kcore/internal/datasets"
 	"kcore/internal/gen"
 	"kcore/internal/graph"
@@ -32,6 +33,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "RNG seed")
 		out     = flag.String("out", "", "output file (default stdout)")
 		list    = flag.Bool("list", false, "list named datasets and exit")
+		stats   = flag.Bool("stats", false, "print a core-structure summary of the generated graph to stderr")
 	)
 	flag.Parse()
 
@@ -84,6 +86,26 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote n=%d m=%d\n", g.NumVertices(), g.NumEdges())
+	if *stats {
+		cores, err := kcore.Decompose(g.Edges())
+		if err != nil {
+			fatal(err)
+		}
+		deg := 0
+		for _, c := range cores {
+			if c > deg {
+				deg = c
+			}
+		}
+		inDeepest := 0
+		for _, c := range cores {
+			if c == deg {
+				inDeepest++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "degeneracy=%d |%d-core|=%d avg_deg=%.2f\n",
+			deg, deg, inDeepest, g.AvgDegree())
+	}
 }
 
 func fatal(err error) {

@@ -7,18 +7,23 @@
 //	kcore stream <edgelist>              maintain cores over stdin updates
 //	kcore communities <edgelist> <k>     print connected k-core components
 //
-// Stream mode reads one operation per line from stdin: "+ u v" inserts an
-// edge, "- u v" removes one, "? v" prints the core number of v, "k n"
-// prints the n-core vertex count, and "quit" exits.
+// Stream mode reads one operation per line from stdin: "+ u v [u v ...]"
+// inserts edges (multiple pairs apply as one batch), "- u v [u v ...]"
+// removes them, "? v" prints the core number of v, "k n" prints the n-core
+// vertex count, "watch k" prints subsequent core changes at level k or
+// above (a cascade larger than the watch buffer reports how many events
+// were dropped), and "quit" exits.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"kcore"
 )
@@ -82,9 +87,10 @@ func fatal(err error) {
 }
 
 func decompose(e *kcore.Engine) {
-	cores := e.Cores()
+	// One consistent snapshot answers every query below.
+	v := e.View()
 	hist := map[int]int{}
-	for _, c := range cores {
+	for _, c := range v.Cores() {
 		hist[c]++
 	}
 	keys := make([]int, 0, len(hist))
@@ -92,25 +98,96 @@ func decompose(e *kcore.Engine) {
 		keys = append(keys, k)
 	}
 	sort.Ints(keys)
-	fmt.Printf("vertices=%d edges=%d degeneracy=%d\n", e.NumVertices(), e.NumEdges(), e.Degeneracy())
+	fmt.Printf("vertices=%d edges=%d degeneracy=%d\n", v.NumVertices(), v.NumEdges(), v.Degeneracy())
 	for _, k := range keys {
 		fmt.Printf("core %4d: %d vertices\n", k, hist[k])
 	}
 }
 
 func stats(e *kcore.Engine) {
-	n := e.NumVertices()
-	m := e.NumEdges()
+	v := e.View()
+	n := v.NumVertices()
+	m := v.NumEdges()
 	avg := 0.0
 	if n > 0 {
 		avg = 2 * float64(m) / float64(n)
 	}
-	fmt.Printf("n=%d m=%d avg_deg=%.2f max_k=%d\n", n, m, avg, e.Degeneracy())
+	fmt.Printf("n=%d m=%d avg_deg=%.2f max_k=%d\n", n, m, avg, v.Degeneracy())
+}
+
+// explain maps engine errors to short operator-facing messages, branching
+// on the structured sentinels.
+func explain(err error) string {
+	var be *kcore.BatchError
+	pos := ""
+	if errors.As(err, &be) {
+		pos = fmt.Sprintf(" (pair %d: %d-%d)", be.Index+1, be.Update.U, be.Update.V)
+	}
+	switch {
+	case errors.Is(err, kcore.ErrDuplicateEdge):
+		return "edge already present" + pos
+	case errors.Is(err, kcore.ErrMissingEdge):
+		return "edge not present" + pos
+	case errors.Is(err, kcore.ErrSelfLoop):
+		return "self loops not supported" + pos
+	case errors.Is(err, kcore.ErrVertexRange):
+		return "vertex ids must be non-negative" + pos
+	default:
+		return err.Error()
+	}
+}
+
+// parseBatch turns "u v [u v ...]" fields into a batch of op updates.
+func parseBatch(op kcore.Op, fields []string) (kcore.Batch, error) {
+	if len(fields) == 0 || len(fields)%2 != 0 {
+		return nil, fmt.Errorf("want an even number of vertex ids")
+	}
+	batch := make(kcore.Batch, 0, len(fields)/2)
+	for i := 0; i < len(fields); i += 2 {
+		u, err1 := strconv.Atoi(fields[i])
+		v, err2 := strconv.Atoi(fields[i+1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad vertex ids %q %q", fields[i], fields[i+1])
+		}
+		if op == kcore.OpAdd {
+			batch = append(batch, kcore.Add(u, v))
+		} else {
+			batch = append(batch, kcore.Remove(u, v))
+		}
+	}
+	return batch, nil
 }
 
 func stream(e *kcore.Engine) {
 	fmt.Printf("loaded n=%d m=%d degeneracy=%d; reading ops from stdin\n",
 		e.NumVertices(), e.NumEdges(), e.Degeneracy())
+	var events <-chan kcore.CoreChange
+	var cancelWatch func()
+	var watchDropped atomic.Uint64
+	var reportedDrops uint64
+	drainWatch := func() {
+		if events == nil {
+			return
+		}
+		for {
+			select {
+			case ev := <-events:
+				fmt.Printf("watch: core(%d) %d -> %d (seq %d)\n",
+					ev.Vertex, ev.OldCore, ev.NewCore, ev.Seq)
+			default:
+				if d := watchDropped.Load(); d > reportedDrops {
+					fmt.Printf("watch: %d events dropped (buffer full)\n", d-reportedDrops)
+					reportedDrops = d
+				}
+				return
+			}
+		}
+	}
+	defer func() {
+		if cancelWatch != nil {
+			cancelWatch()
+		}
+	}()
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
@@ -121,29 +198,23 @@ func stream(e *kcore.Engine) {
 		case "quit", "q":
 			return
 		case "+", "-":
-			if len(fields) != 3 {
-				fmt.Println("error: want '+ u v' or '- u v'")
-				continue
+			op := kcore.OpAdd
+			if fields[0] == "-" {
+				op = kcore.OpRemove
 			}
-			u, err1 := strconv.Atoi(fields[1])
-			v, err2 := strconv.Atoi(fields[2])
-			if err1 != nil || err2 != nil {
-				fmt.Println("error: bad vertex ids")
-				continue
-			}
-			var info kcore.UpdateInfo
-			var err error
-			if fields[0] == "+" {
-				info, err = e.AddEdge(u, v)
-			} else {
-				info, err = e.RemoveEdge(u, v)
-			}
+			batch, err := parseBatch(op, fields[1:])
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
-			fmt.Printf("ok changed=%d visited=%d degeneracy=%d\n",
-				len(info.CoreChanged), info.Visited, e.Degeneracy())
+			info, err := e.Apply(batch)
+			if err != nil {
+				fmt.Println("error:", explain(err))
+				continue
+			}
+			drainWatch()
+			fmt.Printf("ok applied=%d changed=%d visited=%d degeneracy=%d\n",
+				info.Applied, len(info.Total.CoreChanged), info.Total.Visited, e.Degeneracy())
 		case "?":
 			if len(fields) != 2 {
 				fmt.Println("error: want '? v'")
@@ -166,8 +237,26 @@ func stream(e *kcore.Engine) {
 				continue
 			}
 			fmt.Printf("|%d-core|=%d\n", k, len(e.KCore(k)))
+		case "watch":
+			if len(fields) != 2 {
+				fmt.Println("error: want 'watch k'")
+				continue
+			}
+			k, err := strconv.Atoi(fields[1])
+			if err != nil {
+				fmt.Println("error: bad k")
+				continue
+			}
+			if cancelWatch != nil {
+				cancelWatch()
+			}
+			watchDropped.Store(0)
+			reportedDrops = 0
+			events, cancelWatch = e.Subscribe(kcore.WithMinCore(k),
+				kcore.WithBuffer(1024), kcore.WithDropCounter(&watchDropped))
+			fmt.Printf("watching core changes at level >= %d\n", k)
 		default:
-			fmt.Println("error: unknown op (use + - ? k quit)")
+			fmt.Println("error: unknown op (use + - ? k watch quit)")
 		}
 	}
 }

@@ -1,0 +1,54 @@
+package kcore
+
+import (
+	"errors"
+	"fmt"
+
+	"kcore/internal/graph"
+)
+
+// Sentinel errors returned (wrapped) by engine mutations. Callers branch on
+// them with errors.Is:
+//
+//	if _, err := e.AddEdge(u, v); errors.Is(err, kcore.ErrDuplicateEdge) {
+//		// edge was already present
+//	}
+var (
+	// ErrSelfLoop is returned when an update names an edge (v, v).
+	ErrSelfLoop = graph.ErrSelfLoop
+	// ErrDuplicateEdge is returned when an inserted edge is already present
+	// (in the graph, or earlier in the same batch).
+	ErrDuplicateEdge = graph.ErrDuplicateEdge
+	// ErrMissingEdge is returned when a removed edge is not present.
+	ErrMissingEdge = graph.ErrMissingEdge
+	// ErrVertexRange is returned for negative vertex identifiers.
+	ErrVertexRange = graph.ErrVertexRange
+	// ErrWrongEngine is returned by operations that require a specific
+	// maintenance algorithm (e.g. SaveIndex needs the order-based engine).
+	ErrWrongEngine = errors.New("kcore: operation not supported by this engine")
+)
+
+// BatchError reports which update of a batch failed and why. Apply returns
+// it for every validation failure; it wraps one of the sentinel errors, so
+// both errors.As (for the position) and errors.Is (for the cause) work:
+//
+//	var be *kcore.BatchError
+//	if errors.As(err, &be) {
+//		log.Printf("update %d (%v) rejected: %v", be.Index, be.Update, be.Err)
+//	}
+type BatchError struct {
+	// Index is the position of the offending update within the batch.
+	Index int
+	// Update is the offending update.
+	Update Update
+	// Err is the underlying cause (one of the sentinel errors).
+	Err error
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("kcore: batch update %d (%s %d-%d): %v",
+		e.Index, e.Update.Op, e.Update.U, e.Update.V, e.Err)
+}
+
+// Unwrap exposes the underlying sentinel to errors.Is / errors.As.
+func (e *BatchError) Unwrap() error { return e.Err }

@@ -1,6 +1,7 @@
 package kcore_test
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"strings"
@@ -74,6 +75,68 @@ func ExampleEngine_AddVertexWithEdges() {
 	// Output:
 	// 3 3
 	// 2 0
+}
+
+// Mixed insertions and removals apply atomically as one batch: a single
+// lock acquisition, pre-validation of the whole batch, and an aggregated
+// result with deduplicated core changes.
+func ExampleEngine_Apply() {
+	e := kcore.NewEngine()
+	info, err := e.Apply(kcore.Batch{
+		kcore.Add(0, 1), kcore.Add(1, 2), kcore.Add(0, 2), // triangle
+		kcore.Add(2, 3),    // pendant
+		kcore.Remove(2, 3), // gone again
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(info.Applied, len(info.Total.CoreChanged), e.Core(0))
+	// Output: 5 4 2
+}
+
+// A failed batch wraps a sentinel error and leaves the engine untouched.
+func ExampleBatchError() {
+	e := kcore.NewEngine()
+	_, err := e.Apply(kcore.Batch{kcore.Add(0, 1), kcore.Add(1, 0)})
+	var be *kcore.BatchError
+	fmt.Println(errors.Is(err, kcore.ErrDuplicateEdge), errors.As(err, &be) && be.Index == 1, e.NumEdges())
+	// Output: true true 0
+}
+
+// A View is an immutable consistent snapshot: cheap repeated queries with
+// no further locking, unaffected by later updates.
+func ExampleEngine_View() {
+	e, err := kcore.FromEdges([][2]int{{0, 1}, {1, 2}, {0, 2}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	v := e.View()
+	if _, err := e.RemoveEdge(0, 2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(v.Core(0), v.Degeneracy(), e.Core(0))
+	// Output: 2 2 1
+}
+
+// Subscriptions push core changes to streaming consumers.
+func ExampleEngine_Subscribe() {
+	e := kcore.NewEngine()
+	events, cancel := e.Subscribe(kcore.WithBuffer(8))
+	defer cancel()
+	if _, err := e.AddEdges([][2]int{{0, 1}, {1, 2}, {0, 2}}); err != nil {
+		log.Fatal(err)
+	}
+	// The triangle-closing update lifts all three vertices from core 1 to 2.
+	for i := 0; i < 5; i++ {
+		ev := <-events
+		fmt.Printf("core(%d) %d->%d\n", ev.Vertex, ev.OldCore, ev.NewCore)
+	}
+	// Output:
+	// core(0) 0->1
+	// core(1) 0->1
+	// core(2) 0->1
+	// core(2) 1->2
+	// core(0) 1->2
 }
 
 // The traversal baseline is available for comparison.

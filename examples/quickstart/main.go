@@ -1,9 +1,10 @@
 // Quickstart: the smallest useful tour of the kcore public API — build a
-// graph, watch core numbers evolve under insertions and removals, and query
-// the k-core structure.
+// graph with a batch, watch core numbers evolve under insertions and
+// removals, and query the k-core structure through a consistent view.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
@@ -13,20 +14,20 @@ import (
 func main() {
 	e := kcore.NewEngine()
 
-	// A triangle plus a pendant vertex.
-	edges := [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}}
-	for _, ed := range edges {
-		info, err := e.AddEdge(ed[0], ed[1])
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("added (%d,%d): %d core numbers changed, cores now %v\n",
-			ed[0], ed[1], len(info.CoreChanged), e.Cores())
+	// A triangle plus a pendant vertex, applied as one batch (one lock
+	// acquisition, one aggregated result).
+	info, err := e.AddEdges([][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	if err != nil {
+		log.Fatal(err)
 	}
+	fmt.Printf("applied %d insertions: %d distinct core numbers changed, cores now %v\n",
+		info.Applied, len(info.Total.CoreChanged), e.Cores())
 
-	fmt.Printf("\ndegeneracy (max core): %d\n", e.Degeneracy())
-	fmt.Printf("2-core members: %v\n", e.KCore(2))
-	fmt.Printf("core(3) = %d (the pendant vertex)\n\n", e.Core(3))
+	// A View answers any number of queries from one consistent snapshot.
+	v := e.View()
+	fmt.Printf("\ndegeneracy (max core): %d\n", v.Degeneracy())
+	fmt.Printf("2-core members: %v\n", v.KCore(2))
+	fmt.Printf("core(3) = %d (the pendant vertex)\n\n", v.Core(3))
 
 	// Close the square 1-2-3: vertex 3 joins the 2-core.
 	if _, err := e.AddEdge(1, 3); err != nil {
@@ -35,14 +36,19 @@ func main() {
 	fmt.Printf("after adding (1,3): core(3) = %d, 2-core = %v\n",
 		e.Core(3), e.KCore(2))
 
+	// Structured errors let callers branch on the cause.
+	if _, err := e.AddEdge(1, 3); errors.Is(err, kcore.ErrDuplicateEdge) {
+		fmt.Println("adding (1,3) again is rejected as a duplicate")
+	}
+
 	// Removing (0,1) drops vertex 0 out of the 2-core; 1-2-3 still form a
 	// triangle and stay at core 2.
-	info, err := e.RemoveEdge(0, 1)
+	rinfo, err := e.RemoveEdge(0, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("after removing (0,1): %d cores changed, cores now %v\n",
-		len(info.CoreChanged), e.Cores())
+		len(rinfo.CoreChanged), e.Cores())
 
 	// One-shot static decomposition, no engine needed.
 	cores, err := kcore.Decompose([][2]int{{0, 1}, {1, 2}, {0, 2}})

@@ -35,37 +35,51 @@ func main() {
 	n := e.NumVertices()
 
 	// Construction season: add local connector roads (short random links
-	// between nearby intersections).
-	built := 0
+	// between nearby intersections). Each month's construction lands as
+	// one batch.
+	const months, perMonth = 8, 100
 	var newRoads [][2]int
-	for built < 800 {
-		u := rng.IntN(n)
-		// A nearby intersection on the 120x120 grid.
-		dr, dc := rng.IntN(3)-1, rng.IntN(3)-1
-		v := u + dr*120 + dc
-		if v < 0 || v >= n || u == v || e.HasEdge(u, v) {
-			continue
+	for m := 0; m < months; m++ {
+		var batch [][2]int
+		for len(batch) < perMonth {
+			u := rng.IntN(n)
+			// A nearby intersection on the 120x120 grid.
+			dr, dc := rng.IntN(3)-1, rng.IntN(3)-1
+			v := u + dr*120 + dc
+			if v < 0 || v >= n || u == v || e.HasEdge(u, v) {
+				continue
+			}
+			dup := false
+			for _, b := range batch {
+				if (b[0] == u && b[1] == v) || (b[0] == v && b[1] == u) {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			batch = append(batch, [2]int{u, v})
 		}
-		if _, err := e.AddEdge(u, v); err != nil {
+		if _, err := e.AddEdges(batch); err != nil {
 			log.Fatal(err)
 		}
-		newRoads = append(newRoads, [2]int{u, v})
-		built++
+		newRoads = append(newRoads, batch...)
 	}
-	report(e, fmt.Sprintf("after building %d connector roads", built))
+	report(e, fmt.Sprintf("after building %d connector roads", len(newRoads)))
 
-	// Closure season: a random 30% of the new connectors close again, plus
-	// some original segments go under maintenance.
-	closed := 0
+	// Closure season: a random 30% of the new connectors close again, all
+	// processed as one removal batch.
+	var closures [][2]int
 	for _, r := range newRoads {
 		if rng.Float64() < 0.3 && e.HasEdge(r[0], r[1]) {
-			if _, err := e.RemoveEdge(r[0], r[1]); err != nil {
-				log.Fatal(err)
-			}
-			closed++
+			closures = append(closures, r)
 		}
 	}
-	report(e, fmt.Sprintf("after closing %d connectors", closed))
+	if _, err := e.RemoveEdges(closures); err != nil {
+		log.Fatal(err)
+	}
+	report(e, fmt.Sprintf("after closing %d connectors", len(closures)))
 
 	if err := e.Validate(); err != nil {
 		log.Fatalf("maintained state diverged: %v", err)
@@ -74,9 +88,10 @@ func main() {
 }
 
 func report(e *kcore.Engine, label string) {
-	n := e.NumVertices()
-	redundant := len(e.KCore(2))
-	dense := len(e.KCore(3))
+	v := e.View() // one consistent snapshot per report line
+	n := v.NumVertices()
+	redundant := len(v.KCore(2))
+	dense := len(v.KCore(3))
 	fmt.Printf("%-38s m=%-6d redundant grid (2-core): %5d/%d intersections, dense pockets (3-core): %d, max k=%d\n",
-		label, e.NumEdges(), redundant, n, dense, e.Degeneracy())
+		label, v.NumEdges(), redundant, n, dense, v.Degeneracy())
 }

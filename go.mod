@@ -1,0 +1,3 @@
+module kcore
+
+go 1.22

@@ -1,5 +1,11 @@
 package korder
 
+import (
+	"fmt"
+
+	"kcore/internal/graph"
+)
+
 // Remove performs OrderRemoval (Algorithm 4): it deletes the edge (u, v)
 // from the graph and updates core numbers, the k-order, deg+, and mcd.
 // V* discovery reuses the traversal-removal peeling with cd initialized
@@ -123,11 +129,5 @@ func (m *Maintainer) Remove(u, v int) (UpdateResult, error) {
 }
 
 func errMissing(u, v int) error {
-	return errEdge{u: u, v: v}
-}
-
-type errEdge struct{ u, v int }
-
-func (e errEdge) Error() string {
-	return "korder: edge not present"
+	return fmt.Errorf("korder: edge (%d,%d): %w", u, v, graph.ErrMissingEdge)
 }

@@ -19,12 +19,35 @@
 //	fmt.Println(e.Core(0))   // 2
 //	e.RemoveEdge(0, 2)
 //	fmt.Println(e.Core(0))   // 1
+//
+// # v1 API overview
+//
+// The engine is built for read-mostly concurrency with high-rate streaming
+// writes, around four pillars:
+//
+//   - Batched updates: Apply executes a mixed Batch of insertions and
+//     removals under one write-lock acquisition, pre-validating the whole
+//     batch (a failing batch leaves the engine untouched) and returning
+//     per-update and aggregated BatchInfo. AddEdges/RemoveEdges are
+//     conveniences; AddEdge/RemoveEdge are one-update batches.
+//   - Concurrent reads: every query (Core, Cores, KCore, Degeneracy,
+//     Neighbors, Community, ...) takes a shared read lock and may run in
+//     parallel with other queries. View captures an immutable consistent
+//     snapshot for cheap repeated queries without re-locking.
+//   - Change subscriptions: Subscribe delivers per-update CoreChange events
+//     (vertex, old core, new core, update sequence number) so streaming
+//     consumers stop polling Cores.
+//   - Structured errors: mutations wrap the sentinel errors ErrSelfLoop,
+//     ErrDuplicateEdge, ErrMissingEdge, ErrVertexRange and ErrWrongEngine,
+//     so callers branch with errors.Is; batch failures additionally carry
+//     the offending position via *BatchError.
 package kcore
 
 import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"kcore/internal/decomp"
 	"kcore/internal/graph"
@@ -108,10 +131,14 @@ func WithTraversalHops(h int) Option { return func(c *config) { c.hops = h } }
 // WithSeed makes all internal randomization deterministic (default 1).
 func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
 
-// UpdateInfo reports the effect of one edge update.
+// UpdateInfo reports the effect of one edge update (or, aggregated, of one
+// multi-update operation).
 type UpdateInfo struct {
 	// CoreChanged lists the vertices whose core number changed (by +1 for
-	// insertion, -1 for removal).
+	// insertion, -1 for removal). Aggregated results (BatchInfo.Total,
+	// AddVertexWithEdges, RemoveVertex) deduplicate: a vertex whose core
+	// changed more than once during the operation appears once, at its
+	// first change.
 	CoreChanged []int
 	// Visited is the number of vertices the algorithm examined to find
 	// CoreChanged (the paper's |V+| / |V'| search-space metric).
@@ -153,13 +180,29 @@ func (t travImpl) Core(v int) int { return t.m.Core(v) }
 func (t travImpl) Cores() []int   { return t.m.Cores() }
 
 // Engine is a dynamic k-core decomposition engine. It is safe for
-// concurrent use by multiple goroutines (all operations take an internal
-// lock; reads do not run concurrently with writes).
+// concurrent use by multiple goroutines: mutations (Apply, AddEdge, ...)
+// serialize behind a write lock, while queries (Core, Cores, KCore, View,
+// ...) share a read lock and run in parallel with each other.
 type Engine struct {
-	mu  sync.Mutex
+	mu  sync.RWMutex
 	g   *graph.Undirected
 	m   maintainer
 	cfg config
+	seq uint64 // updates applied over the engine's lifetime; guarded by mu
+
+	// Batch-apply scratch (guarded by mu): epoch-stamped per-vertex marks
+	// for deduplicating aggregated CoreChanged, and the reusable edge
+	// overlay used by batch validation. Both avoid per-batch map churn.
+	dedupEp  []uint64
+	dedupCur uint64
+	val      overlay
+
+	// Change subscriptions (see subscribe.go). subMu guards subs; subCount
+	// mirrors len(subs) so the no-subscriber fast path skips locking.
+	subMu     sync.Mutex
+	subs      map[uint64]*subscriber
+	nextSubID uint64
+	subCount  atomic.Int32
 }
 
 // NewEngine returns an empty engine. Vertices are dense non-negative
@@ -228,122 +271,135 @@ func fromGraph(g *graph.Undirected, cfg config) (*Engine, error) {
 // Algorithm reports the engine's maintenance algorithm.
 func (e *Engine) Algorithm() Algorithm { return e.cfg.algorithm }
 
+// Seq reports the number of updates applied over the engine's lifetime.
+// Every applied update increments it by one; BatchInfo, CoreChange and View
+// carry the sequence number of the state they describe.
+func (e *Engine) Seq() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.seq
+}
+
 // AddEdge inserts the undirected edge (u, v), creating vertices as needed,
-// and updates all core numbers. It returns which vertices changed.
+// and updates all core numbers. It returns which vertices changed. The
+// error wraps ErrSelfLoop, ErrDuplicateEdge or ErrVertexRange on invalid
+// input. It is a one-update batch: many edges at once are cheaper through
+// Apply or AddEdges.
 func (e *Engine) AddEdge(u, v int) (UpdateInfo, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	changed, visited, err := e.m.Insert(u, v)
+	info, err := e.Apply(Batch{Add(u, v)})
 	if err != nil {
-		return UpdateInfo{}, fmt.Errorf("kcore: add edge (%d,%d): %w", u, v, err)
+		return UpdateInfo{}, fmt.Errorf("kcore: add edge (%d,%d): %w", u, v, batchCause(err))
 	}
-	return UpdateInfo{CoreChanged: changed, Visited: visited}, nil
+	return info.Updates[0], nil
 }
 
 // RemoveEdge deletes the undirected edge (u, v) and updates all core
-// numbers. It returns which vertices changed.
+// numbers. It returns which vertices changed. The error wraps
+// ErrMissingEdge when the edge is absent.
 func (e *Engine) RemoveEdge(u, v int) (UpdateInfo, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	changed, visited, err := e.m.Remove(u, v)
+	info, err := e.Apply(Batch{Remove(u, v)})
 	if err != nil {
-		return UpdateInfo{}, fmt.Errorf("kcore: remove edge (%d,%d): %w", u, v, err)
+		return UpdateInfo{}, fmt.Errorf("kcore: remove edge (%d,%d): %w", u, v, batchCause(err))
 	}
-	return UpdateInfo{CoreChanged: changed, Visited: visited}, nil
+	return info.Updates[0], nil
+}
+
+// batchCause strips the batch-position wrapper from single-update batches,
+// leaving the sentinel cause for the caller's own context message.
+func batchCause(err error) error {
+	if be, ok := err.(*BatchError); ok {
+		return be.Err
+	}
+	return err
 }
 
 // AddVertexWithEdges inserts a fresh vertex connected to the given
-// neighbors (the paper's vertex insertion, simulated as a sequence of edge
-// insertions) and returns its id along with the union of core changes.
+// neighbors (the paper's vertex insertion, simulated as a batch of edge
+// insertions applied under one write-lock acquisition) and returns its id
+// along with the deduplicated union of core changes. On invalid input
+// (duplicate or negative neighbors) nothing is applied.
 func (e *Engine) AddVertexWithEdges(neighbors []int) (int, UpdateInfo, error) {
 	e.mu.Lock()
+	defer e.mu.Unlock()
 	v := e.g.NumVertices()
-	e.mu.Unlock()
-	var all UpdateInfo
-	for _, w := range neighbors {
-		info, err := e.AddEdge(v, w)
-		if err != nil {
-			return v, all, err
-		}
-		all.CoreChanged = append(all.CoreChanged, info.CoreChanged...)
-		all.Visited += info.Visited
+	batch := make(Batch, len(neighbors))
+	for i, w := range neighbors {
+		batch[i] = Add(v, w)
 	}
-	return v, all, nil
+	info, err := e.applyLocked(batch)
+	return v, info.Total, err
 }
 
 // RemoveVertex disconnects v by removing all of its incident edges (the
-// paper's vertex removal, simulated as a sequence of edge removals). The
-// vertex id remains valid with core number 0.
+// paper's vertex removal, simulated as a batch of edge removals applied
+// under one write-lock acquisition). The vertex id remains valid with core
+// number 0. The returned UpdateInfo deduplicates repeated core changes.
 func (e *Engine) RemoveVertex(v int) (UpdateInfo, error) {
 	e.mu.Lock()
+	defer e.mu.Unlock()
 	nbrs := e.g.AppendNeighbors(nil, v)
-	e.mu.Unlock()
-	var all UpdateInfo
-	for _, w := range nbrs {
-		info, err := e.RemoveEdge(v, w)
-		if err != nil {
-			return all, err
-		}
-		all.CoreChanged = append(all.CoreChanged, info.CoreChanged...)
-		all.Visited += info.Visited
+	batch := make(Batch, len(nbrs))
+	for i, w := range nbrs {
+		batch[i] = Remove(v, w)
 	}
-	return all, nil
+	info, err := e.applyLocked(batch)
+	return info.Total, err
 }
 
 // HasEdge reports whether the edge (u, v) is present.
 func (e *Engine) HasEdge(u, v int) bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.g.HasEdge(u, v)
 }
 
 // NumVertices reports the vertex count (max vertex id + 1).
 func (e *Engine) NumVertices() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.g.NumVertices()
 }
 
 // NumEdges reports the edge count.
 func (e *Engine) NumEdges() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.g.NumEdges()
 }
 
 // Degree reports the degree of v (0 for unknown vertices).
 func (e *Engine) Degree(v int) int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.g.Degree(v)
 }
 
 // Neighbors returns the neighbors of v as a fresh slice.
 func (e *Engine) Neighbors(v int) []int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.g.AppendNeighbors(nil, v)
 }
 
 // Core returns the current core number of v (0 for unknown vertices).
 func (e *Engine) Core(v int) int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.m.Core(v)
 }
 
 // Cores returns a copy of all current core numbers, indexed by vertex.
 func (e *Engine) Cores() []int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.m.Cores()
 }
 
 // KCore returns the vertices of the current k-core (every vertex whose core
 // number is at least k).
 func (e *Engine) KCore(k int) []int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	var out []int
 	for v, c := range e.m.Cores() {
 		if c >= k {
@@ -355,8 +411,8 @@ func (e *Engine) KCore(k int) []int {
 
 // Degeneracy returns the maximum core number.
 func (e *Engine) Degeneracy() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	maxc := 0
 	for _, c := range e.m.Cores() {
 		if c > maxc {
@@ -373,8 +429,8 @@ func (e *Engine) Degeneracy() int {
 // O((m+n) * degeneracy) per call — it recomputes the core hierarchy; batch
 // queries should use CoreComponents.
 func (e *Engine) Community(v, k int) []int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	h := decomp.BuildHierarchy(e.g, e.m.Cores())
 	return h.CommunityOf(v, k)
 }
@@ -382,8 +438,8 @@ func (e *Engine) Community(v, k int) []int {
 // CoreComponents returns the connected components of the k-core, each as a
 // sorted vertex list.
 func (e *Engine) CoreComponents(k int) [][]int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	h := decomp.BuildHierarchy(e.g, e.m.Cores())
 	var out [][]int
 	for _, i := range h.LevelComponents(k) {
@@ -404,8 +460,8 @@ func (e *Engine) CoreComponents(k int) [][]int {
 // other engines compute one on the fly. Returns per-vertex colors and the
 // number of colors used.
 func (e *Engine) GreedyColoring() ([]int, int) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	var ord []int
 	if impl, ok := e.m.(orderImpl); ok {
 		ord = impl.m.Order()
@@ -417,28 +473,29 @@ func (e *Engine) GreedyColoring() ([]int, int) {
 
 // Edges returns all current edges with u < v.
 func (e *Engine) Edges() [][2]int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.g.Edges()
 }
 
 // Save writes the current graph as an edge list readable by Load.
 func (e *Engine) Save(w io.Writer) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return graph.WriteEdgeList(w, e.g)
 }
 
 // SaveIndex serializes the full maintained index (graph, core numbers, and
 // k-order) so a later LoadIndex can resume without recomputing — and, more
 // importantly, with the exact same maintained order. Only the order-based
-// engine supports snapshots.
+// engine supports snapshots; others get an error wrapping ErrWrongEngine.
 func (e *Engine) SaveIndex(w io.Writer) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	impl, ok := e.m.(orderImpl)
 	if !ok {
-		return fmt.Errorf("kcore: SaveIndex requires the order-based engine (have %s)", e.cfg.algorithm)
+		return fmt.Errorf("kcore: SaveIndex requires the order-based engine (have %s): %w",
+			e.cfg.algorithm, ErrWrongEngine)
 	}
 	return impl.m.WriteSnapshot(w)
 }
@@ -451,7 +508,8 @@ func LoadIndex(r io.Reader, opts ...Option) (*Engine, error) {
 		o(&cfg)
 	}
 	if cfg.algorithm != OrderBased {
-		return nil, fmt.Errorf("kcore: LoadIndex supports only the order-based engine")
+		return nil, fmt.Errorf("kcore: LoadIndex supports only the order-based engine: %w",
+			ErrWrongEngine)
 	}
 	m, err := korder.LoadSnapshot(r, korder.Options{
 		Heuristic: decomp.Heuristic(cfg.heuristic),
@@ -468,8 +526,8 @@ func LoadIndex(r io.Reader, opts ...Option) (*Engine, error) {
 // recomputation. It is intended for tests and debugging; cost is
 // O((m+n) log n).
 func (e *Engine) Validate() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	switch impl := e.m.(type) {
 	case orderImpl:
 		return impl.m.CheckInvariants()

@@ -398,7 +398,7 @@ func TestVertexOps(t *testing.T) {
 	if err := e.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	// Duplicate neighbor in the list fails partway with an error.
+	// Duplicate neighbor in the list fails atomically (nothing applied).
 	if _, _, err := e.AddVertexWithEdges([]int{0, 0}); err == nil {
 		t.Fatal("duplicate neighbor should fail")
 	}

@@ -1,0 +1,76 @@
+package kcore
+
+// View is an immutable, internally consistent snapshot of the engine's
+// maintained state: core numbers, degeneracy, and graph size, all captured
+// at the same update sequence number. A View answers any number of queries
+// without touching the engine's lock, so read-heavy callers take one View
+// per decision instead of re-locking per query.
+//
+// A View never changes after creation; later engine updates are invisible
+// to it. It is safe for concurrent use by multiple goroutines.
+type View struct {
+	cores    []int
+	vertices int
+	edges    int
+	maxCore  int
+	seq      uint64
+}
+
+// View captures a consistent snapshot of the current state. Cost is one
+// read-lock acquisition and one O(n) copy of the core numbers.
+func (e *Engine) View() *View {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	cores := e.m.Cores()
+	maxc := 0
+	for _, c := range cores {
+		if c > maxc {
+			maxc = c
+		}
+	}
+	return &View{
+		cores:    cores,
+		vertices: e.g.NumVertices(),
+		edges:    e.g.NumEdges(),
+		maxCore:  maxc,
+		seq:      e.seq,
+	}
+}
+
+// Seq is the engine update sequence number at which the snapshot was taken.
+func (v *View) Seq() uint64 { return v.seq }
+
+// NumVertices reports the snapshot's vertex count (max vertex id + 1).
+func (v *View) NumVertices() int { return v.vertices }
+
+// NumEdges reports the snapshot's edge count.
+func (v *View) NumEdges() int { return v.edges }
+
+// Degeneracy returns the snapshot's maximum core number.
+func (v *View) Degeneracy() int { return v.maxCore }
+
+// Core returns the snapshot core number of x (0 for unknown vertices).
+func (v *View) Core(x int) int {
+	if x < 0 || x >= len(v.cores) {
+		return 0
+	}
+	return v.cores[x]
+}
+
+// Cores returns a copy of the snapshot's core numbers, indexed by vertex.
+func (v *View) Cores() []int {
+	out := make([]int, len(v.cores))
+	copy(out, v.cores)
+	return out
+}
+
+// KCore returns the vertices of the snapshot's k-core (core number >= k).
+func (v *View) KCore(k int) []int {
+	var out []int
+	for x, c := range v.cores {
+		if c >= k {
+			out = append(out, x)
+		}
+	}
+	return out
+}
