@@ -111,6 +111,14 @@ func (e *Engine) applyLocked(batch Batch) (BatchInfo, error) {
 	if dedup {
 		e.dedupCur++
 	}
+	// The maintainers return Changed slices that alias their pooled scratch
+	// (valid only until the next update), while BatchInfo escapes to the
+	// caller indefinitely. Copy-on-return: all per-update CoreChanged
+	// slices are carved out of one fresh per-batch buffer, costing O(1)
+	// amortized allocations per batch instead of one per update. When the
+	// buffer grows, earlier carved slices keep the old backing array —
+	// they are never written again, so that is safe.
+	var carve []int
 	for i, up := range batch {
 		var changed []int
 		var visited int
@@ -128,8 +136,11 @@ func (e *Engine) applyLocked(batch Batch) (BatchInfo, error) {
 		}
 		e.seq++
 		e.notify(up.Op, changed)
+		start := len(carve)
+		carve = append(carve, changed...)
 		info.Applied++
-		info.Updates = append(info.Updates, UpdateInfo{CoreChanged: changed, Visited: visited})
+		info.Updates = append(info.Updates,
+			UpdateInfo{CoreChanged: carve[start:len(carve):len(carve)], Visited: visited})
 		info.Total.Visited += visited
 		if !dedup {
 			info.Total.CoreChanged = append(info.Total.CoreChanged, changed...)

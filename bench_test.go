@@ -33,42 +33,49 @@ func benchConfig() bench.Config {
 }
 
 func BenchmarkTableI(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		bench.TableI(benchConfig())
 	}
 }
 
 func BenchmarkFig1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		bench.Fig1(benchConfig())
 	}
 }
 
 func BenchmarkFig2(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		bench.Fig2(benchConfig())
 	}
 }
 
 func BenchmarkFig5(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		bench.Fig5(benchConfig())
 	}
 }
 
 func BenchmarkFig9(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		bench.Fig9(benchConfig())
 	}
 }
 
 func BenchmarkFig10(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		bench.Fig10(benchConfig())
 	}
 }
 
 func BenchmarkFig11(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	cfg.Edges = 150
 	for i := 0; i < b.N; i++ {
@@ -77,6 +84,7 @@ func BenchmarkFig11(b *testing.B) {
 }
 
 func BenchmarkFig12(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	cfg.Edges = 100
 	for i := 0; i < b.N; i++ {
@@ -85,6 +93,7 @@ func BenchmarkFig12(b *testing.B) {
 }
 
 func BenchmarkTableII(b *testing.B) {
+	b.ReportAllocs()
 	cfg := benchConfig()
 	cfg.Edges = 200
 	for i := 0; i < b.N; i++ {
@@ -93,6 +102,7 @@ func BenchmarkTableII(b *testing.B) {
 }
 
 func BenchmarkTableIII(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		bench.TableIII(benchConfig())
 	}
@@ -124,6 +134,7 @@ func microGraph(kind string) microFixture {
 }
 
 func benchmarkOrderInsert(b *testing.B, kind string) {
+	b.ReportAllocs()
 	fx := microGraph(kind)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -141,6 +152,7 @@ func benchmarkOrderInsert(b *testing.B, kind string) {
 }
 
 func benchmarkOrderRemove(b *testing.B, kind string) {
+	b.ReportAllocs()
 	fx := microGraph(kind)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -163,6 +175,7 @@ func benchmarkOrderRemove(b *testing.B, kind string) {
 }
 
 func benchmarkTravInsert(b *testing.B, kind string, hops int) {
+	b.ReportAllocs()
 	fx := microGraph(kind)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -189,6 +202,7 @@ func BenchmarkTravInsertRoadH2(b *testing.B)   { benchmarkTravInsert(b, "road", 
 // BenchmarkEngineAddRemove measures the public API round trip on a mixed
 // stream (order-based engine).
 func BenchmarkEngineAddRemove(b *testing.B) {
+	b.ReportAllocs()
 	e := NewEngine(WithSeed(2))
 	rng := rand.New(rand.NewPCG(1, 1))
 	b.ResetTimer()
@@ -223,6 +237,7 @@ func batchBenchEdges() [][2]int {
 }
 
 func BenchmarkApplyBatch10k(b *testing.B) {
+	b.ReportAllocs()
 	edges := batchBenchEdges()
 	batch := make(Batch, len(edges))
 	for i, ed := range edges {
@@ -241,6 +256,7 @@ func BenchmarkApplyBatch10k(b *testing.B) {
 }
 
 func BenchmarkPerEdgeAdd10k(b *testing.B) {
+	b.ReportAllocs()
 	edges := batchBenchEdges()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -259,6 +275,7 @@ func BenchmarkPerEdgeAdd10k(b *testing.B) {
 // BenchmarkIndexBuild measures initial index construction (Table III's
 // unit operation) on the social micro graph.
 func BenchmarkIndexBuildOrder(b *testing.B) {
+	b.ReportAllocs()
 	g := gen.BarabasiAlbert(5000, 8, 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -267,6 +284,7 @@ func BenchmarkIndexBuildOrder(b *testing.B) {
 }
 
 func BenchmarkIndexBuildTravH2(b *testing.B) {
+	b.ReportAllocs()
 	g := gen.BarabasiAlbert(5000, 8, 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

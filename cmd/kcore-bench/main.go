@@ -7,6 +7,7 @@
 //	kcore-bench                                 run every experiment
 //	kcore-bench -experiment table2 -edges 2000  one experiment, custom size
 //	kcore-bench -datasets facebook-sim,ca-sim   restrict datasets
+//	kcore-bench -experiment hotpath -json out.json   machine-readable results
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"testing"
 	"time"
 
 	"kcore"
@@ -31,6 +33,7 @@ func main() {
 		hops       = flag.String("hops", "2,3,4,5,6", "traversal hop variants")
 		seed       = flag.Uint64("seed", 42, "RNG seed")
 		dsNames    = flag.String("datasets", "", "comma-separated dataset subset (default: all 11)")
+		jsonPath   = flag.String("json", "", "write measured results (hotpath and batchapi experiments) as one JSON document to this path")
 	)
 	flag.Parse()
 
@@ -57,8 +60,18 @@ func main() {
 		}
 	}
 
-	if *experiment == "batchapi" {
-		batchAPI(*edges, *seed)
+	report := bench.NewReport()
+
+	switch *experiment {
+	case "batchapi":
+		report.Results = append(report.Results, batchAPI(*edges, *seed)...)
+		writeReport(report, *jsonPath)
+		return
+	case "hotpath":
+		fmt.Println("=== hotpath ===")
+		report.Results = append(report.Results, bench.Hotpath(cfg)...)
+		report.Results = append(report.Results, engineHotpath(*edges, *seed)...)
+		writeReport(report, *jsonPath)
 		return
 	}
 
@@ -72,8 +85,81 @@ func main() {
 	}
 	for _, name := range names {
 		fmt.Printf("=== %s ===\n", name)
+		if name == "hotpath" {
+			// Capture hotpath's structured results instead of the
+			// registry's discard-results wrapper.
+			report.Results = append(report.Results, bench.Hotpath(cfg)...)
+			report.Results = append(report.Results, engineHotpath(*edges, *seed)...)
+			continue
+		}
 		bench.Experiments[name](cfg)
 	}
+	writeReport(report, *jsonPath)
+}
+
+// writeReport writes the JSON document when -json was given. An empty
+// result list still produces a valid (schema-stamped) report.
+func writeReport(r *bench.Report, path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := r.Write(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d results to %s\n", len(r.Results), path)
+}
+
+// engineHotpath measures the public-API hot path (Apply over a 10k-edge
+// batch and the per-edge loop) with allocation counters; the maintainer-
+// and structure-level experiments live in internal/bench.
+func engineHotpath(edges int, seed uint64) []bench.Result {
+	g := gen.BarabasiAlbert(max(edges/3, 100), 4, seed)
+	all := g.Edges()
+	if len(all) > edges {
+		all = all[:edges]
+	}
+	batch := make(kcore.Batch, len(all))
+	for i, ed := range all {
+		batch[i] = kcore.Add(ed[0], ed[1])
+	}
+	params := map[string]any{"edges": len(all), "graph": "barabasi-albert", "seed": seed}
+
+	var results []bench.Result
+	run := func(name string, fn func(b *testing.B)) {
+		results = append(results, bench.RunMeasured(os.Stdout, name, params, fn))
+	}
+	run("engine/apply-batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			e := kcore.NewEngine(kcore.WithSeed(seed))
+			b.StartTimer()
+			if _, err := e.Apply(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	run("engine/per-edge-add", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			e := kcore.NewEngine(kcore.WithSeed(seed))
+			b.StartTimer()
+			for _, ed := range all {
+				if _, err := e.AddEdge(ed[0], ed[1]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	return results
 }
 
 func fatal(err error) {
@@ -84,8 +170,10 @@ func fatal(err error) {
 // batchAPI measures the v1 public API head to head: one Apply batch against
 // the same insertions through per-call AddEdge. It exercises the engine
 // boundary (locking, validation, result assembly), unlike the algorithm
-// experiments above which call the maintainers directly.
-func batchAPI(edges int, seed uint64) {
+// experiments above which call the maintainers directly. The returned
+// results carry best-of-rounds wall time only; allocation counters come
+// from the hotpath experiment.
+func batchAPI(edges int, seed uint64) []bench.Result {
 	g := gen.BarabasiAlbert(max(edges/3, 100), 4, seed)
 	all := g.Edges()
 	if len(all) > edges {
@@ -126,4 +214,12 @@ func batchAPI(edges int, seed uint64) {
 	fmt.Printf("AddEdge loop:   %12v  (%.0f ns/edge)\n",
 		singleBest, float64(singleBest.Nanoseconds())/float64(len(all)))
 	fmt.Printf("speedup:        %12.2fx\n", float64(singleBest)/float64(batchBest))
+	params := map[string]any{
+		"edges": len(all), "rounds": rounds, "unit": "ns per whole workload",
+		"allocs_measured": false,
+	}
+	return []bench.Result{
+		{Name: "batchapi/apply", NsPerOp: float64(batchBest.Nanoseconds()), Iterations: rounds, Params: params},
+		{Name: "batchapi/per-edge", NsPerOp: float64(singleBest.Nanoseconds()), Iterations: rounds, Params: params},
+	}
 }

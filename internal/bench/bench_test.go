@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -286,5 +287,47 @@ func TestConfigDefaults(t *testing.T) {
 func TestTemporalSelection(t *testing.T) {
 	if !temporal("facebook-sim") || !temporal("dblp-sim") || temporal("ca-sim") {
 		t.Fatal("temporal classification wrong")
+	}
+}
+
+// TestHotpath runs the hot-path experiments with a single-iteration
+// runner (full auto-tuned runs happen in kcore-bench) and checks the
+// table and the JSON report shape.
+func TestHotpath(t *testing.T) {
+	orig := benchRunner
+	benchRunner = func(f func(b *testing.B)) testing.BenchmarkResult {
+		b := &testing.B{N: 1}
+		f(b)
+		return testing.BenchmarkResult{N: 1, T: 1}
+	}
+	defer func() { benchRunner = orig }()
+
+	var out strings.Builder
+	cfg := tinyConfig(&out)
+	results := Hotpath(cfg)
+	if len(results) == 0 {
+		t.Fatal("no hotpath results")
+	}
+	for _, r := range results {
+		if r.Name == "" || r.Iterations != 1 {
+			t.Fatalf("malformed result %+v", r)
+		}
+		if !strings.Contains(out.String(), r.Name) {
+			t.Fatalf("table missing row for %s", r.Name)
+		}
+	}
+
+	rep := NewReport()
+	rep.Results = results
+	var buf strings.Builder
+	if err := rep.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal([]byte(buf.String()), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.Schema != ReportSchema || len(back.Results) != len(results) {
+		t.Fatalf("round-tripped report = %+v", back)
 	}
 }

@@ -183,12 +183,14 @@ var Experiments = map[string]func(Config){
 	"ablation-order":     func(c Config) { AblationOrderStructure(c) },
 	"ablation-heuristic": func(c Config) { AblationHeuristicTiming(c) },
 	"baselines":          func(c Config) { BaselineSearchSpace(c) },
+	"hotpath":            func(c Config) { Hotpath(c) },
 }
 
 // ExperimentNames lists the runnable experiments in report order.
 var ExperimentNames = []string{
 	"table1", "fig1", "fig2", "fig5", "fig9", "fig10", "table2", "table3",
 	"fig11", "fig12", "ablation-order", "ablation-heuristic", "baselines",
+	"hotpath",
 }
 
 // heuristicsAll returns the three k-order heuristics in paper order.

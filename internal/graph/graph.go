@@ -2,9 +2,13 @@
 // core-maintenance algorithms in this repository.
 //
 // Vertices are dense non-negative integers. The adjacency representation is a
-// slice per vertex plus a position index, giving O(1) expected insertion,
-// removal, and membership tests while keeping neighbor iteration allocation
-// free and in deterministic (insertion) order.
+// slice per vertex plus a hybrid position index: below a small degree
+// threshold membership and removal use a branch-predictable linear scan of
+// the adjacency slice, and only hub vertices that cross the threshold are
+// promoted to a map index. Power-law streams therefore allocate maps for a
+// tiny fraction of vertices while keeping O(1) expected insertion, removal,
+// and membership tests, allocation-free neighbor iteration, and
+// deterministic (insertion, perturbed by swap-removes) order.
 package graph
 
 import (
@@ -24,6 +28,14 @@ var ErrMissingEdge = errors.New("graph: edge not present")
 // ErrVertexRange is returned for negative vertex identifiers.
 var ErrVertexRange = errors.New("graph: vertex id must be non-negative")
 
+// IndexThreshold is the degree at which a vertex's adjacency gains a map
+// position index. Below it, HasEdge/removeArc linearly scan the adjacency
+// slice — a handful of contiguous int32 compares, cheaper than a map probe
+// and entirely allocation-free. Promotion is sticky: once a hub, always a
+// hub, so a vertex oscillating around the threshold never thrashes
+// (re)building its index.
+const IndexThreshold = 32
+
 // Undirected is a mutable simple undirected graph (no self loops, no
 // parallel edges). The zero value is an empty graph ready to use.
 //
@@ -31,7 +43,7 @@ var ErrVertexRange = errors.New("graph: vertex id must be non-negative")
 // kcore API) if you need synchronization.
 type Undirected struct {
 	adj [][]int32         // adjacency lists, insertion ordered
-	pos []map[int32]int32 // pos[v][w] = index of w in adj[v]
+	pos []map[int32]int32 // pos[v][w] = index of w in adj[v]; nil until v crosses IndexThreshold
 	m   int               // number of edges
 }
 
@@ -80,11 +92,27 @@ func (g *Undirected) HasEdge(u, v int) bool {
 	if !g.HasVertex(u) || !g.HasVertex(v) || u == v {
 		return false
 	}
-	if g.pos[u] == nil {
-		return false
+	// Arcs are mirrored, so either endpoint answers. Prefer an existing map
+	// index; otherwise scan the shorter adjacency slice.
+	if p := g.pos[u]; p != nil {
+		_, ok := p[int32(v)]
+		return ok
 	}
-	_, ok := g.pos[u][int32(v)]
-	return ok
+	if p := g.pos[v]; p != nil {
+		_, ok := p[int32(u)]
+		return ok
+	}
+	a, b := u, v
+	if len(g.adj[b]) < len(g.adj[a]) {
+		a, b = b, a
+	}
+	w := int32(b)
+	for _, x := range g.adj[a] {
+		if x == w {
+			return true
+		}
+	}
+	return false
 }
 
 // AddEdge inserts the undirected edge (u, v), growing the vertex set as
@@ -120,26 +148,56 @@ func (g *Undirected) RemoveEdge(u, v int) error {
 }
 
 func (g *Undirected) addArc(u, v int) {
-	if g.pos[u] == nil {
-		g.pos[u] = make(map[int32]int32, 4)
+	if p := g.pos[u]; p != nil {
+		p[int32(v)] = int32(len(g.adj[u]))
 	}
-	g.pos[u][int32(v)] = int32(len(g.adj[u]))
 	g.adj[u] = append(g.adj[u], int32(v))
+	if g.pos[u] == nil && len(g.adj[u]) > IndexThreshold {
+		g.promote(u)
+	}
+}
+
+// promote builds the map position index for hub vertex u.
+func (g *Undirected) promote(u int) {
+	p := make(map[int32]int32, 2*len(g.adj[u]))
+	for i, w := range g.adj[u] {
+		p[w] = int32(i)
+	}
+	g.pos[u] = p
 }
 
 func (g *Undirected) removeArc(u, v int) {
-	i := g.pos[u][int32(v)]
+	var i int32
+	if p := g.pos[u]; p != nil {
+		i = p[int32(v)]
+	} else {
+		w := int32(v)
+		for j, x := range g.adj[u] {
+			if x == w {
+				i = int32(j)
+				break
+			}
+		}
+	}
+	// Swap-remove: the last neighbor fills the vacated slot.
 	last := int32(len(g.adj[u]) - 1)
 	w := g.adj[u][last]
 	g.adj[u][i] = w
-	g.pos[u][w] = i
+	if p := g.pos[u]; p != nil {
+		p[w] = i
+		delete(p, int32(v))
+	}
 	g.adj[u] = g.adj[u][:last]
-	delete(g.pos[u], int32(v))
 }
 
-// Neighbors returns the adjacency list of v as int32 ids. The returned slice
-// aliases internal storage: callers must not mutate it and must not mutate
-// the graph while iterating it.
+// Neighbors returns the adjacency list of v as int32 ids.
+//
+// Aliasing contract: the returned slice aliases the graph's internal
+// storage and is valid only until the next mutation of the graph. Callers
+// must not modify it, and must not add or remove edges while iterating it —
+// a removal swap-moves the last neighbor into the vacated slot (reordering
+// and shrinking the slice in place), and an insertion may reallocate it.
+// Use AppendNeighbors for a copy that survives mutation.
 func (g *Undirected) Neighbors(v int) []int32 {
 	if !g.HasVertex(v) {
 		return nil
@@ -204,6 +262,8 @@ func (g *Undirected) Clone() *Undirected {
 	for v := range g.adj {
 		if len(g.adj[v]) > 0 {
 			c.adj[v] = append([]int32(nil), g.adj[v]...)
+		}
+		if g.pos[v] != nil {
 			c.pos[v] = make(map[int32]int32, len(g.pos[v]))
 			for k, i := range g.pos[v] {
 				c.pos[v][k] = i

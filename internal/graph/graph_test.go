@@ -428,3 +428,73 @@ func mustAdd(t *testing.T, g *Undirected, u, v int) {
 		t.Fatalf("AddEdge(%d,%d): %v", u, v, err)
 	}
 }
+
+// TestHybridIndexPromotion pins the hybrid adjacency invariants: no map
+// below the degree threshold, promotion exactly when the threshold is
+// crossed, sticky promotion on the way down, and a map index that stays
+// consistent with the slice across swap-removes in both regimes.
+func TestHybridIndexPromotion(t *testing.T) {
+	var g Undirected
+	hub := 0
+	for v := 1; v <= IndexThreshold; v++ {
+		if err := g.AddEdge(hub, v); err != nil {
+			t.Fatal(err)
+		}
+		if g.pos[hub] != nil {
+			t.Fatalf("hub promoted at degree %d, threshold is %d", g.Degree(hub), IndexThreshold)
+		}
+		if g.pos[v] != nil {
+			t.Fatalf("degree-1 vertex %d has a map index", v)
+		}
+	}
+	if err := g.AddEdge(hub, IndexThreshold+1); err != nil {
+		t.Fatal(err)
+	}
+	if g.pos[hub] == nil {
+		t.Fatalf("hub not promoted at degree %d", g.Degree(hub))
+	}
+	checkIndex := func() {
+		t.Helper()
+		for v := range g.adj {
+			p := g.pos[v]
+			if p == nil {
+				continue
+			}
+			if len(p) != len(g.adj[v]) {
+				t.Fatalf("pos[%d] has %d entries, adj has %d", v, len(p), len(g.adj[v]))
+			}
+			for i, w := range g.adj[v] {
+				if p[w] != int32(i) {
+					t.Fatalf("pos[%d][%d]=%d, adj index is %d", v, w, p[w], i)
+				}
+			}
+		}
+	}
+	checkIndex()
+	// Remove from the middle and the end (swap-remove both regimes).
+	for _, v := range []int{1, IndexThreshold + 1, 7, 2} {
+		if err := g.RemoveEdge(hub, v); err != nil {
+			t.Fatal(err)
+		}
+		if g.HasEdge(hub, v) {
+			t.Fatalf("edge (0,%d) still present after removal", v)
+		}
+		checkIndex()
+	}
+	// Sticky: dropping far below the threshold keeps the hub's index.
+	for v := 3; v <= IndexThreshold; v++ {
+		if v == 7 {
+			continue
+		}
+		if err := g.RemoveEdge(hub, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Degree(hub) >= IndexThreshold {
+		t.Fatalf("hub degree still %d", g.Degree(hub))
+	}
+	if g.pos[hub] == nil {
+		t.Fatal("promotion is documented sticky but the index was dropped")
+	}
+	checkIndex()
+}

@@ -1,0 +1,64 @@
+package korder
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"kcore/internal/graph"
+)
+
+// BenchmarkMaintainerChurn measures the maintainer's steady-state update
+// path (mixed Insert/Remove on a fixed vertex set). With arena-backed
+// levels, the hybrid adjacency index, and pooled scratch, the loop should
+// sit near zero allocs/op.
+func BenchmarkMaintainerChurn(b *testing.B) {
+	const n = 2000
+	g := graph.New(n)
+	rng := rand.New(rand.NewPCG(5, 6))
+	for g.NumEdges() < 4*n {
+		u, v := rng.IntN(n), rng.IntN(n)
+		if u != v && !g.HasEdge(u, v) {
+			if err := g.AddEdge(u, v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	m := New(g, Options{Seed: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, v := rng.IntN(n), rng.IntN(n)
+		if u == v {
+			continue
+		}
+		if g.HasEdge(u, v) {
+			if _, err := m.Remove(u, v); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if _, err := m.Insert(u, v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkMaintainerInsertOnly grows a fresh maintained index by one edge
+// per iteration (the paper's insertion workload shape).
+func BenchmarkMaintainerInsertOnly(b *testing.B) {
+	const n = 2000
+	rng := rand.New(rand.NewPCG(7, 8))
+	g := graph.New(n)
+	m := New(g, Options{Seed: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, v := rng.IntN(n), rng.IntN(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		if _, err := m.Insert(u, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -55,9 +55,9 @@ func (m *Maintainer) Insert(u, v int) (UpdateResult, error) {
 	m.inQ.reset()
 	m.heap.Reset()
 
-	var vc []int            // candidates in discovery order (superset of V*)
-	var relocs []relocation // deferred evicted-candidate moves
-	cursor := -1            // last vertex settled into O'_K (Case 2b anchor)
+	vc := m.vcBuf[:0]         // candidates in discovery order (superset of V*)
+	relocs := m.relocsBuf[:0] // deferred evicted-candidate moves
+	cursor := -1              // last vertex settled into O'_K (Case 2b anchor)
 	visited := 0
 
 	m.heap.Push(L.Key(root), root)
@@ -144,7 +144,11 @@ func (m *Maintainer) Insert(u, v int) (UpdateResult, error) {
 			m.mcd[w] = cnt
 		}
 	}
-	res.Changed = append(res.Changed, vstar...)
+	// Return the pooled buffers (vstar is a compacted prefix of vc, so both
+	// live in vcBuf; res.Changed aliases it until the next update).
+	m.vcBuf = vc
+	m.relocsBuf = relocs[:0]
+	res.Changed = vstar
 	res.Visited = visited
 	m.stats.VisitedInsert += int64(visited)
 	m.stats.ChangedInsert += int64(len(vstar))
@@ -157,7 +161,7 @@ func (m *Maintainer) Insert(u, v int) (UpdateResult, error) {
 // (recursively), becoming confirmed level-K vertices placed right after vi
 // in the new order. Returns the updated cursor (the last settled vertex).
 func (m *Maintainer) removeCandidates(L order.List, vi, K int, relocs *[]relocation, cursor int) int {
-	var queue []int
+	queue := m.queueBuf[:0]
 	for _, z32 := range m.g.Neighbors(vi) {
 		z := int(z32)
 		if m.cand.has(z) {
@@ -168,9 +172,8 @@ func (m *Maintainer) removeCandidates(L order.List, vi, K int, relocs *[]relocat
 			}
 		}
 	}
-	for len(queue) > 0 {
-		wp := queue[0]
-		queue = queue[1:]
+	for qi := 0; qi < len(queue); qi++ {
+		wp := queue[qi]
 		// Evict wp: it stays at level K after all.
 		m.cand.clear(wp)
 		m.conf.set(wp)
@@ -203,5 +206,6 @@ func (m *Maintainer) removeCandidates(L order.List, vi, K int, relocs *[]relocat
 			}
 		}
 	}
+	m.queueBuf = queue[:0]
 	return cursor
 }

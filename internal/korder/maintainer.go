@@ -49,6 +49,11 @@ type UpdateResult struct {
 	K int
 	// Changed lists V*: the vertices whose core number changed (all by
 	// +1 for insertion, -1 for removal), in the order they were settled.
+	//
+	// Aliasing contract: Changed aliases a scratch buffer owned by the
+	// Maintainer and is valid only until the next Insert or Remove call on
+	// it. Callers that retain it across updates must copy (the kcore
+	// engine's Apply does; see UpdateInfo.CoreChanged).
 	Changed []int
 	// Visited is |V+| for insertions (vertices expanded by the scan,
 	// always >= len(Changed)); for removals it equals len(Changed).
@@ -61,6 +66,7 @@ type Maintainer struct {
 	core    []int
 	degPlus []int
 	mcd     []int
+	arena   *order.Arena // shared node store for every per-level list
 	levels  []order.List // levels[k] = O_k
 	opts    Options
 	seedCtr uint64
@@ -75,6 +81,16 @@ type Maintainer struct {
 	inVStar *sparseFlags
 	moved   *sparseFlags
 	heap    order.MinHeap
+
+	// Pooled per-update slices, reused across updates so the steady-state
+	// hot path performs no heap allocations. vcBuf backs Insert's returned
+	// Changed slice and vstarBuf backs Remove's (see UpdateResult.Changed
+	// for the aliasing contract).
+	vcBuf     []int
+	vstarBuf  []int
+	stackBuf  []int
+	queueBuf  []int
+	relocsBuf []relocation
 
 	stats Stats
 }
@@ -94,8 +110,11 @@ func New(g *graph.Undirected, opts Options) *Maintainer {
 	return m
 }
 
-// initLevels builds the per-level order lists from a global k-order.
+// initLevels builds the per-level order lists from a global k-order. All
+// levels share one arena sized for the full vertex set up front.
 func (m *Maintainer) initLevels(maxCore int, ord []int) {
+	m.arena = order.NewArena()
+	m.arena.Reserve(len(ord))
 	m.levels = make([]order.List, maxCore+1)
 	for k := range m.levels {
 		m.levels[k] = m.newList()
@@ -119,7 +138,7 @@ func (m *Maintainer) initScratch(n int) {
 
 func (m *Maintainer) newList() order.List {
 	m.seedCtr++
-	return order.NewList(m.opts.OrderKind, m.seedCtr*0x9e3779b97f4a7c15+1)
+	return order.NewListOn(m.arena, m.opts.OrderKind, m.seedCtr*0x9e3779b97f4a7c15+1)
 }
 
 // Graph returns the underlying graph (read-only for callers).

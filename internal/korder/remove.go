@@ -42,29 +42,20 @@ func (m *Maintainer) Remove(u, v int) (UpdateResult, error) {
 
 	// Find V* by peeling (Section IV-B): repeatedly dispose vertices at
 	// level K whose upper bound cd on neighbors in the new K-core drops
-	// below K. cd is lazily initialized from the maintained mcd.
+	// below K. cd is lazily initialized from the maintained mcd (cdTouch).
+	// vstar and stack are pooled buffers; written inline rather than via
+	// dispose/touch closures, which would escape to the heap per update.
 	m.cd.reset()
 	m.inVStar.reset()
 	m.moved.reset()
-	var vstar []int
-	var stack []int
-	dispose := func(w int) {
-		m.inVStar.set(w)
-		m.core[w] = K - 1
-		vstar = append(vstar, w)
-		stack = append(stack, w)
-	}
-	touch := func(w int) int {
-		if m.cd.get(w) == 0 && !m.inVStar.has(w) {
-			// First touch: initialize from mcd. Store value+1 so that an
-			// initialized zero is distinguishable from "untouched".
-			m.cd.set(w, m.mcd[w]+1)
-		}
-		return m.cd.get(w) - 1
-	}
-	for _, r := range []int{u, v} {
-		if m.core[r] == K && !m.inVStar.has(r) && touch(r) < K {
-			dispose(r)
+	vstar := m.vstarBuf[:0]
+	stack := m.stackBuf[:0]
+	for _, r := range [2]int{u, v} {
+		if m.core[r] == K && !m.inVStar.has(r) && m.cdTouch(r) < K {
+			m.inVStar.set(r)
+			m.core[r] = K - 1
+			vstar = append(vstar, r)
+			stack = append(stack, r)
 		}
 	}
 	for len(stack) > 0 {
@@ -75,13 +66,17 @@ func (m *Maintainer) Remove(u, v int) (UpdateResult, error) {
 			if m.core[z] != K || m.inVStar.has(z) {
 				continue
 			}
-			cd := touch(z) - 1
+			cd := m.cdTouch(z) - 1
 			m.cd.set(z, cd+1)
 			if cd < K {
-				dispose(z)
+				m.inVStar.set(z)
+				m.core[z] = K - 1
+				vstar = append(vstar, z)
+				stack = append(stack, z)
 			}
 		}
 	}
+	m.vstarBuf, m.stackBuf = vstar, stack[:0]
 	if len(vstar) == 0 {
 		return res, nil
 	}
@@ -122,10 +117,23 @@ func (m *Maintainer) Remove(u, v int) (UpdateResult, error) {
 		}
 		m.mcd[w] = cnt
 	}
+	// res.Changed aliases the pooled vstarBuf until the next update (see
+	// UpdateResult.Changed).
 	res.Changed = vstar
 	res.Visited = len(vstar)
 	m.stats.ChangedRemove += int64(len(vstar))
 	return res, nil
+}
+
+// cdTouch lazily initializes the peeling bound cd(w) from the maintained
+// mcd on first touch this update, and returns it. The stored value is
+// offset by +1 so that an initialized zero is distinguishable from
+// "untouched" in the epoch-stamped array.
+func (m *Maintainer) cdTouch(w int) int {
+	if m.cd.get(w) == 0 && !m.inVStar.has(w) {
+		m.cd.set(w, m.mcd[w]+1)
+	}
+	return m.cd.get(w) - 1
 }
 
 func errMissing(u, v int) error {

@@ -14,6 +14,13 @@
 // Both embed a doubly linked list for O(1) Next/Prev traversal, mirroring
 // the paper's implementation note that O_k is kept in a linked list with an
 // auxiliary structure A_k for comparisons.
+//
+// Both implementations store their nodes in an Arena — growable parallel
+// slices indexed by compact handles, with a direct vertex→node slot table —
+// instead of one heap object per element behind a map. Lists holding
+// disjoint vertex sets can share one arena (NewListOn), which is how the
+// korder Maintainer backs all per-level O_k lists with a single store and
+// makes level migration a slot reuse instead of a free+alloc.
 package order
 
 // List is an ordered set of distinct non-negative vertex ids supporting
@@ -74,14 +81,21 @@ func (k Kind) String() string {
 	}
 }
 
-// NewList constructs an empty List of the given kind. The seed
-// deterministically drives any internal randomization.
+// NewList constructs an empty List of the given kind on its own private
+// arena. The seed deterministically drives any internal randomization.
 func NewList(k Kind, seed uint64) List {
+	return NewListOn(NewArena(), k, seed)
+}
+
+// NewListOn constructs an empty List of the given kind whose nodes live on
+// the shared arena a. Lists sharing an arena must hold pairwise disjoint
+// vertex sets (see Arena).
+func NewListOn(a *Arena, k Kind, seed uint64) List {
 	switch k {
 	case KindTagList:
-		return NewTagList()
+		return NewTagListOn(a)
 	default:
-		return NewTreap(seed)
+		return NewTreapOn(a, seed)
 	}
 }
 

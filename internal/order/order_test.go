@@ -259,6 +259,9 @@ func TestTagListRenumbering(t *testing.T) {
 	for i := 1; i < 200; i++ {
 		tl.InsertAfter(0, i)
 	}
+	if tl.Renumbers() == 0 {
+		t.Fatal("dense insertion after the head never renumbered")
+	}
 	// Order: 0, 199, 198, ..., 1.
 	if r := tl.Rank(0); r != 1 {
 		t.Fatalf("Rank(0)=%d", r)
@@ -365,6 +368,7 @@ func TestMinHeapRandomized(t *testing.T) {
 
 func BenchmarkTreapPushBack(b *testing.B) {
 	tr := NewTreap(1)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tr.PushBack(i)
 	}
@@ -376,6 +380,7 @@ func BenchmarkTreapLess(b *testing.B) {
 		tr.PushBack(i)
 	}
 	rng := rand.New(rand.NewPCG(1, 1))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a, c := rng.IntN(100000), rng.IntN(100000)
@@ -389,6 +394,7 @@ func BenchmarkTagListLess(b *testing.B) {
 		tl.PushBack(i)
 	}
 	rng := rand.New(rand.NewPCG(1, 1))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a, c := rng.IntN(100000), rng.IntN(100000)

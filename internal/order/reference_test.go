@@ -1,0 +1,404 @@
+package order
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// This file holds the pointer-based reference implementations the arena
+// structures are differentially tested and benchmarked against:
+//
+//   - ptrList: a container/list + map[int]*Element order list — the
+//     canonical "one heap node per element behind a map" design, used as
+//     the behavioral oracle for the differential tests and as the pointer
+//     baseline for the insertion benchmarks.
+//   - ptrTreap: the repository's previous pointer-node treap (one struct
+//     per element, map[int]*node lookup), kept test-only so the
+//     BenchmarkOrderInsert* pair compares the same algorithm across the
+//     two memory layouts.
+
+// ptrList implements List on container/list. Rank/Key/Less are O(n); the
+// differential tests only use it at small sizes.
+type ptrList struct {
+	l     *list.List
+	nodes map[int]*list.Element
+}
+
+var _ List = (*ptrList)(nil)
+
+func newPtrList() *ptrList {
+	return &ptrList{l: list.New(), nodes: make(map[int]*list.Element)}
+}
+
+func (p *ptrList) Len() int            { return p.l.Len() }
+func (p *ptrList) Contains(v int) bool { _, ok := p.nodes[v]; return ok }
+
+func (p *ptrList) checkNew(v int) {
+	if _, ok := p.nodes[v]; ok {
+		panic(fmt.Sprintf("order: vertex %d already in ptrlist", v))
+	}
+}
+
+func (p *ptrList) must(v int, op string) *list.Element {
+	e, ok := p.nodes[v]
+	if !ok {
+		panic(fmt.Sprintf("order: %s: %d not in ptrlist", op, v))
+	}
+	return e
+}
+
+func (p *ptrList) PushFront(v int) { p.checkNew(v); p.nodes[v] = p.l.PushFront(v) }
+func (p *ptrList) PushBack(v int)  { p.checkNew(v); p.nodes[v] = p.l.PushBack(v) }
+
+func (p *ptrList) InsertAfter(after, v int) {
+	e := p.must(after, "InsertAfter")
+	p.checkNew(v)
+	p.nodes[v] = p.l.InsertAfter(v, e)
+}
+
+func (p *ptrList) InsertBefore(before, v int) {
+	e := p.must(before, "InsertBefore")
+	p.checkNew(v)
+	p.nodes[v] = p.l.InsertBefore(v, e)
+}
+
+func (p *ptrList) Remove(v int) {
+	e := p.must(v, "Remove")
+	p.l.Remove(e)
+	delete(p.nodes, v)
+}
+
+func (p *ptrList) Rank(v int) int {
+	e := p.must(v, "Rank")
+	r := 1
+	for x := p.l.Front(); x != e; x = x.Next() {
+		r++
+	}
+	return r
+}
+
+func (p *ptrList) Key(v int) uint64 { return uint64(p.Rank(v)) }
+
+func (p *ptrList) Less(a, b int) bool {
+	if a == b {
+		return false
+	}
+	return p.Rank(a) < p.Rank(b)
+}
+
+func (p *ptrList) Front() (int, bool) {
+	e := p.l.Front()
+	if e == nil {
+		return 0, false
+	}
+	return e.Value.(int), true
+}
+
+func (p *ptrList) Back() (int, bool) {
+	e := p.l.Back()
+	if e == nil {
+		return 0, false
+	}
+	return e.Value.(int), true
+}
+
+func (p *ptrList) Next(v int) (int, bool) {
+	e := p.must(v, "Next").Next()
+	if e == nil {
+		return 0, false
+	}
+	return e.Value.(int), true
+}
+
+func (p *ptrList) Prev(v int) (int, bool) {
+	e := p.must(v, "Prev").Prev()
+	if e == nil {
+		return 0, false
+	}
+	return e.Value.(int), true
+}
+
+// ptrTreap is the pre-arena pointer treap (benchmark baseline).
+type ptnode struct {
+	v          int
+	prio       uint64
+	size       int
+	l, r, p    *ptnode
+	next, prev *ptnode
+}
+
+type ptrTreap struct {
+	root  *ptnode
+	nodes map[int]*ptnode
+	head  *ptnode
+	tail  *ptnode
+	rng   uint64
+}
+
+var _ List = (*ptrTreap)(nil)
+
+func newPtrTreap(seed uint64) *ptrTreap {
+	return &ptrTreap{nodes: make(map[int]*ptnode), rng: seed ^ 0x9e3779b97f4a7c15}
+}
+
+func (t *ptrTreap) prio() uint64 {
+	t.rng += 0x9e3779b97f4a7c15
+	z := t.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func ptsize(n *ptnode) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (t *ptrTreap) Len() int            { return len(t.nodes) }
+func (t *ptrTreap) Contains(v int) bool { _, ok := t.nodes[v]; return ok }
+
+func (t *ptrTreap) newNode(v int) *ptnode {
+	if _, ok := t.nodes[v]; ok {
+		panic(fmt.Sprintf("order: vertex %d already in ptrtreap", v))
+	}
+	n := &ptnode{v: v, prio: t.prio(), size: 1}
+	t.nodes[v] = n
+	return n
+}
+
+func (t *ptrTreap) mustNode(v int, op string) *ptnode {
+	n, ok := t.nodes[v]
+	if !ok {
+		panic(fmt.Sprintf("order: %s: %d not in ptrtreap", op, v))
+	}
+	return n
+}
+
+func (t *ptrTreap) PushFront(v int) {
+	n := t.newNode(v)
+	n.next = t.head
+	if t.head != nil {
+		t.head.prev = n
+	}
+	t.head = n
+	if t.tail == nil {
+		t.tail = n
+	}
+	if t.root == nil {
+		t.root = n
+		return
+	}
+	a := t.root
+	for a.l != nil {
+		a = a.l
+	}
+	a.l = n
+	n.p = a
+	t.fixupInsert(n)
+}
+
+func (t *ptrTreap) PushBack(v int) {
+	n := t.newNode(v)
+	n.prev = t.tail
+	if t.tail != nil {
+		t.tail.next = n
+	}
+	t.tail = n
+	if t.head == nil {
+		t.head = n
+	}
+	if t.root == nil {
+		t.root = n
+		return
+	}
+	a := t.root
+	for a.r != nil {
+		a = a.r
+	}
+	a.r = n
+	n.p = a
+	t.fixupInsert(n)
+}
+
+func (t *ptrTreap) InsertAfter(after, v int) {
+	x := t.mustNode(after, "InsertAfter")
+	n := t.newNode(v)
+	n.prev = x
+	n.next = x.next
+	if x.next != nil {
+		x.next.prev = n
+	} else {
+		t.tail = n
+	}
+	x.next = n
+	if x.r == nil {
+		x.r = n
+		n.p = x
+	} else {
+		a := x.r
+		for a.l != nil {
+			a = a.l
+		}
+		a.l = n
+		n.p = a
+	}
+	t.fixupInsert(n)
+}
+
+func (t *ptrTreap) InsertBefore(before, v int) {
+	x := t.mustNode(before, "InsertBefore")
+	n := t.newNode(v)
+	n.next = x
+	n.prev = x.prev
+	if x.prev != nil {
+		x.prev.next = n
+	} else {
+		t.head = n
+	}
+	x.prev = n
+	if x.l == nil {
+		x.l = n
+		n.p = x
+	} else {
+		a := x.l
+		for a.r != nil {
+			a = a.r
+		}
+		a.r = n
+		n.p = a
+	}
+	t.fixupInsert(n)
+}
+
+func (t *ptrTreap) fixupInsert(n *ptnode) {
+	for a := n.p; a != nil; a = a.p {
+		a.size++
+	}
+	for n.p != nil && n.prio < n.p.prio {
+		t.rotateUp(n)
+	}
+}
+
+func (t *ptrTreap) rotateUp(n *ptnode) {
+	p := n.p
+	g := p.p
+	if n == p.l {
+		p.l = n.r
+		if n.r != nil {
+			n.r.p = p
+		}
+		n.r = p
+	} else {
+		p.r = n.l
+		if n.l != nil {
+			n.l.p = p
+		}
+		n.l = p
+	}
+	p.p = n
+	n.p = g
+	if g == nil {
+		t.root = n
+	} else if g.l == p {
+		g.l = n
+	} else {
+		g.r = n
+	}
+	p.size = ptsize(p.l) + ptsize(p.r) + 1
+	n.size = ptsize(n.l) + ptsize(n.r) + 1
+}
+
+func (t *ptrTreap) Remove(v int) {
+	n := t.mustNode(v, "Remove")
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		t.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		t.tail = n.prev
+	}
+	for n.l != nil || n.r != nil {
+		var c *ptnode
+		switch {
+		case n.l == nil:
+			c = n.r
+		case n.r == nil:
+			c = n.l
+		case n.l.prio < n.r.prio:
+			c = n.l
+		default:
+			c = n.r
+		}
+		t.rotateUp(c)
+	}
+	p := n.p
+	if p == nil {
+		t.root = nil
+	} else {
+		if p.l == n {
+			p.l = nil
+		} else {
+			p.r = nil
+		}
+		for a := p; a != nil; a = a.p {
+			a.size--
+		}
+	}
+	n.p, n.l, n.r, n.next, n.prev = nil, nil, nil, nil, nil
+	delete(t.nodes, v)
+}
+
+func (t *ptrTreap) Rank(v int) int {
+	n := t.mustNode(v, "Rank")
+	r := ptsize(n.l) + 1
+	for a := n; a.p != nil; a = a.p {
+		if a == a.p.r {
+			r += ptsize(a.p.l) + 1
+		}
+	}
+	return r
+}
+
+func (t *ptrTreap) Key(v int) uint64 { return uint64(t.Rank(v)) }
+
+func (t *ptrTreap) Less(a, b int) bool {
+	if a == b {
+		return false
+	}
+	return t.Rank(a) < t.Rank(b)
+}
+
+func (t *ptrTreap) Front() (int, bool) {
+	if t.head == nil {
+		return 0, false
+	}
+	return t.head.v, true
+}
+
+func (t *ptrTreap) Back() (int, bool) {
+	if t.tail == nil {
+		return 0, false
+	}
+	return t.tail.v, true
+}
+
+func (t *ptrTreap) Next(v int) (int, bool) {
+	n := t.mustNode(v, "Next")
+	if n.next == nil {
+		return 0, false
+	}
+	return n.next.v, true
+}
+
+func (t *ptrTreap) Prev(v int) (int, bool) {
+	n := t.mustNode(v, "Prev")
+	if n.prev == nil {
+		return 0, false
+	}
+	return n.prev.v, true
+}

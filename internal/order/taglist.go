@@ -1,15 +1,6 @@
 package order
 
-import (
-	"fmt"
-	"math"
-)
-
-type lnode struct {
-	v          int
-	tag        uint64
-	next, prev *lnode
-}
+import "math"
 
 // TagList is a labeled order-maintenance list in the style of Dietz and
 // Sleator: every element carries a 64-bit tag, order comparison is a tag
@@ -21,60 +12,66 @@ type lnode struct {
 //
 // TagList is the ablation counterpart of Treap: Less costs O(1) instead of
 // O(log n), at the price of O(n) Rank (used only in tests/diagnostics).
+//
+// Nodes live in an Arena (tags in the arena's key column); steady-state
+// updates allocate nothing. Several lists may share one arena (see Arena).
 type TagList struct {
-	head, tail *lnode
-	nodes      map[int]*lnode
+	a          *Arena
+	id         int32
+	head, tail int32
+	n          int
 	renumbers  int // diagnostic: how many global renumberings happened
 }
 
 var _ List = (*TagList)(nil)
 
-// NewTagList returns an empty TagList.
-func NewTagList() *TagList {
-	return &TagList{nodes: make(map[int]*lnode)}
+// NewTagList returns an empty TagList on its own private arena.
+func NewTagList() *TagList { return NewTagListOn(NewArena()) }
+
+// NewTagListOn returns an empty TagList whose nodes live on the shared
+// arena a. Lists sharing an arena must hold disjoint vertex sets.
+func NewTagListOn(a *Arena) *TagList {
+	return &TagList{a: a, id: a.register()}
 }
 
 // Len reports the number of elements.
-func (t *TagList) Len() int { return len(t.nodes) }
+func (t *TagList) Len() int { return t.n }
 
 // Contains reports whether v is present.
-func (t *TagList) Contains(v int) bool { _, ok := t.nodes[v]; return ok }
+func (t *TagList) Contains(v int) bool { return t.a.handle(t.id, v) != 0 }
 
 // Renumbers reports how many global renumberings occurred (diagnostics).
 func (t *TagList) Renumbers() int { return t.renumbers }
 
-func (t *TagList) newNode(v int) *lnode {
-	if _, ok := t.nodes[v]; ok {
-		panic(fmt.Sprintf("order: vertex %d already in taglist", v))
-	}
-	n := &lnode{v: v}
-	t.nodes[v] = n
-	return n
+func (t *TagList) newNode(v int) int32 {
+	h := t.a.alloc(t.id, v, 0, "taglist")
+	t.n++
+	return h
 }
 
 // lowerTag returns the tag bound below n (exclusive); 0 when n is the head.
-func lowerTag(n *lnode) uint64 {
-	if n.prev == nil {
+func (t *TagList) lowerTag(n int32) uint64 {
+	if t.a.prev[n] == 0 {
 		return 0
 	}
-	return n.prev.tag
+	return t.a.key[t.a.prev[n]]
 }
 
 // upperTag returns the tag bound above n (exclusive); MaxUint64 when n is
 // the tail.
-func upperTag(n *lnode) uint64 {
-	if n.next == nil {
+func (t *TagList) upperTag(n int32) uint64 {
+	if t.a.next[n] == 0 {
 		return math.MaxUint64
 	}
-	return n.next.tag
+	return t.a.key[t.a.next[n]]
 }
 
-// assignTag picks a tag strictly between lo and hi, renumbering first when
-// the gap is exhausted. n must already be linked into the DLL.
-func (t *TagList) assignTag(n *lnode) {
-	lo, hi := lowerTag(n), upperTag(n)
+// assignTag picks a tag strictly between the neighbors of n, renumbering
+// first when the gap is exhausted. n must already be linked into the DLL.
+func (t *TagList) assignTag(n int32) {
+	lo, hi := t.lowerTag(n), t.upperTag(n)
 	if hi-lo >= 2 {
-		n.tag = lo + (hi-lo)/2
+		t.a.key[n] = lo + (hi-lo)/2
 		return
 	}
 	t.renumber()
@@ -83,24 +80,24 @@ func (t *TagList) assignTag(n *lnode) {
 // renumber spreads all tags uniformly across the 64-bit space.
 func (t *TagList) renumber() {
 	t.renumbers++
-	n := uint64(len(t.nodes))
-	step := math.MaxUint64/(n+1) | 1
+	step := math.MaxUint64/(uint64(t.n)+1) | 1
 	tag := step
-	for e := t.head; e != nil; e = e.next {
-		e.tag = tag
+	for e := t.head; e != 0; e = t.a.next[e] {
+		t.a.key[e] = tag
 		tag += step
 	}
 }
 
 // PushFront inserts v at the beginning.
 func (t *TagList) PushFront(v int) {
+	a := t.a
 	n := t.newNode(v)
-	n.next = t.head
-	if t.head != nil {
-		t.head.prev = n
+	a.next[n] = t.head
+	if t.head != 0 {
+		a.prev[t.head] = n
 	}
 	t.head = n
-	if t.tail == nil {
+	if t.tail == 0 {
 		t.tail = n
 	}
 	t.assignTag(n)
@@ -108,13 +105,14 @@ func (t *TagList) PushFront(v int) {
 
 // PushBack inserts v at the end.
 func (t *TagList) PushBack(v int) {
+	a := t.a
 	n := t.newNode(v)
-	n.prev = t.tail
-	if t.tail != nil {
-		t.tail.next = n
+	a.prev[n] = t.tail
+	if t.tail != 0 {
+		a.next[t.tail] = n
 	}
 	t.tail = n
-	if t.head == nil {
+	if t.head == 0 {
 		t.head = n
 	}
 	t.assignTag(n)
@@ -122,69 +120,60 @@ func (t *TagList) PushBack(v int) {
 
 // InsertAfter inserts v immediately after after.
 func (t *TagList) InsertAfter(after, v int) {
-	x, ok := t.nodes[after]
-	if !ok {
-		panic(fmt.Sprintf("order: InsertAfter: %d not in taglist", after))
-	}
+	a := t.a
+	x := a.mustHandle(t.id, after, "InsertAfter", "taglist")
 	n := t.newNode(v)
-	n.prev = x
-	n.next = x.next
-	if x.next != nil {
-		x.next.prev = n
+	a.prev[n] = x
+	a.next[n] = a.next[x]
+	if a.next[x] != 0 {
+		a.prev[a.next[x]] = n
 	} else {
 		t.tail = n
 	}
-	x.next = n
+	a.next[x] = n
 	t.assignTag(n)
 }
 
 // InsertBefore inserts v immediately before before.
 func (t *TagList) InsertBefore(before, v int) {
-	x, ok := t.nodes[before]
-	if !ok {
-		panic(fmt.Sprintf("order: InsertBefore: %d not in taglist", before))
-	}
+	a := t.a
+	x := a.mustHandle(t.id, before, "InsertBefore", "taglist")
 	n := t.newNode(v)
-	n.next = x
-	n.prev = x.prev
-	if x.prev != nil {
-		x.prev.next = n
+	a.next[n] = x
+	a.prev[n] = a.prev[x]
+	if a.prev[x] != 0 {
+		a.next[a.prev[x]] = n
 	} else {
 		t.head = n
 	}
-	x.prev = n
+	a.prev[x] = n
 	t.assignTag(n)
 }
 
-// Remove deletes v.
+// Remove deletes v, returning its node handle to the arena's free list.
 func (t *TagList) Remove(v int) {
-	n, ok := t.nodes[v]
-	if !ok {
-		panic(fmt.Sprintf("order: Remove: %d not in taglist", v))
-	}
-	if n.prev != nil {
-		n.prev.next = n.next
+	a := t.a
+	n := a.mustHandle(t.id, v, "Remove", "taglist")
+	if a.prev[n] != 0 {
+		a.next[a.prev[n]] = a.next[n]
 	} else {
-		t.head = n.next
+		t.head = a.next[n]
 	}
-	if n.next != nil {
-		n.next.prev = n.prev
+	if a.next[n] != 0 {
+		a.prev[a.next[n]] = a.prev[n]
 	} else {
-		t.tail = n.prev
+		t.tail = a.prev[n]
 	}
-	n.next, n.prev = nil, nil
-	delete(t.nodes, v)
+	t.n--
+	a.release(n)
 }
 
 // Rank returns the 1-based position of v. O(n): TagList trades rank queries
 // for O(1) comparisons; use Treap when ranks are needed.
 func (t *TagList) Rank(v int) int {
-	n, ok := t.nodes[v]
-	if !ok {
-		panic(fmt.Sprintf("order: Rank: %d not in taglist", v))
-	}
+	n := t.a.mustHandle(t.id, v, "Rank", "taglist")
 	r := 1
-	for e := t.head; e != n; e = e.next {
+	for e := t.head; e != n; e = t.a.next[e] {
 		r++
 	}
 	return r
@@ -192,11 +181,8 @@ func (t *TagList) Rank(v int) int {
 
 // Key returns the tag as a position-monotone key in O(1).
 func (t *TagList) Key(v int) uint64 {
-	n, ok := t.nodes[v]
-	if !ok {
-		panic(fmt.Sprintf("order: Key: %d not in taglist", v))
-	}
-	return n.tag
+	n := t.a.mustHandle(t.id, v, "Key", "taglist")
+	return t.a.key[n]
 }
 
 // Less reports whether a precedes b in O(1).
@@ -204,53 +190,41 @@ func (t *TagList) Less(a, b int) bool {
 	if a == b {
 		return false
 	}
-	na, ok := t.nodes[a]
-	if !ok {
-		panic(fmt.Sprintf("order: Less: %d not in taglist", a))
-	}
-	nb, ok := t.nodes[b]
-	if !ok {
-		panic(fmt.Sprintf("order: Less: %d not in taglist", b))
-	}
-	return na.tag < nb.tag
+	na := t.a.mustHandle(t.id, a, "Less", "taglist")
+	nb := t.a.mustHandle(t.id, b, "Less", "taglist")
+	return t.a.key[na] < t.a.key[nb]
 }
 
 // Front returns the first element.
 func (t *TagList) Front() (int, bool) {
-	if t.head == nil {
+	if t.head == 0 {
 		return 0, false
 	}
-	return t.head.v, true
+	return int(t.a.vert[t.head]), true
 }
 
 // Back returns the last element.
 func (t *TagList) Back() (int, bool) {
-	if t.tail == nil {
+	if t.tail == 0 {
 		return 0, false
 	}
-	return t.tail.v, true
+	return int(t.a.vert[t.tail]), true
 }
 
 // Next returns the element after v.
 func (t *TagList) Next(v int) (int, bool) {
-	n, ok := t.nodes[v]
-	if !ok {
-		panic(fmt.Sprintf("order: Next: %d not in taglist", v))
-	}
-	if n.next == nil {
+	n := t.a.mustHandle(t.id, v, "Next", "taglist")
+	if t.a.next[n] == 0 {
 		return 0, false
 	}
-	return n.next.v, true
+	return int(t.a.vert[t.a.next[n]]), true
 }
 
 // Prev returns the element before v.
 func (t *TagList) Prev(v int) (int, bool) {
-	n, ok := t.nodes[v]
-	if !ok {
-		panic(fmt.Sprintf("order: Prev: %d not in taglist", v))
-	}
-	if n.prev == nil {
+	n := t.a.mustHandle(t.id, v, "Prev", "taglist")
+	if t.a.prev[n] == 0 {
 		return 0, false
 	}
-	return n.prev.v, true
+	return int(t.a.vert[t.a.prev[n]]), true
 }

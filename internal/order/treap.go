@@ -1,276 +1,271 @@
 package order
 
-import (
-	"fmt"
-	"math/rand/v2"
-)
-
-type tnode struct {
-	v          int
-	prio       uint64
-	size       int
-	l, r, p    *tnode
-	next, prev *tnode // doubly linked list in order
-}
-
-func tsize(n *tnode) int {
-	if n == nil {
-		return 0
-	}
-	return n.size
-}
+import "fmt"
 
 // Treap is an order-statistics tree keyed by position (not by value): every
 // node holds one vertex, subtree sizes give 1-based ranks in O(log n), and
 // parent pointers let Rank start from the vertex's node directly — this is
 // the one-to-one vertex→node mapping the paper introduces to make rank
 // queries possible without knowing the rank in advance (Section VI(A)).
+//
+// Nodes live in an Arena: tree and list links are int32 handles into the
+// arena's field slices, and the vertex→node map of the previous
+// implementation is a direct slice index. Steady-state updates allocate
+// nothing. Several treaps may share one arena (see Arena).
 type Treap struct {
-	root  *tnode
-	nodes map[int]*tnode
-	head  *tnode
-	tail  *tnode
-	rng   *rand.Rand
+	a    *Arena
+	id   int32
+	root int32
+	head int32
+	tail int32
+	n    int
+	rng  uint64 // splitmix64 state for priorities
 }
 
 var _ List = (*Treap)(nil)
 
-// NewTreap returns an empty treap whose priorities are drawn from a PCG
-// seeded with seed (deterministic for tests).
-func NewTreap(seed uint64) *Treap {
-	return &Treap{
-		nodes: make(map[int]*tnode),
-		rng:   rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
-	}
+// NewTreap returns an empty treap on its own private arena, with priorities
+// drawn deterministically from seed.
+func NewTreap(seed uint64) *Treap { return NewTreapOn(NewArena(), seed) }
+
+// NewTreapOn returns an empty treap whose nodes live on the shared arena a.
+// Lists sharing an arena must hold disjoint vertex sets.
+func NewTreapOn(a *Arena, seed uint64) *Treap {
+	return &Treap{a: a, id: a.register(), rng: seed ^ 0x9e3779b97f4a7c15}
+}
+
+// prio draws the next node priority (splitmix64: allocation-free and
+// deterministic for a given seed).
+func (t *Treap) prio() uint64 {
+	t.rng += 0x9e3779b97f4a7c15
+	z := t.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // Len reports the number of elements.
-func (t *Treap) Len() int { return len(t.nodes) }
+func (t *Treap) Len() int { return t.n }
 
 // Contains reports whether v is present.
-func (t *Treap) Contains(v int) bool { _, ok := t.nodes[v]; return ok }
+func (t *Treap) Contains(v int) bool { return t.a.handle(t.id, v) != 0 }
 
-func (t *Treap) newNode(v int) *tnode {
-	if _, ok := t.nodes[v]; ok {
-		panic(fmt.Sprintf("order: vertex %d already in treap", v))
-	}
-	n := &tnode{v: v, prio: t.rng.Uint64(), size: 1}
-	t.nodes[v] = n
-	return n
+func (t *Treap) newNode(v int) int32 {
+	h := t.a.alloc(t.id, v, t.prio(), "treap")
+	t.n++
+	return h
 }
 
 // PushFront inserts v at the beginning of the order.
 func (t *Treap) PushFront(v int) {
+	a := t.a
 	n := t.newNode(v)
 	// DLL.
-	n.next = t.head
-	if t.head != nil {
-		t.head.prev = n
+	a.next[n] = t.head
+	if t.head != 0 {
+		a.prev[t.head] = n
 	}
 	t.head = n
-	if t.tail == nil {
+	if t.tail == 0 {
 		t.tail = n
 	}
 	// Tree: attach at leftmost position.
-	if t.root == nil {
+	if t.root == 0 {
 		t.root = n
 		return
 	}
-	a := t.root
-	for a.l != nil {
-		a = a.l
+	x := t.root
+	for a.left[x] != 0 {
+		x = a.left[x]
 	}
-	a.l = n
-	n.p = a
+	a.left[x] = n
+	a.par[n] = x
 	t.fixupInsert(n)
 }
 
 // PushBack inserts v at the end of the order.
 func (t *Treap) PushBack(v int) {
+	a := t.a
 	n := t.newNode(v)
-	n.prev = t.tail
-	if t.tail != nil {
-		t.tail.next = n
+	a.prev[n] = t.tail
+	if t.tail != 0 {
+		a.next[t.tail] = n
 	}
 	t.tail = n
-	if t.head == nil {
+	if t.head == 0 {
 		t.head = n
 	}
-	if t.root == nil {
+	if t.root == 0 {
 		t.root = n
 		return
 	}
-	a := t.root
-	for a.r != nil {
-		a = a.r
+	x := t.root
+	for a.right[x] != 0 {
+		x = a.right[x]
 	}
-	a.r = n
-	n.p = a
+	a.right[x] = n
+	a.par[n] = x
 	t.fixupInsert(n)
 }
 
 // InsertAfter inserts v immediately after after.
 func (t *Treap) InsertAfter(after, v int) {
-	x, ok := t.nodes[after]
-	if !ok {
-		panic(fmt.Sprintf("order: InsertAfter: %d not in treap", after))
-	}
+	a := t.a
+	x := a.mustHandle(t.id, after, "InsertAfter", "treap")
 	n := t.newNode(v)
 	// DLL.
-	n.prev = x
-	n.next = x.next
-	if x.next != nil {
-		x.next.prev = n
+	a.prev[n] = x
+	a.next[n] = a.next[x]
+	if a.next[x] != 0 {
+		a.prev[a.next[x]] = n
 	} else {
 		t.tail = n
 	}
-	x.next = n
+	a.next[x] = n
 	// Tree: successor position of x.
-	if x.r == nil {
-		x.r = n
-		n.p = x
+	if a.right[x] == 0 {
+		a.right[x] = n
+		a.par[n] = x
 	} else {
-		a := x.r
-		for a.l != nil {
-			a = a.l
+		y := a.right[x]
+		for a.left[y] != 0 {
+			y = a.left[y]
 		}
-		a.l = n
-		n.p = a
+		a.left[y] = n
+		a.par[n] = y
 	}
 	t.fixupInsert(n)
 }
 
 // InsertBefore inserts v immediately before before.
 func (t *Treap) InsertBefore(before, v int) {
-	x, ok := t.nodes[before]
-	if !ok {
-		panic(fmt.Sprintf("order: InsertBefore: %d not in treap", before))
-	}
+	a := t.a
+	x := a.mustHandle(t.id, before, "InsertBefore", "treap")
 	n := t.newNode(v)
-	n.next = x
-	n.prev = x.prev
-	if x.prev != nil {
-		x.prev.next = n
+	a.next[n] = x
+	a.prev[n] = a.prev[x]
+	if a.prev[x] != 0 {
+		a.next[a.prev[x]] = n
 	} else {
 		t.head = n
 	}
-	x.prev = n
-	if x.l == nil {
-		x.l = n
-		n.p = x
+	a.prev[x] = n
+	if a.left[x] == 0 {
+		a.left[x] = n
+		a.par[n] = x
 	} else {
-		a := x.l
-		for a.r != nil {
-			a = a.r
+		y := a.left[x]
+		for a.right[y] != 0 {
+			y = a.right[y]
 		}
-		a.r = n
-		n.p = a
+		a.right[y] = n
+		a.par[n] = y
 	}
 	t.fixupInsert(n)
 }
 
 // fixupInsert walks size increments up from the freshly attached leaf n and
 // then restores the min-heap priority invariant by rotations.
-func (t *Treap) fixupInsert(n *tnode) {
-	for a := n.p; a != nil; a = a.p {
-		a.size++
+func (t *Treap) fixupInsert(n int32) {
+	a := t.a
+	for x := a.par[n]; x != 0; x = a.par[x] {
+		a.size[x]++
 	}
-	for n.p != nil && n.prio < n.p.prio {
+	for a.par[n] != 0 && a.key[n] < a.key[a.par[n]] {
 		t.rotateUp(n)
 	}
 }
 
 // rotateUp rotates n above its parent, preserving in-order sequence,
-// sizes, and parent pointers.
-func (t *Treap) rotateUp(n *tnode) {
-	p := n.p
-	g := p.p
-	if n == p.l {
-		p.l = n.r
-		if n.r != nil {
-			n.r.p = p
+// sizes, and parent links.
+func (t *Treap) rotateUp(n int32) {
+	a := t.a
+	p := a.par[n]
+	g := a.par[p]
+	if n == a.left[p] {
+		a.left[p] = a.right[n]
+		if a.right[n] != 0 {
+			a.par[a.right[n]] = p
 		}
-		n.r = p
+		a.right[n] = p
 	} else {
-		p.r = n.l
-		if n.l != nil {
-			n.l.p = p
+		a.right[p] = a.left[n]
+		if a.left[n] != 0 {
+			a.par[a.left[n]] = p
 		}
-		n.l = p
+		a.left[n] = p
 	}
-	p.p = n
-	n.p = g
-	if g == nil {
+	a.par[p] = n
+	a.par[n] = g
+	if g == 0 {
 		t.root = n
-	} else if g.l == p {
-		g.l = n
+	} else if a.left[g] == p {
+		a.left[g] = n
 	} else {
-		g.r = n
+		a.right[g] = n
 	}
-	p.size = tsize(p.l) + tsize(p.r) + 1
-	n.size = tsize(n.l) + tsize(n.r) + 1
+	a.size[p] = a.size[a.left[p]] + a.size[a.right[p]] + 1
+	a.size[n] = a.size[a.left[n]] + a.size[a.right[n]] + 1
 }
 
-// Remove deletes v.
+// Remove deletes v. Its node handle goes back to the arena's free list, so
+// a following insertion (into this list or a sibling on the same arena)
+// reuses the slot.
 func (t *Treap) Remove(v int) {
-	n, ok := t.nodes[v]
-	if !ok {
-		panic(fmt.Sprintf("order: Remove: %d not in treap", v))
-	}
+	a := t.a
+	n := a.mustHandle(t.id, v, "Remove", "treap")
 	// DLL unlink.
-	if n.prev != nil {
-		n.prev.next = n.next
+	if a.prev[n] != 0 {
+		a.next[a.prev[n]] = a.next[n]
 	} else {
-		t.head = n.next
+		t.head = a.next[n]
 	}
-	if n.next != nil {
-		n.next.prev = n.prev
+	if a.next[n] != 0 {
+		a.prev[a.next[n]] = a.prev[n]
 	} else {
-		t.tail = n.prev
+		t.tail = a.prev[n]
 	}
 	// Rotate n down to a leaf.
-	for n.l != nil || n.r != nil {
-		var c *tnode
+	for a.left[n] != 0 || a.right[n] != 0 {
+		var c int32
 		switch {
-		case n.l == nil:
-			c = n.r
-		case n.r == nil:
-			c = n.l
-		case n.l.prio < n.r.prio:
-			c = n.l
+		case a.left[n] == 0:
+			c = a.right[n]
+		case a.right[n] == 0:
+			c = a.left[n]
+		case a.key[a.left[n]] < a.key[a.right[n]]:
+			c = a.left[n]
 		default:
-			c = n.r
+			c = a.right[n]
 		}
 		t.rotateUp(c)
 	}
 	// Detach leaf and decrement sizes on the path to the root.
-	p := n.p
-	if p == nil {
-		t.root = nil
+	p := a.par[n]
+	if p == 0 {
+		t.root = 0
 	} else {
-		if p.l == n {
-			p.l = nil
+		if a.left[p] == n {
+			a.left[p] = 0
 		} else {
-			p.r = nil
+			a.right[p] = 0
 		}
-		for a := p; a != nil; a = a.p {
-			a.size--
+		for x := p; x != 0; x = a.par[x] {
+			a.size[x]--
 		}
 	}
-	n.p, n.l, n.r, n.next, n.prev = nil, nil, nil, nil, nil
-	delete(t.nodes, v)
+	t.n--
+	a.release(n)
 }
 
 // Rank returns the 1-based position of v in O(log n) expected time.
 func (t *Treap) Rank(v int) int {
-	n, ok := t.nodes[v]
-	if !ok {
-		panic(fmt.Sprintf("order: Rank: %d not in treap", v))
-	}
-	r := tsize(n.l) + 1
-	for a := n; a.p != nil; a = a.p {
-		if a == a.p.r {
-			r += tsize(a.p.l) + 1
+	a := t.a
+	n := a.mustHandle(t.id, v, "Rank", "treap")
+	r := int(a.size[a.left[n]]) + 1
+	for x := n; a.par[x] != 0; x = a.par[x] {
+		if x == a.right[a.par[x]] {
+			r += int(a.size[a.left[a.par[x]]]) + 1
 		}
 	}
 	return r
@@ -289,80 +284,81 @@ func (t *Treap) Less(a, b int) bool {
 
 // Front returns the first element.
 func (t *Treap) Front() (int, bool) {
-	if t.head == nil {
+	if t.head == 0 {
 		return 0, false
 	}
-	return t.head.v, true
+	return int(t.a.vert[t.head]), true
 }
 
 // Back returns the last element.
 func (t *Treap) Back() (int, bool) {
-	if t.tail == nil {
+	if t.tail == 0 {
 		return 0, false
 	}
-	return t.tail.v, true
+	return int(t.a.vert[t.tail]), true
 }
 
 // Next returns the element after v in O(1).
 func (t *Treap) Next(v int) (int, bool) {
-	n, ok := t.nodes[v]
-	if !ok {
-		panic(fmt.Sprintf("order: Next: %d not in treap", v))
-	}
-	if n.next == nil {
+	n := t.a.mustHandle(t.id, v, "Next", "treap")
+	if t.a.next[n] == 0 {
 		return 0, false
 	}
-	return n.next.v, true
+	return int(t.a.vert[t.a.next[n]]), true
 }
 
 // Prev returns the element before v in O(1).
 func (t *Treap) Prev(v int) (int, bool) {
-	n, ok := t.nodes[v]
-	if !ok {
-		panic(fmt.Sprintf("order: Prev: %d not in treap", v))
-	}
-	if n.prev == nil {
+	n := t.a.mustHandle(t.id, v, "Prev", "treap")
+	if t.a.prev[n] == 0 {
 		return 0, false
 	}
-	return n.prev.v, true
+	return int(t.a.vert[t.a.prev[n]]), true
 }
 
-// checkInvariants validates heap order, subtree sizes, parent pointers, and
-// DLL/tree order agreement. Test helper.
+// checkInvariants validates heap order, subtree sizes, parent links, DLL
+// and tree order agreement, and arena slot consistency. Test helper.
 func (t *Treap) checkInvariants() error {
-	var inorder []int
-	var walk func(n *tnode) (int, error)
-	walk = func(n *tnode) (int, error) {
-		if n == nil {
+	a := t.a
+	var inorder []int32
+	var walk func(n int32) (int, error)
+	walk = func(n int32) (int, error) {
+		if n == 0 {
 			return 0, nil
 		}
-		if n.l != nil {
-			if n.l.p != n {
-				return 0, fmt.Errorf("parent pointer broken at %d.l", n.v)
+		if l := a.left[n]; l != 0 {
+			if a.par[l] != n {
+				return 0, fmt.Errorf("parent link broken at %d.left", a.vert[n])
 			}
-			if n.l.prio < n.prio {
-				return 0, fmt.Errorf("heap violated at %d", n.v)
-			}
-		}
-		if n.r != nil {
-			if n.r.p != n {
-				return 0, fmt.Errorf("parent pointer broken at %d.r", n.v)
-			}
-			if n.r.prio < n.prio {
-				return 0, fmt.Errorf("heap violated at %d", n.v)
+			if a.key[l] < a.key[n] {
+				return 0, fmt.Errorf("heap violated at %d", a.vert[n])
 			}
 		}
-		ls, err := walk(n.l)
+		if r := a.right[n]; r != 0 {
+			if a.par[r] != n {
+				return 0, fmt.Errorf("parent link broken at %d.right", a.vert[n])
+			}
+			if a.key[r] < a.key[n] {
+				return 0, fmt.Errorf("heap violated at %d", a.vert[n])
+			}
+		}
+		if a.owner[n] != t.id {
+			return 0, fmt.Errorf("node of %d owned by list %d, not %d", a.vert[n], a.owner[n], t.id)
+		}
+		if a.slot[a.vert[n]] != n {
+			return 0, fmt.Errorf("slot of %d does not point back to its node", a.vert[n])
+		}
+		ls, err := walk(a.left[n])
 		if err != nil {
 			return 0, err
 		}
-		inorder = append(inorder, n.v)
-		rs, err := walk(n.r)
+		inorder = append(inorder, n)
+		rs, err := walk(a.right[n])
 		if err != nil {
 			return 0, err
 		}
-		if n.size != ls+rs+1 {
-			return 0, fmt.Errorf("size broken at %d: %d != %d", n.v, n.size, ls+rs+1)
+		if int(a.size[n]) != ls+rs+1 {
+			return 0, fmt.Errorf("size broken at %d: %d != %d", a.vert[n], a.size[n], ls+rs+1)
 		}
 		return ls + rs + 1, nil
 	}
@@ -370,12 +366,12 @@ func (t *Treap) checkInvariants() error {
 	if err != nil {
 		return err
 	}
-	if total != len(t.nodes) {
-		return fmt.Errorf("tree has %d nodes, map has %d", total, len(t.nodes))
+	if total != t.n {
+		return fmt.Errorf("tree has %d nodes, list claims %d", total, t.n)
 	}
 	i := 0
-	for n := t.head; n != nil; n = n.next {
-		if i >= len(inorder) || inorder[i] != n.v {
+	for n := t.head; n != 0; n = a.next[n] {
+		if i >= len(inorder) || inorder[i] != n {
 			return fmt.Errorf("DLL and tree inorder diverge at index %d", i)
 		}
 		i++

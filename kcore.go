@@ -139,6 +139,10 @@ type UpdateInfo struct {
 	// AddVertexWithEdges, RemoveVertex) deduplicate: a vertex whose core
 	// changed more than once during the operation appears once, at its
 	// first change.
+	//
+	// The slice is owned by the caller: unlike the internal maintainers'
+	// pooled buffers, it never aliases engine scratch, so it stays valid
+	// indefinitely and across later updates.
 	CoreChanged []int
 	// Visited is the number of vertices the algorithm examined to find
 	// CoreChanged (the paper's |V+| / |V'| search-space metric).

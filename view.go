@@ -7,7 +7,10 @@ package kcore
 // per decision instead of re-locking per query.
 //
 // A View never changes after creation; later engine updates are invisible
-// to it. It is safe for concurrent use by multiple goroutines.
+// to it. It is safe for concurrent use by multiple goroutines. Nothing a
+// View returns aliases engine scratch: the core numbers are copied out once
+// at capture time, so a View stays valid indefinitely no matter how the
+// engine is mutated afterwards.
 type View struct {
 	cores    []int
 	vertices int
