@@ -11,15 +11,16 @@ import (
 func TestApplyBatchSemantics(t *testing.T) {
 	triangle := [][2]int{{0, 1}, {1, 2}, {0, 2}}
 	tests := []struct {
-		name     string
-		seed     [][2]int
-		batch    Batch
-		wantErr  error // sentinel expected via errors.Is; nil for success
-		wantIdx  int   // BatchError.Index when wantErr != nil
-		applied  int
-		edges    int // NumEdges after the call
-		cores    map[int]int
-		totalLen int // len(Total.CoreChanged); -1 to skip
+		name      string
+		seed      [][2]int
+		batch     Batch
+		wantErr   error // sentinel expected via errors.Is; nil for success
+		wantIdx   int   // BatchError.Index when wantErr != nil
+		applied   int
+		coalesced int
+		edges     int // NumEdges after the call
+		cores     map[int]int
+		totalLen  int // len(Total.CoreChanged); -1 to skip
 	}{
 		{
 			name:     "empty batch",
@@ -46,21 +47,33 @@ func TestApplyBatchSemantics(t *testing.T) {
 			totalLen: -1,
 		},
 		{
-			name:     "add then remove same edge",
-			batch:    Batch{Add(4, 5), Remove(4, 5)},
-			applied:  2,
-			edges:    0,
-			cores:    map[int]int{4: 0, 5: 0},
-			totalLen: -1,
+			name:      "add then remove same edge coalesces",
+			batch:     Batch{Add(4, 5), Remove(4, 5)},
+			applied:   0,
+			coalesced: 2,
+			edges:     0,
+			cores:     map[int]int{4: 0, 5: 0},
+			totalLen:  0, // the pair is elided: no transient changes
 		},
 		{
-			name:     "remove then re-add present edge",
-			seed:     [][2]int{{0, 1}},
-			batch:    Batch{Remove(0, 1), Add(0, 1)},
-			applied:  2,
-			edges:    1,
-			cores:    map[int]int{0: 1, 1: 1},
-			totalLen: 2, // both endpoints changed twice; deduplicated once each
+			name:      "remove then re-add present edge coalesces",
+			seed:      [][2]int{{0, 1}},
+			batch:     Batch{Remove(0, 1), Add(0, 1)},
+			applied:   0,
+			coalesced: 2,
+			edges:     1,
+			cores:     map[int]int{0: 1, 1: 1},
+			totalLen:  0, // elided: endpoints never transit through core 0
+		},
+		{
+			name: "coalesced pair then real re-add",
+			// Add+Remove cancel; the trailing Add survives and applies.
+			batch:     Batch{Add(0, 1), Remove(0, 1), Add(0, 1)},
+			applied:   1,
+			coalesced: 2,
+			edges:     1,
+			cores:     map[int]int{0: 1, 1: 1},
+			totalLen:  2,
 		},
 		{
 			name:    "self loop rejected",
@@ -148,9 +161,27 @@ func TestApplyBatchSemantics(t *testing.T) {
 				if info.Applied != tc.applied {
 					t.Fatalf("Applied = %d, want %d", info.Applied, tc.applied)
 				}
-				if len(info.Updates) != tc.applied {
-					t.Fatalf("len(Updates) = %d, want %d", len(info.Updates), tc.applied)
+				if info.Coalesced != tc.coalesced {
+					t.Fatalf("Coalesced = %d, want %d", info.Coalesced, tc.coalesced)
 				}
+				// Updates is positional: one entry per batch position, with
+				// coalesced positions zeroed and marked.
+				if len(info.Updates) != len(tc.batch) {
+					t.Fatalf("len(Updates) = %d, want %d", len(info.Updates), len(tc.batch))
+				}
+				gotCoalesced := 0
+				for _, u := range info.Updates {
+					if u.Coalesced {
+						gotCoalesced++
+						if u.CoreChanged != nil || u.Visited != 0 {
+							t.Fatalf("coalesced entry carries data: %+v", u)
+						}
+					}
+				}
+				if gotCoalesced != tc.coalesced {
+					t.Fatalf("coalesced entries = %d, want %d", gotCoalesced, tc.coalesced)
+				}
+				// Coalesced updates consume no sequence numbers.
 				if info.Seq != uint64(tc.applied) {
 					t.Fatalf("Seq = %d, want %d", info.Seq, tc.applied)
 				}
@@ -182,8 +213,10 @@ func TestApplyAggregatedDedup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Closing the triangle lifts 0,1,2 to core 2; reopening drops them back.
-	info, err := e.Apply(Batch{Add(0, 2), Remove(0, 2)})
+	// Closing the triangle lifts 0,1,2 to core 2; removing a different
+	// triangle edge drops them back. (Removing the same edge would coalesce
+	// the pair away instead — see TestApplyBatchSemantics.)
+	info, err := e.Apply(Batch{Add(0, 2), Remove(1, 2)})
 	if err != nil {
 		t.Fatal(err)
 	}

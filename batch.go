@@ -5,9 +5,13 @@ import "fmt"
 // Batched updates: Apply takes the engine's write lock once, pre-validates
 // the whole batch against the current graph (tracking intra-batch effects),
 // and only then mutates — a batch that fails validation leaves the engine
-// untouched. Per-update maintenance reuses the maintainer's epoch-stamped
-// scratch buffers, so a batch amortizes locking and bookkeeping over many
-// updates without giving up the incremental per-edge algorithms.
+// untouched. During validation, self-annihilating pairs (an insertion of an
+// edge followed by its removal, or vice versa) are coalesced away entirely.
+// The surviving updates are then executed by whichever strategy the engine
+// predicts cheapest: per-update maintenance replayed sequentially,
+// conflict-grouped concurrent maintenance (see parallel.go), or — when the
+// batch rewrites a large fraction of the graph — one wholesale O(m + n)
+// recomputation.
 
 // Op is the kind of one edge update.
 type Op uint8
@@ -50,17 +54,37 @@ type Batch []Update
 
 // BatchInfo aggregates the effect of an applied batch.
 type BatchInfo struct {
-	// Applied is the number of updates that were applied.
+	// Applied is the number of updates that took effect. Coalesced updates
+	// are not counted.
 	Applied int
+	// Coalesced is the number of updates cancelled during pre-validation as
+	// self-annihilating pairs: an Add(u,v) later undone by a Remove(u,v) in
+	// the same batch (or a Remove later undone by an Add) is elided in its
+	// entirety. A cancelled pair behaves as if neither update had been
+	// submitted — it consumes no sequence numbers, emits no subscriber
+	// events (including the transient core changes the pair would have
+	// caused), and performs no maintenance work. Coalesced is always even.
+	Coalesced int
+	// Recomputed reports that the engine applied the batch by one wholesale
+	// O(m + n) recomputation instead of per-update maintenance (see
+	// WithRebuildThreshold). In that mode per-update attribution does not
+	// exist: Updates is nil, Total.CoreChanged lists the net-changed
+	// vertices in ascending order, and subscribers receive one event per
+	// net-changed vertex (whose cores may differ by more than 1) instead of
+	// per-update events.
+	Recomputed bool
 	// Seq is the engine's update sequence number after the last applied
-	// update (see Engine.Seq); 0 when the batch was empty and no update had
-	// ever been applied.
+	// update (see Engine.Seq); it equals the pre-batch value when the batch
+	// was empty or fully coalesced.
 	Seq uint64
-	// Updates holds the per-update effects in batch order.
+	// Updates holds the per-update effects, one entry per batch position
+	// (coalesced positions carry a zero UpdateInfo with Coalesced set).
+	// Updates is nil when Recomputed is set.
 	Updates []UpdateInfo
 	// Total aggregates the batch: CoreChanged lists every vertex whose core
 	// number changed at least once during the batch, deduplicated, in
-	// first-change order; Visited sums the per-update search-space sizes.
+	// first-change order (ascending vertex order when Recomputed); Visited
+	// sums the per-update search-space sizes.
 	Total UpdateInfo
 }
 
@@ -71,9 +95,17 @@ type BatchInfo struct {
 // the batch) for self loops, negative vertex ids, duplicate insertions and
 // missing removals. On a validation failure Apply returns a *BatchError
 // wrapping the corresponding sentinel and the engine is left unchanged.
+// Validation also coalesces self-annihilating update pairs — see
+// BatchInfo.Coalesced for the exact semantics.
 //
 // On success, subscribers (see Subscribe) receive one CoreChange event per
-// affected vertex per update.
+// affected vertex per update (or per net-changed vertex when the batch was
+// applied by recomputation — see BatchInfo.Recomputed).
+//
+// Large batches on the order-based engine may be executed by the parallel
+// conflict-grouped runtime (see WithWorkers); its results — core numbers,
+// BatchInfo, subscriber events, and the maintained k-order — are identical
+// to sequential execution.
 func (e *Engine) Apply(batch Batch) (BatchInfo, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -98,12 +130,44 @@ func (e *Engine) RemoveEdges(edges [][2]int) (BatchInfo, error) {
 	return e.Apply(batch)
 }
 
-// applyLocked validates and applies a batch. Callers hold the write lock.
+// applyLocked validates a batch, picks an execution strategy, and applies
+// it. Callers hold the write lock.
 func (e *Engine) applyLocked(batch Batch) (BatchInfo, error) {
-	if err := e.validateBatch(batch); err != nil {
+	skip, coalesced, err := e.validateBatch(batch)
+	if err != nil {
 		return BatchInfo{Seq: e.seq}, err
 	}
-	info := BatchInfo{}
+	applied := len(batch) - coalesced
+	// Single-update batches always take the sequential path: recomputation
+	// can never beat one incremental update, and AddEdge/RemoveEdge rely on
+	// the per-update BatchInfo.Updates entry that the rebuild path elides.
+	if impl, ok := e.m.(orderImpl); ok && applied > 1 {
+		adds, removes := 0, 0
+		for i, up := range batch {
+			if skip != nil && skip[i] {
+				continue
+			}
+			if up.Op == OpAdd {
+				adds++
+			} else {
+				removes++
+			}
+		}
+		if e.shouldRebuild(applied, adds, removes) {
+			return e.applyRebuild(impl, batch, skip, coalesced)
+		}
+		if e.workers > 1 && applied >= e.parMin {
+			return e.applyParallel(impl, batch, skip, coalesced)
+		}
+	}
+	return e.applySequential(batch, skip, coalesced)
+}
+
+// applySequential replays the surviving updates one at a time through the
+// maintainer — the reference execution strategy the other two must match
+// observably (and, for the parallel runtime, bit-identically).
+func (e *Engine) applySequential(batch Batch, skip []bool, coalesced int) (BatchInfo, error) {
+	info := BatchInfo{Coalesced: coalesced}
 	if len(batch) > 0 {
 		info.Updates = make([]UpdateInfo, 0, len(batch))
 	}
@@ -120,6 +184,10 @@ func (e *Engine) applyLocked(batch Batch) (BatchInfo, error) {
 	// they are never written again, so that is safe.
 	var carve []int
 	for i, up := range batch {
+		if skip != nil && skip[i] {
+			info.Updates = append(info.Updates, UpdateInfo{Coalesced: true})
+			continue
+		}
 		var changed []int
 		var visited int
 		var err error
@@ -135,6 +203,7 @@ func (e *Engine) applyLocked(batch Batch) (BatchInfo, error) {
 			return info, &BatchError{Index: i, Update: up, Err: err}
 		}
 		e.seq++
+		e.exec.Sequential++
 		e.notify(up.Op, changed)
 		start := len(carve)
 		carve = append(carve, changed...)
@@ -145,30 +214,45 @@ func (e *Engine) applyLocked(batch Batch) (BatchInfo, error) {
 		if !dedup {
 			info.Total.CoreChanged = append(info.Total.CoreChanged, changed...)
 		} else {
-			for _, v := range changed {
-				for v >= len(e.dedupEp) {
-					e.dedupEp = append(e.dedupEp, 0)
-				}
-				if e.dedupEp[v] != e.dedupCur {
-					e.dedupEp[v] = e.dedupCur
-					info.Total.CoreChanged = append(info.Total.CoreChanged, v)
-				}
-			}
+			e.dedupTotal(&info, changed)
 		}
 	}
 	info.Seq = e.seq
 	return info, nil
 }
 
+// dedupTotal appends changed vertices to info.Total.CoreChanged, keeping
+// each vertex once (at its first change) via the epoch-stamped marks.
+func (e *Engine) dedupTotal(info *BatchInfo, changed []int) {
+	for _, v := range changed {
+		for v >= len(e.dedupEp) {
+			e.dedupEp = append(e.dedupEp, 0)
+		}
+		if e.dedupEp[v] != e.dedupCur {
+			e.dedupEp[v] = e.dedupCur
+			info.Total.CoreChanged = append(info.Total.CoreChanged, v)
+		}
+	}
+}
+
 // validateBatch checks the whole batch against the current graph plus the
 // pending effect of earlier updates in the batch, without mutating anything.
-func (e *Engine) validateBatch(batch Batch) error {
+// It also detects self-annihilating pairs: a valid update that exactly
+// undoes a pending earlier update of the batch cancels both. The returned
+// skip slice (aliasing engine scratch, valid until the next validation)
+// marks cancelled positions; it is nil for single-update batches.
+func (e *Engine) validateBatch(batch Batch) (skip []bool, coalesced int, err error) {
 	// The overlay tracks edges whose presence diverges from the graph
 	// because of earlier updates in this batch. Single-update batches (the
 	// AddEdge/RemoveEdge fast path) skip it entirely.
 	track := len(batch) > 1
 	if track {
 		e.val.init(len(batch))
+		if cap(e.skipBuf) < len(batch) {
+			e.skipBuf = make([]bool, len(batch))
+		}
+		skip = e.skipBuf[:len(batch)]
+		clear(skip)
 	}
 	for i, up := range batch {
 		u, v := up.U, up.V
@@ -180,12 +264,13 @@ func (e *Engine) validateBatch(batch Batch) error {
 			cause = ErrSelfLoop
 		}
 		if cause != nil {
-			return &BatchError{Index: i, Update: up, Err: cause}
+			return nil, 0, &BatchError{Index: i, Update: up, Err: cause}
 		}
 		var slot int
 		present, overlaid := false, false
+		pair := int32(-1)
 		if track {
-			slot, present, overlaid = e.val.lookup(u, v)
+			slot, present, pair, overlaid = e.val.lookup(u, v)
 		}
 		if !overlaid {
 			present = e.g.HasEdge(u, v)
@@ -193,25 +278,40 @@ func (e *Engine) validateBatch(batch Batch) error {
 		switch up.Op {
 		case OpAdd:
 			if present {
-				return &BatchError{Index: i, Update: up, Err: ErrDuplicateEdge}
+				return nil, 0, &BatchError{Index: i, Update: up, Err: ErrDuplicateEdge}
 			}
 		case OpRemove:
 			if !present {
-				return &BatchError{Index: i, Update: up, Err: ErrMissingEdge}
+				return nil, 0, &BatchError{Index: i, Update: up, Err: ErrMissingEdge}
 			}
 		default:
-			return &BatchError{Index: i, Update: up, Err: fmt.Errorf("unknown op %d", up.Op)}
+			return nil, 0, &BatchError{Index: i, Update: up, Err: fmt.Errorf("unknown op %d", up.Op)}
 		}
-		if track {
-			e.val.store(slot, u, v, up.Op == OpAdd)
+		if !track {
+			continue
 		}
+		if overlaid && pair >= 0 {
+			// This valid update exactly undoes pending update `pair`: cancel
+			// both. The slot's pending presence returns to the pre-pair
+			// state, which for an alternating op sequence equals the value
+			// this op would have stored; only the pairing index is cleared,
+			// so the next update on this edge validates against the graph
+			// state and cannot cancel into the annihilated pair.
+			skip[i] = true
+			skip[pair] = true
+			coalesced += 2
+			e.val.store(slot, u, v, up.Op == OpAdd, -1)
+			continue
+		}
+		e.val.store(slot, u, v, up.Op == OpAdd, int32(i))
 	}
-	return nil
+	return skip, coalesced, nil
 }
 
 // overlay is an open-addressed hash table from a packed edge key to the
-// edge's pending presence, reused across batches so validation costs one
-// (amortized zero) allocation per Apply instead of per-update map inserts.
+// edge's pending presence and the batch index of the update that produced
+// it, reused across batches so validation costs one (amortized zero)
+// allocation per Apply instead of per-update map inserts.
 // Keys pack the sorted endpoint pair into one word; vertex ids are dense
 // and the graph stores them as int32, so 32 bits per endpoint suffice.
 // Key 0 would be the self loop (0,0), which validation rejects first, so 0
@@ -219,6 +319,7 @@ func (e *Engine) validateBatch(batch Batch) error {
 type overlay struct {
 	keys    []uint64
 	present []bool
+	idx     []int32 // batch index of the pending update; -1 = not cancellable
 	shift   uint
 }
 
@@ -237,27 +338,31 @@ func (o *overlay) init(n int) {
 	if cap(o.keys) >= size {
 		o.keys = o.keys[:size]
 		o.present = o.present[:size]
+		o.idx = o.idx[:size]
 		clear(o.keys)
 	} else {
 		o.keys = make([]uint64, size)
 		o.present = make([]bool, size)
+		o.idx = make([]int32, size)
 	}
 }
 
 // lookup probes for edge (u, v), returning the slot where it lives or would
-// live, its pending presence, and whether the batch touched it before.
-func (o *overlay) lookup(u, v int) (slot int, present, overlaid bool) {
+// live, its pending presence, the pending update's batch index (-1 when not
+// cancellable), and whether the batch touched it before.
+func (o *overlay) lookup(u, v int) (slot int, present bool, idx int32, overlaid bool) {
 	key := edgeKey(u, v)
 	mask := uint64(len(o.keys) - 1)
 	i := (key * 0x9e3779b97f4a7c15) >> o.shift
 	for o.keys[i] != 0 && o.keys[i] != key {
 		i = (i + 1) & mask
 	}
-	return int(i), o.present[i], o.keys[i] == key
+	return int(i), o.present[i], o.idx[i], o.keys[i] == key
 }
 
 // store records the pending presence of the edge at slot (from lookup).
-func (o *overlay) store(slot int, u, v int, present bool) {
+func (o *overlay) store(slot int, u, v int, present bool, idx int32) {
 	o.keys[slot] = edgeKey(u, v)
 	o.present[slot] = present
+	o.idx[slot] = idx
 }

@@ -236,6 +236,10 @@ func batchBenchEdges() [][2]int {
 	return edges
 }
 
+// BenchmarkApplyBatch10k measures the default engine: a batch this large
+// relative to the graph is routed to the wholesale-recompute path by the
+// cost model (see BatchInfo.Recomputed). BenchmarkApplyBatch10kMaintain
+// pins the pre-PR 3 incremental path for comparison.
 func BenchmarkApplyBatch10k(b *testing.B) {
 	b.ReportAllocs()
 	edges := batchBenchEdges()
@@ -247,6 +251,25 @@ func BenchmarkApplyBatch10k(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		e := NewEngine(WithSeed(1))
+		b.StartTimer()
+		if _, err := e.Apply(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(edges)), "edges/op")
+}
+
+func BenchmarkApplyBatch10kMaintain(b *testing.B) {
+	b.ReportAllocs()
+	edges := batchBenchEdges()
+	batch := make(Batch, len(edges))
+	for i, ed := range edges {
+		batch[i] = Add(ed[0], ed[1])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e := NewEngine(WithSeed(1), WithWorkers(1), WithRebuildThreshold(-1, 0))
 		b.StartTimer()
 		if _, err := e.Apply(batch); err != nil {
 			b.Fatal(err)

@@ -1,0 +1,67 @@
+package kcore
+
+import (
+	"testing"
+
+	"kcore/internal/gen"
+	"kcore/internal/workload"
+)
+
+// Steady-state batched churn through Apply: the parallel runtime's target
+// workload (prebuilt graph, mixed adds/removes, fixed-size batches). The
+// sequential and 4-worker variants share one fixture so their ratio is the
+// conflict-grouped runtime's overhead (GOMAXPROCS=1) or speedup (multicore).
+
+type churnFixture struct {
+	edges   [][2]int
+	batches []Batch
+}
+
+var churnFx *churnFixture
+
+func churnFixture1() *churnFixture {
+	if churnFx != nil {
+		return churnFx
+	}
+	base := gen.ErdosRenyi(20000, 60000, 42)
+	ops := workload.Churn(base, 10000, workload.ChurnOptions{AddFraction: 0.55, Skew: 0.2, Seed: 43})
+	fx := &churnFixture{edges: base.Edges()}
+	for start := 0; start < len(ops); start += 2500 {
+		end := min(start+2500, len(ops))
+		b := make(Batch, 0, end-start)
+		for _, op := range ops[start:end] {
+			if op.Insert {
+				b = append(b, Add(op.E.U, op.E.V))
+			} else {
+				b = append(b, Remove(op.E.U, op.E.V))
+			}
+		}
+		fx.batches = append(fx.batches, b)
+	}
+	churnFx = fx
+	return fx
+}
+
+func benchmarkChurnBatches(b *testing.B, workers int) {
+	fx := churnFixture1()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e, err := FromEdges(fx.edges, WithSeed(42), WithWorkers(workers),
+			WithRebuildThreshold(-1, 0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for _, batch := range fx.batches {
+			if _, err := e.Apply(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(10000, "updates/op")
+}
+
+func BenchmarkChurnBatchesSeq(b *testing.B) { benchmarkChurnBatches(b, 1) }
+func BenchmarkChurnBatchesW4(b *testing.B)  { benchmarkChurnBatches(b, 4) }

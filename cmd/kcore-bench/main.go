@@ -8,9 +8,12 @@
 //	kcore-bench -experiment table2 -edges 2000  one experiment, custom size
 //	kcore-bench -datasets facebook-sim,ca-sim   restrict datasets
 //	kcore-bench -experiment hotpath -json out.json   machine-readable results
+//	kcore-bench -experiment parallel -workers 1,2,4,8 -json BENCH_parallel.json
+//	kcore-bench -compare OLD.json,NEW.json -compare-name engine/apply-batch -max-ratio 1.2
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,15 +30,26 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment name: all|"+strings.Join(bench.ExperimentNames, "|"))
+		experiment = flag.String("experiment", "all", "experiment name: all|batchapi|parallel|"+strings.Join(bench.ExperimentNames, "|"))
 		edges      = flag.Int("edges", 10000, "workload edges per dataset (paper: 100000)")
 		groups     = flag.Int("groups", 10, "stability-test groups (paper: 100)")
 		hops       = flag.String("hops", "2,3,4,5,6", "traversal hop variants")
 		seed       = flag.Uint64("seed", 42, "RNG seed")
 		dsNames    = flag.String("datasets", "", "comma-separated dataset subset (default: all 11)")
-		jsonPath   = flag.String("json", "", "write measured results (hotpath and batchapi experiments) as one JSON document to this path")
+		jsonPath   = flag.String("json", "", "write measured results (hotpath, batchapi and parallel experiments) as one JSON document to this path")
+		workers    = flag.String("workers", "1,2,4,8", "worker counts the parallel experiment sweeps")
+		compare    = flag.String("compare", "", "regression guard: OLD.json,NEW.json — compare the -compare-name result and exit 1 when NEW exceeds OLD by more than -max-ratio")
+		cmpName    = flag.String("compare-name", "engine/apply-batch", "result name checked by -compare")
+		maxRatio   = flag.Float64("max-ratio", 1.2, "largest allowed NEW/OLD ns-per-op ratio for -compare")
 	)
 	flag.Parse()
+
+	if *compare != "" {
+		if err := compareReports(*compare, *cmpName, *maxRatio); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	cfg := bench.Config{
 		Out:    os.Stdout,
@@ -49,6 +63,13 @@ func main() {
 			fatal(fmt.Errorf("bad hop value %q", h))
 		}
 		cfg.Hops = append(cfg.Hops, v)
+	}
+	for _, w := range strings.Split(*workers, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(w))
+		if err != nil || v < 1 {
+			fatal(fmt.Errorf("bad worker count %q", w))
+		}
+		cfg.Workers = append(cfg.Workers, v)
 	}
 	if *dsNames != "" {
 		for _, name := range strings.Split(*dsNames, ",") {
@@ -67,6 +88,11 @@ func main() {
 		report.Results = append(report.Results, batchAPI(*edges, *seed)...)
 		writeReport(report, *jsonPath)
 		return
+	case "parallel":
+		fmt.Println("=== parallel ===")
+		report.Results = append(report.Results, parallelExperiment(cfg)...)
+		writeReport(report, *jsonPath)
+		return
 	case "hotpath":
 		fmt.Println("=== hotpath ===")
 		report.Results = append(report.Results, bench.Hotpath(cfg)...)
@@ -78,7 +104,7 @@ func main() {
 	names := bench.ExperimentNames
 	if *experiment != "all" {
 		if _, ok := bench.Experiments[*experiment]; !ok {
-			fatal(fmt.Errorf("unknown experiment %q (valid: all, batchapi, %s)",
+			fatal(fmt.Errorf("unknown experiment %q (valid: all, batchapi, parallel, %s)",
 				*experiment, strings.Join(bench.ExperimentNames, ", ")))
 		}
 		names = []string{*experiment}
@@ -129,7 +155,8 @@ func engineHotpath(edges int, seed uint64) []bench.Result {
 	for i, ed := range all {
 		batch[i] = kcore.Add(ed[0], ed[1])
 	}
-	params := map[string]any{"edges": len(all), "graph": "barabasi-albert", "seed": seed}
+	params := map[string]any{"edges": len(all), "graph": "barabasi-albert", "seed": seed,
+		"workers": "auto"}
 
 	var results []bench.Result
 	run := func(name string, fn func(b *testing.B)) {
@@ -160,6 +187,63 @@ func engineHotpath(edges int, seed uint64) []bench.Result {
 		}
 	})
 	return results
+}
+
+// compareReports is the CI regression guard: it loads two BENCH_*.json
+// reports ("old,new"), finds the named result in each, and fails when the
+// new ns/op exceeds the old by more than maxRatio. Both reports must come
+// from the same machine for the ratio to mean anything — CI compares the
+// committed baseline files, which were measured together.
+func compareReports(spec, name string, maxRatio float64) error {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		return fmt.Errorf("-compare wants OLD.json,NEW.json, got %q", spec)
+	}
+	load := func(path string) (map[string]bench.Result, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		var rep bench.Report
+		if err := json.NewDecoder(f).Decode(&rep); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if rep.Schema != bench.ReportSchema {
+			return nil, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, bench.ReportSchema)
+		}
+		byName := make(map[string]bench.Result, len(rep.Results))
+		for _, r := range rep.Results {
+			byName[r.Name] = r
+		}
+		return byName, nil
+	}
+	oldRes, err := load(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return err
+	}
+	newRes, err := load(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return err
+	}
+	o, ok := oldRes[name]
+	if !ok {
+		return fmt.Errorf("%s missing from old report", name)
+	}
+	n, ok := newRes[name]
+	if !ok {
+		return fmt.Errorf("%s missing from new report", name)
+	}
+	if o.NsPerOp <= 0 {
+		return fmt.Errorf("%s: old ns/op %.0f is not positive", name, o.NsPerOp)
+	}
+	ratio := n.NsPerOp / o.NsPerOp
+	fmt.Printf("%s: old %.0f ns/op, new %.0f ns/op, ratio %.3f (limit %.2f)\n",
+		name, o.NsPerOp, n.NsPerOp, ratio, maxRatio)
+	if ratio > maxRatio {
+		return fmt.Errorf("%s regressed: ratio %.3f exceeds %.2f", name, ratio, maxRatio)
+	}
+	return nil
 }
 
 func fatal(err error) {

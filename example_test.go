@@ -84,14 +84,14 @@ func ExampleEngine_Apply() {
 	e := kcore.NewEngine()
 	info, err := e.Apply(kcore.Batch{
 		kcore.Add(0, 1), kcore.Add(1, 2), kcore.Add(0, 2), // triangle
-		kcore.Add(2, 3),    // pendant
-		kcore.Remove(2, 3), // gone again
+		kcore.Add(2, 3),    // pendant...
+		kcore.Remove(2, 3), // ...cancelled again: the pair coalesces away
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(info.Applied, len(info.Total.CoreChanged), e.Core(0))
-	// Output: 5 4 2
+	fmt.Println(info.Applied, info.Coalesced, len(info.Total.CoreChanged), e.Core(0))
+	// Output: 3 2 3 2
 }
 
 // A failed batch wraps a sentinel error and leaves the engine untouched.

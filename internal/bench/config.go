@@ -35,7 +35,13 @@ type Config struct {
 	Seed uint64
 	// Datasets overrides the dataset list (default: datasets.All()).
 	Datasets []datasets.Dataset
+	// Workers lists the worker counts the parallel experiment sweeps
+	// (default 1, 2, 4, 8).
+	Workers []int
 }
+
+// WithDefaults fills zero fields with the scaled-paper defaults.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
 
 // withDefaults fills zero fields with the scaled-paper defaults.
 func (c Config) withDefaults() Config {
@@ -53,6 +59,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Datasets == nil {
 		c.Datasets = datasets.All()
+	}
+	if len(c.Workers) == 0 {
+		c.Workers = []int{1, 2, 4, 8}
 	}
 	if c.Out == nil {
 		c.Out = io.Discard

@@ -68,9 +68,24 @@ func PrintResultHeader(w io.Writer) {
 	fmt.Fprintf(w, "%-28s %14s %12s %12s\n", "experiment", "ns/op", "B/op", "allocs/op")
 }
 
+// StampParams copies params (so callers' maps stay untouched) and stamps
+// the runtime environment every measured result must carry for
+// reproducibility: GOMAXPROCS and the physical CPU count. Experiment-
+// specific worker counts are the caller's responsibility.
+func StampParams(params map[string]any) map[string]any {
+	out := make(map[string]any, len(params)+2)
+	for k, v := range params {
+		out[k] = v
+	}
+	out["gomaxprocs"] = runtime.GOMAXPROCS(0)
+	out["cpus"] = runtime.NumCPU()
+	return out
+}
+
 // RunMeasured runs fn through the benchmark runner, prints one table row
 // to w, and returns the structured result. It is the shared measurement
-// path for Hotpath and kcore-bench's engine-level experiments.
+// path for Hotpath and kcore-bench's engine-level experiments. The result's
+// params are stamped with GOMAXPROCS and the CPU count.
 func RunMeasured(w io.Writer, name string, params map[string]any, fn func(b *testing.B)) Result {
 	r := benchRunner(fn)
 	res := Result{
@@ -79,7 +94,7 @@ func RunMeasured(w io.Writer, name string, params map[string]any, fn func(b *tes
 		AllocsPerOp: r.AllocsPerOp(),
 		BytesPerOp:  r.AllocedBytesPerOp(),
 		Iterations:  r.N,
-		Params:      params,
+		Params:      StampParams(params),
 	}
 	fmt.Fprintf(w, "%-28s %14.0f %12d %12d\n",
 		res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)

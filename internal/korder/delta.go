@@ -1,0 +1,58 @@
+package korder
+
+// CommitDelta replays a simulated update (see Sim) on the maintainer. The
+// replay applies the exact logical mutations the live path would have
+// performed, in the same order, so the resulting maintained state — cores,
+// deg+, mcd, per-level order lists, arena slot assignment, treap shapes —
+// is bit-identical to having called Insert or Remove at this point.
+//
+// The caller is responsible for validity: between the simulation snapshot
+// and this call, no vertex in d.Footprint may have had a logical-state
+// change (the engine's parallel path guarantees it via disjoint region
+// claims plus a dirty check).
+func (m *Maintainer) CommitDelta(d *Delta) (UpdateResult, error) {
+	var err error
+	if d.Insert {
+		err = m.g.AddEdge(d.U, d.V)
+	} else {
+		err = m.g.RemoveEdge(d.U, d.V)
+	}
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	// Replayed writes are confined to the update's own claimed region, which
+	// no other group reads, so they bypass the write log (only live updates
+	// dirty foreign regions).
+	for _, w := range d.core {
+		m.core[w.v] = int(w.x)
+	}
+	for _, w := range d.degPlus {
+		m.degPlus[w.v] = int(w.x)
+	}
+	for _, w := range d.mcd {
+		m.mcd[w.v] = int(w.x)
+	}
+	for _, op := range d.ops {
+		switch op.kind {
+		case opEnsureLevel:
+			m.ensureLevel(int(op.level))
+		case opListRemove:
+			m.levels[op.level].Remove(int(op.b))
+		case opListInsertAfter:
+			m.levels[op.level].InsertAfter(int(op.a), int(op.b))
+		case opListPushFront:
+			m.levels[op.level].PushFront(int(op.b))
+		case opListPushBack:
+			m.levels[op.level].PushBack(int(op.b))
+		}
+	}
+	if d.Insert {
+		m.stats.Inserts++
+		m.stats.VisitedInsert += int64(d.Visited)
+		m.stats.ChangedInsert += int64(len(d.Changed))
+	} else {
+		m.stats.Removes++
+		m.stats.ChangedRemove += int64(len(d.Changed))
+	}
+	return UpdateResult{K: d.K, Changed: d.Changed, Visited: d.Visited}, nil
+}

@@ -1,0 +1,135 @@
+package korder
+
+// Region estimation for the parallel batch planner: a cheap
+// over-approximation of the vertices one update may touch, derived from the
+// paper's locality result — an update at root core level K changes cores
+// only inside the level-K connected region around the edge (V* is contained
+// in the root's subcore, Section III), and reads or writes state only of
+// that region and its direct neighbors. The BFS below is the capped,
+// frontier-collecting version of the same level-K component walk that
+// subcore.Maintainer.collectSubcore and decomp.Subcores perform statically.
+//
+// The estimate does not have to be sound for correctness: the simulation
+// records its exact footprint, and the engine falls back to live sequential
+// execution whenever the footprint escapes the claimed region. The estimate
+// only has to be right often enough to keep the fallback rare.
+
+const (
+	// regionBFSCap bounds the number of same-level vertices the estimate
+	// expands. Updates whose level-K region is larger run live. The cap is
+	// deliberately tight: the paper's measurements show V* is almost always
+	// tiny, and a giant level-K component (the modal core level of a
+	// homogeneous graph) would otherwise burn the whole cap on every update
+	// only to produce a region too big to be conflict-free — profiling
+	// showed exactly that pathology dominating the planning phase.
+	regionBFSCap = 24
+	// regionSizeCap bounds the total estimated region (expanded vertices
+	// plus their neighbors). Hub-adjacent regions beyond it run live.
+	regionSizeCap = 512
+)
+
+// EstimateRegion appends to dst an over-approximated region for the update
+// (insert, u, v), returning the region and whether the update is a
+// candidate for simulation. ok=false means the update must run live: an
+// endpoint is out of range, or the region blew past the caps.
+//
+// EstimateRegion is read-only and may run concurrently with other Sims'
+// estimates and simulations, but not with mutations of the Maintainer.
+func (s *Sim) EstimateRegion(insert bool, u, v int, dst []int32) ([]int32, bool) {
+	m := s.m
+	if u < 0 || v < 0 || u >= len(m.core) || v >= len(m.core) {
+		return dst, false
+	}
+	// fpSet doubles as the region dedup set, inQ as the BFS-visited set;
+	// both are reset by the next begin()/EstimateRegion call.
+	s.fpSet.reset()
+	s.inQ.reset()
+	dst = dst[:0]
+	add := func(w int) {
+		if !s.fpSet.has(w) {
+			s.fpSet.set(w)
+			dst = append(dst, int32(w))
+		}
+	}
+	add(u)
+	add(v)
+	s.pu, s.pv = u, v
+	s.patchAdd, s.patchDel = insert, !insert
+
+	var K int
+	queue := s.queueBuf[:0]
+	if insert {
+		cu, cv := m.core[u], m.core[v]
+		root := u
+		if cv < cu || (cv == cu && m.levels[cu].Less(v, u)) {
+			root = v
+		}
+		K = m.core[root]
+		if m.degPlus[root]+1 <= K {
+			// Lemma 5.2 at snapshot time: the update touches only its
+			// endpoints (mcd, deg+, order comparison). If a batch-earlier
+			// update invalidates this prediction, it must have written the
+			// root — which is in this region, so the groups conflict or the
+			// dirty check demotes us. Either way the fallback is sound.
+			s.queueBuf = queue
+			return dst, true
+		}
+		s.inQ.set(root)
+		queue = append(queue, root)
+	} else {
+		cu, cv := m.core[u], m.core[v]
+		K = cu
+		if cv < K {
+			K = cv
+		}
+		// Peeling starts only if an endpoint's post-removal mcd drops below
+		// K; otherwise the update touches only its endpoints.
+		starts := false
+		for _, r := range [2]int{u, v} {
+			other := u + v - r
+			if m.core[r] != K {
+				continue
+			}
+			mcdAfter := m.mcd[r]
+			if m.core[other] >= m.core[r] {
+				mcdAfter--
+			}
+			if mcdAfter < K {
+				starts = true
+			}
+			s.inQ.set(r)
+			queue = append(queue, r)
+		}
+		if !starts {
+			s.queueBuf = queue[:0]
+			return dst, true
+		}
+	}
+
+	// BFS over the level-K region reachable from the seeds, collecting the
+	// expanded vertices and all their neighbors (state of both is read:
+	// cores of every neighbor, deg+/order of same-level ones).
+	pops := 0
+	for qi := 0; qi < len(queue); qi++ {
+		w := queue[qi]
+		pops++
+		if pops > regionBFSCap {
+			s.queueBuf = queue[:0]
+			return dst, false
+		}
+		add(w)
+		s.eachNeighbor(w, func(z int) {
+			add(z)
+			if m.core[z] == K && !s.inQ.has(z) {
+				s.inQ.set(z)
+				queue = append(queue, z)
+			}
+		})
+		if len(dst) > regionSizeCap {
+			s.queueBuf = queue[:0]
+			return dst, false
+		}
+	}
+	s.queueBuf = queue[:0]
+	return dst, true
+}

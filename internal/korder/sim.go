@@ -1,0 +1,627 @@
+package korder
+
+import (
+	"kcore/internal/order"
+)
+
+// Read-only simulation of OrderInsert / OrderRemoval.
+//
+// A Sim executes one edge update against a Maintainer without mutating it:
+// every write goes to a worker-local overlay, every physical O_k mutation is
+// recorded as a logical op, and every vertex whose logical state (core,
+// deg+, mcd, order position, adjacency) is read or written is collected into
+// a footprint. The recorded Delta can later be replayed on the Maintainer
+// (CommitDelta) producing a state bit-identical to running Insert/Remove
+// live — provided none of the footprint vertices changed between the
+// simulation snapshot and the replay. The engine's parallel Apply path
+// enforces exactly that with region claims and a dirty set.
+//
+// Several Sims may simulate concurrently against one Maintainer as long as
+// nothing mutates it: all Maintainer and order.List accesses on this path
+// are read-only (treap Rank walks parent pointers, tag-list Less compares
+// labels; neither restructures).
+
+// vertexValue is one recorded absolute state write.
+type vertexValue struct {
+	v int32
+	x int32
+}
+
+// Logical order-list operations, replayed by CommitDelta in recorded order.
+const (
+	opEnsureLevel     uint8 = iota // levels grown to include level k
+	opListRemove                   // levels[k].Remove(b)
+	opListInsertAfter              // levels[k].InsertAfter(a, b)
+	opListPushFront                // levels[k].PushFront(b)
+	opListPushBack                 // levels[k].PushBack(b)
+)
+
+type simOp struct {
+	kind  uint8
+	level int32
+	a, b  int32
+}
+
+// Delta is the recorded effect of one simulated update.
+type Delta struct {
+	// U, V, Insert identify the simulated edge update.
+	U, V   int
+	Insert bool
+	// K is min(core(u), core(v)) before the update (UpdateResult.K).
+	K int
+	// Visited is the UpdateResult.Visited work metric.
+	Visited int
+	// Changed is V*, owned by the Delta (stable across later updates).
+	Changed []int
+	// Footprint lists every vertex whose logical state the simulation read
+	// or wrote, including all of Changed and both endpoints.
+	Footprint []int
+
+	core, degPlus, mcd []vertexValue
+	ops                []simOp
+}
+
+// reset truncates all recorded slices for reuse.
+func (d *Delta) reset() {
+	d.Changed = d.Changed[:0]
+	d.Footprint = d.Footprint[:0]
+	d.core = d.core[:0]
+	d.degPlus = d.degPlus[:0]
+	d.mcd = d.mcd[:0]
+	d.ops = d.ops[:0]
+}
+
+// simOverlay is an epoch-stamped absolute-value overlay over one of the
+// maintained per-vertex arrays, remembering which vertices were written.
+type simOverlay struct {
+	vals    *sparseInts
+	written []int32
+}
+
+func newSimOverlay(n int) *simOverlay {
+	return &simOverlay{vals: newSparseInts(n)}
+}
+
+func (o *simOverlay) reset() {
+	o.vals.reset()
+	o.written = o.written[:0]
+}
+
+func (o *simOverlay) grow(n int) { o.vals.grow(n) }
+
+func (o *simOverlay) get(base []int, v int) int {
+	if x, ok := o.vals.lookup(v); ok {
+		return x
+	}
+	return base[v]
+}
+
+func (o *simOverlay) set(v, x int) {
+	if _, ok := o.vals.lookup(v); !ok {
+		o.written = append(o.written, int32(v))
+	}
+	o.vals.set(v, x)
+}
+
+// emit appends the overlay's written (vertex, final value) pairs to dst.
+func (o *simOverlay) emit(dst []vertexValue) []vertexValue {
+	for _, v := range o.written {
+		x, _ := o.vals.lookup(int(v))
+		dst = append(dst, vertexValue{v: v, x: int32(x)})
+	}
+	return dst
+}
+
+// Sim simulates updates against one Maintainer. Each concurrent worker owns
+// its own Sim; a Sim is not safe for concurrent use.
+type Sim struct {
+	m *Maintainer
+
+	// Single-edge adjacency patch: the update's own edge, visible (insert)
+	// or hidden (remove) during neighbor iteration.
+	pu, pv   int
+	patchAdd bool
+	patchDel bool
+
+	coreOv, dpOv, mcdOv *simOverlay
+
+	// Footprint collection.
+	fpSet *sparseFlags
+	fp    []int
+
+	// Per-update scratch mirroring the Maintainer's.
+	degStar *sparseInts
+	cd      *sparseInts
+	cand    *sparseFlags
+	conf    *sparseFlags
+	inHeap  *sparseFlags
+	inQ     *sparseFlags
+	inVStar *sparseFlags
+	moved   *sparseFlags
+	heap    order.MinHeap
+
+	vcBuf     []int
+	vstarBuf  []int
+	stackBuf  []int
+	queueBuf  []int
+	relocsBuf []relocation
+
+	d *Delta
+
+	pool  []*Delta
+	inUse int
+}
+
+// NewSim builds a simulation worker for m, sized to m's current vertex set.
+func NewSim(m *Maintainer) *Sim {
+	s := &Sim{m: m}
+	n := len(m.core)
+	s.coreOv = newSimOverlay(n)
+	s.dpOv = newSimOverlay(n)
+	s.mcdOv = newSimOverlay(n)
+	s.fpSet = newSparseFlags(n)
+	s.degStar = newSparseInts(n)
+	s.cd = newSparseInts(n)
+	s.cand = newSparseFlags(n)
+	s.conf = newSparseFlags(n)
+	s.inHeap = newSparseFlags(n)
+	s.inQ = newSparseFlags(n)
+	s.inVStar = newSparseFlags(n)
+	s.moved = newSparseFlags(n)
+	return s
+}
+
+// Grow resizes the Sim's scratch to the Maintainer's current vertex count.
+// Call once per batch, before any simulation, while nothing mutates m.
+func (s *Sim) Grow() {
+	n := len(s.m.core)
+	s.coreOv.grow(n)
+	s.dpOv.grow(n)
+	s.mcdOv.grow(n)
+	s.fpSet.grow(n)
+	s.degStar.grow(n)
+	s.cd.grow(n)
+	s.cand.grow(n)
+	s.conf.grow(n)
+	s.inHeap.grow(n)
+	s.inQ.grow(n)
+	s.inVStar.grow(n)
+	s.moved.grow(n)
+}
+
+// ResetDeltas recycles all Deltas handed out since the last call. The engine
+// calls it at the start of each batch; Deltas are only valid within one.
+func (s *Sim) ResetDeltas() { s.inUse = 0 }
+
+func (s *Sim) takeDelta() *Delta {
+	if s.inUse < len(s.pool) {
+		d := s.pool[s.inUse]
+		s.inUse++
+		d.reset()
+		return d
+	}
+	d := &Delta{}
+	s.pool = append(s.pool, d)
+	s.inUse++
+	return d
+}
+
+// State accessors: every read or write funnels through these so the
+// footprint stays complete. Soundness of the parallel path depends on the
+// footprint covering everything the outcome depends on.
+
+func (s *Sim) touch(v int) {
+	if !s.fpSet.has(v) {
+		s.fpSet.set(v)
+		s.fp = append(s.fp, v)
+	}
+}
+
+func (s *Sim) coreOf(v int) int {
+	s.touch(v)
+	return s.coreOv.get(s.m.core, v)
+}
+
+func (s *Sim) setCore(v, x int) {
+	s.touch(v)
+	s.coreOv.set(v, x)
+}
+
+func (s *Sim) dpOf(v int) int {
+	s.touch(v)
+	return s.dpOv.get(s.m.degPlus, v)
+}
+
+func (s *Sim) setDP(v, x int) {
+	s.touch(v)
+	s.dpOv.set(v, x)
+}
+
+func (s *Sim) mcdOf(v int) int {
+	s.touch(v)
+	return s.mcdOv.get(s.m.mcd, v)
+}
+
+func (s *Sim) setMCD(v, x int) {
+	s.touch(v)
+	s.mcdOv.set(v, x)
+}
+
+func (s *Sim) less(L order.List, a, b int) bool {
+	s.touch(a)
+	s.touch(b)
+	return L.Less(a, b)
+}
+
+func (s *Sim) key(L order.List, v int) uint64 {
+	s.touch(v)
+	return L.Key(v)
+}
+
+// before mirrors Maintainer.before under the core overlay.
+func (s *Sim) before(u, v int) bool {
+	cu, cv := s.coreOf(u), s.coreOf(v)
+	if cu != cv {
+		return cu < cv
+	}
+	return s.less(s.m.levels[cu], u, v)
+}
+
+// eachNeighbor iterates w's adjacency under the single-edge patch,
+// reproducing the exact iteration order live execution would see: an
+// inserted arc is appended at the end (graph.addArc appends), a removed arc
+// is swap-filled by the last neighbor (graph.removeArc). Matching the order
+// matters — discovery order decides V* order and therefore the final
+// k-order, which must be bit-identical to the live path.
+func (s *Sim) eachNeighbor(w int, fn func(z int)) {
+	adj := s.m.g.Neighbors(w)
+	if s.patchDel && (w == s.pu || w == s.pv) {
+		other := int32(s.pv)
+		if w == s.pv {
+			other = int32(s.pu)
+		}
+		idx := -1
+		for j, z32 := range adj {
+			if z32 == other {
+				idx = j
+				break
+			}
+		}
+		last := len(adj) - 1
+		for j := 0; j < last; j++ {
+			z := adj[j]
+			if j == idx {
+				z = adj[last]
+			}
+			fn(int(z))
+		}
+		return
+	}
+	for _, z32 := range adj {
+		fn(int(z32))
+	}
+	if s.patchAdd {
+		if w == s.pu {
+			fn(s.pv)
+		} else if w == s.pv {
+			fn(s.pu)
+		}
+	}
+}
+
+// begin resets all per-update state and opens a Delta for the update.
+func (s *Sim) begin(u, v int, insert bool) {
+	s.pu, s.pv = u, v
+	s.patchAdd, s.patchDel = insert, !insert
+	s.coreOv.reset()
+	s.dpOv.reset()
+	s.mcdOv.reset()
+	s.fpSet.reset()
+	s.fp = s.fp[:0]
+	s.degStar.reset()
+	s.cd.reset()
+	s.cand.reset()
+	s.conf.reset()
+	s.inHeap.reset()
+	s.inQ.reset()
+	s.inVStar.reset()
+	s.moved.reset()
+	s.heap.Reset()
+	d := s.takeDelta()
+	d.U, d.V, d.Insert = u, v, insert
+	s.d = d
+	s.touch(u)
+	s.touch(v)
+}
+
+// finish seals the Delta: overlay writes become absolute value records and
+// the footprint is copied out.
+func (s *Sim) finish(visited int, changed []int) *Delta {
+	d := s.d
+	d.Visited = visited
+	d.Changed = append(d.Changed[:0], changed...)
+	d.core = s.coreOv.emit(d.core[:0])
+	d.degPlus = s.dpOv.emit(d.degPlus[:0])
+	d.mcd = s.mcdOv.emit(d.mcd[:0])
+	d.Footprint = append(d.Footprint[:0], s.fp...)
+	s.d = nil
+	return d
+}
+
+func (s *Sim) op(kind uint8, level, a, b int) {
+	s.d.ops = append(s.d.ops, simOp{kind: kind, level: int32(level), a: int32(a), b: int32(b)})
+}
+
+// SimInsert simulates OrderInsert of edge (u, v). It returns ok=false when
+// the update cannot be simulated (an endpoint outside the snapshot's vertex
+// range); such updates must run live. The edge must be valid and absent —
+// the engine's batch validation guarantees both.
+func (s *Sim) SimInsert(u, v int) (*Delta, bool) {
+	m := s.m
+	if u < 0 || v < 0 || u >= len(m.core) || v >= len(m.core) {
+		return nil, false
+	}
+	s.begin(u, v, true)
+	cu, cv := s.coreOf(u), s.coreOf(v)
+	if cv >= cu {
+		s.setMCD(u, s.mcdOf(u)+1)
+	}
+	if cu >= cv {
+		s.setMCD(v, s.mcdOf(v)+1)
+	}
+	root := u
+	if s.before(v, u) {
+		root = v
+	}
+	K := s.coreOf(root)
+	s.d.K = K
+	s.setDP(root, s.dpOf(root)+1)
+	if s.dpOf(root) <= K {
+		// Lemma 5.2: no core numbers change.
+		return s.finish(0, nil), true
+	}
+
+	// Core phase, mirroring Insert: comparisons and rank snapshots run
+	// against the unmutated O_K; physical mutations become recorded ops.
+	L := m.levels[K]
+	vc := s.vcBuf[:0]
+	relocs := s.relocsBuf[:0]
+	cursor := -1
+	visited := 0
+
+	s.heap.Push(s.key(L, root), root)
+	s.inHeap.set(root)
+
+	for {
+		it, ok := s.heap.Pop()
+		if !ok {
+			break
+		}
+		w := it.V
+		if s.cand.has(w) || s.conf.has(w) {
+			continue
+		}
+		s.inHeap.clear(w)
+		ds := s.degStar.get(w)
+		if ds == 0 && w != root {
+			continue
+		}
+		if ds+s.dpOf(w) > K {
+			visited++
+			s.cand.set(w)
+			vc = append(vc, w)
+			s.eachNeighbor(w, func(z int) {
+				if s.coreOf(z) == K && s.less(L, w, z) {
+					s.degStar.add(z, 1)
+					if !s.inHeap.has(z) && !s.cand.has(z) && !s.conf.has(z) {
+						s.inHeap.set(z)
+						s.heap.Push(s.key(L, z), z)
+					}
+				}
+			})
+			continue
+		}
+		visited++
+		s.conf.set(w)
+		s.setDP(w, s.dpOf(w)+ds)
+		s.degStar.set(w, 0)
+		cursor = w
+		cursor = s.simRemoveCandidates(L, w, K, &relocs, cursor)
+	}
+
+	// Ending phase: record the deferred O_K mutations, then settle V*.
+	for _, r := range relocs {
+		s.op(opListRemove, K, 0, r.v)
+		s.op(opListInsertAfter, K, r.anchor, r.v)
+	}
+	vstar := vc[:0]
+	for _, w := range vc {
+		if s.cand.has(w) {
+			vstar = append(vstar, w)
+		}
+	}
+	if len(vstar) > 0 {
+		s.op(opEnsureLevel, K+1, 0, 0)
+		for _, w := range vstar {
+			s.op(opListRemove, K, 0, w)
+		}
+		for i := len(vstar) - 1; i >= 0; i-- {
+			s.op(opListPushFront, K+1, 0, vstar[i])
+		}
+		for _, w := range vstar {
+			s.setCore(w, K+1)
+			s.degStar.set(w, 0)
+		}
+		for _, w := range vstar {
+			cnt := 0
+			s.eachNeighbor(w, func(z int) {
+				if s.coreOf(z) >= K+1 {
+					cnt++
+				}
+				if !s.cand.has(z) && s.coreOf(z) == K+1 {
+					s.setMCD(z, s.mcdOf(z)+1)
+				}
+			})
+			s.setMCD(w, cnt)
+		}
+	}
+	s.vcBuf = vc[:0]
+	s.relocsBuf = relocs[:0]
+	return s.finish(visited, vstar), true
+}
+
+// simRemoveCandidates mirrors removeCandidates under the overlays.
+func (s *Sim) simRemoveCandidates(L order.List, vi, K int, relocs *[]relocation, cursor int) int {
+	queue := s.queueBuf[:0]
+	s.eachNeighbor(vi, func(z int) {
+		if s.cand.has(z) {
+			s.setDP(z, s.dpOf(z)-1)
+			if s.dpOf(z)+s.degStar.get(z) <= K && !s.inQ.has(z) {
+				s.inQ.set(z)
+				queue = append(queue, z)
+			}
+		}
+	})
+	for qi := 0; qi < len(queue); qi++ {
+		wp := queue[qi]
+		s.cand.clear(wp)
+		s.conf.set(wp)
+		s.setDP(wp, s.dpOf(wp)+s.degStar.get(wp))
+		s.degStar.set(wp, 0)
+		*relocs = append(*relocs, relocation{anchor: cursor, v: wp})
+		cursor = wp
+		s.eachNeighbor(wp, func(z int) {
+			if s.coreOf(z) != K {
+				return
+			}
+			switch {
+			case s.less(L, vi, z):
+				s.degStar.add(z, -1)
+			case s.cand.has(z) && s.less(L, wp, z):
+				s.degStar.add(z, -1)
+				if s.dpOf(z)+s.degStar.get(z) <= K && !s.inQ.has(z) {
+					s.inQ.set(z)
+					queue = append(queue, z)
+				}
+			case s.cand.has(z):
+				s.setDP(z, s.dpOf(z)-1)
+				if s.dpOf(z)+s.degStar.get(z) <= K && !s.inQ.has(z) {
+					s.inQ.set(z)
+					queue = append(queue, z)
+				}
+			}
+		})
+	}
+	s.queueBuf = queue[:0]
+	return cursor
+}
+
+// simCDTouch mirrors cdTouch under the mcd overlay.
+func (s *Sim) simCDTouch(w int) int {
+	if s.cd.get(w) == 0 && !s.inVStar.has(w) {
+		s.cd.set(w, s.mcdOf(w)+1)
+	}
+	return s.cd.get(w) - 1
+}
+
+// SimRemove simulates OrderRemoval of edge (u, v). It returns ok=false when
+// an endpoint is outside the snapshot's vertex range. The edge must exist —
+// the engine's batch validation guarantees it.
+func (s *Sim) SimRemove(u, v int) (*Delta, bool) {
+	m := s.m
+	if u < 0 || v < 0 || u >= len(m.core) || v >= len(m.core) {
+		return nil, false
+	}
+	s.begin(u, v, false)
+	uFirst := s.before(u, v)
+	if uFirst {
+		s.setDP(u, s.dpOf(u)-1)
+	} else {
+		s.setDP(v, s.dpOf(v)-1)
+	}
+	cu, cv := s.coreOf(u), s.coreOf(v)
+	if cv >= cu {
+		s.setMCD(u, s.mcdOf(u)-1)
+	}
+	if cu >= cv {
+		s.setMCD(v, s.mcdOf(v)-1)
+	}
+	K := cu
+	if cv < K {
+		K = cv
+	}
+	s.d.K = K
+
+	vstar := s.vstarBuf[:0]
+	stack := s.stackBuf[:0]
+	for _, r := range [2]int{u, v} {
+		if s.coreOf(r) == K && !s.inVStar.has(r) && s.simCDTouch(r) < K {
+			s.inVStar.set(r)
+			s.setCore(r, K-1)
+			vstar = append(vstar, r)
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		s.eachNeighbor(w, func(z int) {
+			if s.coreOf(z) != K || s.inVStar.has(z) {
+				return
+			}
+			cd := s.simCDTouch(z) - 1
+			s.cd.set(z, cd+1)
+			if cd < K {
+				s.inVStar.set(z)
+				s.setCore(z, K-1)
+				vstar = append(vstar, z)
+				stack = append(stack, z)
+			}
+		})
+	}
+	s.vstarBuf, s.stackBuf = vstar, stack[:0]
+	if len(vstar) == 0 {
+		return s.finish(0, nil), true
+	}
+
+	// k-order repair: V* moves to the end of O_{K-1} in discovery order.
+	// levels[K] exists (a vertex currently has core K), so the live path's
+	// ensureLevel(K) is a no-op and needs no recorded op.
+	L := m.levels[K]
+	for _, w := range vstar {
+		dp := 0
+		s.eachNeighbor(w, func(z int) {
+			if s.coreOf(z) == K && s.less(L, z, w) {
+				s.setDP(z, s.dpOf(z)-1)
+			}
+			if s.coreOf(z) >= K || (s.inVStar.has(z) && !s.moved.has(z) && z != w) {
+				dp++
+			}
+		})
+		s.setDP(w, dp)
+		s.moved.set(w)
+		s.op(opListRemove, K, 0, w)
+		s.op(opListPushBack, K-1, 0, w)
+	}
+	for _, w := range vstar {
+		cnt := 0
+		s.eachNeighbor(w, func(z int) {
+			if s.coreOf(z) >= K-1 {
+				cnt++
+			}
+			if !s.inVStar.has(z) && s.coreOf(z) == K {
+				s.setMCD(z, s.mcdOf(z)-1)
+			}
+		})
+		s.setMCD(w, cnt)
+	}
+	return s.finish(len(vstar), vstar), true
+}
+
+// SimUpdate simulates an insertion (insert=true) or removal.
+func (s *Sim) SimUpdate(insert bool, u, v int) (*Delta, bool) {
+	if insert {
+		return s.SimInsert(u, v)
+	}
+	return s.SimRemove(u, v)
+}

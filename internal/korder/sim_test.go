@@ -1,0 +1,216 @@
+package korder
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"kcore/internal/gen"
+	"kcore/internal/order"
+)
+
+// TestSimCommitMatchesLive drives two maintainers over the same randomized
+// mixed update stream: one through the live Insert/Remove path, one through
+// SimInsert/SimRemove + CommitDelta. After every update the full maintained
+// state — core numbers, the complete k-order, and the UpdateResult — must be
+// bit-identical, and the simulation's recorded footprint must be covered by
+// the planner's region estimate (the containment the parallel Apply path
+// relies on).
+func TestSimCommitMatchesLive(t *testing.T) {
+	for _, kind := range []order.Kind{order.KindTreap, order.KindTagList} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			t.Run(kind.String(), func(t *testing.T) {
+				g := gen.ErdosRenyi(60, 140, seed)
+				opts := Options{OrderKind: kind, Seed: 11}
+				live := New(g.Clone(), opts)
+				replay := New(g.Clone(), opts)
+				sim := NewSim(replay)
+				rng := rand.New(rand.NewPCG(seed, 99))
+				n := g.NumVertices()
+				for step := 0; step < 500; step++ {
+					u, v := rng.IntN(n), rng.IntN(n)
+					if u == v {
+						continue
+					}
+					insert := !live.g.HasEdge(u, v)
+
+					region, regionOK := sim.EstimateRegion(insert, u, v, nil)
+					sim.ResetDeltas()
+					d, ok := sim.SimUpdate(insert, u, v)
+					if !ok {
+						t.Fatalf("step %d: SimUpdate refused in-range update", step)
+					}
+					if regionOK {
+						inRegion := make(map[int]bool, len(region))
+						for _, w := range region {
+							inRegion[int(w)] = true
+						}
+						for _, w := range d.Footprint {
+							if !inRegion[w] {
+								t.Fatalf("step %d (%v %d-%d): footprint vertex %d outside estimated region %v",
+									step, insert, u, v, w, region)
+							}
+						}
+					}
+
+					var rLive, rReplay UpdateResult
+					var errLive, errReplay error
+					if insert {
+						rLive, errLive = live.Insert(u, v)
+					} else {
+						rLive, errLive = live.Remove(u, v)
+					}
+					rReplay, errReplay = replay.CommitDelta(d)
+					if errLive != nil || errReplay != nil {
+						t.Fatalf("step %d: live err %v, replay err %v", step, errLive, errReplay)
+					}
+					if rLive.K != rReplay.K || rLive.Visited != rReplay.Visited {
+						t.Fatalf("step %d: result mismatch live %+v replay %+v", step, rLive, rReplay)
+					}
+					if len(rLive.Changed) != len(rReplay.Changed) {
+						t.Fatalf("step %d: changed mismatch live %v replay %v",
+							step, rLive.Changed, rReplay.Changed)
+					}
+					for i := range rLive.Changed {
+						if rLive.Changed[i] != rReplay.Changed[i] {
+							t.Fatalf("step %d: changed order mismatch live %v replay %v",
+								step, rLive.Changed, rReplay.Changed)
+						}
+					}
+					for w := 0; w < n; w++ {
+						if live.core[w] != replay.core[w] {
+							t.Fatalf("step %d: core(%d) live %d replay %d",
+								step, w, live.core[w], replay.core[w])
+						}
+						if live.degPlus[w] != replay.degPlus[w] {
+							t.Fatalf("step %d: deg+(%d) live %d replay %d",
+								step, w, live.degPlus[w], replay.degPlus[w])
+						}
+						if live.mcd[w] != replay.mcd[w] {
+							t.Fatalf("step %d: mcd(%d) live %d replay %d",
+								step, w, live.mcd[w], replay.mcd[w])
+						}
+					}
+					lo, ro := live.Order(), replay.Order()
+					for i := range lo {
+						if lo[i] != ro[i] {
+							t.Fatalf("step %d: k-order diverged at position %d: live %v replay %v",
+								step, i, lo, ro)
+						}
+					}
+				}
+				if err := live.CheckInvariants(); err != nil {
+					t.Fatalf("live invariants: %v", err)
+				}
+				if err := replay.CheckInvariants(); err != nil {
+					t.Fatalf("replay invariants: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestWriteLogCoversStateChanges checks the live write log against a
+// before/after diff of the scalar maintained state: every vertex whose core,
+// deg+, or mcd changed must appear in the log (the log may legitimately
+// contain more — order moves and transient writes).
+func TestWriteLogCoversStateChanges(t *testing.T) {
+	g := gen.BarabasiAlbert(80, 3, 5)
+	m := New(g, Options{Seed: 3})
+	m.StartWriteLog()
+	defer m.StopWriteLog()
+	rng := rand.New(rand.NewPCG(8, 16))
+	n := g.NumVertices()
+	snap := func() ([]int, []int, []int) {
+		c := append([]int(nil), m.core...)
+		d := append([]int(nil), m.degPlus...)
+		mc := append([]int(nil), m.mcd...)
+		return c, d, mc
+	}
+	for step := 0; step < 300; step++ {
+		u, v := rng.IntN(n), rng.IntN(n)
+		if u == v {
+			continue
+		}
+		c0, d0, m0 := snap()
+		var err error
+		if m.g.HasEdge(u, v) {
+			_, err = m.Remove(u, v)
+		} else {
+			_, err = m.Insert(u, v)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		logged := map[int]bool{}
+		for _, w := range m.TakeWriteLog() {
+			logged[w] = true
+		}
+		c1, d1, m1 := snap()
+		for w := 0; w < n; w++ {
+			if (c0[w] != c1[w] || d0[w] != d1[w] || m0[w] != m1[w]) && !logged[w] {
+				t.Fatalf("step %d: vertex %d changed (core %d->%d deg+ %d->%d mcd %d->%d) but was not logged",
+					step, w, c0[w], c1[w], d0[w], d1[w], m0[w], m1[w])
+			}
+		}
+	}
+}
+
+// TestReseedEquivalentToFresh: after wholesale graph mutation, Reseed must
+// leave the maintainer indistinguishable from one freshly built on the same
+// graph, and fully valid.
+func TestReseedEquivalentToFresh(t *testing.T) {
+	g := gen.ErdosRenyi(50, 100, 21)
+	m := New(g, Options{Seed: 9})
+	// Mutate the graph directly (as the engine's rebuild path does), then
+	// reseed.
+	rng := rand.New(rand.NewPCG(4, 2))
+	for i := 0; i < 60; i++ {
+		u, v := rng.IntN(50), rng.IntN(50)
+		if u == v {
+			continue
+		}
+		if g.HasEdge(u, v) {
+			_ = g.RemoveEdge(u, v)
+		} else {
+			_ = g.AddEdge(u, v)
+		}
+	}
+	m.Reseed()
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after reseed: %v", err)
+	}
+	fresh := New(g.Clone(), Options{Seed: 9})
+	fo, ro := fresh.Order(), m.Order()
+	if len(fo) != len(ro) {
+		t.Fatalf("order length %d vs fresh %d", len(ro), len(fo))
+	}
+	for i := range fo {
+		if fo[i] != ro[i] {
+			t.Fatalf("order diverges from fresh build at %d", i)
+		}
+	}
+	for v := range fresh.core {
+		if fresh.core[v] != m.core[v] {
+			t.Fatalf("core(%d) = %d, fresh %d", v, m.core[v], fresh.core[v])
+		}
+	}
+	// The reseeded maintainer keeps maintaining correctly.
+	for i := 0; i < 40; i++ {
+		u, v := rng.IntN(50), rng.IntN(50)
+		if u == v {
+			continue
+		}
+		var err error
+		if m.g.HasEdge(u, v) {
+			_, err = m.Remove(u, v)
+		} else {
+			_, err = m.Insert(u, v)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after post-reseed churn: %v", err)
+	}
+}

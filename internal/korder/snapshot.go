@@ -70,6 +70,26 @@ func (m *Maintainer) WriteSnapshot(w io.Writer) error {
 	return bw.Flush()
 }
 
+// Reseed rebuilds the maintained index from a fresh static decomposition of
+// the current graph, discarding the incrementally maintained order. The
+// engine's batch cost model uses it when a batch is so large that replaying
+// it through per-edge maintenance would cost more than one O(m + n) peel:
+// the graph is mutated wholesale first, then Reseed recomputes cores,
+// k-order, deg+, and mcd, and re-allocates the per-level lists and scratch
+// exactly as New would — the maintainer afterwards is indistinguishable from
+// a freshly constructed one.
+func (m *Maintainer) Reseed() {
+	dec := decomp.KOrder(m.g, m.opts.Heuristic, m.opts.Seed)
+	m.core = dec.Core
+	m.degPlus = dec.DegPlus
+	m.mcd = decomp.ComputeMCD(m.g, dec.Core)
+	m.seedCtr = m.opts.Seed
+	m.initLevels(dec.MaxCore, dec.Order)
+	m.initScratch(m.g.NumVertices())
+	m.logWrites = false
+	m.writeLog = nil
+}
+
 // LoadSnapshot restores a maintainer from a snapshot written by
 // WriteSnapshot. The snapshot is fully verified in O(m + n): the stored
 // order must be a permutation, level-monotone, a valid peeling order

@@ -1,0 +1,140 @@
+// Package parallel provides the batch execution planner and worker-pool
+// primitives behind the engine's concurrent Apply path.
+//
+// The planner turns per-update region estimates (internal/korder's
+// EstimateRegion) into conflict groups: updates whose regions share a vertex
+// are unioned into one group, because they may read or write the same
+// state. Updates alone in their group ("singletons") have pairwise-disjoint
+// regions with every other group and can be simulated concurrently against
+// the pre-batch snapshot; everything else replays sequentially. The grouping
+// is an over-approximation twice over — regions over-approximate footprints,
+// and sharing any vertex counts as a conflict even when the accesses would
+// not interact — which is exactly what makes the concurrent schedule safe.
+package parallel
+
+// Planner computes conflict groups over one batch. The zero value is ready
+// to use; a Planner is reusable across batches (its scratch is epoch-reset)
+// but not safe for concurrent use.
+type Planner struct {
+	// Union-find over update indices.
+	parent []int32
+	rank   []int8
+
+	// claim[v] = update index that first claimed vertex v this epoch.
+	claim   []int32
+	claimEp []uint32
+	epoch   uint32
+
+	groupSize []int32
+}
+
+// Plan unions updates whose regions intersect. regions[i] lists the
+// estimated region of update i; a nil region claims nothing (the update is
+// not a simulation candidate — coalesced, out of range, or capped — and
+// conflicts with nothing at planning time; the engine's dirty tracking
+// covers it at commit time). n is the vertex-id upper bound; region entries
+// must be < n.
+func (p *Planner) Plan(n int, regions [][]int32) {
+	m := len(regions)
+	if cap(p.parent) < m {
+		p.parent = make([]int32, m)
+		p.rank = make([]int8, m)
+		p.groupSize = make([]int32, m)
+	}
+	p.parent = p.parent[:m]
+	p.rank = p.rank[:m]
+	p.groupSize = p.groupSize[:m]
+	for i := range p.parent {
+		p.parent[i] = int32(i)
+		p.rank[i] = 0
+		p.groupSize[i] = 0
+	}
+	if len(p.claim) < n {
+		grown := make([]int32, n)
+		copy(grown, p.claim)
+		p.claim = grown
+		grownEp := make([]uint32, n)
+		copy(grownEp, p.claimEp)
+		p.claimEp = grownEp
+	}
+	p.epoch++
+	if p.epoch == 0 { // wrapped: all stamps stale, restart cleanly
+		clear(p.claimEp)
+		p.epoch = 1
+	}
+	for i, region := range regions {
+		for _, w := range region {
+			if p.claimEp[w] == p.epoch {
+				p.union(int32(i), p.claim[w])
+			} else {
+				p.claimEp[w] = p.epoch
+				p.claim[w] = int32(i)
+			}
+		}
+	}
+	// Fully compress the forest: after this loop parent[i] is its root for
+	// all i. Group/Singleton/Contained then resolve roots with root(), a
+	// single parent read with no path-halving writes, so they may be called
+	// concurrently from simulation workers (find's halving body writes
+	// parent entries even when the written value is unchanged, which would
+	// be a data race under concurrent use).
+	for i := range p.parent {
+		p.parent[i] = p.find(int32(i))
+	}
+	for i, region := range regions {
+		if region != nil {
+			p.groupSize[p.root(int32(i))]++
+		}
+	}
+}
+
+// root resolves i's group after Plan's full compression pass: a pure read,
+// safe for concurrent use (unlike find, which path-halves).
+func (p *Planner) root(i int32) int32 { return p.parent[i] }
+
+func (p *Planner) find(i int32) int32 {
+	for p.parent[i] != i {
+		p.parent[i] = p.parent[p.parent[i]] // path halving
+		i = p.parent[i]
+	}
+	return i
+}
+
+func (p *Planner) union(a, b int32) {
+	ra, rb := p.find(a), p.find(b)
+	if ra == rb {
+		return
+	}
+	if p.rank[ra] < p.rank[rb] {
+		ra, rb = rb, ra
+	}
+	p.parent[rb] = ra
+	if p.rank[ra] == p.rank[rb] {
+		p.rank[ra]++
+	}
+}
+
+// Group returns the group id (an update index, stable within one Plan) of
+// update i. Safe for concurrent use after Plan returns.
+func (p *Planner) Group(i int) int { return int(p.root(int32(i))) }
+
+// Singleton reports whether update i is alone in its conflict group and so
+// may be simulated concurrently. Safe for concurrent use after Plan
+// returns.
+func (p *Planner) Singleton(i int) bool {
+	return p.groupSize[p.root(int32(i))] == 1
+}
+
+// Contained reports whether every vertex of footprint is claimed by update
+// i's own group. A simulation whose footprint escapes its claimed region —
+// into another group's territory or into unclaimed vertices — must be
+// discarded and replayed live. Safe for concurrent use after Plan returns.
+func (p *Planner) Contained(i int, footprint []int) bool {
+	g := p.root(int32(i))
+	for _, w := range footprint {
+		if w >= len(p.claim) || p.claimEp[w] != p.epoch || p.root(p.claim[w]) != g {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,218 @@
+package parallel
+
+import (
+	"math/rand/v2"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPlannerBasicGroups(t *testing.T) {
+	p := &Planner{}
+	regions := [][]int32{
+		{0, 1, 2},  // group A
+		{3, 4},     // group B
+		{2, 5},     // overlaps update 0 -> group A
+		{6},        // group C
+		nil,        // not a candidate
+		{4, 7, 8},  // overlaps update 1 -> group B
+		{9, 10, 6}, // overlaps update 3 -> group C
+	}
+	p.Plan(11, regions)
+	if p.Group(0) != p.Group(2) || p.Group(1) != p.Group(5) || p.Group(3) != p.Group(6) {
+		t.Fatalf("expected merges missing: groups %d %d %d %d %d %d",
+			p.Group(0), p.Group(1), p.Group(2), p.Group(3), p.Group(5), p.Group(6))
+	}
+	if p.Group(0) == p.Group(1) || p.Group(0) == p.Group(3) || p.Group(1) == p.Group(3) {
+		t.Fatalf("independent groups merged")
+	}
+	for _, i := range []int{0, 1, 2, 3, 5, 6} {
+		if p.Singleton(i) {
+			t.Fatalf("update %d wrongly a singleton", i)
+		}
+	}
+}
+
+func TestPlannerSingletonsAndContainment(t *testing.T) {
+	p := &Planner{}
+	regions := [][]int32{
+		{0, 1},
+		{2, 3},
+		{1, 4}, // merges with 0
+	}
+	p.Plan(5, regions)
+	if !p.Singleton(1) {
+		t.Fatal("update 1 should be a singleton")
+	}
+	if p.Singleton(0) || p.Singleton(2) {
+		t.Fatal("updates 0 and 2 share a group")
+	}
+	if !p.Contained(1, []int{2, 3}) {
+		t.Fatal("footprint within own region must be contained")
+	}
+	if p.Contained(1, []int{2, 4}) {
+		t.Fatal("footprint touching another group must not be contained")
+	}
+	if p.Contained(1, []int{2, 99}) {
+		t.Fatal("out-of-range footprint vertex must not be contained")
+	}
+	// Unclaimed vertex 0? vertex 0 is claimed by group of update 0.
+	if p.Contained(1, []int{0}) {
+		t.Fatal("vertex claimed by a foreign group must not be contained")
+	}
+}
+
+// TestPlannerReuse: a second Plan on the same Planner must not leak claims
+// from the first epoch.
+func TestPlannerReuse(t *testing.T) {
+	p := &Planner{}
+	p.Plan(10, [][]int32{{1, 2}, {3, 4}})
+	if p.Group(0) == p.Group(1) {
+		t.Fatal("disjoint regions merged in first epoch")
+	}
+	// Same vertices, swapped: stale claims from epoch 1 must not merge.
+	p.Plan(10, [][]int32{{5, 6}, {1, 2}})
+	if p.Group(0) == p.Group(1) {
+		t.Fatal("stale claims leaked across epochs")
+	}
+	if !p.Singleton(0) || !p.Singleton(1) {
+		t.Fatal("both updates should be singletons after reuse")
+	}
+}
+
+// FuzzPlannerAgainstBruteForce checks the union-find grouping against a
+// brute-force oracle that computes connected components of the pairwise
+// region-intersection graph — the "everything that could conflict,
+// conflicts" reference partition.
+func FuzzPlannerAgainstBruteForce(f *testing.F) {
+	f.Add(uint64(1), 8, 20)
+	f.Add(uint64(42), 16, 6)
+	f.Add(uint64(7), 1, 1)
+	f.Add(uint64(9), 30, 50)
+	f.Fuzz(func(t *testing.T, seed uint64, updates, vertices int) {
+		if updates < 0 || updates > 64 || vertices < 1 || vertices > 128 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewPCG(seed, 77))
+		regions := make([][]int32, updates)
+		for i := range regions {
+			if rng.IntN(6) == 0 {
+				continue // nil region: not a candidate
+			}
+			k := 1 + rng.IntN(5)
+			seen := map[int32]bool{}
+			for j := 0; j < k; j++ {
+				w := int32(rng.IntN(vertices))
+				if !seen[w] {
+					seen[w] = true
+					regions[i] = append(regions[i], w)
+				}
+			}
+		}
+		p := &Planner{}
+		p.Plan(vertices, regions)
+
+		// Oracle: union-find-free transitive closure over pairwise
+		// intersection.
+		group := make([]int, updates)
+		for i := range group {
+			group[i] = i
+		}
+		intersect := func(a, b []int32) bool {
+			for _, x := range a {
+				for _, y := range b {
+					if x == y {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		for changed := true; changed; {
+			changed = false
+			for i := 0; i < updates; i++ {
+				for j := i + 1; j < updates; j++ {
+					if regions[i] == nil || regions[j] == nil {
+						continue
+					}
+					if intersect(regions[i], regions[j]) && group[i] != group[j] {
+						lo, hi := group[i], group[j]
+						if lo > hi {
+							lo, hi = hi, lo
+						}
+						for k := range group {
+							if group[k] == hi {
+								group[k] = lo
+							}
+						}
+						changed = true
+					}
+				}
+			}
+		}
+		for i := 0; i < updates; i++ {
+			for j := i + 1; j < updates; j++ {
+				if regions[i] == nil || regions[j] == nil {
+					continue
+				}
+				same := p.Group(i) == p.Group(j)
+				want := group[i] == group[j]
+				if same != want {
+					t.Fatalf("updates %d,%d: planner same-group=%v oracle=%v (regions %v %v)",
+						i, j, same, want, regions[i], regions[j])
+				}
+			}
+		}
+		// Singleton agreement: an update is concurrently simulable iff the
+		// oracle's component has exactly one candidate member.
+		for i := 0; i < updates; i++ {
+			if regions[i] == nil {
+				continue
+			}
+			count := 0
+			for j := 0; j < updates; j++ {
+				if regions[j] != nil && group[j] == group[i] {
+					count++
+				}
+			}
+			if p.Singleton(i) != (count == 1) {
+				t.Fatalf("update %d: singleton=%v oracle count=%d", i, p.Singleton(i), count)
+			}
+		}
+	})
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8} {
+		var hits [1000]atomic.Int32
+		ForEach(workers, len(hits), func(worker, i int) {
+			hits[i].Add(1)
+		})
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, hits[i].Load())
+			}
+		}
+	}
+	// n smaller than workers and n == 0.
+	var small [3]atomic.Int32
+	ForEach(8, len(small), func(worker, i int) { small[i].Add(1) })
+	for i := range small {
+		if small[i].Load() != 1 {
+			t.Fatal("small n mishandled")
+		}
+	}
+	ForEach(4, 0, func(worker, i int) { t.Fatal("fn called for n=0") })
+}
+
+func TestForEachWorkerIDsInRange(t *testing.T) {
+	const workers = 4
+	var bad atomic.Int32
+	ForEach(workers, 500, func(worker, i int) {
+		if worker < 0 || worker >= workers {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatal("worker id out of range")
+	}
+}

@@ -1,0 +1,53 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(worker, i) for every i in [0, n) across up to `workers`
+// goroutines and waits for completion. Each invocation receives the id of
+// the worker executing it (in [0, workers)), so callers can hand every
+// worker its own scratch state. Indices are handed out in chunks from an
+// atomic cursor: cheap, deterministic-free scheduling — callers must not
+// depend on assignment or completion order.
+//
+// With workers <= 1 (or tiny n) it degrades to a plain loop on the calling
+// goroutine with worker id 0.
+func ForEach(workers, n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	const chunk = 16
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				start := int(cursor.Add(chunk)) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					fn(worker, i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"testing"
+
+	"kcore/internal/gen"
+)
+
+// TestChurnValidity: replaying the stream against a graph copy must never
+// hit a duplicate insertion or missing removal.
+func TestChurnValidity(t *testing.T) {
+	for _, skew := range []float64{0, 0.5, 0.9} {
+		for _, addFrac := range []float64{0.3, 0.5, 0.8} {
+			g := gen.ErdosRenyi(300, 900, 7)
+			ops := Churn(g, 2000, ChurnOptions{AddFraction: addFrac, Skew: skew, Seed: 11})
+			if len(ops) != 2000 {
+				t.Fatalf("got %d ops, want 2000", len(ops))
+			}
+			sim := g.Clone()
+			adds := 0
+			for i, op := range ops {
+				var err error
+				if op.Insert {
+					adds++
+					err = sim.AddEdge(op.E.U, op.E.V)
+				} else {
+					err = sim.RemoveEdge(op.E.U, op.E.V)
+				}
+				if err != nil {
+					t.Fatalf("skew=%v add=%v: op %d (%+v) invalid: %v", skew, addFrac, i, op, err)
+				}
+			}
+			frac := float64(adds) / float64(len(ops))
+			if frac < addFrac-0.08 || frac > addFrac+0.08 {
+				t.Fatalf("skew=%v: add fraction %.3f, want ~%.2f", skew, frac, addFrac)
+			}
+		}
+	}
+}
+
+// TestChurnDeterminism: same seed, same stream; different seed, different
+// stream.
+func TestChurnDeterminism(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 3)
+	a := Churn(g, 500, ChurnOptions{Skew: 0.6, Seed: 5})
+	b := Churn(g, 500, ChurnOptions{Skew: 0.6, Seed: 5})
+	c := Churn(g, 500, ChurnOptions{Skew: 0.6, Seed: 6})
+	if len(a) != len(b) {
+		t.Fatal("length mismatch for same seed")
+	}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs for same seed: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	diff := false
+	for i := range a {
+		if i < len(c) && a[i] != c[i] {
+			diff = true
+			break
+		}
+	}
+	if !same || !diff {
+		t.Fatal("determinism check failed")
+	}
+}
+
+// TestChurnSkewConcentratesLoad: with high skew, the most-touched vertex
+// must participate in far more insertions than under uniform selection.
+func TestChurnSkewConcentratesLoad(t *testing.T) {
+	g := gen.ErdosRenyi(400, 400, 9)
+	maxTouches := func(skew float64) int {
+		touches := make([]int, g.NumVertices())
+		for _, op := range Churn(g, 3000, ChurnOptions{AddFraction: 0.9, Skew: skew, Seed: 13}) {
+			if op.Insert {
+				touches[op.E.U]++
+				touches[op.E.V]++
+			}
+		}
+		m := 0
+		for _, c := range touches {
+			if c > m {
+				m = c
+			}
+		}
+		return m
+	}
+	uniform, hot := maxTouches(0), maxTouches(0.9)
+	if hot < 3*uniform {
+		t.Fatalf("skew 0.9 max touches %d not clearly above uniform %d", hot, uniform)
+	}
+}

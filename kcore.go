@@ -46,6 +46,7 @@ package kcore
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -53,6 +54,7 @@ import (
 	"kcore/internal/graph"
 	"kcore/internal/korder"
 	"kcore/internal/order"
+	"kcore/internal/parallel"
 	"kcore/internal/traversal"
 )
 
@@ -103,11 +105,29 @@ const (
 )
 
 type config struct {
-	algorithm Algorithm
-	heuristic Heuristic
-	structure OrderStructure
-	hops      int
-	seed      uint64
+	algorithm    Algorithm
+	heuristic    Heuristic
+	structure    OrderStructure
+	hops         int
+	seed         uint64
+	workers      int
+	rebuildFloor int
+	rebuildFrac  float64
+}
+
+// Defaults for the batch execution planner. The rebuild fraction is
+// measured: see the rebuild-crossover rows of BENCH_parallel.json and
+// EXPERIMENTS.md.
+const (
+	defaultRebuildFloor = 256
+	defaultRebuildFrac  = 0.15
+	defaultParallelMin  = 128
+	maxAutoWorkers      = 8
+)
+
+func defaultConfig() config {
+	return config{hops: 2, seed: 1, rebuildFloor: defaultRebuildFloor,
+		rebuildFrac: defaultRebuildFrac}
 }
 
 // Option configures an Engine.
@@ -131,6 +151,29 @@ func WithTraversalHops(h int) Option { return func(c *config) { c.hops = h } }
 // WithSeed makes all internal randomization deterministic (default 1).
 func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
 
+// WithWorkers sets how many workers Apply may use for conflict-grouped
+// concurrent batch maintenance (order-based engine only). n = 1 forces
+// sequential execution; n <= 0 (the default) picks min(GOMAXPROCS, 8).
+// Parallel execution produces results bit-identical to sequential — same
+// core numbers, BatchInfo, subscriber events, and maintained k-order — so
+// the setting is purely a performance knob. Small batches always run
+// sequentially regardless.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithRebuildThreshold tunes the maintain-vs-recompute cost model
+// (order-based engine only): a batch whose surviving update count is at
+// least floor and at least fraction*(m+n) of the post-batch graph is
+// applied by one wholesale O(m + n) recomputation instead of per-update
+// maintenance, which is much faster but coarsens the result — see
+// BatchInfo.Recomputed. floor < 0 disables recomputation entirely.
+// Defaults: floor 256, fraction 0.15 (measured; see EXPERIMENTS.md).
+func WithRebuildThreshold(floor int, fraction float64) Option {
+	return func(c *config) {
+		c.rebuildFloor = floor
+		c.rebuildFrac = fraction
+	}
+}
+
 // UpdateInfo reports the effect of one edge update (or, aggregated, of one
 // multi-update operation).
 type UpdateInfo struct {
@@ -138,7 +181,9 @@ type UpdateInfo struct {
 	// insertion, -1 for removal). Aggregated results (BatchInfo.Total,
 	// AddVertexWithEdges, RemoveVertex) deduplicate: a vertex whose core
 	// changed more than once during the operation appears once, at its
-	// first change.
+	// first change. When a batch was applied by wholesale recomputation
+	// (BatchInfo.Recomputed), the aggregated CoreChanged instead lists the
+	// net-changed vertices in ascending order.
 	//
 	// The slice is owned by the caller: unlike the internal maintainers'
 	// pooled buffers, it never aliases engine scratch, so it stays valid
@@ -147,6 +192,10 @@ type UpdateInfo struct {
 	// Visited is the number of vertices the algorithm examined to find
 	// CoreChanged (the paper's |V+| / |V'| search-space metric).
 	Visited int
+	// Coalesced marks a batch position that was cancelled during
+	// pre-validation as half of a self-annihilating pair (see
+	// BatchInfo.Coalesced); such entries carry no other information.
+	Coalesced bool
 }
 
 // maintainer abstracts the two algorithm implementations.
@@ -200,6 +249,25 @@ type Engine struct {
 	dedupEp  []uint64
 	dedupCur uint64
 	val      overlay
+	skipBuf  []bool
+
+	// Parallel batch runtime (guarded by mu; see parallel.go). workers,
+	// parMin, rebuildFloor and rebuildFrac are resolved from the config at
+	// construction. The sims, regions, deltas and planner scratch are only
+	// touched by Apply while holding the write lock; their worker goroutines
+	// never outlive one Apply call.
+	workers      int
+	parMin       int
+	rebuildFloor int
+	rebuildFrac  float64
+	sims         []*korder.Sim
+	regions      [][]int32
+	views        [][]int32
+	deltas       []*korder.Delta
+	planner      parallel.Planner
+	dirtyEp      []uint64
+	dirtyCur     uint64
+	exec         ExecStats
 
 	// Change subscriptions (see subscribe.go). subMu guards subs; subCount
 	// mirrors len(subs) so the no-subscriber fast path skips locking.
@@ -224,7 +292,7 @@ func NewEngine(opts ...Option) *Engine {
 // loops are rejected). Building from a batch is much faster than inserting
 // edges one by one: the initial decomposition runs in O(m + n).
 func FromEdges(edges [][2]int, opts ...Option) (*Engine, error) {
-	cfg := config{hops: 2, seed: 1}
+	cfg := defaultConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -241,7 +309,7 @@ func FromEdges(edges [][2]int, opts ...Option) (*Engine, error) {
 // line; '#' and '%' comments allowed; duplicate edges and self loops are
 // skipped).
 func Load(r io.Reader, opts ...Option) (*Engine, error) {
-	cfg := config{hops: 2, seed: 1}
+	cfg := defaultConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -269,11 +337,49 @@ func fromGraph(g *graph.Undirected, cfg config) (*Engine, error) {
 	default:
 		return nil, fmt.Errorf("kcore: unknown algorithm %d", cfg.algorithm)
 	}
+	e.initBatchRuntime()
 	return e, nil
+}
+
+// initBatchRuntime resolves the batch execution planner's settings from the
+// config.
+func (e *Engine) initBatchRuntime() {
+	e.workers = e.cfg.workers
+	if e.workers <= 0 {
+		e.workers = min(runtime.GOMAXPROCS(0), maxAutoWorkers)
+	}
+	e.parMin = defaultParallelMin
+	e.rebuildFloor = e.cfg.rebuildFloor
+	e.rebuildFrac = e.cfg.rebuildFrac
 }
 
 // Algorithm reports the engine's maintenance algorithm.
 func (e *Engine) Algorithm() Algorithm { return e.cfg.algorithm }
+
+// ExecStats counts, over the engine's lifetime, how many applied updates
+// went through each batch execution mode. It is observability for the batch
+// planner: a high Live share on large batches means the workload's update
+// regions overlap (hot hubs), so the conflict-grouped runtime is falling
+// back to sequential execution.
+type ExecStats struct {
+	// Sequential counts updates applied by the plain sequential path.
+	Sequential uint64
+	// Replayed counts updates whose concurrently simulated delta was
+	// committed by the parallel runtime.
+	Replayed uint64
+	// Live counts updates the parallel runtime executed sequentially —
+	// multi-update conflict groups, region overflows, and demotions.
+	Live uint64
+	// Recomputed counts updates absorbed by a wholesale recomputation.
+	Recomputed uint64
+}
+
+// ExecStats reports cumulative batch execution counters.
+func (e *Engine) ExecStats() ExecStats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.exec
+}
 
 // Seq reports the number of updates applied over the engine's lifetime.
 // Every applied update increments it by one; BatchInfo, CoreChange and View
@@ -507,7 +613,7 @@ func (e *Engine) SaveIndex(w io.Writer) error {
 // LoadIndex restores an order-based engine from a SaveIndex snapshot,
 // verifying its integrity in O(m + n).
 func LoadIndex(r io.Reader, opts ...Option) (*Engine, error) {
-	cfg := config{hops: 2, seed: 1}
+	cfg := defaultConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -523,7 +629,9 @@ func LoadIndex(r io.Reader, opts ...Option) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("kcore: %w", err)
 	}
-	return &Engine{g: m.Graph(), m: orderImpl{m}, cfg: cfg}, nil
+	e := &Engine{g: m.Graph(), m: orderImpl{m}, cfg: cfg}
+	e.initBatchRuntime()
+	return e, nil
 }
 
 // Validate checks the maintained state against a from-scratch

@@ -1,0 +1,250 @@
+package kcore
+
+import (
+	"kcore/internal/korder"
+	"kcore/internal/parallel"
+)
+
+// Parallel batch execution and the maintain-vs-recompute hybrid.
+//
+// The order-based algorithm localizes each update's work to a small region
+// around the root's core level K (the paper's locality result: V* is
+// confined to the level-K connected region of the edge, and all reads stay
+// within that region and its direct neighbors). Updates whose regions are
+// disjoint are therefore independent, and a batch can exploit that:
+//
+//  1. Plan (sequential, cheap): estimate every update's region
+//     (korder.EstimateRegion) and union-find updates with intersecting
+//     regions into conflict groups (parallel.Planner).
+//  2. Simulate (concurrent): updates alone in their group are simulated
+//     read-only against the frozen pre-batch state by a pool of workers,
+//     each owning its own korder.Sim scratch. A simulation records a
+//     replayable Delta plus its exact read/write footprint.
+//  3. Commit (sequential, in batch order): validated deltas replay in a few
+//     hundred nanoseconds (CommitDelta); everything else — multi-update
+//     groups, region-cap overflows, simulations whose footprint escaped
+//     their claimed region, and deltas whose region a live update dirtied —
+//     executes live through the normal Insert/Remove path, with its write
+//     set logged so later replays can detect interference.
+//
+// Because replayed deltas perform the exact logical mutations the live path
+// would have performed, in the same batch order, the final engine state and
+// every observable output (BatchInfo, core numbers, the maintained k-order,
+// subscriber events) are bit-identical to sequential execution. See
+// PARALLEL.md for the full safety argument.
+//
+// Separately, when a batch rewrites a large fraction of the graph, per-edge
+// maintenance — even parallel — loses to a single O(m + n) recomputation
+// (the static peel that builds the engine in the first place). A cost-model
+// switch routes such batches to applyRebuild instead; see
+// WithRebuildThreshold.
+
+// shouldRebuild is the maintain-vs-recompute cost model: recompute when the
+// surviving batch is at least rebuildFrac of the post-batch graph size
+// (m + n, the O(m + n) peel's input) and clears the floor that keeps small
+// batches on the cheap incremental path. The default fraction is measured —
+// see the rebuild-crossover rows of BENCH_parallel.json.
+func (e *Engine) shouldRebuild(applied, adds, removes int) bool {
+	if e.rebuildFloor < 0 {
+		return false
+	}
+	if applied < e.rebuildFloor {
+		return false
+	}
+	mAfter := e.g.NumEdges() + adds - removes
+	return float64(applied) >= e.rebuildFrac*float64(mAfter+e.g.NumVertices())
+}
+
+// applyRebuild applies the batch by wholesale recomputation: mutate the
+// graph directly, then reseed the maintainer from one static O(m + n)
+// decomposition. Per-update attribution is lost — see BatchInfo.Recomputed
+// for the coarsened result semantics.
+func (e *Engine) applyRebuild(impl orderImpl, batch Batch, skip []bool, coalesced int) (BatchInfo, error) {
+	m := impl.m
+	oldCores := m.Cores()
+	info := BatchInfo{Coalesced: coalesced, Recomputed: true}
+	for i, up := range batch {
+		if skip != nil && skip[i] {
+			continue
+		}
+		var err error
+		if up.Op == OpAdd {
+			err = e.g.AddEdge(up.U, up.V)
+		} else {
+			err = e.g.RemoveEdge(up.U, up.V)
+		}
+		if err != nil {
+			// Unreachable after validation. Reseed anyway so the maintained
+			// state matches the partially mutated graph before reporting.
+			m.Reseed()
+			info.Seq = e.seq
+			return info, &BatchError{Index: i, Update: up, Err: err}
+		}
+		e.seq++
+		info.Applied++
+		e.exec.Recomputed++
+	}
+	m.Reseed()
+	info.Seq = e.seq
+
+	// Net effect: diff old and new cores. Vertices created by the batch had
+	// implicit core 0 before it.
+	n := e.g.NumVertices()
+	for v := 0; v < n; v++ {
+		old := 0
+		if v < len(oldCores) {
+			old = oldCores[v]
+		}
+		if m.Core(v) != old {
+			info.Total.CoreChanged = append(info.Total.CoreChanged, v)
+		}
+	}
+	info.Total.Visited = n
+	e.notifyDiff(info.Total.CoreChanged, oldCores)
+	return info, nil
+}
+
+// applyParallel executes the batch with the plan/simulate/commit pipeline
+// described above. Results are bit-identical to applySequential.
+func (e *Engine) applyParallel(impl orderImpl, batch Batch, skip []bool, coalesced int) (BatchInfo, error) {
+	m := impl.m
+	workers := e.workers
+	for len(e.sims) < workers {
+		e.sims = append(e.sims, korder.NewSim(m))
+	}
+	sims := e.sims[:workers]
+	for _, s := range sims {
+		s.Grow()
+		s.ResetDeltas()
+	}
+	nb := len(batch)
+	for len(e.regions) < nb {
+		e.regions = append(e.regions, nil)
+	}
+	for len(e.views) < nb {
+		e.views = append(e.views, nil)
+	}
+	for len(e.deltas) < nb {
+		e.deltas = append(e.deltas, nil)
+	}
+	regions := e.regions[:nb] // per-slot buffers, kept across batches
+	views := e.views[:nb]     // regions[i] when a candidate, else nil
+	deltas := e.deltas[:nb]
+
+	// Phase 1a (concurrent, read-only): estimate regions. A nil view means
+	// the update is no simulation candidate — coalesced, endpoint outside
+	// the snapshot, or region beyond the caps — and will run live.
+	parallel.ForEach(workers, nb, func(w, i int) {
+		deltas[i] = nil
+		views[i] = nil
+		if skip[i] {
+			return
+		}
+		up := batch[i]
+		region, ok := sims[w].EstimateRegion(up.Op == OpAdd, up.U, up.V, regions[i][:0])
+		regions[i] = region // keep the (possibly grown) buffer either way
+		if ok {
+			views[i] = region
+		}
+	})
+
+	// Phase 1b (sequential): conflict groups via union-find over region
+	// intersection.
+	e.planner.Plan(m.NumVertices(), views)
+
+	// Phase 2 (concurrent, read-only): simulate singleton groups against
+	// the frozen pre-batch state; discard simulations whose actual
+	// footprint escaped their claimed region.
+	parallel.ForEach(workers, nb, func(w, i int) {
+		if views[i] == nil || !e.planner.Singleton(i) {
+			return
+		}
+		up := batch[i]
+		d, ok := sims[w].SimUpdate(up.Op == OpAdd, up.U, up.V)
+		if !ok || !e.planner.Contained(i, d.Footprint) {
+			return
+		}
+		deltas[i] = d
+	})
+
+	// Phase 3 (sequential, batch order): replay validated deltas, run the
+	// rest live. Live updates log their write set; a delta whose region was
+	// dirtied by an earlier live update is demoted to live execution, since
+	// its simulation may have read state that has since changed.
+	e.dirtyReset()
+	m.StartWriteLog()
+	defer m.StopWriteLog()
+
+	info := BatchInfo{Coalesced: coalesced, Updates: make([]UpdateInfo, 0, nb)}
+	e.dedupCur++
+	var carve []int
+	for i, up := range batch {
+		if skip[i] {
+			info.Updates = append(info.Updates, UpdateInfo{Coalesced: true})
+			continue
+		}
+		var changed []int
+		var visited int
+		var err error
+		if d := deltas[i]; d != nil && !e.dirtyHas(views[i]) {
+			var r korder.UpdateResult
+			r, err = m.CommitDelta(d)
+			changed, visited = r.Changed, r.Visited
+			e.exec.Replayed++
+		} else {
+			if up.Op == OpAdd {
+				changed, visited, err = impl.Insert(up.U, up.V)
+			} else {
+				changed, visited, err = impl.Remove(up.U, up.V)
+			}
+			e.dirtyMark(m.TakeWriteLog())
+			e.exec.Live++
+		}
+		if err != nil {
+			info.Seq = e.seq
+			return info, &BatchError{Index: i, Update: up, Err: err}
+		}
+		e.seq++
+		e.notify(up.Op, changed)
+		start := len(carve)
+		carve = append(carve, changed...)
+		info.Applied++
+		info.Updates = append(info.Updates,
+			UpdateInfo{CoreChanged: carve[start:len(carve):len(carve)], Visited: visited})
+		info.Total.Visited += visited
+		e.dedupTotal(&info, changed)
+	}
+	info.Seq = e.seq
+	return info, nil
+}
+
+// dirtyReset starts a fresh dirty epoch sized to the pre-batch vertex set.
+func (e *Engine) dirtyReset() {
+	n := e.g.NumVertices()
+	for len(e.dirtyEp) < n {
+		e.dirtyEp = append(e.dirtyEp, 0)
+	}
+	e.dirtyCur++
+}
+
+// dirtyMark records the vertices a live update wrote. Vertices created
+// mid-batch (beyond the pre-batch range) are ignored: no region — all
+// computed against the pre-batch snapshot — can contain them.
+func (e *Engine) dirtyMark(writes []int) {
+	for _, v := range writes {
+		if v < len(e.dirtyEp) {
+			e.dirtyEp[v] = e.dirtyCur
+		}
+	}
+}
+
+// dirtyHas reports whether any vertex of the region was written by an
+// earlier live update this batch.
+func (e *Engine) dirtyHas(region []int32) bool {
+	for _, v := range region {
+		if int(v) < len(e.dirtyEp) && e.dirtyEp[v] == e.dirtyCur {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,348 @@
+package kcore
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"kcore/internal/gen"
+	"kcore/internal/workload"
+)
+
+// churnBatches converts a churn stream into fixed-size batches, injecting a
+// self-annihilating pair every so often so coalescing is exercised on every
+// execution path.
+func churnBatches(ops []workload.Op, batchSize int, inject bool) []Batch {
+	var out []Batch
+	for start := 0; start < len(ops); start += batchSize {
+		end := min(start+batchSize, len(ops))
+		var b Batch
+		for i, op := range ops[start:end] {
+			if op.Insert {
+				b = append(b, Add(op.E.U, op.E.V))
+				if inject && i%17 == 3 {
+					// Take the insertion right back: a coalescable pair.
+					b = append(b, Remove(op.E.U, op.E.V), Add(op.E.U, op.E.V))
+				}
+			} else {
+				b = append(b, Remove(op.E.U, op.E.V))
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// newDifferentialPair builds a sequential reference engine and a parallel
+// engine over the same seed graph, both with recomputation disabled so the
+// maintenance path itself is compared. The parallel engine's batch-size
+// floor is lowered so test-sized batches exercise the concurrent runtime.
+func newDifferentialPair(t *testing.T, edges [][2]int, workers int) (*Engine, *Engine) {
+	t.Helper()
+	seqE, err := FromEdges(edges, WithWorkers(1), WithRebuildThreshold(-1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parE, err := FromEdges(edges, WithWorkers(workers), WithRebuildThreshold(-1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parE.parMin = 2
+	return seqE, parE
+}
+
+func compareBatchInfo(t *testing.T, batch int, seq, par BatchInfo) {
+	t.Helper()
+	if seq.Applied != par.Applied || seq.Coalesced != par.Coalesced ||
+		seq.Seq != par.Seq || seq.Recomputed != par.Recomputed {
+		t.Fatalf("batch %d: header mismatch seq=%+v par=%+v", batch, seq, par)
+	}
+	if len(seq.Updates) != len(par.Updates) {
+		t.Fatalf("batch %d: len(Updates) %d vs %d", batch, len(seq.Updates), len(par.Updates))
+	}
+	for i := range seq.Updates {
+		su, pu := seq.Updates[i], par.Updates[i]
+		if su.Coalesced != pu.Coalesced || su.Visited != pu.Visited ||
+			len(su.CoreChanged) != len(pu.CoreChanged) {
+			t.Fatalf("batch %d update %d: %+v vs %+v", batch, i, su, pu)
+		}
+		for j := range su.CoreChanged {
+			if su.CoreChanged[j] != pu.CoreChanged[j] {
+				t.Fatalf("batch %d update %d: CoreChanged %v vs %v",
+					batch, i, su.CoreChanged, pu.CoreChanged)
+			}
+		}
+	}
+	if seq.Total.Visited != par.Total.Visited ||
+		len(seq.Total.CoreChanged) != len(par.Total.CoreChanged) {
+		t.Fatalf("batch %d: Total mismatch %+v vs %+v", batch, seq.Total, par.Total)
+	}
+	for j := range seq.Total.CoreChanged {
+		if seq.Total.CoreChanged[j] != par.Total.CoreChanged[j] {
+			t.Fatalf("batch %d: Total.CoreChanged %v vs %v",
+				batch, seq.Total.CoreChanged, par.Total.CoreChanged)
+		}
+	}
+}
+
+func compareState(t *testing.T, batch int, seqE, parE *Engine) {
+	t.Helper()
+	sc, pc := seqE.Cores(), parE.Cores()
+	if len(sc) != len(pc) {
+		t.Fatalf("batch %d: vertex counts %d vs %d", batch, len(sc), len(pc))
+	}
+	for v := range sc {
+		if sc[v] != pc[v] {
+			t.Fatalf("batch %d: core(%d) seq %d par %d", batch, v, sc[v], pc[v])
+		}
+	}
+	// Bit-identical maintained k-order, not just equal cores.
+	so := seqE.m.(orderImpl).m.Order()
+	po := parE.m.(orderImpl).m.Order()
+	for i := range so {
+		if so[i] != po[i] {
+			t.Fatalf("batch %d: k-order diverged at %d", batch, i)
+		}
+	}
+}
+
+// TestParallelApplyMatchesSequential is the differential test of the
+// parallel runtime: randomized mixed batches (both scattered and hub-heavy)
+// applied to a sequential-reference engine and a parallel engine must yield
+// identical core numbers, BatchInfo, subscription event streams, and even
+// the same maintained k-order. Run under -race this also proves the
+// concurrent phases are data-race free; the CI matrix covers GOMAXPROCS=1
+// and 4.
+func TestParallelApplyMatchesSequential(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		skew float64
+	}{
+		{"scattered", 0.0},
+		{"hot-hubs", 0.85},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := gen.ErdosRenyi(800, 2400, 17)
+			ops := workload.Churn(g, 1200, workload.ChurnOptions{
+				AddFraction: 0.55, Skew: tc.skew, Seed: 23})
+			seqE, parE := newDifferentialPair(t, g.Edges(), 4)
+
+			var seqDrop, parDrop atomic.Uint64
+			seqCh, cancelSeq := seqE.Subscribe(WithBuffer(1<<16), WithDropCounter(&seqDrop))
+			defer cancelSeq()
+			parCh, cancelPar := parE.Subscribe(WithBuffer(1<<16), WithDropCounter(&parDrop))
+			defer cancelPar()
+
+			for bi, batch := range churnBatches(ops, 150, true) {
+				seqInfo, seqErr := seqE.Apply(batch)
+				parInfo, parErr := parE.Apply(batch)
+				if seqErr != nil || parErr != nil {
+					t.Fatalf("batch %d: seq err %v, par err %v", bi, seqErr, parErr)
+				}
+				compareBatchInfo(t, bi, seqInfo, parInfo)
+				compareState(t, bi, seqE, parE)
+			}
+			if seqDrop.Load() != 0 || parDrop.Load() != 0 {
+				t.Fatalf("event buffers overflowed (seq %d, par %d): grow the test buffer",
+					seqDrop.Load(), parDrop.Load())
+			}
+			seqEvs, parEvs := drain(seqCh), drain(parCh)
+			if len(seqEvs) != len(parEvs) {
+				t.Fatalf("event counts differ: seq %d par %d", len(seqEvs), len(parEvs))
+			}
+			for i := range seqEvs {
+				if seqEvs[i] != parEvs[i] {
+					t.Fatalf("event %d differs: seq %+v par %+v", i, seqEvs[i], parEvs[i])
+				}
+			}
+			if err := seqE.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if err := parE.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			// The scattered workload must actually use the concurrent path —
+			// if every update were demoted to live execution this test would
+			// pass vacuously.
+			if tc.skew == 0 {
+				if st := parE.ExecStats(); st.Replayed == 0 {
+					t.Fatalf("no update was replayed from a simulation: %+v", st)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelAcrossGOMAXPROCS reruns a compact differential workload at
+// GOMAXPROCS 1 and 4: the runtime must be correct (and race-clean) whether
+// or not real parallelism is available.
+func TestParallelAcrossGOMAXPROCS(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		old := runtime.GOMAXPROCS(procs)
+		func() {
+			defer runtime.GOMAXPROCS(old)
+			g := gen.BarabasiAlbert(400, 3, 29)
+			ops := workload.Churn(g, 600, workload.ChurnOptions{
+				AddFraction: 0.5, Skew: 0.3, Seed: 31})
+			seqE, parE := newDifferentialPair(t, g.Edges(), 4)
+			for bi, batch := range churnBatches(ops, 120, true) {
+				seqInfo, seqErr := seqE.Apply(batch)
+				parInfo, parErr := parE.Apply(batch)
+				if seqErr != nil || parErr != nil {
+					t.Fatalf("procs %d batch %d: seq err %v, par err %v", procs, bi, seqErr, parErr)
+				}
+				compareBatchInfo(t, bi, seqInfo, parInfo)
+				compareState(t, bi, seqE, parE)
+			}
+		}()
+	}
+}
+
+// TestRebuildMatchesMaintainedCores: the recompute path must land on the
+// same core numbers as incremental maintenance, with the documented coarse
+// BatchInfo and net-diff subscriber events.
+func TestRebuildMatchesMaintainedCores(t *testing.T) {
+	g := gen.ErdosRenyi(300, 600, 41)
+	base := g.Edges()
+	ops := workload.Churn(g, 900, workload.ChurnOptions{AddFraction: 0.7, Seed: 43})
+	var batch Batch
+	for _, op := range ops {
+		if op.Insert {
+			batch = append(batch, Add(op.E.U, op.E.V))
+		} else {
+			batch = append(batch, Remove(op.E.U, op.E.V))
+		}
+	}
+
+	maintE, err := FromEdges(base, WithRebuildThreshold(-1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuildE, err := FromEdges(base, WithRebuildThreshold(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldCores := rebuildE.Cores()
+	ch, cancel := rebuildE.Subscribe(WithBuffer(1 << 14))
+	defer cancel()
+
+	mInfo, err := maintE.Apply(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rInfo, err := rebuildE.Apply(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mInfo.Recomputed || !rInfo.Recomputed {
+		t.Fatalf("Recomputed flags wrong: maintain %v rebuild %v", mInfo.Recomputed, rInfo.Recomputed)
+	}
+	if rInfo.Updates != nil {
+		t.Fatal("recomputed batch must not carry per-update attribution")
+	}
+	if rInfo.Applied != mInfo.Applied || rInfo.Seq != mInfo.Seq {
+		t.Fatalf("applied/seq mismatch: %+v vs %+v", rInfo, mInfo)
+	}
+	mc, rc := maintE.Cores(), rebuildE.Cores()
+	if len(mc) != len(rc) {
+		t.Fatalf("vertex counts differ: %d vs %d", len(mc), len(rc))
+	}
+	for v := range mc {
+		if mc[v] != rc[v] {
+			t.Fatalf("core(%d): maintained %d, recomputed %d", v, mc[v], rc[v])
+		}
+	}
+	if err := rebuildE.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Total.CoreChanged is the ascending net diff; events mirror it.
+	prev := -1
+	for _, v := range rInfo.Total.CoreChanged {
+		if v <= prev {
+			t.Fatalf("net diff not ascending: %v", rInfo.Total.CoreChanged)
+		}
+		prev = v
+		old := 0
+		if v < len(oldCores) {
+			old = oldCores[v]
+		}
+		if rc[v] == old {
+			t.Fatalf("vertex %d in net diff but core unchanged (%d)", v, old)
+		}
+	}
+	evs := drain(ch)
+	if len(evs) != len(rInfo.Total.CoreChanged) {
+		t.Fatalf("rebuild events = %d, want %d", len(evs), len(rInfo.Total.CoreChanged))
+	}
+	for i, ev := range evs {
+		v := rInfo.Total.CoreChanged[i]
+		old := 0
+		if v < len(oldCores) {
+			old = oldCores[v]
+		}
+		want := CoreChange{Vertex: v, OldCore: old, NewCore: rc[v], Seq: rInfo.Seq}
+		if ev != want {
+			t.Fatalf("event %d = %+v, want %+v", i, ev, want)
+		}
+	}
+	if st := rebuildE.ExecStats(); st.Recomputed == 0 || st.Sequential != 0 {
+		t.Fatalf("exec stats %+v: expected pure recompute", st)
+	}
+}
+
+// TestRebuildCostModelRouting: small batches stay incremental, whole-graph
+// rewrites recompute, and the floor/disable knobs are honored.
+func TestRebuildCostModelRouting(t *testing.T) {
+	big := gen.ErdosRenyi(500, 2000, 47)
+	e, err := FromEdges(big.Edges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A handful of updates on a big graph: incremental.
+	info, err := e.Apply(Batch{Add(0, 1), Add(0, 2)})
+	if err == nil && info.Recomputed {
+		t.Fatal("tiny batch recomputed")
+	}
+	// A batch dwarfing the graph: recomputed (default thresholds).
+	fresh := NewEngine()
+	edges := gen.ErdosRenyi(400, 1200, 49).Edges()
+	batch := make(Batch, len(edges))
+	for i, ed := range edges {
+		batch[i] = Add(ed[0], ed[1])
+	}
+	info, err = fresh.Apply(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Recomputed {
+		t.Fatal("graph-sized batch not recomputed under default thresholds")
+	}
+	if err := fresh.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Single-update public calls must never route to rebuild, even under a
+	// pathologically eager threshold — they rely on per-update attribution
+	// (regression: AddEdge used to panic on Updates[0] here).
+	eager := NewEngine(WithRebuildThreshold(0, 0.5))
+	if ui, err := eager.AddEdge(0, 1); err != nil || ui.Visited < 0 {
+		t.Fatalf("AddEdge under eager rebuild threshold: %v", err)
+	}
+	if ui, err := eager.RemoveEdge(0, 1); err != nil || len(ui.CoreChanged) != 2 {
+		t.Fatalf("RemoveEdge under eager rebuild threshold: %v", err)
+	}
+	// Same batch with recomputation disabled: incremental, same cores.
+	off := NewEngine(WithRebuildThreshold(-1, 0))
+	info2, err := off.Apply(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.Recomputed {
+		t.Fatal("recomputation ran while disabled")
+	}
+	a, b := fresh.Cores(), off.Cores()
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("core(%d) differs between rebuild and maintain: %d vs %d", v, a[v], b[v])
+		}
+	}
+}

@@ -12,12 +12,16 @@ import "sync/atomic"
 type CoreChange struct {
 	// Vertex is the affected vertex.
 	Vertex int
-	// OldCore and NewCore are the core numbers before and after the update
-	// (they always differ by exactly 1).
+	// OldCore and NewCore are the core numbers before and after the update.
+	// For incrementally maintained updates they differ by exactly 1; a
+	// batch the engine applied by wholesale recomputation (see
+	// BatchInfo.Recomputed) instead delivers one event per net-changed
+	// vertex, whose cores may differ by more than 1 in either direction.
 	OldCore int
 	NewCore int
 	// Seq is the engine update sequence number of the update that caused
-	// the change (see Engine.Seq). All changes of one update share one Seq.
+	// the change (see Engine.Seq). All changes of one update share one Seq;
+	// recomputed batches tag every event with the batch's final Seq.
 	Seq uint64
 }
 
@@ -115,17 +119,42 @@ func (e *Engine) notify(op Op, changed []int) {
 	defer e.subMu.Unlock()
 	for _, v := range changed {
 		newCore := e.m.Core(v)
-		ev := CoreChange{Vertex: v, OldCore: newCore - delta, NewCore: newCore, Seq: e.seq}
-		for _, s := range e.subs {
-			if ev.NewCore < s.minCore && ev.OldCore < s.minCore {
-				continue
-			}
-			select {
-			case s.ch <- ev:
-			default:
-				if s.dropped != nil {
-					s.dropped.Add(1)
-				}
+		e.deliver(CoreChange{Vertex: v, OldCore: newCore - delta, NewCore: newCore, Seq: e.seq})
+	}
+}
+
+// notifyDiff fans out the net core changes of a recomputed batch (see
+// BatchInfo.Recomputed): one event per changed vertex, in ascending vertex
+// order, all tagged with the batch's final sequence number. The caller
+// holds the engine write lock; changed lists the vertices whose core
+// numbers differ from oldCores (implicitly 0 beyond its length).
+func (e *Engine) notifyDiff(changed []int, oldCores []int) {
+	if len(changed) == 0 || e.subCount.Load() == 0 {
+		return
+	}
+	e.subMu.Lock()
+	defer e.subMu.Unlock()
+	for _, v := range changed {
+		old := 0
+		if v < len(oldCores) {
+			old = oldCores[v]
+		}
+		e.deliver(CoreChange{Vertex: v, OldCore: old, NewCore: e.m.Core(v), Seq: e.seq})
+	}
+}
+
+// deliver fans one event out to all subscribers, applying each one's
+// min-core filter and non-blocking drop policy. The caller holds subMu.
+func (e *Engine) deliver(ev CoreChange) {
+	for _, s := range e.subs {
+		if ev.NewCore < s.minCore && ev.OldCore < s.minCore {
+			continue
+		}
+		select {
+		case s.ch <- ev:
+		default:
+			if s.dropped != nil {
+				s.dropped.Add(1)
 			}
 		}
 	}
