@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kcore/internal/bench"
+)
+
+// The -compare regression guard must explain itself: a missing or malformed
+// baseline names the file, the expected schema, and the command that
+// regenerates it — never a raw unmarshal message alone.
+
+func writeTestReport(t *testing.T, dir, name string, mutate func(*bench.Report)) string {
+	t.Helper()
+	rep := bench.NewReport()
+	rep.Results = append(rep.Results, bench.Result{Name: "engine/apply-batch", NsPerOp: 1000, Iterations: 1})
+	if mutate != nil {
+		mutate(rep)
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareReportsHappyPath(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeTestReport(t, dir, "old.json", nil)
+	newP := writeTestReport(t, dir, "new.json", func(r *bench.Report) {
+		r.Results[0].NsPerOp = 1100
+	})
+	if err := compareReports(oldP+","+newP, "engine/apply-batch", 1.2); err != nil {
+		t.Fatalf("within-ratio compare failed: %v", err)
+	}
+	err := compareReports(oldP+","+newP, "engine/apply-batch", 1.05)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("over-ratio compare err = %v, want regression failure", err)
+	}
+}
+
+func TestCompareReportsMissingFile(t *testing.T) {
+	dir := t.TempDir()
+	okP := writeTestReport(t, dir, "ok.json", nil)
+	missing := filepath.Join(dir, "nope.json")
+	err := compareReports(missing+","+okP, "engine/apply-batch", 1.2)
+	if err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+	for _, want := range []string{missing, "does not exist", bench.ReportSchema, "-experiment"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("missing-file error lacks %q: %v", want, err)
+		}
+	}
+}
+
+func TestCompareReportsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	okP := writeTestReport(t, dir, "ok.json", nil)
+
+	junk := filepath.Join(dir, "junk.json")
+	if err := os.WriteFile(junk, []byte("this is not json{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := compareReports(junk+","+okP, "engine/apply-batch", 1.2)
+	if err == nil {
+		t.Fatal("malformed baseline accepted")
+	}
+	for _, want := range []string{junk, "not valid JSON", bench.ReportSchema} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("malformed error lacks %q: %v", want, err)
+		}
+	}
+
+	wrongSchema := filepath.Join(dir, "schema.json")
+	if err := os.WriteFile(wrongSchema, []byte(`{"schema":"other/v9","results":[{"name":"x","ns_per_op":1}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = compareReports(wrongSchema+","+okP, "engine/apply-batch", 1.2)
+	if err == nil || !strings.Contains(err.Error(), `schema "other/v9"`) ||
+		!strings.Contains(err.Error(), bench.ReportSchema) {
+		t.Fatalf("wrong-schema error = %v, want both schemas named", err)
+	}
+
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"schema":"`+bench.ReportSchema+`","results":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err = compareReports(empty+","+okP, "engine/apply-batch", 1.2); err == nil ||
+		!strings.Contains(err.Error(), "no results") {
+		t.Fatalf("empty-report error = %v", err)
+	}
+}
+
+func TestCompareReportsMissingResult(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeTestReport(t, dir, "old.json", nil)
+	newP := writeTestReport(t, dir, "new.json", nil)
+	err := compareReports(oldP+","+newP, "engine/no-such-row", 1.2)
+	if err == nil {
+		t.Fatal("missing result accepted")
+	}
+	if !strings.Contains(err.Error(), "engine/no-such-row") ||
+		!strings.Contains(err.Error(), "engine/apply-batch") {
+		t.Fatalf("missing-result error should name the wanted and available rows: %v", err)
+	}
+	if err := compareReports("only-one.json", "x", 1.2); err == nil ||
+		!strings.Contains(err.Error(), "OLD.json,NEW.json") {
+		t.Fatalf("bad spec error = %v", err)
+	}
+}

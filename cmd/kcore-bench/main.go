@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -30,13 +31,13 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment name: all|batchapi|parallel|"+strings.Join(bench.ExperimentNames, "|"))
+		experiment = flag.String("experiment", "all", "experiment name: all|batchapi|parallel|serve|"+strings.Join(bench.ExperimentNames, "|"))
 		edges      = flag.Int("edges", 10000, "workload edges per dataset (paper: 100000)")
 		groups     = flag.Int("groups", 10, "stability-test groups (paper: 100)")
 		hops       = flag.String("hops", "2,3,4,5,6", "traversal hop variants")
 		seed       = flag.Uint64("seed", 42, "RNG seed")
 		dsNames    = flag.String("datasets", "", "comma-separated dataset subset (default: all 11)")
-		jsonPath   = flag.String("json", "", "write measured results (hotpath, batchapi and parallel experiments) as one JSON document to this path")
+		jsonPath   = flag.String("json", "", "write measured results (hotpath, batchapi, parallel and serve experiments) as one JSON document to this path")
 		workers    = flag.String("workers", "1,2,4,8", "worker counts the parallel experiment sweeps")
 		compare    = flag.String("compare", "", "regression guard: OLD.json,NEW.json — compare the -compare-name result and exit 1 when NEW exceeds OLD by more than -max-ratio")
 		cmpName    = flag.String("compare-name", "engine/apply-batch", "result name checked by -compare")
@@ -93,6 +94,10 @@ func main() {
 		report.Results = append(report.Results, parallelExperiment(cfg)...)
 		writeReport(report, *jsonPath)
 		return
+	case "serve":
+		report.Results = append(report.Results, serveExperiment(cfg)...)
+		writeReport(report, *jsonPath)
+		return
 	case "hotpath":
 		fmt.Println("=== hotpath ===")
 		report.Results = append(report.Results, bench.Hotpath(cfg)...)
@@ -104,7 +109,7 @@ func main() {
 	names := bench.ExperimentNames
 	if *experiment != "all" {
 		if _, ok := bench.Experiments[*experiment]; !ok {
-			fatal(fmt.Errorf("unknown experiment %q (valid: all, batchapi, parallel, %s)",
+			fatal(fmt.Errorf("unknown experiment %q (valid: all, batchapi, parallel, serve, %s)",
 				*experiment, strings.Join(bench.ExperimentNames, ", ")))
 		}
 		names = []string{*experiment}
@@ -199,40 +204,24 @@ func compareReports(spec, name string, maxRatio float64) error {
 	if len(parts) != 2 {
 		return fmt.Errorf("-compare wants OLD.json,NEW.json, got %q", spec)
 	}
-	load := func(path string) (map[string]bench.Result, error) {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		var rep bench.Report
-		if err := json.NewDecoder(f).Decode(&rep); err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
-		}
-		if rep.Schema != bench.ReportSchema {
-			return nil, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, bench.ReportSchema)
-		}
-		byName := make(map[string]bench.Result, len(rep.Results))
-		for _, r := range rep.Results {
-			byName[r.Name] = r
-		}
-		return byName, nil
-	}
-	oldRes, err := load(strings.TrimSpace(parts[0]))
+	oldPath, newPath := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+	oldRes, err := loadReport(oldPath)
 	if err != nil {
 		return err
 	}
-	newRes, err := load(strings.TrimSpace(parts[1]))
+	newRes, err := loadReport(newPath)
 	if err != nil {
 		return err
 	}
 	o, ok := oldRes[name]
 	if !ok {
-		return fmt.Errorf("%s missing from old report", name)
+		return fmt.Errorf("result %q is missing from %s (have: %s)",
+			name, oldPath, strings.Join(resultNames(oldRes), ", "))
 	}
 	n, ok := newRes[name]
 	if !ok {
-		return fmt.Errorf("%s missing from new report", name)
+		return fmt.Errorf("result %q is missing from %s (have: %s)",
+			name, newPath, strings.Join(resultNames(newRes), ", "))
 	}
 	if o.NsPerOp <= 0 {
 		return fmt.Errorf("%s: old ns/op %.0f is not positive", name, o.NsPerOp)
@@ -244,6 +233,55 @@ func compareReports(spec, name string, maxRatio float64) error {
 		return fmt.Errorf("%s regressed: ratio %.3f exceeds %.2f", name, ratio, maxRatio)
 	}
 	return nil
+}
+
+// reportHint names the expected baseline schema and how to regenerate the
+// file; every loadReport failure carries it so a missing or malformed
+// baseline is actionable instead of a raw unmarshal message.
+func reportHint(path string) string {
+	return fmt.Sprintf("%s must be a kcore-bench JSON report (schema %q, shape "+
+		`{"schema":%q,"go":...,"arch":...,"results":[{"name":...,"ns_per_op":...}]}); `+
+		"regenerate it with: go run ./cmd/kcore-bench -experiment <name> -json %s",
+		path, bench.ReportSchema, bench.ReportSchema, path)
+}
+
+// loadReport reads one BENCH_*.json report into a name-indexed result map,
+// explaining exactly what is wrong (and how to fix it) on failure.
+func loadReport(path string) (map[string]bench.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("baseline report %s does not exist; %s", path, reportHint(path))
+		}
+		return nil, fmt.Errorf("open baseline report: %w; %s", err, reportHint(path))
+	}
+	defer f.Close()
+	var rep bench.Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s is not valid JSON (%v); %s", path, err, reportHint(path))
+	}
+	if rep.Schema != bench.ReportSchema {
+		return nil, fmt.Errorf("%s has schema %q, want %q; %s",
+			path, rep.Schema, bench.ReportSchema, reportHint(path))
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("%s contains no results; %s", path, reportHint(path))
+	}
+	byName := make(map[string]bench.Result, len(rep.Results))
+	for _, r := range rep.Results {
+		byName[r.Name] = r
+	}
+	return byName, nil
+}
+
+// resultNames lists a report's result names, sorted, for error messages.
+func resultNames(m map[string]bench.Result) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 func fatal(err error) {

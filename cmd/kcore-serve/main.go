@@ -1,0 +1,139 @@
+// Command kcore-serve serves a dynamic k-core decomposition engine over
+// HTTP/JSON: a mutation path (POST /v1/batch through an ingest coalescer),
+// a query path (core/kcore/stats from immutable snapshots), and a live path
+// (core-change events over SSE). The wire protocol is documented in
+// kcore/internal/server/wire.
+//
+// Usage:
+//
+//	kcore-serve                                  serve an empty engine on :8080
+//	kcore-serve -addr :9090 -load graph.txt      preload an edge list
+//	kcore-serve -workers 4 -max-batch 50000      tune engine and admission
+//
+// The process drains gracefully on SIGINT/SIGTERM: new writes are refused
+// (HTTP 503), queued batches flush, watch streams end, and in-flight
+// requests get -drain-timeout to finish.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"kcore"
+	"kcore/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "kcore-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run builds the engine, binds the listener, and serves until ctx is
+// cancelled, then shuts down gracefully. ready, when non-nil, is called
+// with the bound address once the listener is accepting — tests and the CI
+// end-to-end smoke pass -addr 127.0.0.1:0 and learn the port through it.
+func run(ctx context.Context, args []string, out io.Writer, ready func(addr string)) error {
+	fs := flag.NewFlagSet("kcore-serve", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		load         = fs.String("load", "", "edge-list file to preload (whitespace-separated \"u v\" lines)")
+		seed         = fs.Uint64("seed", 1, "engine randomization seed")
+		workers      = fs.Int("workers", 0, "parallel batch maintenance workers (0 = auto)")
+		rebuildFloor = fs.Int("rebuild-floor", -2, "maintain-vs-recompute floor (-2 = engine default, -1 = never recompute)")
+		rebuildFrac  = fs.Float64("rebuild-frac", 0.15, "maintain-vs-recompute graph fraction (with -rebuild-floor)")
+		maxBatch     = fs.Int("max-batch", 10000, "largest accepted updates per batch request (HTTP 413 beyond)")
+		maxPending   = fs.Int("max-pending", 100000, "ingest backpressure budget in buffered updates (HTTP 429 beyond)")
+		watchBuffer  = fs.Int("watch-buffer", 256, "default per-watch subscription buffer")
+		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget for in-flight requests")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := []kcore.Option{kcore.WithSeed(*seed)}
+	if *workers != 0 {
+		opts = append(opts, kcore.WithWorkers(*workers))
+	}
+	if *rebuildFloor != -2 {
+		opts = append(opts, kcore.WithRebuildThreshold(*rebuildFloor, *rebuildFrac))
+	}
+
+	engine, err := buildEngine(*load, opts)
+	if err != nil {
+		return err
+	}
+	view := engine.View()
+	fmt.Fprintf(out, "engine ready: %d vertices, %d edges, degeneracy %d\n",
+		view.NumVertices(), view.NumEdges(), view.Degeneracy())
+
+	// Bind before constructing the Server: New starts the ingest flusher
+	// goroutine, so a listen failure must not leave one behind.
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen on %s: %w", *addr, err)
+	}
+	srv := server.New(engine, server.Options{
+		MaxBatch:    *maxBatch,
+		MaxPending:  *maxPending,
+		WatchBuffer: *watchBuffer,
+	})
+	fmt.Fprintf(out, "listening on %s\n", l.Addr())
+	if ready != nil {
+		ready(l.Addr().String())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+	select {
+	case err := <-serveErr:
+		// The listener failed before any shutdown was requested; stop the
+		// server's internals so nothing is leaked.
+		_ = srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "shutting down: draining ingest queue and watch streams")
+	sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		// The drain budget ran out (e.g. a stalled watcher); cut the
+		// remaining connections instead of leaking them.
+		_ = srv.Close()
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-serveErr; err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "bye")
+	return nil
+}
+
+// buildEngine constructs the engine, preloading an edge list when -load was
+// given.
+func buildEngine(path string, opts []kcore.Option) (*kcore.Engine, error) {
+	if path == "" {
+		return kcore.NewEngine(opts...), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", path, err)
+	}
+	defer f.Close()
+	e, err := kcore.Load(f, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", path, err)
+	}
+	return e, nil
+}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSummarize(t *testing.T) {
+	var sample []time.Duration
+	for i := 100; i >= 1; i-- { // descending: Summarize must sort
+		sample = append(sample, time.Duration(i)*time.Millisecond)
+	}
+	s := Summarize(sample)
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.P50 != 50*time.Millisecond {
+		t.Errorf("p50 = %v, want 50ms (nearest rank ceil(0.5*100)=50)", s.P50)
+	}
+	if s.P90 != 90*time.Millisecond {
+		t.Errorf("p90 = %v, want 90ms", s.P90)
+	}
+	if s.P99 != 99*time.Millisecond {
+		t.Errorf("p99 = %v, want 99ms (must not collapse to max)", s.P99)
+	}
+	if s.Max != 100*time.Millisecond {
+		t.Errorf("max = %v", s.Max)
+	}
+	if s.Mean != 50500*time.Microsecond {
+		t.Errorf("mean = %v, want 50.5ms", s.Mean)
+	}
+	if z := Summarize(nil); z.Count != 0 || z.P99 != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+}
+
+func TestQuantileBounds(t *testing.T) {
+	sorted := []time.Duration{1, 2, 3}
+	if Quantile(sorted, 0) != 1 || Quantile(sorted, 1) != 3 {
+		t.Fatal("quantile bounds wrong")
+	}
+	if Quantile(sorted, 0.5) != 2 {
+		t.Fatalf("median = %v", Quantile(sorted, 0.5))
+	}
+}
+
+func TestLatencySummaryParams(t *testing.T) {
+	s := Summarize([]time.Duration{time.Microsecond, 2 * time.Microsecond})
+	p := s.Params(map[string]any{"writers": 4})
+	if p["count"] != 2 || p["writers"] != 4 {
+		t.Fatalf("params = %v", p)
+	}
+	if p["p50_ns"] != int64(1000) {
+		t.Fatalf("p50_ns = %v, want 1000 (nearest rank ceil(0.5*2)=1)", p["p50_ns"])
+	}
+}

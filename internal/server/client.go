@@ -1,0 +1,269 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"kcore/internal/server/wire"
+)
+
+// Client is the in-process Go client for kcore-serve. It speaks exactly the
+// wire protocol over a standard http.Client, so it exercises the real HTTP
+// surface (routing, serialization, status mapping) — the server's tests and
+// the CI end-to-end smoke drive the service through it.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a client for the server at baseURL (e.g.
+// "http://127.0.0.1:8080"). hc may be nil to use http.DefaultClient.
+func NewClient(baseURL string, hc *http.Client) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("server client: invalid base URL %q: %w", baseURL, err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("server client: base URL %q needs a scheme and host", baseURL)
+	}
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(u.String(), "/"), hc: hc}, nil
+}
+
+// Batch applies a mixed update batch via POST /v1/batch. A non-2xx response
+// is returned as a *wire.Error (branch on its Code and Status).
+func (c *Client) Batch(ctx context.Context, updates []wire.Update) (*wire.BatchResponse, error) {
+	var resp wire.BatchResponse
+	err := c.do(ctx, http.MethodPost, "/v1/batch", wire.BatchRequest{Updates: updates}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// AddEdges applies a pure-insertion batch.
+func (c *Client) AddEdges(ctx context.Context, edges [][2]int) (*wire.BatchResponse, error) {
+	updates := make([]wire.Update, len(edges))
+	for i, e := range edges {
+		updates[i] = wire.Update{Op: wire.OpAdd, U: e[0], V: e[1]}
+	}
+	return c.Batch(ctx, updates)
+}
+
+// RemoveEdges applies a pure-removal batch.
+func (c *Client) RemoveEdges(ctx context.Context, edges [][2]int) (*wire.BatchResponse, error) {
+	updates := make([]wire.Update, len(edges))
+	for i, e := range edges {
+		updates[i] = wire.Update{Op: wire.OpRemove, U: e[0], V: e[1]}
+	}
+	return c.Batch(ctx, updates)
+}
+
+// Core fetches one vertex's core number.
+func (c *Client) Core(ctx context.Context, v int) (*wire.CoreResponse, error) {
+	var resp wire.CoreResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/core/"+strconv.Itoa(v), nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// KCore fetches the vertices of the k-core.
+func (c *Client) KCore(ctx context.Context, k int) (*wire.KCoreResponse, error) {
+	var resp wire.KCoreResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/kcore?k="+strconv.Itoa(k), nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stats fetches the server's stats snapshot.
+func (c *Client) Stats(ctx context.Context) (*wire.StatsResponse, error) {
+	var resp wire.StatsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Health fetches the liveness probe.
+func (c *Client) Health(ctx context.Context) (*wire.HealthResponse, error) {
+	var resp wire.HealthResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// do issues one JSON request/response exchange. Non-2xx responses decode
+// the error envelope into a *wire.Error.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("server client: marshal request: %w", err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("server client: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("server client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var envelope wire.ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil || envelope.Error == nil {
+			return fmt.Errorf("server client: %s %s: HTTP %d (unparseable error body)",
+				method, path, resp.StatusCode)
+		}
+		envelope.Error.Status = resp.StatusCode
+		return envelope.Error
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("server client: %s %s: decode response: %w", method, path, err)
+	}
+	return nil
+}
+
+// WatchOptions configures a Watch stream.
+type WatchOptions struct {
+	// MinCore filters events to those touching core level MinCore or above.
+	MinCore int
+	// Buffer overrides the server-side subscription buffer (0 = server
+	// default).
+	Buffer int
+}
+
+// Event is one parsed SSE frame from a Watch stream. Exactly one of Hello,
+// Change and Lagged is non-nil, matching Type.
+type Event struct {
+	Type   string
+	Hello  *wire.HelloEvent
+	Change *wire.ChangeEvent
+	Lagged *wire.LaggedEvent
+}
+
+// Watch opens GET /v1/watch and parses the SSE stream into events. The
+// returned channel closes when the stream ends for any reason (server
+// shutdown, network error, or ctx cancellation — cancel ctx to stop
+// watching). The first event is always the "hello" frame.
+func (c *Client) Watch(ctx context.Context, opts WatchOptions) (<-chan Event, error) {
+	q := url.Values{}
+	if opts.MinCore > 0 {
+		q.Set("min_core", strconv.Itoa(opts.MinCore))
+	}
+	if opts.Buffer > 0 {
+		q.Set("buffer", strconv.Itoa(opts.Buffer))
+	}
+	path := "/v1/watch"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, fmt.Errorf("server client: %w", err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("server client: watch: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		var envelope wire.ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil || envelope.Error == nil {
+			return nil, fmt.Errorf("server client: watch: HTTP %d (unparseable error body)",
+				resp.StatusCode)
+		}
+		envelope.Error.Status = resp.StatusCode
+		return nil, envelope.Error
+	}
+	out := make(chan Event, 16)
+	go func() {
+		defer close(out)
+		defer resp.Body.Close()
+		parseSSE(ctx, resp.Body, out)
+	}()
+	return out, nil
+}
+
+// parseSSE scans an SSE byte stream into events until the stream ends or
+// ctx is cancelled (the cancellation check matters when the consumer has
+// stopped reading out: the send must not block forever). Unknown event
+// types and malformed frames are skipped (forward compatibility).
+func parseSSE(ctx context.Context, r io.Reader, out chan<- Event) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var event string
+	var data []string
+	flush := func() bool {
+		defer func() { event = ""; data = data[:0] }()
+		if event == "" || len(data) == 0 {
+			return true
+		}
+		ev := Event{Type: event}
+		// Multiple data: lines of one frame join with newlines, per the
+		// SSE specification.
+		payload := []byte(strings.Join(data, "\n"))
+		var err error
+		switch event {
+		case wire.EventHello:
+			ev.Hello = &wire.HelloEvent{}
+			err = json.Unmarshal(payload, ev.Hello)
+		case wire.EventChange:
+			ev.Change = &wire.ChangeEvent{}
+			err = json.Unmarshal(payload, ev.Change)
+		case wire.EventLagged:
+			ev.Lagged = &wire.LaggedEvent{}
+			err = json.Unmarshal(payload, ev.Lagged)
+		default:
+			return true
+		}
+		if err != nil {
+			return true
+		}
+		select {
+		case out <- ev:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if !flush() {
+				return
+			}
+		case strings.HasPrefix(line, ":"):
+			// comment / keepalive
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			// Strip the field name and the single optional leading space —
+			// nothing more, so payload bytes survive verbatim.
+			d := strings.TrimPrefix(line, "data:")
+			d = strings.TrimPrefix(d, " ")
+			data = append(data, d)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"kcore"
+)
+
+// idleCoalescer builds a coalescer whose flusher goroutine is NOT running,
+// so tests can drive flush deterministically or inspect the queue.
+func idleCoalescer(e *kcore.Engine, maxPending int) *coalescer {
+	c := &coalescer{engine: e, maxPending: maxPending}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+func mkPending(batch kcore.Batch) *pending {
+	return &pending{batch: batch, done: make(chan flushResult, 1)}
+}
+
+// TestFlushGroupsRequests drives one flush over three queued requests and
+// checks the combined Apply is split back per request.
+func TestFlushGroupsRequests(t *testing.T) {
+	e := kcore.NewEngine()
+	c := idleCoalescer(e, 1000)
+	reqs := []*pending{
+		mkPending(kcore.Batch{kcore.Add(0, 1), kcore.Add(1, 2)}),
+		mkPending(kcore.Batch{kcore.Add(0, 2)}), // closes the triangle: cores 1 -> 2
+		mkPending(kcore.Batch{kcore.Add(3, 4)}),
+	}
+	c.flush(reqs)
+
+	r0 := <-reqs[0].done
+	r1 := <-reqs[1].done
+	r2 := <-reqs[2].done
+	for i, r := range []flushResult{r0, r1, r2} {
+		if r.err != nil {
+			t.Fatalf("request %d failed: %v", i, r.err)
+		}
+		if r.resp.FlushedWith != 3 {
+			t.Errorf("request %d FlushedWith = %d, want 3", i, r.resp.FlushedWith)
+		}
+		if r.resp.Seq != 4 {
+			t.Errorf("request %d Seq = %d, want group-final 4", i, r.resp.Seq)
+		}
+	}
+	if r0.resp.Applied != 2 || r1.resp.Applied != 1 || r2.resp.Applied != 1 {
+		t.Fatalf("applied = %d/%d/%d, want 2/1/1",
+			r0.resp.Applied, r1.resp.Applied, r2.resp.Applied)
+	}
+	// Request 1's single update lifted the triangle to core 2: exactly the
+	// three triangle vertices changed, attributed to that request alone.
+	if len(r1.resp.CoreChanged) != 3 {
+		t.Fatalf("request 1 CoreChanged = %v, want the 3 triangle vertices", r1.resp.CoreChanged)
+	}
+	if len(r2.resp.CoreChanged) != 2 {
+		t.Fatalf("request 2 CoreChanged = %v, want its own 2 vertices", r2.resp.CoreChanged)
+	}
+	if got := c.stats.wire(); got.Flushes != 1 || got.Requests != 3 || got.Grouped != 3 {
+		t.Fatalf("stats = %+v, want 1 flush, 3 requests, 3 grouped", got)
+	}
+	if e.NumEdges() != 4 {
+		t.Fatalf("engine has %d edges, want 4", e.NumEdges())
+	}
+}
+
+// TestFlushCrossRequestCoalescing: an add in one request annihilated by a
+// remove in a co-flushed request — both elided, per the documented contract.
+func TestFlushCrossRequestCoalescing(t *testing.T) {
+	e := kcore.NewEngine()
+	c := idleCoalescer(e, 1000)
+	reqs := []*pending{
+		mkPending(kcore.Batch{kcore.Add(0, 1), kcore.Add(5, 6)}),
+		mkPending(kcore.Batch{kcore.Remove(5, 6)}),
+	}
+	c.flush(reqs)
+	r0, r1 := <-reqs[0].done, <-reqs[1].done
+	if r0.err != nil || r1.err != nil {
+		t.Fatalf("errors: %v / %v", r0.err, r1.err)
+	}
+	if r0.resp.Applied != 1 || r0.resp.Coalesced != 1 {
+		t.Fatalf("request 0 = %+v, want applied 1, coalesced 1", r0.resp)
+	}
+	if r1.resp.Applied != 0 || r1.resp.Coalesced != 1 {
+		t.Fatalf("request 1 = %+v, want applied 0, coalesced 1", r1.resp)
+	}
+	if e.HasEdge(5, 6) {
+		t.Fatal("annihilated edge (5,6) present in engine")
+	}
+	if !e.HasEdge(0, 1) {
+		t.Fatal("surviving edge (0,1) missing from engine")
+	}
+}
+
+// TestFlushFallbackIsolatesInvalidRequest: when the combined group fails
+// validation, each request is re-applied alone — the valid one succeeds,
+// the invalid one gets its own structured error.
+func TestFlushFallbackIsolatesInvalidRequest(t *testing.T) {
+	e := kcore.NewEngine()
+	c := idleCoalescer(e, 1000)
+	// Both requests add (0,1): combined validation sees a duplicate, but
+	// neither request is invalid on its own — arrival order decides.
+	reqs := []*pending{
+		mkPending(kcore.Batch{kcore.Add(0, 1), kcore.Add(1, 2)}),
+		mkPending(kcore.Batch{kcore.Add(0, 1)}),
+	}
+	c.flush(reqs)
+	r0, r1 := <-reqs[0].done, <-reqs[1].done
+	if r0.err != nil {
+		t.Fatalf("first-arrived request failed: %v", r0.err)
+	}
+	if r0.resp.Applied != 2 || r0.resp.FlushedWith != 1 {
+		t.Fatalf("request 0 = %+v, want applied 2, flushed_with 1 (individual fallback)", r0.resp)
+	}
+	if r1.err == nil {
+		t.Fatal("second-arrived duplicate add succeeded, want error")
+	}
+	if !errors.Is(r1.err, kcore.ErrDuplicateEdge) {
+		t.Fatalf("request 1 error = %v, want ErrDuplicateEdge", r1.err)
+	}
+	var be *kcore.BatchError
+	if !errors.As(r1.err, &be) || be.Index != 0 {
+		t.Fatalf("request 1 error = %v, want *BatchError at index 0", r1.err)
+	}
+	if got := c.stats.wire(); got.Fallbacks != 1 {
+		t.Fatalf("stats = %+v, want 1 fallback", got)
+	}
+	if e.NumEdges() != 2 {
+		t.Fatalf("engine has %d edges, want 2", e.NumEdges())
+	}
+}
+
+// TestFlushRecomputedGroup: a multi-request group applied by wholesale
+// recomputation reports submitted counts and omits per-request attribution.
+func TestFlushRecomputedGroup(t *testing.T) {
+	// Rebuild threshold floor 1 forces every multi-update batch down the
+	// recompute path.
+	e := kcore.NewEngine(kcore.WithRebuildThreshold(1, 0))
+	c := idleCoalescer(e, 1000)
+	reqs := []*pending{
+		mkPending(kcore.Batch{kcore.Add(0, 1), kcore.Add(1, 2)}),
+		mkPending(kcore.Batch{kcore.Add(0, 2)}),
+	}
+	c.flush(reqs)
+	r0, r1 := <-reqs[0].done, <-reqs[1].done
+	if r0.err != nil || r1.err != nil {
+		t.Fatalf("errors: %v / %v", r0.err, r1.err)
+	}
+	for i, r := range []flushResult{r0, r1} {
+		if !r.resp.Recomputed {
+			t.Errorf("request %d not marked recomputed: %+v", i, r.resp)
+		}
+		if r.resp.CoreChanged != nil {
+			t.Errorf("request %d carries CoreChanged despite recomputed group: %+v", i, r.resp)
+		}
+		if r.resp.Seq != 3 {
+			t.Errorf("request %d Seq = %d, want 3", i, r.resp.Seq)
+		}
+	}
+	if r0.resp.Applied != 2 || r1.resp.Applied != 1 {
+		t.Fatalf("applied = %d/%d, want submitted counts 2/1", r0.resp.Applied, r1.resp.Applied)
+	}
+	if e.Core(0) != 2 {
+		t.Fatalf("core(0) = %d, want 2", e.Core(0))
+	}
+}
+
+// TestSubmitBackpressure: a non-empty queue over the pending budget rejects
+// with errOverloaded; an empty queue always admits one request.
+func TestSubmitBackpressure(t *testing.T) {
+	e := kcore.NewEngine()
+	c := idleCoalescer(e, 3) // budget: 3 buffered updates
+	// No flusher is running yet, so the first submit parks in the queue.
+	firstDone := make(chan error, 1)
+	go func() {
+		_, err := c.submit(kcore.Batch{kcore.Add(0, 1), kcore.Add(1, 2)})
+		firstDone <- err
+	}()
+	waitFor(t, func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.queued == 2
+	})
+	// 2 queued + 2 > 3: shed.
+	if _, err := c.submit(kcore.Batch{kcore.Add(2, 3), kcore.Add(3, 4)}); !errors.Is(err, errOverloaded) {
+		t.Fatalf("over-budget submit err = %v, want errOverloaded", err)
+	}
+	// 2 queued + 1 <= 3: admitted.
+	secondDone := make(chan error, 1)
+	go func() {
+		_, err := c.submit(kcore.Batch{kcore.Add(4, 5)})
+		secondDone <- err
+	}()
+	waitFor(t, func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.queued == 3
+	})
+	if got := c.stats.wire(); got.Rejected != 1 {
+		t.Fatalf("stats = %+v, want 1 rejected", got)
+	}
+	// Start the flusher; both parked requests complete.
+	c.wg.Add(1)
+	go c.run()
+	for i, ch := range []chan error{firstDone, secondDone} {
+		select {
+		case err := <-ch:
+			if err != nil {
+				t.Fatalf("parked request %d failed: %v", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("parked request %d never completed", i)
+		}
+	}
+	c.close()
+	if _, err := c.submit(kcore.Batch{kcore.Add(9, 10)}); !errors.Is(err, errShuttingDown) {
+		t.Fatalf("submit after close err = %v, want errShuttingDown", err)
+	}
+}
+
+// TestConcurrentSubmitStress exercises the real (running) coalescer with
+// many concurrent writers over disjoint edges and verifies every update
+// landed and the grouped counter saw some batching.
+func TestConcurrentSubmitStress(t *testing.T) {
+	e := kcore.NewEngine()
+	c := newCoalescer(e, 1_000_000)
+	defer c.close()
+	const writers = 16
+	const batches = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := w * 1000
+			for b := 0; b < batches; b++ {
+				u := base + 2*b
+				resp, err := c.submit(kcore.Batch{kcore.Add(u, u+1)})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.Applied != 1 {
+					errs <- errors.New("applied != 1")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got, want := e.NumEdges(), writers*batches; got != want {
+		t.Fatalf("engine has %d edges, want %d", got, want)
+	}
+	st := c.stats.wire()
+	if st.Requests != writers*batches {
+		t.Fatalf("stats = %+v, want %d requests", st, writers*batches)
+	}
+	t.Logf("ingest stats: %+v", st)
+}
+
+// waitFor polls cond until it holds or the test times out.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"kcore"
+	"kcore/internal/server/wire"
+)
+
+// maxBodyBytes bounds POST bodies defensively; the per-request update count
+// is separately limited by Options.MaxBatch.
+const maxBodyBytes = 16 << 20
+
+// writeJSON serializes one response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encode failures past WriteHeader mean a dead client; nothing to do.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError serializes the structured error envelope with its HTTP status.
+func writeError(w http.ResponseWriter, e *wire.Error) {
+	writeJSON(w, e.Status, wire.ErrorResponse{Error: e})
+}
+
+// badRequest builds a 400 wire error.
+func badRequest(format string, args ...any) *wire.Error {
+	return &wire.Error{Code: wire.CodeBadRequest, Status: http.StatusBadRequest,
+		Message: fmt.Sprintf(format, args...)}
+}
+
+// methodGuard rejects other HTTP methods with the wire protocol's JSON
+// error envelope (ServeMux method patterns would answer in plain text).
+func methodGuard(method string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			writeError(w, &wire.Error{
+				Code: wire.CodeMethodNotAllowed, Status: http.StatusMethodNotAllowed,
+				Message: fmt.Sprintf("%s requires %s, got %s", r.URL.Path, method, r.Method),
+			})
+			return
+		}
+		h(w, r)
+	}
+}
+
+// handleNotFound answers unknown paths with the JSON error envelope.
+func handleNotFound(w http.ResponseWriter, r *http.Request) {
+	writeError(w, &wire.Error{Code: wire.CodeNotFound, Status: http.StatusNotFound,
+		Message: fmt.Sprintf("no such endpoint %s", r.URL.Path)})
+}
+
+// toWireError maps an engine or ingest error onto the wire protocol:
+// kcore's sentinel causes become stable error codes, a *kcore.BatchError
+// additionally carries the offending batch position and update.
+func toWireError(err error) *wire.Error {
+	we := &wire.Error{Code: wire.CodeInternal, Status: http.StatusInternalServerError,
+		Message: err.Error()}
+	switch {
+	case errors.Is(err, errShuttingDown):
+		we.Code, we.Status = wire.CodeShuttingDown, http.StatusServiceUnavailable
+	case errors.Is(err, errOverloaded):
+		we.Code, we.Status = wire.CodeOverloaded, http.StatusTooManyRequests
+	case errors.Is(err, kcore.ErrSelfLoop):
+		we.Code, we.Status = wire.CodeSelfLoop, http.StatusUnprocessableEntity
+	case errors.Is(err, kcore.ErrVertexRange):
+		we.Code, we.Status = wire.CodeVertexRange, http.StatusUnprocessableEntity
+	case errors.Is(err, kcore.ErrDuplicateEdge):
+		we.Code, we.Status = wire.CodeDuplicateEdge, http.StatusConflict
+	case errors.Is(err, kcore.ErrMissingEdge):
+		we.Code, we.Status = wire.CodeMissingEdge, http.StatusConflict
+	}
+	var be *kcore.BatchError
+	if errors.As(err, &be) {
+		idx := be.Index
+		we.Index = &idx
+		we.Update = &wire.Update{Op: be.Update.Op.String(), U: be.Update.U, V: be.Update.V}
+		we.Message = be.Err.Error()
+	}
+	return we
+}
+
+// toBatch converts wire updates to an engine batch, rejecting unknown ops.
+func toBatch(updates []wire.Update) (kcore.Batch, *wire.Error) {
+	batch := make(kcore.Batch, len(updates))
+	for i, u := range updates {
+		switch u.Op {
+		case wire.OpAdd:
+			batch[i] = kcore.Add(u.U, u.V)
+		case wire.OpRemove:
+			batch[i] = kcore.Remove(u.U, u.V)
+		default:
+			idx := i
+			uc := u
+			return nil, &wire.Error{
+				Code: wire.CodeBadRequest, Status: http.StatusBadRequest,
+				Message: fmt.Sprintf("unknown op %q (want %q or %q)", u.Op, wire.OpAdd, wire.OpRemove),
+				Index:   &idx, Update: &uc,
+			}
+		}
+	}
+	return batch, nil
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, toWireError(errShuttingDown))
+		return
+	}
+	var req wire.BatchRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, &wire.Error{
+				Code: wire.CodeBatchTooLarge, Status: http.StatusRequestEntityTooLarge,
+				Message: fmt.Sprintf("request body exceeds %d bytes; split the batch", tooLarge.Limit),
+			})
+			return
+		}
+		writeError(w, badRequest("invalid batch request body: %v", err))
+		return
+	}
+	if len(req.Updates) == 0 {
+		writeError(w, badRequest("updates must be non-empty"))
+		return
+	}
+	if len(req.Updates) > s.opts.MaxBatch {
+		writeError(w, &wire.Error{
+			Code: wire.CodeBatchTooLarge, Status: http.StatusRequestEntityTooLarge,
+			Message: fmt.Sprintf("batch has %d updates, limit is %d; split the batch",
+				len(req.Updates), s.opts.MaxBatch),
+		})
+		return
+	}
+	batch, werr := toBatch(req.Updates)
+	if werr != nil {
+		writeError(w, werr)
+		return
+	}
+	resp, err := s.co.submit(batch)
+	if err != nil {
+		writeError(w, toWireError(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCore(w http.ResponseWriter, r *http.Request) {
+	v, err := strconv.Atoi(r.PathValue("v"))
+	if err != nil || v < 0 {
+		writeError(w, badRequest("vertex must be a non-negative integer, got %q", r.PathValue("v")))
+		return
+	}
+	// CoreSeq, not View: the point query must not pay an O(n) snapshot.
+	core, seq := s.engine.CoreSeq(v)
+	writeJSON(w, http.StatusOK, wire.CoreResponse{Vertex: v, Core: core, Seq: seq})
+}
+
+func (s *Server) handleKCore(w http.ResponseWriter, r *http.Request) {
+	kstr := r.URL.Query().Get("k")
+	if kstr == "" {
+		writeError(w, badRequest("missing required query parameter k"))
+		return
+	}
+	k, err := strconv.Atoi(kstr)
+	if err != nil || k < 0 {
+		writeError(w, badRequest("k must be a non-negative integer, got %q", kstr))
+		return
+	}
+	view := s.engine.View()
+	vs := view.KCore(k)
+	if vs == nil {
+		vs = []int{} // an empty core serializes as [], not null
+	}
+	writeJSON(w, http.StatusOK, wire.KCoreResponse{K: k, Count: len(vs), Vertices: vs, Seq: view.Seq()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	// Counts, not View: four scalars don't justify an O(n) snapshot —
+	// /v1/stats is the resync signal for lagged watchers, so it gets hit.
+	vertices, edges, degeneracy, seq := s.engine.Counts()
+	ex := s.engine.ExecStats()
+	writeJSON(w, http.StatusOK, wire.StatsResponse{
+		Vertices:   vertices,
+		Edges:      edges,
+		Degeneracy: degeneracy,
+		Seq:        seq,
+		Algorithm:  s.engine.Algorithm().String(),
+		Watchers:   s.Watchers(),
+		Exec: wire.ExecStats{
+			Sequential: ex.Sequential,
+			Replayed:   ex.Replayed,
+			Live:       ex.Live,
+			Recomputed: ex.Recomputed,
+		},
+		Ingest: s.co.stats.wire(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, wire.HealthResponse{Status: status, Seq: s.engine.Seq()})
+}

@@ -1,0 +1,190 @@
+// Package server implements kcore-serve: an HTTP/JSON network service over
+// a kcore.Engine. It exposes a mutation path (POST /v1/batch through an
+// ingest coalescer that flushes concurrent client batches through one
+// engine Apply), a query path (core/kcore/stats served from immutable View
+// snapshots, so readers never block writers), and a live path (core-change
+// events over Server-Sent Events on top of Engine.Subscribe, with
+// drop-on-full semantics surfaced as "lagged" events).
+//
+// The wire protocol — request/response bodies, error envelope and codes,
+// and the SSE event schema — is defined and documented in the nested wire
+// package. Client is the in-process Go client speaking that protocol; the
+// server's own tests and the CI end-to-end smoke drive the service through
+// it.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kcore"
+)
+
+// Options tunes the service limits. The zero value picks the defaults.
+type Options struct {
+	// MaxBatch is the largest number of updates accepted in one POST
+	// /v1/batch request (HTTP 413 beyond it). Default 10000.
+	MaxBatch int
+	// MaxPending is the ingest coalescer's backpressure budget: the largest
+	// number of updates buffered across queued requests before further
+	// requests are rejected with HTTP 429. Default 100000.
+	MaxPending int
+	// WatchBuffer is the default per-watch subscription buffer (overridable
+	// per request via ?buffer=, clamped to MaxWatchBuffer). Default 256.
+	WatchBuffer int
+	// MaxWatchBuffer caps the per-request ?buffer= parameter. Default 65536.
+	MaxWatchBuffer int
+	// ReadHeaderTimeout guards Serve against slow-header clients.
+	// Default 10s.
+	ReadHeaderTimeout time.Duration
+	// Keepalive paces comment lines (and pending lagged reports) on idle
+	// watch streams. Default 15s.
+	Keepalive time.Duration
+	// WriteTimeout bounds each SSE write on watch streams, so a watcher
+	// whose TCP peer stopped reading cannot park its handler goroutine
+	// forever (and with it, graceful shutdown). A healthy-but-slow consumer
+	// is unaffected: the deadline applies per write, not per stream.
+	// Default 30s.
+	WriteTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 10000
+	}
+	if o.MaxPending <= 0 {
+		o.MaxPending = 100000
+	}
+	if o.WatchBuffer <= 0 {
+		o.WatchBuffer = 256
+	}
+	if o.MaxWatchBuffer <= 0 {
+		o.MaxWatchBuffer = 65536
+	}
+	if o.ReadHeaderTimeout <= 0 {
+		o.ReadHeaderTimeout = 10 * time.Second
+	}
+	if o.Keepalive <= 0 {
+		o.Keepalive = 15 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 30 * time.Second
+	}
+	return o
+}
+
+// Server serves a kcore.Engine over HTTP. Create it with New, expose it
+// either through Serve (which owns an http.Server) or by mounting Handler
+// on an existing server, and stop it with Shutdown. The engine remains
+// usable directly alongside the server — its own locking arbitrates.
+type Server struct {
+	engine *kcore.Engine
+	opts   Options
+	co     *coalescer
+	mux    *http.ServeMux
+
+	httpMu   sync.Mutex
+	httpSrv  *http.Server
+	stop     chan struct{} // closed by Shutdown: unblocks watch streams
+	stopOnce sync.Once
+	draining atomic.Bool
+	watchers atomic.Int64
+}
+
+// New builds a server around an existing engine.
+func New(engine *kcore.Engine, opts Options) *Server {
+	s := &Server{
+		engine: engine,
+		opts:   opts.withDefaults(),
+		stop:   make(chan struct{}),
+	}
+	s.co = newCoalescer(engine, s.opts.MaxPending)
+	// Method-less patterns with an explicit guard (rather than "GET /path"
+	// patterns) so wrong-method and unknown-path responses carry the wire
+	// protocol's JSON error envelope instead of ServeMux's plain text.
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/batch", methodGuard(http.MethodPost, s.handleBatch))
+	s.mux.HandleFunc("/v1/core/{v}", methodGuard(http.MethodGet, s.handleCore))
+	s.mux.HandleFunc("/v1/kcore", methodGuard(http.MethodGet, s.handleKCore))
+	s.mux.HandleFunc("/v1/stats", methodGuard(http.MethodGet, s.handleStats))
+	s.mux.HandleFunc("/v1/watch", methodGuard(http.MethodGet, s.handleWatch))
+	s.mux.HandleFunc("/v1/healthz", methodGuard(http.MethodGet, s.handleHealthz))
+	s.mux.HandleFunc("/", handleNotFound)
+	return s
+}
+
+// Handler returns the service's HTTP handler, for mounting on an existing
+// http.Server (tests use it with httptest). Callers that bypass Serve must
+// still call Shutdown to drain the ingest queue and close watch streams.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until Shutdown. It returns nil after a
+// clean shutdown (http.ErrServerClosed is swallowed).
+func (s *Server) Serve(l net.Listener) error {
+	s.httpMu.Lock()
+	if s.draining.Load() {
+		s.httpMu.Unlock()
+		return fmt.Errorf("server: Serve after Shutdown")
+	}
+	if s.httpSrv != nil {
+		s.httpMu.Unlock()
+		return fmt.Errorf("server: Serve called twice")
+	}
+	s.httpSrv = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: s.opts.ReadHeaderTimeout,
+	}
+	srv := s.httpSrv
+	s.httpMu.Unlock()
+	if err := srv.Serve(l); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// Shutdown drains the server gracefully: it stops admitting writes (new
+// batch requests get HTTP 503), flushes every queued batch, ends all watch
+// streams, and then closes the HTTP listener, waiting for in-flight
+// requests up to ctx's deadline. It is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.stopOnce.Do(func() {
+		s.co.close() // reject new writes, drain queued ones
+		close(s.stop)
+	})
+	s.httpMu.Lock()
+	srv := s.httpSrv
+	s.httpMu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
+}
+
+// Close shuts the server down forcefully: like Shutdown it drains the
+// ingest queue (queued writes were already accepted, so they commit), but
+// in-flight HTTP requests and watch streams are cut instead of awaited.
+// Use it when a graceful Shutdown exceeded its deadline.
+func (s *Server) Close() error {
+	s.draining.Store(true)
+	s.stopOnce.Do(func() {
+		s.co.close()
+		close(s.stop)
+	})
+	s.httpMu.Lock()
+	srv := s.httpSrv
+	s.httpMu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}
+
+// Watchers reports the number of currently connected watch streams.
+func (s *Server) Watchers() int { return int(s.watchers.Load()) }

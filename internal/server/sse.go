@@ -1,0 +1,153 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"kcore"
+	"kcore/internal/server/wire"
+)
+
+// handleWatch streams CoreChange events over Server-Sent Events on top of
+// Engine.Subscribe. The engine's non-blocking drop-on-full delivery is
+// preserved end to end: a slow consumer loses events (never stalling
+// writers) and learns about it through "lagged" events carrying the
+// cumulative drop count. See the wire package comment for the schema.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, &wire.Error{Code: wire.CodeInternal, Status: http.StatusInternalServerError,
+			Message: "response writer does not support streaming"})
+		return
+	}
+	q := r.URL.Query()
+	minCore := 0
+	if v := q.Get("min_core"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, badRequest("min_core must be a non-negative integer, got %q", v))
+			return
+		}
+		minCore = n
+	}
+	buffer := s.opts.WatchBuffer
+	if v := q.Get("buffer"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, badRequest("buffer must be a positive integer, got %q", v))
+			return
+		}
+		buffer = min(n, s.opts.MaxWatchBuffer)
+	}
+
+	var dropped atomic.Uint64
+	ch, cancel := s.engine.Subscribe(
+		kcore.WithMinCore(minCore),
+		kcore.WithBuffer(buffer),
+		kcore.WithDropCounter(&dropped),
+	)
+	defer cancel()
+	s.watchers.Add(1)
+	defer s.watchers.Add(-1)
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	// Every write is bounded by a fresh deadline: a watcher whose TCP peer
+	// stopped reading must not park this goroutine forever (it would also
+	// park graceful shutdown, which awaits in-flight handlers). When the
+	// deadline fires the blocked write errors and the stream ends.
+	rc := http.NewResponseController(w)
+	arm := func() { _ = rc.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout)) }
+	arm()
+
+	// Seq is read after Subscribe so every change with a greater sequence
+	// number is covered by the subscription (an event at the hello seq
+	// itself may additionally be delivered; see wire.HelloEvent).
+	if writeSSE(w, wire.EventHello, wire.HelloEvent{
+		Seq: s.engine.Seq(), MinCore: minCore, Buffer: buffer,
+	}) != nil {
+		return
+	}
+	flusher.Flush()
+
+	keepalive := time.NewTicker(s.opts.Keepalive)
+	defer keepalive.Stop()
+	var lagged uint64
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				return
+			}
+			arm()
+			if writeChange(w, ev) != nil {
+				return
+			}
+			// Drain whatever queued behind it before flushing once, so a
+			// bursty update doesn't pay one syscall per event.
+		drain:
+			for {
+				select {
+				case ev, open := <-ch:
+					if !open {
+						return
+					}
+					if writeChange(w, ev) != nil {
+						return
+					}
+				default:
+					break drain
+				}
+			}
+			if d := dropped.Load(); d != lagged {
+				lagged = d
+				if writeSSE(w, wire.EventLagged, wire.LaggedEvent{Dropped: d}) != nil {
+					return
+				}
+			}
+			flusher.Flush()
+		case <-keepalive.C:
+			// Dropped events surface even when the stream has gone quiet
+			// (everything after the overflow was dropped, so no change
+			// event is coming to piggyback on).
+			arm()
+			if d := dropped.Load(); d != lagged {
+				lagged = d
+				if writeSSE(w, wire.EventLagged, wire.LaggedEvent{Dropped: d}) != nil {
+					return
+				}
+			} else if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+func writeChange(w http.ResponseWriter, ev kcore.CoreChange) error {
+	return writeSSE(w, wire.EventChange, wire.ChangeEvent{
+		Vertex: ev.Vertex, OldCore: ev.OldCore, NewCore: ev.NewCore, Seq: ev.Seq,
+	})
+}
+
+// writeSSE writes one SSE frame: "event: <name>\ndata: <json>\n\n".
+func writeSSE(w http.ResponseWriter, event string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	return err
+}

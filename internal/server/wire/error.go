@@ -1,0 +1,67 @@
+package wire
+
+import "fmt"
+
+// Error codes carried in ErrorResponse. Mutation codes mirror the kcore
+// sentinel errors one-to-one so clients can branch without string matching.
+const (
+	// CodeBadRequest: the request body or a parameter was malformed
+	// (HTTP 400).
+	CodeBadRequest = "bad_request"
+	// CodeSelfLoop: an update named an edge (v, v) (HTTP 422).
+	CodeSelfLoop = "self_loop"
+	// CodeVertexRange: an update named a negative vertex id (HTTP 422).
+	CodeVertexRange = "vertex_range"
+	// CodeDuplicateEdge: an inserted edge was already present (HTTP 409).
+	CodeDuplicateEdge = "duplicate_edge"
+	// CodeMissingEdge: a removed edge was not present (HTTP 409).
+	CodeMissingEdge = "missing_edge"
+	// CodeBatchTooLarge: the batch exceeded the server's max-batch limit
+	// (HTTP 413).
+	CodeBatchTooLarge = "batch_too_large"
+	// CodeOverloaded: the ingest coalescer's pending-update budget is
+	// exhausted; retry later (HTTP 429).
+	CodeOverloaded = "overloaded"
+	// CodeShuttingDown: the server is draining and no longer accepts writes
+	// (HTTP 503).
+	CodeShuttingDown = "shutting_down"
+	// CodeNotFound: no such endpoint or resource (HTTP 404).
+	CodeNotFound = "not_found"
+	// CodeMethodNotAllowed: the endpoint exists but not for this HTTP
+	// method (HTTP 405; the Allow header names the right one).
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeInternal: unexpected server-side failure (HTTP 500).
+	CodeInternal = "internal"
+)
+
+// Error is the structured error body every non-2xx response carries,
+// wrapped in ErrorResponse. It implements the error interface so the Go
+// client returns it directly.
+type Error struct {
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Message is a human-readable description.
+	Message string `json:"message"`
+	// Index, when non-nil, is the position of the offending update within
+	// the submitted batch (mutation errors only).
+	Index *int `json:"index,omitempty"`
+	// Update, when non-nil, is the offending update (mutation errors only).
+	Update *Update `json:"update,omitempty"`
+	// Status is the HTTP status the error was served with. It is set by the
+	// client from the response and not serialized.
+	Status int `json:"-"`
+}
+
+// Error renders the wire error for logs and error chains.
+func (e *Error) Error() string {
+	if e.Index != nil && e.Update != nil {
+		return fmt.Sprintf("kcore-serve: %s: %s (update %d: %s %d-%d)",
+			e.Code, e.Message, *e.Index, e.Update.Op, e.Update.U, e.Update.V)
+	}
+	return fmt.Sprintf("kcore-serve: %s: %s", e.Code, e.Message)
+}
+
+// ErrorResponse is the envelope of every non-2xx JSON response.
+type ErrorResponse struct {
+	Error *Error `json:"error"`
+}

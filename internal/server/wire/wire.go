@@ -1,0 +1,214 @@
+// Package wire defines the typed HTTP/JSON protocol of kcore-serve: the
+// request and response bodies of every endpoint, the error envelope, and the
+// SSE event schema of the watch stream. Both the server handlers
+// (internal/server) and the Go client (internal/server.Client) marshal
+// exactly these types, so the package is the single source of truth for the
+// protocol.
+//
+// # Endpoints
+//
+// All bodies are JSON; all successful responses use status 200 unless noted.
+//
+//	POST /v1/batch       — apply a mixed add/remove update batch (BatchRequest
+//	                       → BatchResponse). Each request is atomic: either
+//	                       every surviving update applies or none does.
+//	GET  /v1/core/{v}    — core number of one vertex (CoreResponse).
+//	GET  /v1/kcore?k=K   — vertices of the k-core (KCoreResponse).
+//	GET  /v1/stats       — graph size, degeneracy, execution and ingest
+//	                       counters (StatsResponse).
+//	GET  /v1/watch       — live CoreChange events over Server-Sent Events;
+//	                       query parameters min_core and buffer configure the
+//	                       subscription (see the SSE section below).
+//	GET  /v1/healthz     — liveness probe (HealthResponse).
+//
+// Reads never block writes, and every query response carries the engine
+// sequence number ("seq") of the state it describes. The k-core listing is
+// served from an immutable engine snapshot (kcore.Engine.View); the
+// single-vertex core and the stats scalars are read as consistent
+// (value, seq) pairs under one shared-lock acquisition (kcore.Engine.CoreSeq
+// and Counts), which is observably equivalent and avoids View's O(n) copy
+// per request.
+//
+// # Batch coalescing and atomicity
+//
+// Concurrent POST /v1/batch requests are funneled through an ingest
+// coalescer: requests that arrive while an earlier flush is still applying
+// are buffered and flushed through one kcore Apply call, amortizing batch
+// planning and lock acquisition across callers. The contract:
+//
+//   - Each request stays atomic. Either all of its (surviving) updates
+//     commit, or the request fails and changes nothing.
+//   - Requests flushed together behave as one ordered batch, ordered by
+//     arrival. In particular, self-annihilating pairs MAY coalesce across
+//     requests: if one request adds an edge and a co-flushed later request
+//     removes it, both updates can be elided entirely (reported via
+//     BatchResponse.Coalesced, exactly like an intra-batch pair).
+//   - A request never fails because another request in its flush group is
+//     invalid: when a combined flush fails validation, the server re-applies
+//     each request individually, in arrival order, so every caller gets its
+//     own success or its own structured error.
+//   - BatchResponse.Seq is the engine sequence number after the whole flush
+//     group committed (group-final, not request-final).
+//   - When the engine applied a multi-request flush group by wholesale
+//     recomputation (Recomputed is true and FlushedWith > 1), per-update
+//     attribution does not exist: CoreChanged is omitted and Applied reports
+//     the request's submitted update count.
+//
+// # SSE events
+//
+// GET /v1/watch responds with Content-Type: text/event-stream. Three event
+// types are sent, each with a JSON data payload:
+//
+//	event: hello    data: HelloEvent   — once, immediately: subscription
+//	                                     parameters and the current seq.
+//	event: change   data: ChangeEvent  — one per core-number change.
+//	event: lagged   data: LaggedEvent  — the subscriber fell behind and
+//	                                     events were dropped.
+//
+// Delivery inherits kcore.Subscribe's drop-on-full semantics: the engine
+// never blocks on a slow watcher. Events that overflow the subscription
+// buffer (query parameter "buffer", default 256) are dropped, and the next
+// time the stream catches up a "lagged" event reports the cumulative drop
+// count. Consumers that must not miss changes should treat "lagged" as a
+// signal to resynchronize via GET /v1/stats + /v1/kcore.
+package wire
+
+// Update is one edge update in a batch request. Op is "add" or "remove".
+type Update struct {
+	Op string `json:"op"`
+	U  int    `json:"u"`
+	V  int    `json:"v"`
+}
+
+// Op values accepted in Update.Op.
+const (
+	OpAdd    = "add"
+	OpRemove = "remove"
+)
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	// Updates is the ordered update list. It must be non-empty and no longer
+	// than the server's max-batch limit.
+	Updates []Update `json:"updates"`
+}
+
+// BatchResponse reports the effect of one applied batch request.
+type BatchResponse struct {
+	// Seq is the engine update sequence number after this request's flush
+	// group committed (see the coalescing contract in the package comment).
+	Seq uint64 `json:"seq"`
+	// Applied is the number of this request's updates that took effect.
+	// When Recomputed is set for a multi-request flush group, it reports the
+	// submitted update count instead (per-update attribution does not exist).
+	Applied int `json:"applied"`
+	// Coalesced counts this request's updates elided as self-annihilating
+	// pairs — including pairs formed across co-flushed requests.
+	Coalesced int `json:"coalesced"`
+	// Recomputed reports that the engine applied the flush group by one
+	// wholesale recomputation instead of per-update maintenance.
+	Recomputed bool `json:"recomputed,omitempty"`
+	// FlushedWith is the number of requests in the flush group this request
+	// was applied with, including itself (1 = applied alone).
+	FlushedWith int `json:"flushed_with"`
+	// CoreChanged lists the vertices whose core number changed due to this
+	// request's updates, deduplicated, in first-change order. Omitted when
+	// the flush group was recomputed with FlushedWith > 1.
+	CoreChanged []int `json:"core_changed,omitempty"`
+	// Visited sums the per-update search-space sizes (the paper's |V+|/|V'|
+	// metric); 0 when unattributable.
+	Visited int `json:"visited,omitempty"`
+}
+
+// CoreResponse is the body of GET /v1/core/{v}.
+type CoreResponse struct {
+	Vertex int    `json:"vertex"`
+	Core   int    `json:"core"`
+	Seq    uint64 `json:"seq"`
+}
+
+// KCoreResponse is the body of GET /v1/kcore?k=K.
+type KCoreResponse struct {
+	K        int    `json:"k"`
+	Count    int    `json:"count"`
+	Vertices []int  `json:"vertices"`
+	Seq      uint64 `json:"seq"`
+}
+
+// ExecStats mirrors kcore.ExecStats: lifetime update counts per batch
+// execution mode.
+type ExecStats struct {
+	Sequential uint64 `json:"sequential"`
+	Replayed   uint64 `json:"replayed"`
+	Live       uint64 `json:"live"`
+	Recomputed uint64 `json:"recomputed"`
+}
+
+// IngestStats counts the ingest coalescer's lifetime activity.
+type IngestStats struct {
+	// Flushes is the number of Apply calls the coalescer issued.
+	Flushes uint64 `json:"flushes"`
+	// Requests is the number of batch requests flushed.
+	Requests uint64 `json:"requests"`
+	// Grouped counts requests that shared their flush with at least one
+	// other request (the coalescer's amortization win).
+	Grouped uint64 `json:"grouped"`
+	// Fallbacks counts flush groups that failed combined validation and were
+	// re-applied request by request.
+	Fallbacks uint64 `json:"fallbacks"`
+	// Rejected counts requests refused for backpressure (HTTP 429).
+	Rejected uint64 `json:"rejected"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Vertices   int         `json:"vertices"`
+	Edges      int         `json:"edges"`
+	Degeneracy int         `json:"degeneracy"`
+	Seq        uint64      `json:"seq"`
+	Algorithm  string      `json:"algorithm"`
+	Watchers   int         `json:"watchers"`
+	Exec       ExecStats   `json:"exec"`
+	Ingest     IngestStats `json:"ingest"`
+}
+
+// HealthResponse is the body of GET /v1/healthz.
+type HealthResponse struct {
+	Status string `json:"status"` // "ok", or "draining" during shutdown
+	Seq    uint64 `json:"seq"`
+}
+
+// SSE event names sent on /v1/watch streams.
+const (
+	EventHello  = "hello"
+	EventChange = "change"
+	EventLagged = "lagged"
+)
+
+// HelloEvent is the data payload of the initial "hello" SSE event.
+type HelloEvent struct {
+	// Seq is the engine sequence number when the subscription was created;
+	// changes with Seq greater than this value will be delivered (modulo
+	// drops).
+	Seq uint64 `json:"seq"`
+	// MinCore and Buffer echo the subscription parameters in effect.
+	MinCore int `json:"min_core"`
+	Buffer  int `json:"buffer"`
+}
+
+// ChangeEvent is the data payload of a "change" SSE event: one vertex's
+// core-number transition (mirrors kcore.CoreChange).
+type ChangeEvent struct {
+	Vertex  int    `json:"vertex"`
+	OldCore int    `json:"old_core"`
+	NewCore int    `json:"new_core"`
+	Seq     uint64 `json:"seq"`
+}
+
+// LaggedEvent is the data payload of a "lagged" SSE event: the watcher fell
+// behind its buffer and events were dropped.
+type LaggedEvent struct {
+	// Dropped is the cumulative number of events dropped on this
+	// subscription since it was created.
+	Dropped uint64 `json:"dropped"`
+}

@@ -498,6 +498,45 @@ func (e *Engine) Core(v int) int {
 	return e.m.Core(v)
 }
 
+// CoreSeq returns v's current core number together with the update
+// sequence number it was read at, under one lock acquisition. It is the
+// cheap single-vertex form of View: point queries that must report a
+// consistent (core, seq) pair — network serving, most prominently — avoid
+// View's O(n) copy of all core numbers.
+func (e *Engine) CoreSeq(v int) (core int, seq uint64) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.m.Core(v), e.seq
+}
+
+// Counts returns the scalar state summary — vertex count, edge count,
+// degeneracy, and the update sequence number they were read at — under one
+// lock acquisition and, on the order-based engine, without touching the
+// core numbers at all (the maintained level lists answer the degeneracy).
+// Like CoreSeq, it exists so frequent small reads (serving stats and
+// health endpoints) skip View's O(n) snapshot.
+func (e *Engine) Counts() (vertices, edges, degeneracy int, seq uint64) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.g.NumVertices(), e.g.NumEdges(), e.degeneracyLocked(), e.seq
+}
+
+// degeneracyLocked computes the maximum core number under a held lock: the
+// order-based engine answers from its maintained level lists (no
+// allocation); other engines scan a copy of the core numbers.
+func (e *Engine) degeneracyLocked() int {
+	if impl, ok := e.m.(orderImpl); ok {
+		return impl.m.MaxCore()
+	}
+	maxc := 0
+	for _, c := range e.m.Cores() {
+		if c > maxc {
+			maxc = c
+		}
+	}
+	return maxc
+}
+
 // Cores returns a copy of all current core numbers, indexed by vertex.
 func (e *Engine) Cores() []int {
 	e.mu.RLock()
@@ -523,13 +562,7 @@ func (e *Engine) KCore(k int) []int {
 func (e *Engine) Degeneracy() int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	maxc := 0
-	for _, c := range e.m.Cores() {
-		if c > maxc {
-			maxc = c
-		}
-	}
-	return maxc
+	return e.degeneracyLocked()
 }
 
 // Community answers a core-based community search query (the application
