@@ -130,17 +130,26 @@ func (e *Engine) RemoveEdges(edges [][2]int) (BatchInfo, error) {
 	return e.Apply(batch)
 }
 
-// applyLocked validates a batch, picks an execution strategy, and applies
-// it. Callers hold the write lock.
+// applyLocked validates a batch, picks an execution strategy, applies it,
+// and feeds the apply hook. Callers hold the write lock.
 func (e *Engine) applyLocked(batch Batch) (BatchInfo, error) {
 	skip, coalesced, err := e.validateBatch(batch)
 	if err != nil {
 		return BatchInfo{Seq: e.seq}, err
 	}
+	info, err := e.executeBatch(batch, skip, coalesced)
+	if err == nil && info.Applied > 0 && e.hook != nil && !e.replaying {
+		err = e.runApplyHook(batch, skip, &info)
+	}
+	return info, err
+}
+
+// executeBatch routes a validated batch to an execution strategy.
+// Single-update batches always take the sequential path: recomputation
+// can never beat one incremental update, and AddEdge/RemoveEdge rely on
+// the per-update BatchInfo.Updates entry that the rebuild path elides.
+func (e *Engine) executeBatch(batch Batch, skip []bool, coalesced int) (BatchInfo, error) {
 	applied := len(batch) - coalesced
-	// Single-update batches always take the sequential path: recomputation
-	// can never beat one incremental update, and AddEdge/RemoveEdge rely on
-	// the per-update BatchInfo.Updates entry that the rebuild path elides.
 	if impl, ok := e.m.(orderImpl); ok && applied > 1 {
 		adds, removes := 0, 0
 		for i, up := range batch {

@@ -1,11 +1,15 @@
 // Command kcore-gen generates the synthetic datasets (the offline analogs
 // of the paper's Table I graphs) or parameterized random graphs, writing
-// them as edge lists.
+// them as edge lists — or, with -snapshot, as kcore-serve durability
+// snapshots (the internal/persist binary format), ready to drop into a
+// -data-dir so the server boots the graph without re-decomposing it from
+// an edge list.
 //
 // Usage:
 //
 //	kcore-gen -dataset patents-sim -out patents.txt
 //	kcore-gen -model ba -n 10000 -k 8 -seed 3 -out social.txt
+//	kcore-gen -model ba -n 10000 -snapshot -out data/snapshot.kcs
 //	kcore-gen -list
 package main
 
@@ -18,22 +22,24 @@ import (
 	"kcore/internal/datasets"
 	"kcore/internal/gen"
 	"kcore/internal/graph"
+	"kcore/internal/persist"
 )
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "", "named dataset analog (see -list)")
-		model   = flag.String("model", "", "generator model: er|ba|rmat|grid|community|ws")
-		n       = flag.Int("n", 10000, "number of vertices (er/ba/community/ws)")
-		m       = flag.Int("m", 40000, "number of edges (er/rmat)")
-		k       = flag.Int("k", 8, "attachment degree (ba) / ring neighbors (ws)")
-		scale   = flag.Int("scale", 14, "log2 vertex count (rmat)")
-		rows    = flag.Int("rows", 100, "grid rows")
-		cols    = flag.Int("cols", 100, "grid cols")
-		seed    = flag.Uint64("seed", 1, "RNG seed")
-		out     = flag.String("out", "", "output file (default stdout)")
-		list    = flag.Bool("list", false, "list named datasets and exit")
-		stats   = flag.Bool("stats", false, "print a core-structure summary of the generated graph to stderr")
+		dataset  = flag.String("dataset", "", "named dataset analog (see -list)")
+		model    = flag.String("model", "", "generator model: er|ba|rmat|grid|community|ws")
+		n        = flag.Int("n", 10000, "number of vertices (er/ba/community/ws)")
+		m        = flag.Int("m", 40000, "number of edges (er/rmat)")
+		k        = flag.Int("k", 8, "attachment degree (ba) / ring neighbors (ws)")
+		scale    = flag.Int("scale", 14, "log2 vertex count (rmat)")
+		rows     = flag.Int("rows", 100, "grid rows")
+		cols     = flag.Int("cols", 100, "grid cols")
+		seed     = flag.Uint64("seed", 1, "RNG seed")
+		out      = flag.String("out", "", "output file (default stdout)")
+		list     = flag.Bool("list", false, "list named datasets and exit")
+		stats    = flag.Bool("stats", false, "print a core-structure summary of the generated graph to stderr")
+		snapshot = flag.Bool("snapshot", false, "write the kcore-serve durability snapshot format (internal/persist) instead of an edge list; requires -out")
 	)
 	flag.Parse()
 
@@ -73,19 +79,36 @@ func main() {
 		fatal(fmt.Errorf("one of -dataset or -model is required (or -list)"))
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	if *snapshot {
+		// The snapshot format stores verified cores and the maintained
+		// k-order, so build the engine (one O(m + n) decomposition) and let
+		// persist.Save write it atomically.
+		if *out == "" {
+			fatal(fmt.Errorf("-snapshot requires -out (atomic temp-file + rename needs a real path)"))
+		}
+		e, err := kcore.FromEdges(g.Edges(), kcore.WithSeed(*seed))
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		w = f
+		if err := persist.Save(*out, e); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote snapshot n=%d m=%d\n", g.NumVertices(), g.NumEdges())
+	} else {
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := graph.WriteEdgeList(w, g); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote n=%d m=%d\n", g.NumVertices(), g.NumEdges())
 	}
-	if err := graph.WriteEdgeList(w, g); err != nil {
-		fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "wrote n=%d m=%d\n", g.NumVertices(), g.NumEdges())
 	if *stats {
 		cores, err := kcore.Decompose(g.Edges())
 		if err != nil {

@@ -9,10 +9,21 @@
 //	kcore-serve                                  serve an empty engine on :8080
 //	kcore-serve -addr :9090 -load graph.txt      preload an edge list
 //	kcore-serve -workers 4 -max-batch 50000      tune engine and admission
+//	kcore-serve -data-dir /var/lib/kcore         durable: snapshot + WAL
+//	kcore-serve -data-dir d -fsync always        fsync the WAL per batch
+//
+// With -data-dir the engine state survives restarts: boot recovers the
+// snapshot plus write-ahead log (truncating a torn tail) before the
+// listener accepts, every applied batch is logged before its response is
+// sent, and the WAL is compacted into a fresh snapshot past -compact-every
+// bytes (or on demand via POST /v1/snapshot). -load seeds only a data
+// directory without prior state. The -fsync policy trades durability
+// against throughput: "always" (per batch), "interval" (grouped, every
+// -sync-every), or "off" (OS-paced; a process crash still loses nothing).
 //
 // The process drains gracefully on SIGINT/SIGTERM: new writes are refused
-// (HTTP 503), queued batches flush, watch streams end, and in-flight
-// requests get -drain-timeout to finish.
+// (HTTP 503), queued batches flush, watch streams end, in-flight requests
+// get -drain-timeout to finish, and the WAL is synced and closed.
 package main
 
 import (
@@ -27,6 +38,7 @@ import (
 	"time"
 
 	"kcore"
+	"kcore/internal/persist"
 	"kcore/internal/server"
 )
 
@@ -57,6 +69,10 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 		maxPending   = fs.Int("max-pending", 100000, "ingest backpressure budget in buffered updates (HTTP 429 beyond)")
 		watchBuffer  = fs.Int("watch-buffer", 256, "default per-watch subscription buffer")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget for in-flight requests")
+		dataDir      = fs.String("data-dir", "", "durable state directory (snapshot + write-ahead log); empty serves in memory only")
+		fsync        = fs.String("fsync", "interval", "WAL fsync policy with -data-dir: always|interval|off")
+		syncEvery    = fs.Duration("sync-every", 100*time.Millisecond, "fsync period for -fsync interval")
+		compactEvery = fs.Int64("compact-every", 64<<20, "WAL bytes that trigger snapshot compaction with -data-dir (negative disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,9 +86,37 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 		opts = append(opts, kcore.WithRebuildThreshold(*rebuildFloor, *rebuildFrac))
 	}
 
-	engine, err := buildEngine(*load, opts)
-	if err != nil {
-		return err
+	var engine *kcore.Engine
+	var store *persist.Store
+	if *dataDir != "" {
+		policy, err := persist.ParseSyncPolicy(*fsync)
+		if err != nil {
+			return err
+		}
+		store, err = persist.Open(*dataDir, persist.Options{
+			Sync:         policy,
+			SyncEvery:    *syncEvery,
+			CompactBytes: *compactEvery,
+			Engine:       opts,
+			Init:         func() (*kcore.Engine, error) { return buildEngine(*load, opts) },
+		})
+		if err != nil {
+			return fmt.Errorf("recover %s: %w", *dataDir, err)
+		}
+		defer store.Close()
+		engine = store.Engine()
+		ps := store.Stats()
+		fmt.Fprintf(out, "recovered %s: snapshot seq %d + %d WAL records -> seq %d (fsync %s)\n",
+			*dataDir, ps.SnapshotSeq, ps.RecoveredRecords, ps.RecoveredSeq, policy)
+		if ps.TornBytes > 0 {
+			fmt.Fprintf(out, "truncated torn WAL tail: %d bytes\n", ps.TornBytes)
+		}
+	} else {
+		var err error
+		engine, err = buildEngine(*load, opts)
+		if err != nil {
+			return err
+		}
 	}
 	view := engine.View()
 	fmt.Fprintf(out, "engine ready: %d vertices, %d edges, degeneracy %d\n",
@@ -88,6 +132,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 		MaxBatch:    *maxBatch,
 		MaxPending:  *maxPending,
 		WatchBuffer: *watchBuffer,
+		Persist:     store,
 	})
 	fmt.Fprintf(out, "listening on %s\n", l.Addr())
 	if ready != nil {
@@ -115,6 +160,13 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 	}
 	if err := <-serveErr; err != nil {
 		return err
+	}
+	if store != nil {
+		// Final WAL sync + close before reporting a clean exit (the deferred
+		// Close is then a no-op).
+		if err := store.Close(); err != nil {
+			return fmt.Errorf("close data dir: %w", err)
+		}
 	}
 	fmt.Fprintln(out, "bye")
 	return nil

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"kcore"
+	"kcore/internal/gen"
+	"kcore/internal/server"
+)
+
+// bootServe starts run() with the given args and waits for the listener.
+func bootServe(t *testing.T, args []string) (addr string, out *bytes.Buffer, shutdown func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	out = &bytes.Buffer{}
+	addrCh := make(chan string, 1)
+	runDone := make(chan error, 1)
+	go func() {
+		runDone <- run(ctx, args, out, func(a string) { addrCh <- a })
+	}()
+	select {
+	case addr = <-addrCh:
+	case err := <-runDone:
+		cancel()
+		t.Fatalf("run exited before listening: %v\n%s", err, out.String())
+	case <-time.After(10 * time.Second):
+		cancel()
+		t.Fatal("server never became ready")
+	}
+	shutdown = func() error {
+		cancel() // what SIGTERM does
+		select {
+		case err := <-runDone:
+			return err
+		case <-time.After(15 * time.Second):
+			t.Fatal("run did not exit after context cancellation")
+			return nil
+		}
+	}
+	return addr, out, shutdown
+}
+
+// TestServeRestartE2E is the durability end-to-end: boot with -data-dir,
+// ingest over HTTP, SIGTERM, boot again on the same directory, and verify
+// the recovered server answers identically — same cores, continuous seq —
+// then keeps accepting writes.
+func TestServeRestartE2E(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	args := []string{"-addr", "127.0.0.1:0", "-data-dir", dir, "-fsync", "always",
+		"-drain-timeout", "5s"}
+
+	// ---- First life: ingest a scale-free graph, snapshot mid-way. ----
+	addr, out, shutdown := bootServe(t, args)
+	c, err := server.NewClient("http://"+addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gen.BarabasiAlbert(200, 3, 77)
+	edges := g.Edges()
+	half := len(edges) / 2
+	if _, err := c.AddEdges(ctx, edges[:half]); err != nil {
+		t.Fatal(err)
+	}
+	// Admin snapshot mid-stream: recovery below must combine snapshot + WAL.
+	snap, err := c.Snapshot(ctx)
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if snap.Seq != uint64(half) {
+		t.Fatalf("snapshot seq = %d, want %d", snap.Seq, half)
+	}
+	if _, err := c.AddEdges(ctx, edges[half:]); err != nil {
+		t.Fatal(err)
+	}
+	st1, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Seq != uint64(len(edges)) {
+		t.Fatalf("pre-restart seq = %d, want %d", st1.Seq, len(edges))
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("first shutdown: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "bye") {
+		t.Fatalf("first life did not exit cleanly:\n%s", out.String())
+	}
+
+	// ---- Second life: same directory, verify recovery then continue. ----
+	addr2, out2, shutdown2 := bootServe(t, args)
+	defer func() {
+		if err := shutdown2(); err != nil {
+			t.Fatalf("second shutdown: %v\n%s", err, out2.String())
+		}
+	}()
+	if !strings.Contains(out2.String(), "recovered "+dir) {
+		t.Fatalf("second boot did not report recovery:\n%s", out2.String())
+	}
+	c2, err := server.NewClient("http://"+addr2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := c2.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seq continuity across the restart.
+	if st2.Seq != st1.Seq {
+		t.Fatalf("recovered seq = %d, want %d", st2.Seq, st1.Seq)
+	}
+	if st2.Persist == nil || st2.Persist.RecoveredSeq != st1.Seq {
+		t.Fatalf("persist stats after restart = %+v", st2.Persist)
+	}
+	if st2.Edges != len(edges) || st2.Degeneracy != st1.Degeneracy {
+		t.Fatalf("recovered graph stats = %+v, want %d edges, degeneracy %d",
+			st2, len(edges), st1.Degeneracy)
+	}
+	// Served cores match a direct one-shot decomposition.
+	want, err := kcore.Decompose(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int{0, 1, 13, 42, 120, 199} {
+		resp, err := c2.Core(ctx, v)
+		if err != nil {
+			t.Fatalf("Core(%d): %v", v, err)
+		}
+		if resp.Core != want[v] {
+			t.Fatalf("recovered core(%d) = %d, Decompose says %d", v, resp.Core, want[v])
+		}
+		if resp.Seq != st1.Seq {
+			t.Fatalf("recovered core seq = %d, want %d", resp.Seq, st1.Seq)
+		}
+	}
+	// Writes keep flowing, with seq continuing where the first life ended.
+	resp, err := c2.AddEdges(ctx, [][2]int{{0, 200}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Seq != st1.Seq+1 {
+		t.Fatalf("post-restart batch seq = %d, want %d", resp.Seq, st1.Seq+1)
+	}
+}

@@ -52,3 +52,24 @@ func (e *BatchError) Error() string {
 
 // Unwrap exposes the underlying sentinel to errors.Is / errors.As.
 func (e *BatchError) Unwrap() error { return e.Err }
+
+// HookError reports that a batch was applied in memory but the registered
+// apply hook — typically the write-ahead log of a persistence layer (see
+// SetApplyHook) — failed afterwards. The distinction matters: on a
+// *HookError the engine state HAS advanced (BatchInfo is valid, subscribers
+// were notified), only durability failed, so callers must not re-submit the
+// batch — a retry would double-apply it. Branch with errors.As:
+//
+//	var he *kcore.HookError
+//	if errors.As(err, &he) {
+//		log.Printf("batch applied but not persisted: %v", he.Err)
+//	}
+type HookError struct {
+	// Err is the error the apply hook returned.
+	Err error
+}
+
+func (e *HookError) Error() string { return "kcore: apply hook: " + e.Err.Error() }
+
+// Unwrap exposes the hook's error to errors.Is / errors.As.
+func (e *HookError) Unwrap() error { return e.Err }

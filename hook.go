@@ -1,0 +1,86 @@
+package kcore
+
+// The apply hook is the engine's durability tap: a persistence layer (see
+// internal/persist) registers one function that observes every successfully
+// applied batch — its surviving updates and the resulting sequence number —
+// synchronously, under the engine's write lock, in apply order. Because the
+// hook runs before Apply returns, a hook that appends to a write-ahead log
+// with fsync gives callers a hard guarantee: when Apply returns nil, the
+// batch is both applied in memory and durable on disk.
+
+// AppliedBatch describes one successfully applied batch to an ApplyHook.
+type AppliedBatch struct {
+	// Seq is the engine update sequence number after the batch (equals
+	// BatchInfo.Seq of the Apply that produced it).
+	Seq uint64
+	// Updates holds the batch's surviving updates in application order —
+	// self-annihilating pairs coalesced away during validation are absent,
+	// so len(Updates) is exactly the number of sequence increments the batch
+	// consumed. The slice may alias engine-owned scratch: it is valid only
+	// for the duration of the hook call and must be copied (or encoded) by
+	// hooks that retain it.
+	Updates []Update
+}
+
+// ApplyHook observes one applied batch. A non-nil error aborts nothing —
+// the batch is already applied in memory — but is surfaced to the Apply
+// caller wrapped in a *HookError, signalling that durability (not the
+// update) failed. See SetApplyHook.
+type ApplyHook func(AppliedBatch) error
+
+// SetApplyHook registers fn to be called after every successfully applied
+// batch with at least one surviving update (nil unregisters). The hook runs
+// synchronously while the engine's write lock is held, so invocations are
+// totally ordered and match the sequence-number order exactly; it must not
+// call back into the engine (deadlock) and should be fast — its latency is
+// added to every mutation.
+//
+// When the hook returns an error, Apply (and the convenience wrappers built
+// on it) return that error wrapped in a *HookError. The batch itself remains
+// applied — BatchInfo is valid, subscribers were notified — so callers must
+// treat a *HookError as "state advanced, durability failed" and not retry
+// the batch. At most one hook is registered at a time; Replay never invokes
+// it.
+func (e *Engine) SetApplyHook(fn ApplyHook) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.hook = fn
+}
+
+// Replay applies a batch exactly like Apply — same validation, same
+// execution strategies, same BatchInfo — but silently: subscribers receive
+// no CoreChange events and the apply hook is not invoked. It exists for
+// durability recovery (internal/persist replays the write-ahead log through
+// it), where the "changes" are not new information but the restoration of
+// state the engine already reached before a crash; subscribers attached
+// during or before recovery observe only post-recovery changes. Normal
+// callers mutate through Apply.
+func (e *Engine) Replay(batch Batch) (BatchInfo, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.replaying = true
+	defer func() { e.replaying = false }()
+	return e.applyLocked(batch)
+}
+
+// runApplyHook invokes the registered hook for a successful batch, building
+// the surviving-update record. Caller holds the write lock and has already
+// checked e.hook != nil, !e.replaying, and info.Applied > 0.
+func (e *Engine) runApplyHook(batch Batch, skip []bool, info *BatchInfo) error {
+	updates := batch
+	if info.Coalesced > 0 {
+		buf := e.hookBuf[:0]
+		for i, up := range batch {
+			if skip != nil && skip[i] {
+				continue
+			}
+			buf = append(buf, up)
+		}
+		e.hookBuf = buf
+		updates = Batch(buf)
+	}
+	if err := e.hook(AppliedBatch{Seq: info.Seq, Updates: updates}); err != nil {
+		return &HookError{Err: err}
+	}
+	return nil
+}

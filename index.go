@@ -1,0 +1,91 @@
+package kcore
+
+import (
+	"fmt"
+
+	"kcore/internal/graph"
+	"kcore/internal/korder"
+	"kcore/internal/order"
+
+	"kcore/internal/decomp"
+)
+
+// IndexState is the complete maintained state of an order-based engine at
+// one update sequence number: the edge set, the core numbers, and — the part
+// a fresh decomposition cannot reproduce — the maintained k-order, which
+// depends on the engine's whole update history. Together with the engine
+// parameters that drive deterministic replay (seed, heuristic, order
+// structure) it is exactly what a durable snapshot must capture so that
+// snapshot + write-ahead-log replay reconstructs the engine bit-identically:
+// same cores, same k-order, same Seq. Capture one with View(WithIndex()) and
+// View.Index; rebuild an engine from one with FromIndex.
+type IndexState struct {
+	// Seq is the engine update sequence number the state was captured at.
+	Seq uint64
+	// Vertices is the vertex count (max vertex id + 1); it can exceed the
+	// largest endpoint in Edges when trailing vertices are isolated.
+	Vertices int
+	// Edges lists every edge with U < V.
+	Edges [][2]int
+	// Cores holds the core number of every vertex, indexed by vertex id.
+	Cores []int
+	// Order is the maintained k-order, front to back.
+	Order []int
+	// Seed, Heuristic and Structure are the engine parameters that must
+	// survive a restore for subsequent updates (including wholesale
+	// recomputations) to replay deterministically.
+	Seed      uint64
+	Heuristic Heuristic
+	Structure OrderStructure
+}
+
+// FromIndex reconstructs an order-based engine from a captured IndexState.
+// The state is fully verified in O(m + n) before installation (see
+// korder.Restore): a corrupted or internally inconsistent state yields an
+// error, never a silently-wrong engine. The engine adopts the state's Seq,
+// Seed, Heuristic and Structure — replay determinism depends on them — while
+// other options (WithWorkers, WithRebuildThreshold, ...) may be supplied as
+// opts.
+func FromIndex(st *IndexState, opts ...Option) (*Engine, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.algorithm != OrderBased {
+		return nil, fmt.Errorf("kcore: FromIndex supports only the order-based engine: %w",
+			ErrWrongEngine)
+	}
+	cfg.seed = st.Seed
+	cfg.heuristic = st.Heuristic
+	cfg.structure = st.Structure
+	if st.Vertices < 0 {
+		return nil, fmt.Errorf("kcore: index state: negative vertex count %d", st.Vertices)
+	}
+	g := graph.New(st.Vertices)
+	for _, ed := range st.Edges {
+		if ed[0] < 0 || ed[0] >= st.Vertices || ed[1] < 0 || ed[1] >= st.Vertices {
+			return nil, fmt.Errorf("kcore: index state: edge (%d,%d) outside vertex range %d",
+				ed[0], ed[1], st.Vertices)
+		}
+		if err := g.AddEdge(ed[0], ed[1]); err != nil {
+			return nil, fmt.Errorf("kcore: index state: edge (%d,%d): %w", ed[0], ed[1], err)
+		}
+	}
+	// korder.Restore takes ownership of the core and order slices; copy so
+	// the caller's IndexState stays untouched.
+	cores := make([]int, len(st.Cores))
+	copy(cores, st.Cores)
+	ord := make([]int, len(st.Order))
+	copy(ord, st.Order)
+	m, err := korder.Restore(g, cores, ord, korder.Options{
+		Heuristic: decomp.Heuristic(cfg.heuristic),
+		OrderKind: order.Kind(cfg.structure),
+		Seed:      cfg.seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("kcore: %w", err)
+	}
+	e := &Engine{g: g, m: orderImpl{m}, cfg: cfg, seq: st.Seq}
+	e.initBatchRuntime()
+	return e, nil
+}

@@ -149,18 +149,42 @@ func LoadSnapshot(r io.Reader, opts Options) (*Maintainer, error) {
 		core[v] = int(coreU[v])
 	}
 	ord := make([]int, n)
-	seen := make([]bool, n)
 	for i, u := range ordU {
-		v := int(u)
-		if v >= n || seen[v] {
+		ord[i] = int(u)
+	}
+	return Restore(g, core, ord, opts)
+}
+
+// Restore builds a Maintainer directly from a claimed maintained state:
+// graph, core numbers, and k-order. It is the verification core of
+// LoadSnapshot, exported separately so other serialization formats (the
+// engine's durable snapshot in internal/persist, most prominently) can reuse
+// it. The claimed state is fully verified in O(m + n): the order must be a
+// permutation, level-monotone, a valid peeling order (deg+(v) <= core(v)
+// along the order), and every vertex must have at least core(v) neighbors at
+// its own level or above — together these certify that core is exactly the
+// core-number function of g, so a Restore that returns nil error can never
+// install silently-wrong state. g must not be mutated except through the
+// returned Maintainer afterwards.
+func Restore(g *graph.Undirected, core []int, ord []int, opts Options) (*Maintainer, error) {
+	n := g.NumVertices()
+	if len(core) != n || len(ord) != n {
+		return nil, fmt.Errorf("korder: snapshot: %d cores and %d order entries for %d vertices",
+			len(core), len(ord), n)
+	}
+	seen := make([]bool, n)
+	for i, v := range ord {
+		if v < 0 || v >= n || seen[v] {
 			return nil, fmt.Errorf("korder: snapshot: order is not a permutation at %d", i)
 		}
 		seen[v] = true
-		ord[i] = v
 	}
 
 	// Verification (see doc comment). Lower bound: mcd(v) >= core(v).
 	for v := 0; v < n; v++ {
+		if core[v] < 0 {
+			return nil, fmt.Errorf("korder: snapshot: vertex %d has negative core %d", v, core[v])
+		}
 		cnt := 0
 		for _, w := range g.Neighbors(v) {
 			if core[w] >= core[v] {

@@ -1,0 +1,209 @@
+// Package persist gives a kcore.Engine crash-safe durability: a versioned
+// binary snapshot format plus a write-ahead log (WAL) of applied batches,
+// managed together by a Store so that a process restart — clean or not —
+// reconstructs the engine bit-identically: same core numbers, same
+// maintained k-order, same update sequence number.
+//
+// # Why snapshot + WAL suffices
+//
+// The order-based maintenance engine is deterministic: its complete state is
+// a function of (a) a captured index state — edge set, core numbers, and the
+// maintained k-order, with the seed/heuristic/structure parameters — and
+// (b) the ordered stream of update batches applied since. The snapshot
+// captures (a); the WAL records (b), one record per applied batch holding
+// the surviving (post-coalescing) updates and the resulting sequence number.
+// Recovery loads the snapshot, replays WAL records in order through
+// kcore.Engine.Replay (silent: no subscriber events, no re-logging), and
+// resumes. See PAPER.md / the package kcore doc for the engine background.
+//
+// # Snapshot format (version 1, little endian)
+//
+//	magic     [8]byte  "KCORSNAP"
+//	version   uint32   1
+//	heuristic uint8    engine heuristic     (replay determinism parameters)
+//	structure uint8    order structure
+//	reserved  uint16   0
+//	seed      uint64   engine seed
+//	seq       uint64   update sequence number of the captured state
+//	n         uvarint  vertices
+//	m         uvarint  edges
+//	edges     ...      m edges, sorted (u < v, lexicographic), delta coded:
+//	                   uvarint(u - prevU), then uvarint(v) when u advanced
+//	                   or uvarint(v - prevV) when u repeated
+//	cores     ...      n uvarints, core number per vertex
+//	order     ...      n uvarints, the maintained k-order front to back
+//	crc32     uint32   IEEE CRC-32 of every preceding byte
+//
+// Snapshots are written atomically (temp file + rename + directory sync)
+// from a View(WithIndex()) capture, so writers are blocked only for the
+// O(m + n) in-memory capture, never for the file write. Loading verifies
+// the CRC and then the state itself (korder.Restore's O(m + n)
+// certification), so a load that succeeds can never install
+// silently-wrong state; every structural failure wraps ErrCorruptSnapshot.
+//
+// # WAL format (version 1, little endian)
+//
+//	magic   [8]byte  "KCOREWAL"
+//	version uint32   1
+//	records, each:
+//	  length uint32   payload byte length
+//	  crc32  uint32   IEEE CRC-32 of the payload
+//	  payload:
+//	    seq    uvarint  engine sequence number AFTER the batch
+//	    count  uvarint  number of updates (== sequence increments)
+//	    count × { op uint8 (0 add, 1 remove); u uvarint; v uvarint }
+//
+// Each record is appended with a single write call when a batch commits
+// (via kcore.Engine.SetApplyHook, under the engine's write lock, so record
+// order equals apply order). Sync policy is configurable: SyncAlways
+// fsyncs per record, SyncInterval groups fsyncs, SyncOff leaves flushing
+// to the OS.
+//
+// Replay distinguishes two failure shapes. An incomplete record at the end
+// of the file — the prefix a crashed append leaves behind — is a torn tail:
+// it is truncated away and recovery proceeds (Stats.TornBytes reports it).
+// Everything else — bad magic, a checksum mismatch on a fully present
+// record, non-monotone sequence numbers, a sequence gap, or a record whose
+// updates do not apply — is corruption and fails recovery with
+// ErrCorruptWAL rather than guessing.
+//
+// # Compaction
+//
+// The WAL grows without bound until a compaction rolls it into a fresh
+// snapshot: capture, atomic snapshot replace, then drop WAL records already
+// covered by the new snapshot's sequence number. A Store compacts
+// automatically past Options.CompactBytes (in a background goroutine — never
+// on the apply path) and on demand via Store.Snapshot. Crash safety needs no
+// coordination beyond the sequence numbers: replay skips WAL records at or
+// below the snapshot's seq, so dying between the snapshot rename and the WAL
+// shrink merely replays less.
+package persist
+
+import (
+	"errors"
+	"time"
+
+	"kcore"
+)
+
+// Structural corruption sentinels. Every snapshot- or WAL-shaped failure
+// (bad magic, checksum mismatch, truncation mid-structure, implausible
+// sizes, state that fails verification, updates that do not apply) wraps
+// one of these, so callers branch with errors.Is.
+var (
+	// ErrCorruptSnapshot marks an unreadable or unverifiable snapshot.
+	ErrCorruptSnapshot = errors.New("persist: corrupt snapshot")
+	// ErrCorruptWAL marks an unreadable or inconsistent write-ahead log
+	// (torn tails are NOT corruption; they are truncated silently).
+	ErrCorruptWAL = errors.New("persist: corrupt write-ahead log")
+)
+
+// SyncPolicy selects when the WAL fsyncs.
+type SyncPolicy int
+
+const (
+	// SyncInterval (the default) fsyncs at most once per Options.SyncEvery:
+	// batches are written immediately but group their durability barrier,
+	// piggybacked on appends with a background timer covering idle tails
+	// (a lone batch followed by silence is still synced within about one
+	// period). An OS crash can lose roughly SyncEvery of acknowledged
+	// batches; a process crash loses nothing.
+	SyncInterval SyncPolicy = iota
+	// SyncAlways fsyncs after every record: an acknowledged batch survives
+	// even an OS crash, at the cost of one fsync per Apply.
+	SyncAlways
+	// SyncOff never fsyncs on the append path (only on Close and
+	// compaction). Records still reach the file with one write call per
+	// batch, so a process crash loses nothing; an OS crash may lose any
+	// unflushed suffix — replay truncates the torn tail and resumes.
+	SyncOff
+)
+
+// String names the policy (flag-friendly: "interval", "always", "off").
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncOff:
+		return "off"
+	case SyncInterval:
+		return "interval"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseSyncPolicy parses a policy name as printed by String.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off":
+		return SyncOff, nil
+	}
+	return 0, errors.New("persist: sync policy must be always, interval or off")
+}
+
+// Options configures a Store. The zero value is usable: interval fsync
+// every 100ms, 64 MiB compaction threshold, default engine options.
+type Options struct {
+	// Sync is the WAL fsync policy (default SyncInterval).
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval period (default 100ms).
+	SyncEvery time.Duration
+	// CompactBytes triggers automatic compaction when the WAL exceeds this
+	// size. 0 selects the default 64 MiB; negative disables automatic
+	// compaction (Store.Snapshot still compacts on demand).
+	CompactBytes int64
+	// Engine supplies the engine options used when no snapshot exists yet
+	// and passed through to snapshot loading (snapshot-stored seed,
+	// heuristic and structure win over these; see kcore.FromIndex).
+	Engine []kcore.Option
+	// Init, when non-nil, builds the initial engine for a directory that
+	// holds no prior state (no snapshot, no WAL records) — e.g. preloading
+	// an edge list. Its engine is snapshotted immediately so the seed state
+	// is durable before Open returns. Ignored when prior state exists.
+	Init func() (*kcore.Engine, error)
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 100 * time.Millisecond
+	}
+	if o.CompactBytes == 0 {
+		o.CompactBytes = 64 << 20
+	}
+	return o
+}
+
+// Stats reports a Store's durability counters. Recovered* and TornBytes
+// describe the Open-time recovery; the rest track the running store.
+type Stats struct {
+	// SnapshotSeq is the sequence number of the current on-disk snapshot.
+	SnapshotSeq uint64
+	// SnapshotBytes is the current snapshot's size.
+	SnapshotBytes int64
+	// WALRecords and WALBytes describe the current WAL file (records since
+	// the last compaction; bytes include the file header).
+	WALRecords uint64
+	WALBytes   int64
+	// Appends counts batches logged over the store's lifetime.
+	Appends uint64
+	// Syncs counts fsyncs issued by the WAL append path.
+	Syncs uint64
+	// Compactions counts snapshots written (Open's initial snapshot,
+	// automatic compactions, and Store.Snapshot calls).
+	Compactions uint64
+	// CompactErrors counts failed background compactions (the last error is
+	// also returned by Close).
+	CompactErrors uint64
+	// RecoveredRecords is the number of WAL records replayed at Open;
+	// RecoveredSeq is the engine sequence number recovery ended at.
+	RecoveredRecords uint64
+	RecoveredSeq     uint64
+	// TornBytes is the size of the torn WAL tail truncated at Open (0 for a
+	// clean shutdown).
+	TornBytes int64
+}

@@ -1,0 +1,210 @@
+package persist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+
+	"kcore"
+	"kcore/internal/gen"
+)
+
+// testEngine builds a deterministic engine with some update history, so the
+// maintained k-order differs from a fresh decomposition of the same edges.
+func testEngine(t *testing.T) *kcore.Engine {
+	t.Helper()
+	g := gen.BarabasiAlbert(80, 3, 11)
+	e, err := kcore.FromEdges(g.Edges(), kcore.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Churn a little so order state is history-dependent (fresh vertices, so
+	// validity is independent of the BA topology; one pair coalesces).
+	if _, err := e.Apply(kcore.Batch{
+		kcore.Add(0, 80), kcore.Add(1, 81), kcore.Remove(0, 80), kcore.Add(2, 82),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// stateOf captures the observable maintained state for comparison.
+func stateOf(t *testing.T, e *kcore.Engine) *kcore.IndexState {
+	t.Helper()
+	st, err := e.View(kcore.WithIndex()).Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// assertSameState fails unless two engines agree on cores, k-order, and seq.
+func assertSameState(t *testing.T, want, got *kcore.Engine) {
+	t.Helper()
+	ws, gs := stateOf(t, want), stateOf(t, got)
+	if ws.Seq != gs.Seq {
+		t.Fatalf("seq = %d, want %d", gs.Seq, ws.Seq)
+	}
+	if !slices.Equal(ws.Cores, gs.Cores) {
+		t.Fatalf("core numbers differ\n got %v\nwant %v", gs.Cores, ws.Cores)
+	}
+	if !slices.Equal(ws.Order, gs.Order) {
+		t.Fatalf("maintained k-order differs\n got %v\nwant %v", gs.Order, ws.Order)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	e := testEngine(t)
+	path := filepath.Join(t.TempDir(), "snap.kcs")
+	if err := Save(path, e); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	assertSameState(t, e, got)
+	if err := got.Validate(); err != nil {
+		t.Fatalf("restored engine invalid: %v", err)
+	}
+	// The restored engine evolves identically: same updates, same state.
+	// Fresh vertices keep the batch valid regardless of the BA topology.
+	batch := kcore.Batch{kcore.Add(2, 80), kcore.Remove(2, 80), kcore.Add(81, 3), kcore.Add(81, 5)}
+	if _, err := e.Apply(batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := got.Apply(batch); err != nil {
+		t.Fatal(err)
+	}
+	assertSameState(t, e, got)
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	e := testEngine(t)
+	st := stateOf(t, e)
+	data, err := EncodeSnapshot(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, mutate func([]byte) []byte) {
+		t.Helper()
+		b := slices.Clone(data)
+		b = mutate(b)
+		if _, err := DecodeSnapshot(b); !errors.Is(err, ErrCorruptSnapshot) {
+			t.Fatalf("%s: err = %v, want ErrCorruptSnapshot", name, err)
+		}
+	}
+	check("empty", func(b []byte) []byte { return nil })
+	check("bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b })
+	check("bad version", func(b []byte) []byte { b[8] = 99; return b })
+	check("flipped header bit", func(b []byte) []byte { b[20] ^= 0x10; return b })
+	check("flipped body bit", func(b []byte) []byte { b[len(b)/2] ^= 0x01; return b })
+	check("flipped trailer bit", func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b })
+	check("truncated", func(b []byte) []byte { return b[:len(b)-7] })
+	check("extended", func(b []byte) []byte { return append(b, 0xAB) })
+}
+
+// TestSnapshotRejectsForgedState proves a well-formed snapshot (valid CRC)
+// carrying an internally inconsistent state still fails verification
+// instead of loading silently-wrong core numbers.
+func TestSnapshotRejectsForgedState(t *testing.T) {
+	e := testEngine(t)
+	st := stateOf(t, e)
+	forged := *st
+	forged.Cores = slices.Clone(st.Cores)
+	forged.Cores[0]++ // claim a core number the graph cannot support
+	data, err := EncodeSnapshot(&forged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSnapshot(data); err != nil {
+		t.Fatalf("forged snapshot should decode structurally: %v", err)
+	}
+	if _, err := Load(writeTemp(t, data)); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("forged state loaded: err = %v, want ErrCorruptSnapshot", err)
+	}
+}
+
+func writeTemp(t *testing.T, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "file.bin")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSaveIsAtomic proves a Save over an existing snapshot leaves either
+// the old or the new bytes, never a partial file, and cleans its temp.
+func TestSaveIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.kcs")
+	e := testEngine(t)
+	if err := Save(path, e); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AddEdge(4, 70); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, e); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "snap.kcs" {
+		t.Fatalf("directory not clean after Save: %v", entries)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameState(t, e, got)
+}
+
+// TestEncodeRejectsInvalidEdges: malformed IndexState edges must fail the
+// encode, never produce a snapshot that cannot be decoded.
+func TestEncodeRejectsInvalidEdges(t *testing.T) {
+	base := stateOf(t, testEngine(t))
+	for name, edges := range map[string][][2]int{
+		"negative second endpoint": {{5, -1}},
+		"negative first endpoint":  {{-1, 5}},
+		"self loop":                {{4, 4}},
+		"out of range":             {{0, base.Vertices}},
+	} {
+		st := *base
+		st.Edges = edges
+		if _, err := EncodeSnapshot(&st); err == nil {
+			t.Errorf("%s: EncodeSnapshot accepted %v", name, edges)
+		}
+	}
+}
+
+func TestSaveRequiresOrderEngine(t *testing.T) {
+	e, err := kcore.FromEdges([][2]int{{0, 1}}, kcore.WithAlgorithm(kcore.Traversal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(filepath.Join(t.TempDir(), "x"), e); !errors.Is(err, kcore.ErrWrongEngine) {
+		t.Fatalf("Save on traversal engine: err = %v, want ErrWrongEngine", err)
+	}
+}
+
+// TestSnapshotEmptyEngine covers the smallest state: zero vertices.
+func TestSnapshotEmptyEngine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.kcs")
+	if err := Save(path, kcore.NewEngine()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices() != 0 || got.Seq() != 0 {
+		t.Fatalf("empty snapshot loaded %d vertices, seq %d", got.NumVertices(), got.Seq())
+	}
+}

@@ -1,0 +1,393 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"kcore"
+)
+
+// File names inside a Store directory.
+const (
+	// SnapshotFile is the current snapshot.
+	SnapshotFile = "snapshot.kcs"
+	// WALFile is the write-ahead log.
+	WALFile = "wal.kcl"
+)
+
+// Store manages a durable engine in one directory: a snapshot plus a WAL,
+// an apply hook that logs every batch, and compaction that rolls the WAL
+// into a fresh snapshot. Open recovers the pre-crash state; Close detaches
+// cleanly. All methods are safe for concurrent use.
+type Store struct {
+	dir    string
+	opts   Options
+	engine *kcore.Engine
+
+	// snapMu serializes snapshot writes (manual and automatic compaction)
+	// against each other. It is never held while acquiring mu-after-engine
+	// paths: a snapshot captures the view first (engine read lock, no store
+	// locks), writes the file, and only then takes mu to swap the WAL.
+	snapMu sync.Mutex
+
+	// mu guards the WAL handle and the counters below. The apply hook takes
+	// it under the engine's write lock, so nothing holding mu may acquire
+	// engine locks.
+	mu        sync.Mutex
+	wal       *wal
+	closed    bool
+	snapSeq   uint64
+	snapBytes int64
+	appends   uint64
+	compacts  uint64
+	cErrs     uint64
+	lastCErr  error
+	recovered uint64
+	recSeq    uint64
+	torn      int64
+
+	compactCh chan struct{}
+	stop      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// Open recovers (or initializes) a durable engine in dir and returns the
+// managing Store. Recovery order: load the snapshot if present (else build
+// a fresh engine — via opts.Init for a brand-new directory), replay every
+// WAL record past the snapshot's sequence number through Engine.Replay
+// (silent: no subscriber events), truncate a torn WAL tail, write the
+// initial snapshot if the directory had none, then attach the WAL apply
+// hook so every subsequent Apply is logged before it returns. A corrupt
+// snapshot or WAL fails Open with ErrCorruptSnapshot / ErrCorruptWAL.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	removeStaleTemps(dir)
+
+	s := &Store{dir: dir, opts: opts,
+		compactCh: make(chan struct{}, 1), stop: make(chan struct{})}
+	snapPath := filepath.Join(dir, SnapshotFile)
+	walPath := filepath.Join(dir, WALFile)
+
+	// 1. Base state: snapshot, Init seed, or empty engine.
+	hadSnapshot := false
+	if data, err := os.ReadFile(snapPath); err == nil {
+		st, err := DecodeSnapshot(data)
+		if err != nil {
+			return nil, err
+		}
+		e, err := kcore.FromIndex(st, opts.Engine...)
+		if err != nil {
+			return nil, fmt.Errorf("%w: state verification failed: %v", ErrCorruptSnapshot, err)
+		}
+		s.engine = e
+		s.snapSeq = st.Seq
+		s.snapBytes = int64(len(data))
+		hadSnapshot = true
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("persist: read snapshot: %w", err)
+	} else {
+		fresh := true
+		if wst, err := os.Stat(walPath); err == nil && wst.Size() > walHeaderLen {
+			// WAL records without a snapshot: the log must start at sequence
+			// zero against an empty engine, so an Init seed would be wrong.
+			fresh = false
+		}
+		if fresh && opts.Init != nil {
+			e, err := opts.Init()
+			if err != nil {
+				return nil, fmt.Errorf("persist: init engine: %w", err)
+			}
+			s.engine = e
+		} else {
+			s.engine = kcore.NewEngine(opts.Engine...)
+		}
+	}
+
+	// 2. Replay the WAL past the snapshot seq, truncating a torn tail.
+	if f, err := os.OpenFile(walPath, os.O_RDWR, 0); err == nil {
+		res, replayed, serr := replayWAL(s.engine, f)
+		s.recovered = replayed
+		if serr != nil {
+			f.Close()
+			return nil, serr
+		}
+		if res.tornBytes > 0 {
+			if err := f.Truncate(res.goodOffset); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("persist: truncate torn WAL tail: %w", err)
+			}
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("persist: sync truncated WAL: %w", err)
+			}
+			s.torn = res.tornBytes
+		}
+		f.Close()
+		s.wal, err = openWAL(walPath, opts.Sync, opts.SyncEvery, res.records, res.lastSeq)
+		if err != nil {
+			return nil, err
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("persist: open WAL: %w", err)
+	} else if s.wal, err = openWAL(walPath, opts.Sync, opts.SyncEvery, 0, 0); err != nil {
+		return nil, err
+	}
+	s.recSeq = s.engine.Seq()
+
+	// 3. A directory without a snapshot gets one now, so the base state is
+	// durable (and recovery above never depends on Init again).
+	if !hadSnapshot {
+		if err := s.writeSnapshot(); err != nil {
+			s.wal.close()
+			return nil, err
+		}
+	}
+
+	// 4. Log every future batch; compact — and, under the interval policy,
+	// fsync — in the background.
+	s.engine.SetApplyHook(s.onApply)
+	s.wg.Add(1)
+	go s.compactLoop()
+	if opts.Sync == SyncInterval {
+		s.wg.Add(1)
+		go s.syncLoop()
+	}
+	return s, nil
+}
+
+// syncLoop is the interval policy's durability timer: appends piggyback an
+// fsync when one is due, but a lone batch followed by silence would
+// otherwise sit in the page cache indefinitely — this loop bounds the
+// exposure of acknowledged-but-unsynced records to roughly one SyncEvery
+// period even when no further appends arrive.
+func (s *Store) syncLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			if !s.closed && s.wal != nil && s.wal.dirty {
+				if err := s.wal.sync(); err != nil {
+					s.cErrs++
+					s.lastCErr = err
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// replayWAL scans a WAL stream, replaying every record past e's current
+// sequence number into e through Engine.Replay (silent: no subscriber
+// events, no apply hook). Records at or below e's sequence number are
+// skipped (they are covered by the snapshot e was loaded from); a record
+// that does not chain onto the current sequence number, or whose updates
+// fail to apply, is corruption. Returns the scan outcome (including the
+// torn-tail size the caller may truncate) and the number of records
+// replayed.
+func replayWAL(e *kcore.Engine, r io.Reader) (walScan, uint64, error) {
+	cur := e.Seq()
+	var replayed uint64
+	res, err := scanWAL(r, func(rec WALRecord) error {
+		if rec.Seq <= cur {
+			return nil // already covered by the snapshot
+		}
+		if start := rec.Seq - uint64(len(rec.Updates)); start != cur {
+			return fmt.Errorf("%w: record covering seq %d..%d does not chain onto state at seq %d",
+				ErrCorruptWAL, start+1, rec.Seq, cur)
+		}
+		if _, err := e.Replay(kcore.Batch(rec.Updates)); err != nil {
+			return fmt.Errorf("%w: record ending at seq %d does not apply: %v",
+				ErrCorruptWAL, rec.Seq, err)
+		}
+		cur = rec.Seq
+		replayed++
+		return nil
+	})
+	return res, replayed, err
+}
+
+// removeStaleTemps deletes temp files a crashed snapshot write or WAL
+// rewrite left behind.
+func removeStaleTemps(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.Contains(name, ".tmp-") &&
+			(strings.HasPrefix(name, SnapshotFile) || strings.HasPrefix(name, "wal")) {
+			_ = os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// Engine returns the managed engine. Mutate it through its normal API; the
+// store's hook logs every applied batch.
+func (s *Store) Engine() *kcore.Engine { return s.engine }
+
+// Dir returns the store's data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// onApply is the engine apply hook: it appends the batch to the WAL (the
+// engine's write lock is held, so append order equals apply order) and
+// schedules a background compaction when the log has outgrown its budget.
+func (s *Store) onApply(rec kcore.AppliedBatch) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errStoreClosed
+	}
+	if err := s.wal.append(rec.Seq, rec.Updates); err != nil {
+		return err
+	}
+	s.appends++
+	if s.opts.CompactBytes > 0 && s.wal.size >= s.opts.CompactBytes {
+		select {
+		case s.compactCh <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// compactLoop runs automatic compactions off the apply path.
+func (s *Store) compactLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.compactCh:
+			// A signal racing Close can lose to the closed flag inside
+			// Snapshot; that is a benign shutdown, not a compaction failure.
+			if _, err := s.Snapshot(); err != nil && !errors.Is(err, errStoreClosed) {
+				s.mu.Lock()
+				s.cErrs++
+				s.lastCErr = err
+				s.mu.Unlock()
+			}
+		}
+	}
+}
+
+// SnapshotInfo reports one compaction.
+type SnapshotInfo struct {
+	// Seq is the sequence number the snapshot captured.
+	Seq uint64
+	// Bytes is the snapshot file size.
+	Bytes int64
+}
+
+// Snapshot compacts now: it captures a consistent view, atomically replaces
+// the snapshot file, and drops WAL records the new snapshot covers. Writers
+// are blocked only during the in-memory capture and the WAL swap, never
+// during the snapshot file write. Safe to call at any time (the admin
+// endpoint of kcore-serve does); concurrent calls serialize.
+func (s *Store) Snapshot() (SnapshotInfo, error) {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return SnapshotInfo{}, errStoreClosed
+	}
+	s.mu.Unlock()
+	if err := s.writeSnapshot(); err != nil {
+		return SnapshotInfo{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info := SnapshotInfo{Seq: s.snapSeq, Bytes: s.snapBytes}
+	if s.closed { // closed while the file was being written
+		return info, nil
+	}
+	if err := s.wal.compactTo(s.snapSeq); err != nil {
+		return info, err
+	}
+	return info, nil
+}
+
+// writeSnapshot captures the engine and atomically replaces the snapshot
+// file, updating the snapshot counters. It does not touch the WAL.
+func (s *Store) writeSnapshot() error {
+	st, err := s.engine.View(kcore.WithIndex()).Index()
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	data, err := EncodeSnapshot(st)
+	if err != nil {
+		return err
+	}
+	if err := atomicWrite(filepath.Join(s.dir, SnapshotFile), data); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.snapSeq = st.Seq
+	s.snapBytes = int64(len(data))
+	s.compacts++
+	s.mu.Unlock()
+	return nil
+}
+
+// Stats returns the store's durability counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		SnapshotSeq:      s.snapSeq,
+		SnapshotBytes:    s.snapBytes,
+		Appends:          s.appends,
+		Compactions:      s.compacts,
+		CompactErrors:    s.cErrs,
+		RecoveredRecords: s.recovered,
+		RecoveredSeq:     s.recSeq,
+		TornBytes:        s.torn,
+	}
+	if s.wal != nil {
+		st.WALRecords = s.wal.records
+		st.WALBytes = s.wal.size
+		st.Syncs = s.wal.syncs
+	}
+	return st
+}
+
+// Close detaches the apply hook, stops the background compactor, and syncs
+// and closes the WAL. The engine remains usable afterwards — it just stops
+// being logged. Close returns the last background compaction error, if any
+// occurred. It is idempotent.
+func (s *Store) Close() error {
+	s.engine.SetApplyHook(nil) // waits out any in-flight Apply (write lock)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	s.wg.Wait()
+	s.snapMu.Lock() // a manual Snapshot may still be writing
+	defer s.snapMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.wal.close()
+	if s.lastCErr != nil {
+		err = errors.Join(err, fmt.Errorf("persist: background compaction: %w", s.lastCErr))
+	}
+	return err
+}

@@ -1,0 +1,376 @@
+package persist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"kcore"
+	"kcore/internal/gen"
+	"kcore/internal/graph"
+	"kcore/internal/workload"
+)
+
+// churnBatches generates count valid batches of size updates each against
+// the engine's current state, using the workload churn generator.
+func churnBatches(t *testing.T, e *kcore.Engine, count, size int, seed uint64) []kcore.Batch {
+	t.Helper()
+	cg := graph.New(e.NumVertices())
+	for _, ed := range e.Edges() {
+		if err := cg.AddEdge(ed[0], ed[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ops := workload.Churn(cg, count*size, workload.ChurnOptions{Seed: seed, Skew: 0.3})
+	if len(ops) < count*size {
+		t.Fatalf("churn produced %d ops, want %d", len(ops), count*size)
+	}
+	batches := make([]kcore.Batch, count)
+	for i := range batches {
+		b := make(kcore.Batch, 0, size)
+		for _, op := range ops[i*size : (i+1)*size] {
+			if op.Insert {
+				b = append(b, kcore.Add(op.E.U, op.E.V))
+			} else {
+				b = append(b, kcore.Remove(op.E.U, op.E.V))
+			}
+		}
+		batches[i] = b
+	}
+	return batches
+}
+
+func TestStoreOpenApplyReopen(t *testing.T) {
+	dir := t.TempDir()
+	engOpts := []kcore.Option{kcore.WithSeed(5)}
+	init := func() (*kcore.Engine, error) {
+		g := gen.BarabasiAlbert(100, 3, 13)
+		return kcore.FromEdges(g.Edges(), engOpts...)
+	}
+	st, err := Open(dir, Options{Sync: SyncOff, CompactBytes: -1, Engine: engOpts, Init: init})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := st.Engine()
+	if e.NumEdges() == 0 {
+		t.Fatal("Init engine not used")
+	}
+	// The seed state was snapshotted before Open returned.
+	if _, err := os.Stat(filepath.Join(dir, SnapshotFile)); err != nil {
+		t.Fatalf("no initial snapshot: %v", err)
+	}
+
+	for _, b := range churnBatches(t, e, 20, 8, 99) {
+		if _, err := e.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := st.Stats()
+	if stats.Appends != 20 || stats.WALRecords != 20 {
+		t.Fatalf("stats = %+v, want 20 appends and records", stats)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, Options{Sync: SyncOff, CompactBytes: -1, Engine: engOpts})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st2.Close()
+	assertSameState(t, e, st2.Engine())
+	if got := st2.Stats(); got.RecoveredRecords != 20 || got.TornBytes != 0 {
+		t.Fatalf("recovery stats = %+v, want 20 clean records", got)
+	}
+	// The recovered engine keeps evolving identically to the original.
+	extra := churnBatches(t, e, 3, 6, 123)
+	for _, b := range extra {
+		if _, err := e.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st2.Engine().Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertSameState(t, e, st2.Engine())
+}
+
+// TestStoreInitIgnoredWithState proves Init only seeds a brand-new
+// directory.
+func TestStoreInitIgnoredWithState(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Engine().AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir, Options{Sync: SyncOff, Init: func() (*kcore.Engine, error) {
+		t.Fatal("Init called for a directory with prior state")
+		return nil, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Engine().Seq() != 1 || !st2.Engine().HasEdge(0, 1) {
+		t.Fatalf("prior state not recovered: seq %d", st2.Engine().Seq())
+	}
+}
+
+// TestStoreCompaction drives the automatic compactor: a tiny CompactBytes
+// forces snapshot rolls, after which reopen still recovers the exact state.
+func TestStoreCompaction(t *testing.T) {
+	dir := t.TempDir()
+	engOpts := []kcore.Option{kcore.WithSeed(3)}
+	init := func() (*kcore.Engine, error) {
+		return kcore.FromEdges(gen.BarabasiAlbert(80, 3, 17).Edges(), engOpts...)
+	}
+	st, err := Open(dir, Options{Sync: SyncOff, CompactBytes: 512, Engine: engOpts, Init: init})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := st.Engine()
+	for _, b := range churnBatches(t, e, 40, 8, 7) {
+		if _, err := e.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The compactor is asynchronous; wait for at least one roll beyond the
+	// initial snapshot before closing.
+	deadline := time.Now().Add(10 * time.Second)
+	for st.Stats().Compactions < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stats := st.Stats()
+	if stats.Compactions < 2 { // initial snapshot + at least one roll
+		t.Fatalf("compactions = %d, want >= 2 (stats %+v)", stats.Compactions, stats)
+	}
+	if stats.SnapshotSeq == 0 {
+		t.Fatal("snapshot seq never advanced")
+	}
+
+	st2, err := Open(dir, Options{Sync: SyncOff, Engine: engOpts})
+	if err != nil {
+		t.Fatalf("reopen after compaction: %v", err)
+	}
+	defer st2.Close()
+	assertSameState(t, e, st2.Engine())
+	if err := st2.Engine().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreManualSnapshot covers Store.Snapshot (the admin-endpoint path):
+// it must shrink the WAL and leave a recoverable state.
+func TestStoreManualSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Sync: SyncOff, CompactBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := st.Engine()
+	for i := 0; i < 50; i++ {
+		if _, err := e.AddEdge(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := st.Stats()
+	info, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Seq != 50 {
+		t.Fatalf("snapshot seq = %d, want 50", info.Seq)
+	}
+	after := st.Stats()
+	if after.WALRecords != 0 || after.WALBytes >= before.WALBytes {
+		t.Fatalf("WAL not compacted: before %+v after %+v", before, after)
+	}
+	if _, err := e.AddEdge(100, 101); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir, Options{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	assertSameState(t, e, st2.Engine())
+}
+
+// TestRecoveryIsSilent pins the Replay contract end to end: a subscriber
+// attached while recovery replays the WAL sees none of the recovered
+// changes, only changes applied after recovery.
+func TestRecoveryIsSilent(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Sync: SyncOff, CompactBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := st.Engine()
+	// A triangle changes cores of 0,1,2 — events a poller must NOT see
+	// again after recovery.
+	for _, ed := range [][2]int{{0, 1}, {1, 2}, {0, 2}} {
+		if _, err := e.AddEdge(ed[0], ed[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery with a pre-attached subscriber: Open cannot attach one before
+	// it returns, so drive replayWAL directly against the same WAL file,
+	// exactly as Open does (the initial snapshot is at seq 0, so all three
+	// records replay).
+	e2 := kcore.NewEngine()
+	events, cancel := e2.Subscribe()
+	defer cancel()
+	f, err := os.Open(filepath.Join(dir, WALFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, replayed, err := replayWAL(e2, f); err != nil || replayed != 3 {
+		t.Fatalf("replayWAL: %d records, %v", replayed, err)
+	}
+	select {
+	case ev := <-events:
+		t.Fatalf("recovery delivered %+v; replay must be silent", ev)
+	default:
+	}
+	// Post-recovery changes are delivered normally, with continuous seq.
+	if _, err := e2.AddEdge(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-events:
+		if ev.Seq != 4 {
+			t.Fatalf("post-recovery event seq = %d, want 4", ev.Seq)
+		}
+	default:
+		t.Fatal("post-recovery change not delivered")
+	}
+}
+
+// TestOpenSkipsCoveredRecords reconstructs the crash window between a
+// compaction's snapshot rename and its WAL shrink: the snapshot already
+// covers a WAL prefix, and replay must skip exactly that prefix.
+func TestOpenSkipsCoveredRecords(t *testing.T) {
+	dirA := t.TempDir()
+	engOpts := []kcore.Option{kcore.WithSeed(21)}
+	st, err := Open(dirA, Options{Sync: SyncOff, CompactBytes: -1, Engine: engOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := st.Engine()
+	var mid *kcore.IndexState
+	for i := 0; i < 30; i++ {
+		if _, err := e.AddEdge(i%7, 7+i); err != nil {
+			t.Fatal(err)
+		}
+		if i == 19 {
+			s, err := e.View(kcore.WithIndex()).Index()
+			if err != nil {
+				t.Fatal(err)
+			}
+			mid = s
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// dirB = mid-stream snapshot + the FULL WAL (first 20 records covered).
+	dirB := t.TempDir()
+	data, err := EncodeSnapshot(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dirB, SnapshotFile), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wal, err := os.ReadFile(filepath.Join(dirA, WALFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dirB, WALFile), wal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dirB, Options{Sync: SyncOff, Engine: engOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := st2.Stats().RecoveredRecords; got != 10 {
+		t.Fatalf("replayed %d records, want 10 (20 covered by snapshot)", got)
+	}
+	assertSameState(t, e, st2.Engine())
+}
+
+// TestStoreHookFailureSurfaces proves a WAL append failure reaches the
+// Apply caller as a *kcore.HookError while the in-memory state advanced.
+func TestStoreHookFailureSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Sync: SyncOff, CompactBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := st.Engine()
+	if _, err := e.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the WAL file handle to force the next append to fail.
+	st.mu.Lock()
+	st.wal.f.Close()
+	st.mu.Unlock()
+	_, err = e.AddEdge(1, 2)
+	var he *kcore.HookError
+	if !errors.As(err, &he) {
+		t.Fatalf("err = %v, want *kcore.HookError", err)
+	}
+	if !e.HasEdge(1, 2) || e.Seq() != 2 {
+		t.Fatal("in-memory state must still advance on a hook failure")
+	}
+	// The rollback itself also failed (the fd is closed), so the log is
+	// sealed: further appends are refused instead of landing after a
+	// potential partial frame.
+	if _, err := e.AddEdge(2, 3); !errors.As(err, &he) {
+		t.Fatalf("append after a failed rollback = %v, want *kcore.HookError (sealed log)", err)
+	}
+}
+
+// TestIntervalSyncCoversIdleTail: under the interval policy a lone batch
+// followed by silence must still be fsynced within about one period by the
+// background timer, not wait for the next append.
+func TestIntervalSyncCoversIdleTail(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Sync: SyncInterval, SyncEvery: 5 * time.Millisecond, CompactBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.Engine().AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if st.Stats().Syncs > 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("no fsync within 5s of an idle append (stats %+v)", st.Stats())
+}

@@ -1,0 +1,447 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"kcore"
+)
+
+// WALVersion is the current write-ahead-log format version. Bump it — and
+// regenerate the golden fixtures (see golden_test.go) — whenever the byte
+// format changes.
+const WALVersion = 1
+
+var walMagic = [8]byte{'K', 'C', 'O', 'R', 'E', 'W', 'A', 'L'}
+
+// walHeaderLen is magic + version.
+const walHeaderLen = 8 + 4
+
+// walFrameLen is the per-record frame prefix: payload length + payload CRC.
+const walFrameLen = 4 + 4
+
+// maxWALPayload bounds a record's claimed payload size; anything larger is
+// corruption, not a batch (the engine cannot produce multi-hundred-MiB
+// single batches, and the cap keeps hostile inputs from forcing huge
+// allocations).
+const maxWALPayload = 1 << 28
+
+// WALRecord is one decoded write-ahead-log record: a batch's surviving
+// updates and the engine sequence number after applying them.
+type WALRecord struct {
+	// Seq is the engine sequence number AFTER the batch; the batch starts
+	// at Seq - len(Updates).
+	Seq uint64
+	// Updates are the batch's surviving updates in application order.
+	Updates []kcore.Update
+}
+
+// appendWALRecord encodes one record frame (length + crc + payload) onto buf.
+func appendWALRecord(buf []byte, seq uint64, updates []kcore.Update) ([]byte, error) {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // frame prefix placeholder
+	payloadStart := len(buf)
+	buf = binary.AppendUvarint(buf, seq)
+	buf = binary.AppendUvarint(buf, uint64(len(updates)))
+	for _, up := range updates {
+		var op byte
+		switch up.Op {
+		case kcore.OpAdd:
+			op = 0
+		case kcore.OpRemove:
+			op = 1
+		default:
+			return nil, fmt.Errorf("persist: WAL record with unknown op %d", up.Op)
+		}
+		if up.U < 0 || up.V < 0 {
+			return nil, fmt.Errorf("persist: WAL record with negative vertex (%d,%d)", up.U, up.V)
+		}
+		buf = append(buf, op)
+		buf = binary.AppendUvarint(buf, uint64(up.U))
+		buf = binary.AppendUvarint(buf, uint64(up.V))
+	}
+	payload := buf[payloadStart:]
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.ChecksumIEEE(payload))
+	return buf, nil
+}
+
+// decodeWALPayload parses one CRC-verified record payload.
+func decodeWALPayload(payload []byte) (WALRecord, error) {
+	var rec WALRecord
+	seq, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return rec, fmt.Errorf("%w: truncated record seq", ErrCorruptWAL)
+	}
+	payload = payload[n:]
+	count, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return rec, fmt.Errorf("%w: truncated record count", ErrCorruptWAL)
+	}
+	payload = payload[n:]
+	if count == 0 {
+		return rec, fmt.Errorf("%w: empty record", ErrCorruptWAL)
+	}
+	if count > uint64(len(payload)) || count > seq {
+		// Each update takes >= 3 bytes; a count beyond the payload (or the
+		// claimed end seq) is structurally impossible.
+		return rec, fmt.Errorf("%w: implausible update count %d", ErrCorruptWAL, count)
+	}
+	rec.Seq = seq
+	rec.Updates = make([]kcore.Update, count)
+	for i := range rec.Updates {
+		if len(payload) == 0 {
+			return rec, fmt.Errorf("%w: truncated update %d", ErrCorruptWAL, i)
+		}
+		op := payload[0]
+		payload = payload[1:]
+		u, n := binary.Uvarint(payload)
+		if n <= 0 || u > maxSnapshotDim {
+			return rec, fmt.Errorf("%w: bad vertex in update %d", ErrCorruptWAL, i)
+		}
+		payload = payload[n:]
+		v, n := binary.Uvarint(payload)
+		if n <= 0 || v > maxSnapshotDim {
+			return rec, fmt.Errorf("%w: bad vertex in update %d", ErrCorruptWAL, i)
+		}
+		payload = payload[n:]
+		switch op {
+		case 0:
+			rec.Updates[i] = kcore.Add(int(u), int(v))
+		case 1:
+			rec.Updates[i] = kcore.Remove(int(u), int(v))
+		default:
+			return rec, fmt.Errorf("%w: unknown op %d in update %d", ErrCorruptWAL, op, i)
+		}
+	}
+	if len(payload) != 0 {
+		return rec, fmt.Errorf("%w: %d trailing bytes in record payload", ErrCorruptWAL, len(payload))
+	}
+	return rec, nil
+}
+
+// walScan is the outcome of scanning a WAL stream.
+type walScan struct {
+	// goodOffset is the byte offset just past the last complete, valid
+	// record (or past the header when no record is valid, or 0 for a file
+	// too short to hold the header).
+	goodOffset int64
+	// tornBytes counts bytes past goodOffset forming an incomplete tail
+	// record — the prefix a crashed append leaves behind. Always 0 when
+	// scanWAL returns an error.
+	tornBytes int64
+	// records is the number of valid records scanned.
+	records uint64
+	// lastSeq is the last valid record's sequence number.
+	lastSeq uint64
+}
+
+// scanWAL reads a WAL byte stream, invoking fn for every complete,
+// CRC-valid record in order. It enforces strictly increasing sequence
+// numbers. An incomplete structure at the end of the stream is reported as
+// a torn tail; every other malformation is an error wrapping ErrCorruptWAL.
+// A zero-length stream is a valid empty WAL.
+func scanWAL(r io.Reader, fn func(rec WALRecord) error) (walScan, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var res walScan
+
+	var header [walHeaderLen]byte
+	n, err := io.ReadFull(br, header[:])
+	switch {
+	case err == io.EOF:
+		return res, nil // empty file: valid, no records
+	case err == io.ErrUnexpectedEOF:
+		res.tornBytes = int64(n) // torn header: everything is tail
+		return res, nil
+	case err != nil:
+		return res, fmt.Errorf("persist: WAL read: %w", err)
+	}
+	if [8]byte(header[:8]) != walMagic {
+		return res, fmt.Errorf("%w: bad magic %q", ErrCorruptWAL, header[:8])
+	}
+	if v := binary.LittleEndian.Uint32(header[8:]); v != WALVersion {
+		return res, fmt.Errorf("%w: unsupported WAL version %d (want %d)", ErrCorruptWAL, v, WALVersion)
+	}
+	res.goodOffset = walHeaderLen
+
+	var frame [walFrameLen]byte
+	var payload []byte
+	for {
+		n, err := io.ReadFull(br, frame[:])
+		if err == io.EOF {
+			return res, nil
+		}
+		if err == io.ErrUnexpectedEOF {
+			res.tornBytes = int64(n)
+			return res, nil
+		}
+		if err != nil {
+			return res, fmt.Errorf("persist: WAL read: %w", err)
+		}
+		length := binary.LittleEndian.Uint32(frame[:4])
+		sum := binary.LittleEndian.Uint32(frame[4:])
+		if length == 0 || length > maxWALPayload {
+			return res, fmt.Errorf("%w: implausible record length %d at offset %d",
+				ErrCorruptWAL, length, res.goodOffset)
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		n, err = io.ReadFull(br, payload)
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			res.tornBytes = walFrameLen + int64(n)
+			return res, nil
+		}
+		if err != nil {
+			return res, fmt.Errorf("persist: WAL read: %w", err)
+		}
+		if got := crc32.ChecksumIEEE(payload); got != sum {
+			// The record is fully present, so this is bit corruption, not a
+			// torn append (torn appends shorten the file).
+			return res, fmt.Errorf("%w: record checksum mismatch at offset %d (have %08x, recorded %08x)",
+				ErrCorruptWAL, res.goodOffset, got, sum)
+		}
+		rec, err := decodeWALPayload(payload)
+		if err != nil {
+			return res, fmt.Errorf("%w at offset %d", err, res.goodOffset)
+		}
+		if res.records > 0 && rec.Seq <= res.lastSeq {
+			return res, fmt.Errorf("%w: sequence regressed from %d to %d at offset %d",
+				ErrCorruptWAL, res.lastSeq, rec.Seq, res.goodOffset)
+		}
+		if err := fn(rec); err != nil {
+			return res, err
+		}
+		res.goodOffset += walFrameLen + int64(length)
+		res.records++
+		res.lastSeq = rec.Seq
+	}
+}
+
+// ScanWALFile reads every valid record of the WAL at path. It reports the
+// torn-tail size (bytes of an incomplete final record) without modifying
+// the file; errors wrap ErrCorruptWAL for malformed content.
+func ScanWALFile(path string, fn func(rec WALRecord) error) (records uint64, tornBytes int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("persist: %w", err)
+	}
+	defer f.Close()
+	res, err := scanWAL(f, fn)
+	return res.records, res.tornBytes, err
+}
+
+// wal is the append side of the write-ahead log. It is not safe for
+// concurrent use; the Store serializes access.
+type wal struct {
+	f      *os.File
+	path   string
+	policy SyncPolicy
+	every  time.Duration
+
+	buf      []byte // frame scratch, one Write call per append
+	size     int64  // current file size
+	records  uint64 // records in the file
+	lastSeq  uint64 // seq of the last record (0 when empty)
+	lastSync time.Time
+	syncs    uint64
+	dirty    bool // appends since the last fsync (interval-sync bookkeeping)
+	failed   bool // a partial append could not be rolled back; log is sealed
+}
+
+// openWAL opens (creating or validating) the WAL at path for appending.
+// The file must already be consistent — the Store truncates torn tails
+// during recovery before calling openWAL.
+func openWAL(path string, policy SyncPolicy, every time.Duration, records uint64, lastSeq uint64) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: open WAL: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: stat WAL: %w", err)
+	}
+	w := &wal{f: f, path: path, policy: policy, every: every,
+		size: st.Size(), records: records, lastSeq: lastSeq, lastSync: time.Now()}
+	if w.size == 0 {
+		var hdr [walHeaderLen]byte
+		copy(hdr[:], walMagic[:])
+		binary.LittleEndian.PutUint32(hdr[8:], WALVersion)
+		if _, err := f.Write(hdr[:]); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("persist: write WAL header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("persist: sync WAL header: %w", err)
+		}
+		w.size = walHeaderLen
+	} else if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: seek WAL: %w", err)
+	}
+	return w, nil
+}
+
+// append logs one batch, honoring the sync policy. The frame is written
+// with a single write call so a crash can only leave a strict prefix. A
+// failed write (e.g. ENOSPC) may leave a partial frame behind; append rolls
+// the file back to the last good offset so later records never land after
+// garbage — and if even the rollback fails, the log seals itself: further
+// appends are refused instead of corrupting the tail.
+func (w *wal) append(seq uint64, updates []kcore.Update) error {
+	if w.failed {
+		return fmt.Errorf("persist: WAL sealed after a failed append (restart to recover)")
+	}
+	buf, err := appendWALRecord(w.buf[:0], seq, updates)
+	if err != nil {
+		return err
+	}
+	w.buf = buf
+	if _, err := w.f.Write(buf); err != nil {
+		if terr := w.f.Truncate(w.size); terr == nil {
+			if _, serr := w.f.Seek(w.size, io.SeekStart); serr != nil {
+				w.failed = true
+			}
+		} else {
+			w.failed = true
+		}
+		return fmt.Errorf("persist: WAL append: %w", err)
+	}
+	w.size += int64(len(buf))
+	w.records++
+	w.lastSeq = seq
+	w.dirty = true
+	switch w.policy {
+	case SyncAlways:
+		return w.sync()
+	case SyncInterval:
+		if time.Since(w.lastSync) >= w.every {
+			return w.sync()
+		}
+	}
+	return nil
+}
+
+func (w *wal) sync() error {
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("persist: WAL sync: %w", err)
+	}
+	w.syncs++
+	w.lastSync = time.Now()
+	w.dirty = false
+	return nil
+}
+
+// compactTo drops every record with seq <= upto, retaining the rest. Fast
+// path: when the whole log is covered it truncates in place; otherwise the
+// surviving tail is rewritten through a temp file + rename.
+func (w *wal) compactTo(upto uint64) error {
+	if w.records == 0 || w.lastSeq <= upto {
+		if err := w.f.Truncate(walHeaderLen); err != nil {
+			return fmt.Errorf("persist: WAL truncate: %w", err)
+		}
+		if _, err := w.f.Seek(walHeaderLen, io.SeekStart); err != nil {
+			return fmt.Errorf("persist: WAL seek: %w", err)
+		}
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("persist: WAL sync: %w", err)
+		}
+		w.size = walHeaderLen
+		w.records = 0
+		w.lastSeq = 0
+		return nil
+	}
+	// Records appended after the snapshot capture must survive: rewrite the
+	// tail. The old handle keeps its flushed contents; read it back via a
+	// second handle from the start.
+	tmp, err := os.CreateTemp(filepath.Dir(w.path), "wal.tmp-*")
+	if err != nil {
+		return fmt.Errorf("persist: WAL rewrite temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	var hdr [walHeaderLen]byte
+	copy(hdr[:], walMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], WALVersion)
+	if _, err := tmp.Write(hdr[:]); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: WAL rewrite: %w", err)
+	}
+	var kept uint64
+	var lastSeq uint64
+	size := int64(walHeaderLen)
+	var buf []byte
+	_, _, err = ScanWALFile(w.path, func(rec WALRecord) error {
+		if rec.Seq <= upto {
+			return nil
+		}
+		b, err := appendWALRecord(buf[:0], rec.Seq, rec.Updates)
+		if err != nil {
+			return err
+		}
+		buf = b
+		if _, err := tmp.Write(b); err != nil {
+			return fmt.Errorf("persist: WAL rewrite: %w", err)
+		}
+		size += int64(len(b))
+		kept++
+		lastSeq = rec.Seq
+		return nil
+	})
+	if err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: WAL rewrite sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("persist: WAL rewrite close: %w", err)
+	}
+	if err := os.Rename(tmpName, w.path); err != nil {
+		return fmt.Errorf("persist: WAL rewrite rename: %w", err)
+	}
+	syncDir(filepath.Dir(w.path))
+	old := w.f
+	f, err := os.OpenFile(w.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: reopen WAL: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: seek WAL: %w", err)
+	}
+	w.f = f
+	_ = old.Close()
+	w.size = size
+	w.records = kept
+	w.lastSeq = lastSeq
+	return nil
+}
+
+// close syncs (unless SyncOff already synced implicitly) and closes the log.
+func (w *wal) close() error {
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("persist: close WAL: %w", err)
+	}
+	return nil
+}
+
+// errStoreClosed guards appends racing a Close (should not happen: Close
+// detaches the hook first, which waits out in-flight applies).
+var errStoreClosed = errors.New("persist: store is closed")

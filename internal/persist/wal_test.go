@@ -1,0 +1,190 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"kcore"
+)
+
+// buildWAL assembles WAL file bytes from records (test helper; the golden
+// test also pins the exact output).
+func buildWAL(t *testing.T, recs []WALRecord) []byte {
+	t.Helper()
+	buf := make([]byte, 0, 256)
+	buf = append(buf, walMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, WALVersion)
+	for _, r := range recs {
+		var err error
+		buf, err = appendWALRecord(buf, r.Seq, r.Updates)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf
+}
+
+func testRecords() []WALRecord {
+	return []WALRecord{
+		{Seq: 2, Updates: []kcore.Update{kcore.Add(0, 1), kcore.Add(1, 2)}},
+		{Seq: 3, Updates: []kcore.Update{kcore.Add(0, 2)}},
+		{Seq: 5, Updates: []kcore.Update{kcore.Remove(0, 1), kcore.Add(0, 3)}},
+	}
+}
+
+func TestWALScanRoundTrip(t *testing.T) {
+	data := buildWAL(t, testRecords())
+	var got []WALRecord
+	res, err := scanWAL(bytes.NewReader(data), func(rec WALRecord) error {
+		cp := rec
+		cp.Updates = append([]kcore.Update(nil), rec.Updates...)
+		got = append(got, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.tornBytes != 0 || res.goodOffset != int64(len(data)) || res.records != 3 || res.lastSeq != 5 {
+		t.Fatalf("scan = %+v, want clean full scan", res)
+	}
+	want := testRecords()
+	if len(got) != len(want) {
+		t.Fatalf("scanned %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Seq != want[i].Seq {
+			t.Fatalf("record %d seq = %d, want %d", i, got[i].Seq, want[i].Seq)
+		}
+		for j := range want[i].Updates {
+			if got[i].Updates[j] != want[i].Updates[j] {
+				t.Fatalf("record %d update %d = %+v, want %+v", i, j, got[i].Updates[j], want[i].Updates[j])
+			}
+		}
+	}
+}
+
+// TestWALTornTails proves every truncation point of a valid WAL is either a
+// clean record boundary or a reported torn tail — never an error — and that
+// the good offset always lands on the last complete record boundary.
+func TestWALTornTails(t *testing.T) {
+	data := buildWAL(t, testRecords())
+	// Record boundaries, computed from the frame lengths.
+	boundaries := []int64{walHeaderLen}
+	off := int64(walHeaderLen)
+	for i := 0; i < 3; i++ {
+		length := binary.LittleEndian.Uint32(data[off : off+4])
+		off += walFrameLen + int64(length)
+		boundaries = append(boundaries, off)
+	}
+	for cut := 0; cut <= len(data); cut++ {
+		res, err := scanWAL(bytes.NewReader(data[:cut]), func(rec WALRecord) error { return nil })
+		if err != nil {
+			t.Fatalf("cut %d: unexpected error %v", cut, err)
+		}
+		wantGood := int64(0)
+		for _, b := range boundaries {
+			if int64(cut) >= b {
+				wantGood = b
+			}
+		}
+		if cut < walHeaderLen {
+			wantGood = 0
+		}
+		if res.goodOffset != wantGood {
+			t.Fatalf("cut %d: goodOffset = %d, want %d", cut, res.goodOffset, wantGood)
+		}
+		if res.goodOffset+res.tornBytes != int64(cut) {
+			t.Fatalf("cut %d: good %d + torn %d != cut", cut, res.goodOffset, res.tornBytes)
+		}
+	}
+}
+
+func TestWALRejectsCorruption(t *testing.T) {
+	data := buildWAL(t, testRecords())
+	check := func(name string, mutate func([]byte) []byte) {
+		t.Helper()
+		b := append([]byte(nil), data...)
+		b = mutate(b)
+		_, err := scanWAL(bytes.NewReader(b), func(rec WALRecord) error { return nil })
+		if !errors.Is(err, ErrCorruptWAL) {
+			t.Fatalf("%s: err = %v, want ErrCorruptWAL", name, err)
+		}
+	}
+	check("bad magic", func(b []byte) []byte { b[3] ^= 0xff; return b })
+	check("bad version", func(b []byte) []byte { b[8] = 9; return b })
+	check("payload bit flip", func(b []byte) []byte { b[walHeaderLen+walFrameLen] ^= 0x40; return b })
+	check("crc bit flip", func(b []byte) []byte { b[walHeaderLen+5] ^= 0x01; return b })
+	check("zero-length record", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[walHeaderLen:], 0)
+		return b
+	})
+	check("seq regression", func(b []byte) []byte {
+		// Duplicate the first record after the last: 2 after 5 regresses.
+		first := b[walHeaderLen : walHeaderLen+walFrameLen+int(binary.LittleEndian.Uint32(b[walHeaderLen:]))]
+		return append(b, first...)
+	})
+}
+
+func TestWALAppendAndCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.kcl")
+	w, err := openWAL(path, SyncAlways, time.Second, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range testRecords() {
+		if err := w.append(r.Seq, r.Updates); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.records != 3 || w.lastSeq != 5 || w.syncs != 3 {
+		t.Fatalf("wal state = %d records, lastSeq %d, syncs %d", w.records, w.lastSeq, w.syncs)
+	}
+
+	// Partial compaction keeps the tail records.
+	if err := w.compactTo(3); err != nil {
+		t.Fatal(err)
+	}
+	if w.records != 1 || w.lastSeq != 5 {
+		t.Fatalf("after compactTo(3): %d records, lastSeq %d; want 1, 5", w.records, w.lastSeq)
+	}
+	// Appends still work on the rewritten file.
+	if err := w.append(6, []kcore.Update{kcore.Add(9, 10)}); err != nil {
+		t.Fatal(err)
+	}
+	var seqs []uint64
+	if _, _, err := ScanWALFile(path, func(rec WALRecord) error {
+		seqs = append(seqs, rec.Seq)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 || seqs[0] != 5 || seqs[1] != 6 {
+		t.Fatalf("post-compaction records = %v, want [5 6]", seqs)
+	}
+
+	// Full compaction truncates in place.
+	if err := w.compactTo(10); err != nil {
+		t.Fatal(err)
+	}
+	if w.records != 0 || w.size != walHeaderLen {
+		t.Fatalf("after full compaction: %d records, %d bytes", w.records, w.size)
+	}
+	if err := w.append(7, []kcore.Update{kcore.Add(1, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != w.size {
+		t.Fatalf("file size %d, wal thinks %d", st.Size(), w.size)
+	}
+}

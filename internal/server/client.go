@@ -96,6 +96,17 @@ func (c *Client) Stats(ctx context.Context) (*wire.StatsResponse, error) {
 	return &resp, nil
 }
 
+// Snapshot asks the server to write a durability snapshot and compact its
+// WAL now (POST /v1/snapshot). Servers running without persistence answer
+// with a *wire.Error carrying code "no_persistence".
+func (c *Client) Snapshot(ctx context.Context) (*wire.SnapshotResponse, error) {
+	var resp wire.SnapshotResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/snapshot", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Health fetches the liveness probe.
 func (c *Client) Health(ctx context.Context) (*wire.HealthResponse, error) {
 	var resp wire.HealthResponse

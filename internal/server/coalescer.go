@@ -153,6 +153,17 @@ func (c *coalescer) flush(reqs []*pending) {
 	}
 	info, err := c.engine.Apply(combined)
 	if err != nil {
+		// A *kcore.HookError means the combined batch APPLIED in memory but
+		// the durability hook (WAL append) failed afterwards: re-applying
+		// individual requests would double-apply them, so every caller gets
+		// the persistence error instead.
+		var he *kcore.HookError
+		if errors.As(err, &he) {
+			for _, r := range reqs {
+				r.done <- flushResult{err: err}
+			}
+			return
+		}
 		// The combined group failed validation — one request's invalid
 		// update must not fail its co-flushed neighbors. Re-apply each
 		// request individually, in arrival order, so every caller gets its

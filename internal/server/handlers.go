@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"kcore"
 	"kcore/internal/server/wire"
@@ -75,6 +76,14 @@ func toWireError(err error) *wire.Error {
 		we.Code, we.Status = wire.CodeDuplicateEdge, http.StatusConflict
 	case errors.Is(err, kcore.ErrMissingEdge):
 		we.Code, we.Status = wire.CodeMissingEdge, http.StatusConflict
+	}
+	var he *kcore.HookError
+	if errors.As(err, &he) {
+		// The batch applied in memory but durability failed: a distinct code
+		// so clients know NOT to retry (a retry would double-apply).
+		we.Code, we.Status = wire.CodePersistenceFailed, http.StatusInternalServerError
+		we.Message = "batch applied but not persisted: " + he.Err.Error()
+		return we
 	}
 	var be *kcore.BatchError
 	if errors.As(err, &be) {
@@ -187,7 +196,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	// /v1/stats is the resync signal for lagged watchers, so it gets hit.
 	vertices, edges, degeneracy, seq := s.engine.Counts()
 	ex := s.engine.ExecStats()
-	writeJSON(w, http.StatusOK, wire.StatsResponse{
+	resp := wire.StatsResponse{
 		Vertices:   vertices,
 		Edges:      edges,
 		Degeneracy: degeneracy,
@@ -201,6 +210,44 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Recomputed: ex.Recomputed,
 		},
 		Ingest: s.co.stats.wire(),
+	}
+	if s.opts.Persist != nil {
+		ps := s.opts.Persist.Stats()
+		resp.Persist = &wire.PersistStats{
+			SnapshotSeq:      ps.SnapshotSeq,
+			SnapshotBytes:    ps.SnapshotBytes,
+			WALRecords:       ps.WALRecords,
+			WALBytes:         ps.WALBytes,
+			Appends:          ps.Appends,
+			Syncs:            ps.Syncs,
+			Compactions:      ps.Compactions,
+			RecoveredRecords: ps.RecoveredRecords,
+			RecoveredSeq:     ps.RecoveredSeq,
+			TornBytes:        ps.TornBytes,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Persist == nil {
+		writeError(w, &wire.Error{
+			Code: wire.CodeNoPersistence, Status: http.StatusConflict,
+			Message: "server runs without persistence; start kcore-serve with -data-dir",
+		})
+		return
+	}
+	start := time.Now()
+	info, err := s.opts.Persist.Snapshot()
+	if err != nil {
+		writeError(w, &wire.Error{Code: wire.CodeInternal, Status: http.StatusInternalServerError,
+			Message: fmt.Sprintf("snapshot failed: %v", err)})
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.SnapshotResponse{
+		Seq:       info.Seq,
+		Bytes:     info.Bytes,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000.0,
 	})
 }
 

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"kcore"
+	"kcore/internal/persist"
+	"kcore/internal/server/wire"
+)
+
+// newPersistentServer boots a server whose engine is managed by a Store in
+// a temp directory.
+func newPersistentServer(t *testing.T, dir string) (*Server, *Client, *persist.Store) {
+	t.Helper()
+	st, err := persist.Open(dir, persist.Options{Sync: persist.SyncOff, CompactBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(st.Engine(), Options{Persist: st})
+	ts := httptest.NewServer(srv.Handler())
+	c, err := NewClient(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ts.Close()
+		_ = srv.Shutdown(context.Background())
+		_ = st.Close()
+	})
+	return srv, c, st
+}
+
+// TestSnapshotEndpoint drives POST /v1/snapshot over HTTP: it must compact
+// the WAL and report the captured seq, and /v1/stats must expose the
+// persistence counters.
+func TestSnapshotEndpoint(t *testing.T) {
+	ctx := context.Background()
+	_, c, _ := newPersistentServer(t, t.TempDir())
+
+	if _, err := c.AddEdges(ctx, [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	st1, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Persist == nil {
+		t.Fatal("stats missing persist section on a persistent server")
+	}
+	if st1.Persist.WALRecords == 0 || st1.Persist.Appends == 0 {
+		t.Fatalf("ingest not logged: %+v", st1.Persist)
+	}
+
+	snap, err := c.Snapshot(ctx)
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if snap.Seq != 4 || snap.Bytes <= 0 {
+		t.Fatalf("snapshot response = %+v, want seq 4", snap)
+	}
+	st2, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Persist.WALRecords != 0 || st2.Persist.SnapshotSeq != 4 {
+		t.Fatalf("snapshot did not compact: %+v", st2.Persist)
+	}
+	if st2.Persist.Compactions < 2 { // Open's initial + this one
+		t.Fatalf("compactions = %d, want >= 2", st2.Persist.Compactions)
+	}
+}
+
+// TestSnapshotEndpointWithoutPersistence pins the no-persistence error.
+func TestSnapshotEndpointWithoutPersistence(t *testing.T) {
+	srv := New(kcore.NewEngine(), Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+	c, err := NewClient(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Snapshot(context.Background())
+	var we *wire.Error
+	if !errors.As(err, &we) || we.Code != wire.CodeNoPersistence || we.Status != 409 {
+		t.Fatalf("err = %v, want no_persistence / 409", err)
+	}
+	// Stats omit the persist section entirely.
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Persist != nil {
+		t.Fatalf("stats.persist = %+v on a non-persistent server", st.Persist)
+	}
+}
+
+// TestIngestSurvivesRestart is the server-level durability round trip:
+// ingest over HTTP, tear the server down, reopen the same directory, and
+// the new server serves the same state with a continuous seq.
+func TestIngestSurvivesRestart(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	srv, c, st := newPersistentServer(t, dir)
+	if _, err := c.AddEdges(ctx, [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, c2, st2 := newPersistentServer(t, dir)
+	if got := st2.Stats().RecoveredSeq; got != 5 {
+		t.Fatalf("recovered seq = %d, want 5", got)
+	}
+	core, err := c2.Core(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.Core != 2 || core.Seq != 5 {
+		t.Fatalf("restarted core(0) = %+v, want core 2 at seq 5", core)
+	}
+	// Seq continues, and the new ingest is logged to the recovered WAL.
+	resp, err := c2.AddEdges(ctx, [][2]int{{4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Seq != 6 {
+		t.Fatalf("post-restart seq = %d, want 6", resp.Seq)
+	}
+}

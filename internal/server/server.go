@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"kcore"
+	"kcore/internal/persist"
 )
 
 // Options tunes the service limits. The zero value picks the defaults.
@@ -52,6 +53,11 @@ type Options struct {
 	// is unaffected: the deadline applies per write, not per stream.
 	// Default 30s.
 	WriteTimeout time.Duration
+	// Persist, when non-nil, is the durability store managing the engine:
+	// it enables POST /v1/snapshot and the persistence section of
+	// /v1/stats. The caller owns its lifecycle (kcore-serve opens it before
+	// New and closes it after Shutdown).
+	Persist *persist.Store
 }
 
 func (o Options) withDefaults() Options {
@@ -115,6 +121,7 @@ func New(engine *kcore.Engine, opts Options) *Server {
 	s.mux.HandleFunc("/v1/stats", methodGuard(http.MethodGet, s.handleStats))
 	s.mux.HandleFunc("/v1/watch", methodGuard(http.MethodGet, s.handleWatch))
 	s.mux.HandleFunc("/v1/healthz", methodGuard(http.MethodGet, s.handleHealthz))
+	s.mux.HandleFunc("/v1/snapshot", methodGuard(http.MethodPost, s.handleSnapshot))
 	s.mux.HandleFunc("/", handleNotFound)
 	return s
 }

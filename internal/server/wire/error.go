@@ -32,6 +32,14 @@ const (
 	CodeMethodNotAllowed = "method_not_allowed"
 	// CodeInternal: unexpected server-side failure (HTTP 500).
 	CodeInternal = "internal"
+	// CodePersistenceFailed: the batch WAS applied in memory but could not
+	// be made durable (the write-ahead log append failed). Do NOT retry the
+	// batch — it would double-apply; resynchronize and alert instead
+	// (HTTP 500).
+	CodePersistenceFailed = "persistence_failed"
+	// CodeNoPersistence: the snapshot endpoint requires the server to run
+	// with a data directory (HTTP 409).
+	CodeNoPersistence = "no_persistence"
 )
 
 // Error is the structured error body every non-2xx response carries,

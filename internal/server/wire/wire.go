@@ -14,12 +14,26 @@
 //	                       every surviving update applies or none does.
 //	GET  /v1/core/{v}    — core number of one vertex (CoreResponse).
 //	GET  /v1/kcore?k=K   — vertices of the k-core (KCoreResponse).
-//	GET  /v1/stats       — graph size, degeneracy, execution and ingest
-//	                       counters (StatsResponse).
+//	GET  /v1/stats       — graph size, degeneracy, execution, ingest and
+//	                       persistence counters (StatsResponse).
 //	GET  /v1/watch       — live CoreChange events over Server-Sent Events;
 //	                       query parameters min_core and buffer configure the
 //	                       subscription (see the SSE section below).
 //	GET  /v1/healthz     — liveness probe (HealthResponse).
+//	POST /v1/snapshot    — admin: force a durability snapshot + WAL
+//	                       compaction now (SnapshotResponse). Requires the
+//	                       server to run with persistence (-data-dir);
+//	                       otherwise it fails with code "no_persistence".
+//
+// # Durability
+//
+// When kcore-serve runs with a data directory, every applied batch is
+// appended to a write-ahead log before its POST /v1/batch response is sent
+// (fsync timing depends on the server's -fsync policy), and the engine state
+// is periodically compacted into a snapshot. A WAL append failure is
+// reported with code "persistence_failed" (HTTP 500): the batch IS applied
+// in memory — retrying it would double-apply — but was not made durable.
+// StatsResponse.Persist exposes the durability counters.
 //
 // Reads never block writes, and every query response carries the engine
 // sequence number ("seq") of the state it describes. The k-core listing is
@@ -160,6 +174,37 @@ type IngestStats struct {
 	Rejected uint64 `json:"rejected"`
 }
 
+// PersistStats mirrors the persistence layer's durability counters
+// (internal/persist.Stats); present in StatsResponse only when the server
+// runs with a data directory.
+type PersistStats struct {
+	// SnapshotSeq and SnapshotBytes describe the current on-disk snapshot.
+	SnapshotSeq   uint64 `json:"snapshot_seq"`
+	SnapshotBytes int64  `json:"snapshot_bytes"`
+	// WALRecords and WALBytes describe the current write-ahead log.
+	WALRecords uint64 `json:"wal_records"`
+	WALBytes   int64  `json:"wal_bytes"`
+	// Appends, Syncs and Compactions are lifetime durability counters.
+	Appends     uint64 `json:"appends"`
+	Syncs       uint64 `json:"syncs"`
+	Compactions uint64 `json:"compactions"`
+	// RecoveredRecords, RecoveredSeq and TornBytes describe the boot-time
+	// recovery (TornBytes > 0 means a torn WAL tail was truncated).
+	RecoveredRecords uint64 `json:"recovered_records"`
+	RecoveredSeq     uint64 `json:"recovered_seq"`
+	TornBytes        int64  `json:"torn_bytes"`
+}
+
+// SnapshotResponse is the body of POST /v1/snapshot.
+type SnapshotResponse struct {
+	// Seq is the engine sequence number the snapshot captured.
+	Seq uint64 `json:"seq"`
+	// Bytes is the written snapshot's size.
+	Bytes int64 `json:"bytes"`
+	// ElapsedMS is the wall-clock time the snapshot + compaction took.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
 	Vertices   int         `json:"vertices"`
@@ -170,6 +215,9 @@ type StatsResponse struct {
 	Watchers   int         `json:"watchers"`
 	Exec       ExecStats   `json:"exec"`
 	Ingest     IngestStats `json:"ingest"`
+	// Persist carries the durability counters; nil when the server runs
+	// without persistence.
+	Persist *PersistStats `json:"persist,omitempty"`
 }
 
 // HealthResponse is the body of GET /v1/healthz.

@@ -41,6 +41,15 @@
 //     ErrDuplicateEdge, ErrMissingEdge, ErrVertexRange and ErrWrongEngine,
 //     so callers branch with errors.Is; batch failures additionally carry
 //     the offending position via *BatchError.
+//
+// For durability, the engine exposes a persistence seam rather than a
+// persistence layer: SetApplyHook observes every applied batch under the
+// write lock (a write-ahead log appends and fsyncs there, so Apply
+// returning nil means both applied and durable), View(WithIndex()) captures
+// the complete maintained state for snapshotting, FromIndex restores it
+// with full verification, and Replay re-applies logged batches silently
+// during recovery. The snapshot + WAL store built on this seam lives in
+// internal/persist and is wired into cmd/kcore-serve via -data-dir.
 package kcore
 
 import (
@@ -275,6 +284,14 @@ type Engine struct {
 	subs      map[uint64]*subscriber
 	nextSubID uint64
 	subCount  atomic.Int32
+
+	// Durability tap (guarded by mu; see hook.go): hook observes every
+	// applied batch, hookBuf is its reused surviving-update buffer, and
+	// replaying suppresses both the hook and subscriber notification while
+	// Replay restores pre-crash state.
+	hook      ApplyHook
+	hookBuf   []Update
+	replaying bool
 }
 
 // NewEngine returns an empty engine. Vertices are dense non-negative

@@ -108,7 +108,10 @@ func (e *Engine) Subscribe(opts ...SubscribeOption) (<-chan CoreChange, func()) 
 // holds the engine write lock; op tells the direction every change took
 // (+1 for insertions, -1 for removals).
 func (e *Engine) notify(op Op, changed []int) {
-	if len(changed) == 0 || e.subCount.Load() == 0 {
+	// Recovery is silent: Replay restores state the engine had already
+	// reached, so subscribers see only post-recovery changes (see
+	// Engine.Replay).
+	if e.replaying || len(changed) == 0 || e.subCount.Load() == 0 {
 		return
 	}
 	delta := 1
@@ -129,7 +132,7 @@ func (e *Engine) notify(op Op, changed []int) {
 // holds the engine write lock; changed lists the vertices whose core
 // numbers differ from oldCores (implicitly 0 beyond its length).
 func (e *Engine) notifyDiff(changed []int, oldCores []int) {
-	if len(changed) == 0 || e.subCount.Load() == 0 {
+	if e.replaying || len(changed) == 0 || e.subCount.Load() == 0 {
 		return
 	}
 	e.subMu.Lock()

@@ -1,5 +1,7 @@
 package kcore
 
+import "fmt"
+
 // View is an immutable, internally consistent snapshot of the engine's
 // maintained state: core numbers, degeneracy, and graph size, all captured
 // at the same update sequence number. A View answers any number of queries
@@ -17,11 +19,35 @@ type View struct {
 	edges    int
 	maxCore  int
 	seq      uint64
+
+	// Index capture (WithIndex only): the full maintained state needed to
+	// reconstruct the engine bit-identically — see View.Index.
+	index *IndexState
 }
 
+// ViewOption configures what a View captures beyond the default core
+// snapshot.
+type ViewOption func(*viewConfig)
+
+type viewConfig struct{ index bool }
+
+// WithIndex makes the View additionally capture the complete maintained
+// index — edge list, core numbers, and the maintained k-order — retrievable
+// via View.Index. Capture cost grows from O(n) to O(m + n), still under one
+// read-lock acquisition; it is how the durable snapshot writer
+// (internal/persist) observes a consistent state without blocking writers
+// while the file is written. Order-based engines only: on other engines the
+// View is still valid but Index returns an error.
+func WithIndex() ViewOption { return func(c *viewConfig) { c.index = true } }
+
 // View captures a consistent snapshot of the current state. Cost is one
-// read-lock acquisition and one O(n) copy of the core numbers.
-func (e *Engine) View() *View {
+// read-lock acquisition and one O(n) copy of the core numbers (O(m + n)
+// with WithIndex).
+func (e *Engine) View(opts ...ViewOption) *View {
+	var cfg viewConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	cores := e.m.Cores()
@@ -31,13 +57,41 @@ func (e *Engine) View() *View {
 			maxc = c
 		}
 	}
-	return &View{
+	v := &View{
 		cores:    cores,
 		vertices: e.g.NumVertices(),
 		edges:    e.g.NumEdges(),
 		maxCore:  maxc,
 		seq:      e.seq,
 	}
+	if cfg.index {
+		if impl, ok := e.m.(orderImpl); ok {
+			v.index = &IndexState{
+				Seq:       e.seq,
+				Vertices:  v.vertices,
+				Edges:     e.g.Edges(),
+				Cores:     cores,
+				Order:     impl.m.Order(),
+				Seed:      e.cfg.seed,
+				Heuristic: e.cfg.heuristic,
+				Structure: e.cfg.structure,
+			}
+		}
+	}
+	return v
+}
+
+// Index returns the complete maintained state captured at View time, for
+// serialization by a persistence layer. It requires the View to have been
+// taken with WithIndex on an order-based engine; otherwise the error wraps
+// ErrWrongEngine. The returned state shares the View's internal slices —
+// callers must treat it as read-only.
+func (v *View) Index() (*IndexState, error) {
+	if v.index == nil {
+		return nil, fmt.Errorf("kcore: View captured no index (need View(WithIndex()) on the order-based engine): %w",
+			ErrWrongEngine)
+	}
+	return v.index, nil
 }
 
 // Seq is the engine update sequence number at which the snapshot was taken.
