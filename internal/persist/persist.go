@@ -77,6 +77,24 @@
 // coordination beyond the sequence numbers: replay skips WAL records at or
 // below the snapshot's seq, so dying between the snapshot rename and the WAL
 // shrink merely replays less.
+//
+// # Append failures
+//
+// A WAL append that fails (e.g. ENOSPC) surfaces to the Apply caller as a
+// *kcore.HookError while the batch stays applied in memory — so the engine
+// advances past the log. When the file could be rolled back cleanly, the
+// already-encoded record is retained in a bounded in-memory backlog and
+// flushed ahead of the next append: the chain stays intact and a transient
+// fault loses nothing once writes land again, even under sustained traffic.
+// When the log cannot defer (unusable handle, backlog overflow), it refuses
+// subsequent appends instead of writing a record with a sequence gap (a gap
+// would fail replay's chaining check and make the directory unrecoverable),
+// and compaction heals it: a fresh snapshot captures the advanced engine
+// state, re-covers the gap, and rebuilds the log file, after which appends
+// resume. The healing compaction is scheduled immediately when background
+// compaction is enabled; calling Store.Snapshot heals on demand. Batches
+// applied while the log was behind are durable through the snapshot, not
+// the WAL.
 package persist
 
 import (
@@ -97,6 +115,16 @@ var (
 	// (torn tails are NOT corruption; they are truncated silently).
 	ErrCorruptWAL = errors.New("persist: corrupt write-ahead log")
 )
+
+// ErrCompaction marks a Store.Snapshot whose snapshot file was durably
+// written but whose WAL compaction step failed: the returned SnapshotInfo
+// is valid, the directory recovers correctly (replay skips the records the
+// snapshot covers), and the log keeps accepting appends — it merely kept
+// its pre-compaction size. Callers should treat it as partial success, not
+// re-trigger the snapshot. When the compaction failure leaves the log
+// unable to accept appends (still sealed or still behind the engine), the
+// error is NOT wrapped with ErrCompaction: that snapshot did not heal.
+var ErrCompaction = errors.New("persist: WAL compaction failed")
 
 // SyncPolicy selects when the WAL fsyncs.
 type SyncPolicy int
@@ -154,8 +182,11 @@ type Options struct {
 	// SyncEvery is the SyncInterval period (default 100ms).
 	SyncEvery time.Duration
 	// CompactBytes triggers automatic compaction when the WAL exceeds this
-	// size. 0 selects the default 64 MiB; negative disables automatic
-	// compaction (Store.Snapshot still compacts on demand).
+	// size. A compaction is also scheduled after a failed WAL append, since
+	// the fresh snapshot re-covers the un-logged batch and heals the log. 0
+	// selects the default 64 MiB; negative disables all background
+	// compaction, size- and heal-triggered (Store.Snapshot still compacts —
+	// and heals — on demand).
 	CompactBytes int64
 	// Engine supplies the engine options used when no snapshot exists yet
 	// and passed through to snapshot loading (snapshot-stored seed,
@@ -196,9 +227,12 @@ type Stats struct {
 	// Compactions counts snapshots written (Open's initial snapshot,
 	// automatic compactions, and Store.Snapshot calls).
 	Compactions uint64
-	// CompactErrors counts failed background compactions (the last error is
-	// also returned by Close).
+	// CompactErrors counts failed background compactions; SyncErrors counts
+	// failed background interval fsyncs (durability exposure for batches that
+	// were already acknowledged). The last error of each is also returned by
+	// Close.
 	CompactErrors uint64
+	SyncErrors    uint64
 	// RecoveredRecords is the number of WAL records replayed at Open;
 	// RecoveredSeq is the engine sequence number recovery ended at.
 	RecoveredRecords uint64

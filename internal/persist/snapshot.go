@@ -225,18 +225,27 @@ func ReadSnapshot(r io.Reader, opts ...kcore.Option) (*kcore.Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("persist: read snapshot: %w", err)
 	}
+	e, _, err := decodeEngine(data, opts...)
+	return e, err
+}
+
+// decodeEngine decodes snapshot bytes and reconstructs the verified engine,
+// also returning the decoded state (Store recovery needs its Seq). Shared
+// by ReadSnapshot and Store.Open so the corruption classification cannot
+// diverge between the two recovery paths.
+func decodeEngine(data []byte, opts ...kcore.Option) (*kcore.Engine, *kcore.IndexState, error) {
 	st, err := DecodeSnapshot(data)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	e, err := kcore.FromIndex(st, opts...)
 	if err != nil {
 		// The bytes were well-formed but the state does not verify (e.g. a
 		// forged CRC over inconsistent cores): still corruption, never a
 		// silently-wrong engine.
-		return nil, fmt.Errorf("%w: state verification failed: %v", ErrCorruptSnapshot, err)
+		return nil, nil, fmt.Errorf("%w: state verification failed: %v", ErrCorruptSnapshot, err)
 	}
-	return e, nil
+	return e, st, nil
 }
 
 // Save atomically writes a snapshot of e's current state to path: the bytes

@@ -48,6 +48,8 @@ type Store struct {
 	compacts  uint64
 	cErrs     uint64
 	lastCErr  error
+	sErrs     uint64
+	lastSErr  error
 	recovered uint64
 	recSeq    uint64
 	torn      int64
@@ -80,13 +82,9 @@ func Open(dir string, opts Options) (*Store, error) {
 	// 1. Base state: snapshot, Init seed, or empty engine.
 	hadSnapshot := false
 	if data, err := os.ReadFile(snapPath); err == nil {
-		st, err := DecodeSnapshot(data)
+		e, st, err := decodeEngine(data, opts.Engine...)
 		if err != nil {
 			return nil, err
-		}
-		e, err := kcore.FromIndex(st, opts.Engine...)
-		if err != nil {
-			return nil, fmt.Errorf("%w: state verification failed: %v", ErrCorruptSnapshot, err)
 		}
 		s.engine = e
 		s.snapSeq = st.Seq
@@ -113,6 +111,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 
 	// 2. Replay the WAL past the snapshot seq, truncating a torn tail.
+	var walRecords, walLastSeq uint64
 	if f, err := os.OpenFile(walPath, os.O_RDWR, 0); err == nil {
 		res, replayed, serr := replayWAL(s.engine, f)
 		s.recovered = replayed
@@ -132,24 +131,24 @@ func Open(dir string, opts Options) (*Store, error) {
 			s.torn = res.tornBytes
 		}
 		f.Close()
-		s.wal, err = openWAL(walPath, opts.Sync, opts.SyncEvery, res.records, res.lastSeq)
-		if err != nil {
-			return nil, err
-		}
+		walRecords, walLastSeq = res.records, res.lastSeq
 	} else if !os.IsNotExist(err) {
 		return nil, fmt.Errorf("persist: open WAL: %w", err)
-	} else if s.wal, err = openWAL(walPath, opts.Sync, opts.SyncEvery, 0, 0); err != nil {
-		return nil, err
 	}
 	s.recSeq = s.engine.Seq()
 
 	// 3. A directory without a snapshot gets one now, so the base state is
-	// durable (and recovery above never depends on Init again).
+	// durable (and recovery above never depends on Init again). This runs
+	// before the WAL is opened for appending so the append-side chain base
+	// below reflects the snapshot actually on disk.
 	if !hadSnapshot {
 		if err := s.writeSnapshot(); err != nil {
-			s.wal.close()
 			return nil, err
 		}
+	}
+	var err error
+	if s.wal, err = openWAL(walPath, opts.Sync, opts.SyncEvery, walRecords, walLastSeq, s.snapSeq); err != nil {
+		return nil, err
 	}
 
 	// 4. Log every future batch; compact — and, under the interval policy,
@@ -181,8 +180,11 @@ func (s *Store) syncLoop() {
 			s.mu.Lock()
 			if !s.closed && s.wal != nil && s.wal.dirty {
 				if err := s.wal.sync(); err != nil {
-					s.cErrs++
-					s.lastCErr = err
+					// A durability failure, not a compaction one: batches it
+					// covers were already acknowledged, so count it where
+					// Stats.SyncErrors makes it visible.
+					s.sErrs++
+					s.lastSErr = err
 				}
 			}
 			s.mu.Unlock()
@@ -245,7 +247,14 @@ func (s *Store) Dir() string { return s.dir }
 
 // onApply is the engine apply hook: it appends the batch to the WAL (the
 // engine's write lock is held, so append order equals apply order) and
-// schedules a background compaction when the log has outgrown its budget.
+// schedules a background compaction when the log has outgrown its budget —
+// or when the append failed, because a fresh snapshot is also the repair
+// path: the engine has advanced past the log (HookError contract: the batch
+// stays applied), so the snapshot captures that advanced state, re-covers
+// the gap, and rebuilds a sealed log file; appends then chain again with no
+// restart. Until the heal lands, every append is refused (errWALGap /
+// sealed) rather than written as an unreplayable gap record, so one
+// transient write error can never make the directory unrecoverable.
 func (s *Store) onApply(rec kcore.AppliedBatch) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -253,6 +262,12 @@ func (s *Store) onApply(rec kcore.AppliedBatch) error {
 		return errStoreClosed
 	}
 	if err := s.wal.append(rec.Seq, rec.Updates); err != nil {
+		if s.opts.CompactBytes > 0 { // negative disables background compaction entirely
+			select {
+			case s.compactCh <- struct{}{}:
+			default:
+			}
+		}
 		return err
 	}
 	s.appends++
@@ -295,9 +310,17 @@ type SnapshotInfo struct {
 
 // Snapshot compacts now: it captures a consistent view, atomically replaces
 // the snapshot file, and drops WAL records the new snapshot covers. Writers
-// are blocked only during the in-memory capture and the WAL swap, never
-// during the snapshot file write. Safe to call at any time (the admin
-// endpoint of kcore-serve does); concurrent calls serialize.
+// are never blocked during the snapshot file write, only during the
+// in-memory capture and the WAL swap — which is an O(1) in-place truncate
+// when the snapshot covers the whole log, but degrades to a full log scan
+// and tail rewrite (writers waiting throughout) when batches landed after
+// the capture. Safe to call at any time (the admin endpoint of kcore-serve
+// does); concurrent calls serialize. When only the
+// WAL compaction step fails after the snapshot landed, the returned
+// SnapshotInfo is still valid and the error wraps ErrCompaction (partial
+// success). Snapshot is also the repair path after a failed WAL append: the
+// new snapshot re-covers the engine state the log is missing and rebuilds a
+// sealed log file, after which appends resume.
 func (s *Store) Snapshot() (SnapshotInfo, error) {
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
@@ -317,7 +340,19 @@ func (s *Store) Snapshot() (SnapshotInfo, error) {
 		return info, nil
 	}
 	if err := s.wal.compactTo(s.snapSeq); err != nil {
-		return info, err
+		if s.wal.failed || s.wal.chainSeq() < s.snapSeq {
+			// The log still cannot accept appends (sealed handle, or the
+			// engine is ahead of what the log chains onto): this snapshot
+			// did NOT heal it, so report a real failure — not the partial
+			// success below, which would tell the caller not to retry.
+			return info, err
+		}
+		// The snapshot file is already durably in place and the log keeps
+		// accepting appends — only the WAL shrink failed. Wrap with
+		// ErrCompaction so callers (the /v1/snapshot handler) can report
+		// partial success instead of re-triggering a full snapshot that
+		// already succeeded.
+		return info, fmt.Errorf("%w: %w", ErrCompaction, err)
 	}
 	return info, nil
 }
@@ -354,6 +389,7 @@ func (s *Store) Stats() Stats {
 		Appends:          s.appends,
 		Compactions:      s.compacts,
 		CompactErrors:    s.cErrs,
+		SyncErrors:       s.sErrs,
 		RecoveredRecords: s.recovered,
 		RecoveredSeq:     s.recSeq,
 		TornBytes:        s.torn,
@@ -368,8 +404,8 @@ func (s *Store) Stats() Stats {
 
 // Close detaches the apply hook, stops the background compactor, and syncs
 // and closes the WAL. The engine remains usable afterwards — it just stops
-// being logged. Close returns the last background compaction error, if any
-// occurred. It is idempotent.
+// being logged. Close returns the last background compaction and interval
+// fsync errors, if any occurred. It is idempotent.
 func (s *Store) Close() error {
 	s.engine.SetApplyHook(nil) // waits out any in-flight Apply (write lock)
 	s.mu.Lock()
@@ -388,6 +424,9 @@ func (s *Store) Close() error {
 	err := s.wal.close()
 	if s.lastCErr != nil {
 		err = errors.Join(err, fmt.Errorf("persist: background compaction: %w", s.lastCErr))
+	}
+	if s.lastSErr != nil {
+		err = errors.Join(err, fmt.Errorf("persist: background WAL sync: %w", s.lastSErr))
 	}
 	return err
 }

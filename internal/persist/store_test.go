@@ -352,6 +352,273 @@ func TestStoreHookFailureSurfaces(t *testing.T) {
 	}
 }
 
+// TestStoreAppendFailureThenReopen pins the transient-write-error scenario:
+// after one failed WAL append the engine keeps advancing (HookError
+// contract) while the log does not, so later batches must be REFUSED —
+// never written as records with a sequence gap, which would fail replay's
+// chaining check and make the directory unrecoverable. A reopen must
+// succeed and land on the last durable state.
+func TestStoreAppendFailureThenReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Sync: SyncOff, CompactBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := st.Engine()
+	if _, err := e.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the handle: the next append's write (and its rollback) fail.
+	st.mu.Lock()
+	st.wal.f.Close()
+	st.mu.Unlock()
+	var he *kcore.HookError
+	if _, err := e.AddEdge(1, 2); !errors.As(err, &he) {
+		t.Fatalf("first failed append = %v, want *kcore.HookError", err)
+	}
+	// The batch AFTER the failure is where the old bug lived: it must not
+	// produce a gap record.
+	if _, err := e.AddEdge(2, 3); !errors.As(err, &he) {
+		t.Fatalf("append after failure = %v, want *kcore.HookError", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("close with a sealed WAL: %v", err)
+	}
+	// The on-disk log holds exactly the one durable record — no gap.
+	var seqs []uint64
+	if _, _, err := ScanWALFile(filepath.Join(dir, WALFile), func(rec WALRecord) error {
+		seqs = append(seqs, rec.Seq)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 1 || seqs[0] != 1 {
+		t.Fatalf("WAL records = %v, want [1]", seqs)
+	}
+	// Recovery succeeds on the last durable state, and logging resumes.
+	st2, err := Open(dir, Options{Sync: SyncOff, CompactBytes: -1})
+	if err != nil {
+		t.Fatalf("reopen after failed append: %v", err)
+	}
+	defer st2.Close()
+	e2 := st2.Engine()
+	if e2.Seq() != 1 || !e2.HasEdge(0, 1) || e2.HasEdge(1, 2) {
+		t.Fatalf("recovered seq %d, want the pre-failure durable state (seq 1)", e2.Seq())
+	}
+	if _, err := e2.AddEdge(1, 2); err != nil {
+		t.Fatalf("append on the recovered store: %v", err)
+	}
+}
+
+// TestStoreSnapshotHealsFailedWAL: a snapshot is the repair path after a
+// failed append — it captures the advanced in-memory state (so the
+// un-logged batch is not lost), rebuilds the log file, and appends resume
+// without a restart.
+func TestStoreSnapshotHealsFailedWAL(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Sync: SyncOff, CompactBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := st.Engine()
+	if _, err := e.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	st.mu.Lock()
+	st.wal.f.Close()
+	st.mu.Unlock()
+	var he *kcore.HookError
+	if _, err := e.AddEdge(1, 2); !errors.As(err, &he) {
+		t.Fatalf("failed append = %v, want *kcore.HookError", err)
+	}
+	info, err := st.Snapshot()
+	if err != nil {
+		t.Fatalf("healing snapshot: %v", err)
+	}
+	if info.Seq != 2 {
+		t.Fatalf("healing snapshot seq = %d, want 2 (the advanced state)", info.Seq)
+	}
+	if _, err := e.AddEdge(2, 3); err != nil {
+		t.Fatalf("append after heal: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir, Options{Sync: SyncOff, CompactBytes: -1})
+	if err != nil {
+		t.Fatalf("reopen after heal: %v", err)
+	}
+	defer st2.Close()
+	if st2.Engine().Seq() != 3 {
+		t.Fatalf("recovered seq = %d, want 3 (nothing lost)", st2.Engine().Seq())
+	}
+	assertSameState(t, e, st2.Engine())
+}
+
+// TestStoreAutoHealAfterAppendFailure: with background compaction enabled,
+// a failed append schedules the healing snapshot itself — applies start
+// succeeding again without manual intervention, and nothing is lost.
+func TestStoreAutoHealAfterAppendFailure(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Sync: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := st.Engine()
+	if _, err := e.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	st.mu.Lock()
+	st.wal.f.Close()
+	st.mu.Unlock()
+	var he *kcore.HookError
+	if _, err := e.AddEdge(1, 2); !errors.As(err, &he) {
+		t.Fatalf("failed append = %v, want *kcore.HookError", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	healed := false
+	for i := 0; time.Now().Before(deadline); i++ {
+		if _, err := e.AddEdge(2+i, 3+i); err == nil {
+			healed = true
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !healed {
+		t.Fatalf("store did not heal itself after a failed append (stats %+v)", st.Stats())
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir, Options{Sync: SyncOff})
+	if err != nil {
+		t.Fatalf("reopen after auto-heal: %v", err)
+	}
+	defer st2.Close()
+	assertSameState(t, e, st2.Engine())
+}
+
+// TestStoreTransientAppendFailureNoLoss: one failed write under continued
+// traffic loses nothing — the deferred record rides ahead of the next
+// successful append, no heal or restart needed.
+func TestStoreTransientAppendFailureNoLoss(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Sync: SyncOff, CompactBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := st.Engine()
+	if _, err := e.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	st.mu.Lock()
+	st.wal.injectWriteErr = errors.New("transient: no space left on device")
+	st.mu.Unlock()
+	var he *kcore.HookError
+	if _, err := e.AddEdge(1, 2); !errors.As(err, &he) {
+		t.Fatalf("failed append = %v, want *kcore.HookError", err)
+	}
+	// The very next batch succeeds and carries the deferred record with it.
+	if _, err := e.AddEdge(2, 3); err != nil {
+		t.Fatalf("append after transient failure: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir, Options{Sync: SyncOff, CompactBytes: -1})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st2.Close()
+	if st2.Engine().Seq() != 3 {
+		t.Fatalf("recovered seq = %d, want 3 (the transiently failed batch included)", st2.Engine().Seq())
+	}
+	assertSameState(t, e, st2.Engine())
+}
+
+// TestStoreSnapshotPartialCompactionFailure: when the snapshot file lands,
+// the WAL shrink fails, but the log remains append-ready, Snapshot reports
+// partial success — a valid SnapshotInfo plus an ErrCompaction-wrapped
+// error — appends keep working, and the directory still recovers (replay
+// skips the records the snapshot covers).
+func TestStoreSnapshotPartialCompactionFailure(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Sync: SyncOff, CompactBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := st.Engine()
+	if _, err := e.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	st.mu.Lock()
+	st.wal.injectCompactErr = errors.New("transient compaction failure")
+	st.mu.Unlock()
+	info, err := st.Snapshot()
+	if !errors.Is(err, ErrCompaction) {
+		t.Fatalf("err = %v, want ErrCompaction", err)
+	}
+	if info.Seq != 1 || info.Bytes == 0 {
+		t.Fatalf("info = %+v, want the durably written snapshot", info)
+	}
+	// Partial success means exactly that: the log still accepts appends.
+	if _, err := e.AddEdge(1, 2); err != nil {
+		t.Fatalf("append after partial compaction failure: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir, Options{Sync: SyncOff, CompactBytes: -1})
+	if err != nil {
+		t.Fatalf("reopen after partial compaction failure: %v", err)
+	}
+	defer st2.Close()
+	assertSameState(t, e, st2.Engine())
+}
+
+// TestStoreSnapshotDeadHandleNotPartialSuccess: a compaction that fails
+// because the WAL handle is dead must NOT be reported as ErrCompaction —
+// the log cannot accept appends, so "partial success, don't re-trigger"
+// would strand the operator. Re-triggering the snapshot rebuilds the file
+// and heals.
+func TestStoreSnapshotDeadHandleNotPartialSuccess(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Sync: SyncOff, CompactBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := st.Engine()
+	if _, err := e.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	st.mu.Lock()
+	st.wal.f.Close()
+	st.mu.Unlock()
+	info, err := st.Snapshot()
+	if err == nil || errors.Is(err, ErrCompaction) {
+		t.Fatalf("err = %v, want a real (non-ErrCompaction) failure: the log is not append-ready", err)
+	}
+	if info.Seq != 1 {
+		t.Fatalf("info.Seq = %d, want 1 (the snapshot itself landed)", info.Seq)
+	}
+	// Re-triggering rebuilds the sealed log through a rename and heals.
+	if _, err := st.Snapshot(); err != nil {
+		t.Fatalf("second snapshot should heal the sealed log: %v", err)
+	}
+	if _, err := e.AddEdge(1, 2); err != nil {
+		t.Fatalf("append after heal: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir, Options{Sync: SyncOff, CompactBytes: -1})
+	if err != nil {
+		t.Fatalf("reopen after heal: %v", err)
+	}
+	defer st2.Close()
+	assertSameState(t, e, st2.Engine())
+}
+
 // TestIntervalSyncCoversIdleTail: under the interval policy a lone batch
 // followed by silence must still be fsynced within about one period by the
 // background timer, not wait for the next append.

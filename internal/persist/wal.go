@@ -33,6 +33,11 @@ const walFrameLen = 4 + 4
 // allocations).
 const maxWALPayload = 1 << 28
 
+// maxPendingBytes bounds the in-memory backlog of encoded frames whose
+// write failed (see wal.pending). Past the cap the log stops deferring and
+// the chain check refuses appends until a snapshot heals the gap.
+const maxPendingBytes = 1 << 20
+
 // WALRecord is one decoded write-ahead-log record: a batch's surviving
 // updates and the engine sequence number after applying them.
 type WALRecord struct {
@@ -250,17 +255,106 @@ type wal struct {
 	buf      []byte // frame scratch, one Write call per append
 	size     int64  // current file size
 	records  uint64 // records in the file
-	lastSeq  uint64 // seq of the last record (0 when empty)
+	lastSeq  uint64 // seq of the last record, including deferred ones (0 when empty)
+	base     uint64 // seq the on-disk snapshot covers; an empty log chains onto it
 	lastSync time.Time
 	syncs    uint64
 	dirty    bool // appends since the last fsync (interval-sync bookkeeping)
-	failed   bool // a partial append could not be rolled back; log is sealed
+	failed   bool // file handle unusable (failed rollback or reopen); sealed until compactTo rebuilds the file
+
+	// pending holds encoded frames whose write failed but whose rollback
+	// succeeded — exactly the chain links the file is missing, in order.
+	// They are flushed ahead of the next append, so a transient fault
+	// (ENOSPC cleared, one-off EIO) converges with zero loss as soon as one
+	// write lands, without waiting for a healing snapshot. Bounded by
+	// maxPendingBytes; an overflow falls back to gap refusal + heal.
+	pending        []byte
+	pendingRecords uint64
+
+	// injectWriteErr / injectCompactErr, when non-nil, make the next write
+	// (resp. compactTo) fail with the given error while touching nothing.
+	// Test-only fault injection for the transient-failure paths, which are
+	// otherwise unreachable without breaking the handle.
+	injectWriteErr   error
+	injectCompactErr error
 }
+
+// write performs one file write (with test fault injection).
+func (w *wal) write(b []byte) error {
+	if err := w.injectWriteErr; err != nil {
+		w.injectWriteErr = nil
+		return err
+	}
+	_, err := w.f.Write(b)
+	return err
+}
+
+// rollback restores the file to the last good offset after a failed write;
+// if the file cannot be restored the log seals itself.
+func (w *wal) rollback() {
+	if terr := w.f.Truncate(w.size); terr != nil {
+		w.failed = true
+	} else if _, serr := w.f.Seek(w.size, io.SeekStart); serr != nil {
+		w.failed = true
+	}
+}
+
+// chainSeq is the sequence number the next appended record must chain onto:
+// the last (possibly deferred) record's seq, or the snapshot base when the
+// snapshot covers everything the log holds.
+func (w *wal) chainSeq() uint64 {
+	if (w.records > 0 || w.pendingRecords > 0) && w.lastSeq > w.base {
+		return w.lastSeq
+	}
+	return w.base
+}
+
+// flushPending writes the deferred frames; they precede any new record in
+// the chain, so nothing may be appended while they remain unflushed.
+func (w *wal) flushPending() error {
+	if len(w.pending) == 0 {
+		return nil
+	}
+	if err := w.write(w.pending); err != nil {
+		w.rollback()
+		return err
+	}
+	w.size += int64(len(w.pending))
+	w.records += w.pendingRecords
+	w.pending = nil
+	w.pendingRecords = 0
+	w.dirty = true
+	return nil
+}
+
+// deferFrame retains an encoded frame whose write failed, keeping the chain
+// alive for a later flushPending. Past the backlog cap (or with an unusable
+// file) the frame is dropped — the chain check then refuses further appends
+// and the healing snapshot re-covers everything.
+func (w *wal) deferFrame(frame []byte, seq uint64) {
+	if w.failed || len(w.pending)+len(frame) > maxPendingBytes {
+		return
+	}
+	w.pending = append(w.pending, frame...)
+	w.pendingRecords++
+	w.lastSeq = seq
+}
+
+// errWALGap marks an append refused because the record does not chain onto
+// the log's last durable sequence number — the engine has advanced past the
+// log, which happens after any failed append (the HookError contract keeps
+// the batch applied in memory). The record is NOT written: a gap record
+// would make the whole log unreplayable, since replayWAL rejects a broken
+// chain as ErrCorruptWAL. The store heals by compacting — a fresh snapshot
+// captures the advanced engine state and re-covers the gap.
+var errWALGap = errors.New("persist: WAL behind engine state (batch not logged; a snapshot will re-cover the gap)")
 
 // openWAL opens (creating or validating) the WAL at path for appending.
 // The file must already be consistent — the Store truncates torn tails
-// during recovery before calling openWAL.
-func openWAL(path string, policy SyncPolicy, every time.Duration, records uint64, lastSeq uint64) (*wal, error) {
+// during recovery before calling openWAL. base is the sequence number the
+// current snapshot covers: when the log is empty, the first appended record
+// must chain onto it (replayWAL starts its cursor there).
+func openWAL(path string, policy SyncPolicy, every time.Duration, records uint64, lastSeq uint64, base uint64) (*wal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("persist: open WAL: %w", err)
@@ -271,7 +365,7 @@ func openWAL(path string, policy SyncPolicy, every time.Duration, records uint64
 		return nil, fmt.Errorf("persist: stat WAL: %w", err)
 	}
 	w := &wal{f: f, path: path, policy: policy, every: every,
-		size: st.Size(), records: records, lastSeq: lastSeq, lastSync: time.Now()}
+		size: st.Size(), records: records, lastSeq: lastSeq, base: base, lastSync: time.Now()}
 	if w.size == 0 {
 		var hdr [walHeaderLen]byte
 		copy(hdr[:], walMagic[:])
@@ -293,28 +387,46 @@ func openWAL(path string, policy SyncPolicy, every time.Duration, records uint64
 }
 
 // append logs one batch, honoring the sync policy. The frame is written
-// with a single write call so a crash can only leave a strict prefix. A
-// failed write (e.g. ENOSPC) may leave a partial frame behind; append rolls
-// the file back to the last good offset so later records never land after
-// garbage — and if even the rollback fails, the log seals itself: further
-// appends are refused instead of corrupting the tail.
+// with a single write call so a crash can only leave a strict prefix.
+//
+// Three guards keep a failed append (e.g. ENOSPC) from ever corrupting the
+// log. First, the chain check: a record that does not continue the last
+// durable sequence — which is what a batch looks like once the engine has
+// advanced past the log — is refused with errWALGap instead of being
+// written; a gap record would fail replayWAL's chaining check on the next
+// Open and make the directory unrecoverable. Second, rollback: a failed
+// write may leave a partial frame behind, so the file is truncated back to
+// the last good offset; if even that fails (or the seek back does), the
+// handle is sealed until compactTo rebuilds the file through a rename.
+// Third, deferral: after a clean rollback the already-encoded frame is
+// retained in a bounded backlog and flushed ahead of the next append, so
+// the chain stays intact and a transient fault loses nothing once writes
+// land again.
 func (w *wal) append(seq uint64, updates []kcore.Update) error {
 	if w.failed {
-		return fmt.Errorf("persist: WAL sealed after a failed append (restart to recover)")
+		return fmt.Errorf("persist: WAL sealed after a failed write (a snapshot will rebuild it)")
+	}
+	// replayWAL's cursor starts at the snapshot seq (base), skips records the
+	// snapshot covers, and ends at the last record beyond it — so the next
+	// record must chain onto chainSeq. (lastSeq < base happens after a crash
+	// between a compaction's snapshot rename and WAL shrink: the leftover
+	// records are all covered and will be skipped.)
+	if expected := w.chainSeq(); seq-uint64(len(updates)) != expected {
+		return fmt.Errorf("%w: record covering seq %d..%d cannot chain onto seq %d",
+			errWALGap, seq-uint64(len(updates))+1, seq, expected)
 	}
 	buf, err := appendWALRecord(w.buf[:0], seq, updates)
 	if err != nil {
 		return err
 	}
 	w.buf = buf
-	if _, err := w.f.Write(buf); err != nil {
-		if terr := w.f.Truncate(w.size); terr == nil {
-			if _, serr := w.f.Seek(w.size, io.SeekStart); serr != nil {
-				w.failed = true
-			}
-		} else {
-			w.failed = true
-		}
+	if err := w.flushPending(); err != nil {
+		w.deferFrame(buf, seq)
+		return fmt.Errorf("persist: WAL append (flushing deferred records): %w", err)
+	}
+	if err := w.write(buf); err != nil {
+		w.rollback()
+		w.deferFrame(buf, seq)
 		return fmt.Errorf("persist: WAL append: %w", err)
 	}
 	w.size += int64(len(buf))
@@ -344,26 +456,52 @@ func (w *wal) sync() error {
 
 // compactTo drops every record with seq <= upto, retaining the rest. Fast
 // path: when the whole log is covered it truncates in place; otherwise the
-// surviving tail is rewritten through a temp file + rename.
+// surviving tail is rewritten through a temp file + rename. A sealed log
+// (w.failed) always takes the rewrite path — its handle may be orphaned or
+// its file may end in a partial frame, so in-place truncation cannot be
+// trusted — and a successful rewrite clears the seal: the snapshot at upto
+// covers everything the rebuilt log lacks, so appends may resume.
 func (w *wal) compactTo(upto uint64) error {
-	if w.records == 0 || w.lastSeq <= upto {
+	if err := w.injectCompactErr; err != nil {
+		w.injectCompactErr = nil
+		return err
+	}
+	// lastSeq covers deferred frames too, so the fast path only fires when
+	// the snapshot covers the entire chain, file and backlog alike.
+	if !w.failed && w.lastSeq <= upto {
 		if err := w.f.Truncate(walHeaderLen); err != nil {
+			// A shrinking truncate that fails usually means the handle is
+			// dead (EIO, closed fd): seal so nobody mistakes the log for
+			// append-ready — the next compaction rebuilds it via rename,
+			// which is also the only way to find out the handle still works.
+			w.failed = true
 			return fmt.Errorf("persist: WAL truncate: %w", err)
 		}
+		// Past the truncate the file has changed; a failed seek leaves the
+		// write offset beyond the new end (appends would punch a zero-filled
+		// hole the next scan rejects as corruption), and a failed fsync
+		// leaves the on-disk state undefined. Seal either way.
 		if _, err := w.f.Seek(walHeaderLen, io.SeekStart); err != nil {
+			w.failed = true
 			return fmt.Errorf("persist: WAL seek: %w", err)
 		}
 		if err := w.f.Sync(); err != nil {
+			w.failed = true
 			return fmt.Errorf("persist: WAL sync: %w", err)
 		}
 		w.size = walHeaderLen
 		w.records = 0
 		w.lastSeq = 0
+		w.base = upto
+		w.pending = nil // all deferred frames are <= upto: the snapshot covers them
+		w.pendingRecords = 0
 		return nil
 	}
 	// Records appended after the snapshot capture must survive: rewrite the
 	// tail. The old handle keeps its flushed contents; read it back via a
-	// second handle from the start.
+	// second handle from the start (a fresh open by path, so this also works
+	// when the old handle is orphaned or the file ends in a partial frame —
+	// the scan drops an incomplete tail as torn).
 	tmp, err := os.CreateTemp(filepath.Dir(w.path), "wal.tmp-*")
 	if err != nil {
 		return fmt.Errorf("persist: WAL rewrite temp: %w", err)
@@ -413,25 +551,56 @@ func (w *wal) compactTo(upto uint64) error {
 		return fmt.Errorf("persist: WAL rewrite rename: %w", err)
 	}
 	syncDir(filepath.Dir(w.path))
+	// The rename already replaced the file on disk: from here on, w.f points
+	// at the old, unlinked inode. If the rewritten file cannot be opened for
+	// appending, seal the log — appends through the stale handle would
+	// report success while landing in an orphaned file, silently losing
+	// acknowledged batches on the next restart.
 	old := w.f
 	f, err := os.OpenFile(w.path, os.O_RDWR, 0o644)
 	if err != nil {
+		w.failed = true
 		return fmt.Errorf("persist: reopen WAL: %w", err)
 	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
 		f.Close()
+		w.failed = true
 		return fmt.Errorf("persist: seek WAL: %w", err)
 	}
 	w.f = f
 	_ = old.Close()
 	w.size = size
 	w.records = kept
-	w.lastSeq = lastSeq
+	if w.pendingRecords == 0 {
+		w.lastSeq = lastSeq
+	}
+	// else: the deferred backlog survives the rewrite — its chain extends
+	// past upto (a Snapshot racing a deferred apply captures an older seq),
+	// so dropping it would leave the log permanently behind the engine.
+	// w.lastSeq already ends that chain; backlog frames at or below upto are
+	// merely skipped at replay once flushed. Deferred frames always follow
+	// every file record, so flushing after the kept tail keeps seqs ordered.
+	w.base = upto
+	w.failed = false
 	return nil
 }
 
 // close syncs (unless SyncOff already synced implicitly) and closes the log.
 func (w *wal) close() error {
+	if w.failed {
+		// The handle is unusable for appends, but when the seal came from a
+		// failed rollback it still references the live file, whose earlier
+		// valid records may sit unfsynced in the page cache — so still
+		// attempt the sync (harmless on an orphaned or dead handle). Errors
+		// are expected here and not reported: recovery re-derives state from
+		// the snapshot plus whatever the on-disk log holds.
+		_ = w.f.Sync()
+		_ = w.f.Close()
+		return nil
+	}
+	// Deferred records become durable after all if the device recovered;
+	// their Apply callers already saw the failure, so errors stay silent.
+	_ = w.flushPending()
 	err := w.f.Sync()
 	if cerr := w.f.Close(); err == nil {
 		err = cerr

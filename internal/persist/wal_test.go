@@ -130,9 +130,196 @@ func TestWALRejectsCorruption(t *testing.T) {
 	})
 }
 
+// TestWALRefusesGapAppend pins the append-side chaining invariant: a record
+// that does not continue the durable sequence — the shape of every batch
+// after a failed append, since the engine keeps advancing — is refused and
+// NOT written. A gap record would fail replayWAL's chaining check on the
+// next Open and make the whole log unrecoverable.
+func TestWALRefusesGapAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.kcl")
+	w, err := openWAL(path, SyncOff, time.Second, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.append(2, []kcore.Update{kcore.Add(0, 1), kcore.Add(1, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	size := w.size
+	// Covers seq 5 only: start 4 does not chain onto 2.
+	if err := w.append(5, []kcore.Update{kcore.Add(2, 3)}); !errors.Is(err, errWALGap) {
+		t.Fatalf("gap append = %v, want errWALGap", err)
+	}
+	if w.records != 1 || w.size != size {
+		t.Fatal("refused record must not be written")
+	}
+	// The chaining record is accepted.
+	if err := w.append(4, []kcore.Update{kcore.Add(2, 3), kcore.Add(3, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash window between a compaction's snapshot rename and WAL shrink:
+	// every leftover record is covered by the snapshot (base > lastSeq), so
+	// the next append chains onto the snapshot seq, not the stale records.
+	w2, err := openWAL(path, SyncOff, time.Second, 2, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.append(10, []kcore.Update{kcore.Add(5, 6)}); err != nil {
+		t.Fatalf("append onto snapshot base: %v", err)
+	}
+	if err := w2.close(); err != nil {
+		t.Fatal(err)
+	}
+	var seqs []uint64
+	if _, _, err := ScanWALFile(path, func(rec WALRecord) error {
+		seqs = append(seqs, rec.Seq)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 3 || seqs[2] != 10 {
+		t.Fatalf("records = %v, want [2 4 10]", seqs)
+	}
+}
+
+// TestWALDeferredFlushAfterTransientFailure: a failed write whose rollback
+// succeeds defers the encoded frame instead of dropping it; the next append
+// flushes the backlog first, so a transient fault loses nothing and the
+// on-disk chain stays contiguous.
+func TestWALDeferredFlushAfterTransientFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.kcl")
+	w, err := openWAL(path, SyncOff, time.Second, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.append(1, []kcore.Update{kcore.Add(0, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	w.injectWriteErr = errors.New("transient: no space left on device")
+	if err := w.append(2, []kcore.Update{kcore.Add(1, 2)}); err == nil {
+		t.Fatal("append with a failing write must report the error")
+	}
+	if w.failed || w.pendingRecords != 1 || w.lastSeq != 2 {
+		t.Fatalf("deferred state: failed=%v pending=%d lastSeq=%d, want clean 1-record backlog at seq 2",
+			w.failed, w.pendingRecords, w.lastSeq)
+	}
+	// The next append flushes the deferred record ahead of itself.
+	if err := w.append(3, []kcore.Update{kcore.Add(2, 3)}); err != nil {
+		t.Fatalf("append after transient failure: %v", err)
+	}
+	if w.pendingRecords != 0 || w.records != 3 {
+		t.Fatalf("backlog not flushed: pending=%d records=%d", w.pendingRecords, w.records)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	var seqs []uint64
+	if _, _, err := ScanWALFile(path, func(rec WALRecord) error {
+		seqs = append(seqs, rec.Seq)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 3 || seqs[0] != 1 || seqs[1] != 2 || seqs[2] != 3 {
+		t.Fatalf("records = %v, want the contiguous chain [1 2 3]", seqs)
+	}
+}
+
+// TestWALRewriteRetainsDeferredFrames: a compaction whose snapshot was
+// captured BEFORE a deferred append (Store.Snapshot races applies) must not
+// drop the backlog — otherwise the log would silently end up behind the
+// engine with the snapshot reporting success. The backlog survives the
+// rewrite and flushes into the rebuilt file.
+func TestWALRewriteRetainsDeferredFrames(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.kcl")
+	w, err := openWAL(path, SyncOff, time.Second, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 2; seq++ {
+		if err := w.append(seq, []kcore.Update{kcore.Add(int(seq-1), int(seq))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.injectWriteErr = errors.New("transient")
+	if err := w.append(3, []kcore.Update{kcore.Add(2, 3)}); err == nil {
+		t.Fatal("append with a failing write must report the error")
+	}
+	// Snapshot captured at seq 2, before the deferred seq-3 record.
+	if err := w.compactTo(2); err != nil {
+		t.Fatal(err)
+	}
+	if w.pendingRecords != 1 || w.lastSeq != 3 || w.base != 2 {
+		t.Fatalf("after rewrite: pending=%d lastSeq=%d base=%d, want the deferred chain retained",
+			w.pendingRecords, w.lastSeq, w.base)
+	}
+	if err := w.append(4, []kcore.Update{kcore.Add(3, 4)}); err != nil {
+		t.Fatalf("append after rewrite: %v", err)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	var seqs []uint64
+	if _, _, err := ScanWALFile(path, func(rec WALRecord) error {
+		seqs = append(seqs, rec.Seq)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 || seqs[0] != 3 || seqs[1] != 4 {
+		t.Fatalf("records = %v, want [3 4] (deferred record flushed, chain intact)", seqs)
+	}
+}
+
+// TestWALSealedRebuildByCompact: a sealed log (unusable handle after a
+// failed rollback or reopen) refuses appends, and compactTo rebuilds it
+// through a rename — clearing the seal so appends resume against the fresh
+// file, which replays cleanly.
+func TestWALSealedRebuildByCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.kcl")
+	w, err := openWAL(path, SyncOff, time.Second, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 2; seq++ {
+		if err := w.append(seq, []kcore.Update{kcore.Add(int(seq-1), int(seq))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.failed = true // as after a failed rollback
+	if err := w.append(3, []kcore.Update{kcore.Add(2, 3)}); err == nil {
+		t.Fatal("sealed log accepted an append")
+	}
+	if err := w.compactTo(5); err != nil {
+		t.Fatalf("rebuild compaction: %v", err)
+	}
+	if w.failed || w.records != 0 || w.base != 5 {
+		t.Fatalf("rebuild left failed=%v records=%d base=%d", w.failed, w.records, w.base)
+	}
+	if err := w.append(6, []kcore.Update{kcore.Add(3, 4)}); err != nil {
+		t.Fatalf("append after rebuild: %v", err)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	var seqs []uint64
+	if _, _, err := ScanWALFile(path, func(rec WALRecord) error {
+		seqs = append(seqs, rec.Seq)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 1 || seqs[0] != 6 {
+		t.Fatalf("rebuilt log records = %v, want [6]", seqs)
+	}
+}
+
 func TestWALAppendAndCompact(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.kcl")
-	w, err := openWAL(path, SyncAlways, time.Second, 0, 0)
+	w, err := openWAL(path, SyncAlways, time.Second, 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,8 +354,9 @@ func TestWALAppendAndCompact(t *testing.T) {
 		t.Fatalf("post-compaction records = %v, want [5 6]", seqs)
 	}
 
-	// Full compaction truncates in place.
-	if err := w.compactTo(10); err != nil {
+	// Full compaction truncates in place; the next append chains onto the
+	// compacted-to seq.
+	if err := w.compactTo(6); err != nil {
 		t.Fatal(err)
 	}
 	if w.records != 0 || w.size != walHeaderLen {

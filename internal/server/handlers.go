@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"kcore"
+	"kcore/internal/persist"
 	"kcore/internal/server/wire"
 )
 
@@ -221,6 +222,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Appends:          ps.Appends,
 			Syncs:            ps.Syncs,
 			Compactions:      ps.Compactions,
+			CompactErrors:    ps.CompactErrors,
+			SyncErrors:       ps.SyncErrors,
 			RecoveredRecords: ps.RecoveredRecords,
 			RecoveredSeq:     ps.RecoveredSeq,
 			TornBytes:        ps.TornBytes,
@@ -239,16 +242,22 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	info, err := s.opts.Persist.Snapshot()
-	if err != nil {
+	if err != nil && !errors.Is(err, persist.ErrCompaction) {
 		writeError(w, &wire.Error{Code: wire.CodeInternal, Status: http.StatusInternalServerError,
 			Message: fmt.Sprintf("snapshot failed: %v", err)})
 		return
 	}
-	writeJSON(w, http.StatusOK, wire.SnapshotResponse{
+	resp := wire.SnapshotResponse{
 		Seq:       info.Seq,
 		Bytes:     info.Bytes,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000.0,
-	})
+	}
+	if err != nil {
+		// The snapshot itself is durably on disk; only the WAL shrink failed.
+		// Partial success, not a 500 — re-running the snapshot won't help.
+		resp.Warning = err.Error()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -33,7 +33,21 @@
 // is periodically compacted into a snapshot. A WAL append failure is
 // reported with code "persistence_failed" (HTTP 500): the batch IS applied
 // in memory — retrying it would double-apply — but was not made durable.
-// StatsResponse.Persist exposes the durability counters.
+// For a transient fault the failed records are retained in a bounded
+// backlog and written ahead of the next batch that lands, so the log
+// catches up with nothing lost. If the log cannot accept records at all,
+// further batches keep answering "persistence_failed" (the log refuses
+// records that would leave a replay-breaking sequence gap) until a snapshot
+// re-covers the gap. The server schedules that healing snapshot
+// automatically — unless it runs with background compaction disabled
+// (-compact-every < 0), where POST /v1/snapshot must be called to heal —
+// and POST /v1/snapshot forces it at any time. StatsResponse.Persist
+// exposes the durability counters.
+//
+// POST /v1/snapshot distinguishes partial success: when the snapshot file
+// was durably written but the WAL compaction step failed, the response is
+// still 200 with SnapshotResponse.Warning set — the data is safe, the log
+// merely kept its size — rather than a misleading 500.
 //
 // Reads never block writes, and every query response carries the engine
 // sequence number ("seq") of the state it describes. The k-core listing is
@@ -188,6 +202,11 @@ type PersistStats struct {
 	Appends     uint64 `json:"appends"`
 	Syncs       uint64 `json:"syncs"`
 	Compactions uint64 `json:"compactions"`
+	// CompactErrors counts failed background compactions; SyncErrors counts
+	// failed background interval fsyncs. Both should stay 0 — a non-zero
+	// value means acknowledged batches may have reduced durability.
+	CompactErrors uint64 `json:"compact_errors"`
+	SyncErrors    uint64 `json:"sync_errors"`
 	// RecoveredRecords, RecoveredSeq and TornBytes describe the boot-time
 	// recovery (TornBytes > 0 means a torn WAL tail was truncated).
 	RecoveredRecords uint64 `json:"recovered_records"`
@@ -203,6 +222,10 @@ type SnapshotResponse struct {
 	Bytes int64 `json:"bytes"`
 	// ElapsedMS is the wall-clock time the snapshot + compaction took.
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Warning reports a partial success: the snapshot was durably written
+	// but the WAL compaction step failed, so the log kept its size. Empty
+	// on full success.
+	Warning string `json:"warning,omitempty"`
 }
 
 // StatsResponse is the body of GET /v1/stats.
