@@ -138,7 +138,7 @@ func (e *Engine) applyLocked(batch Batch) (BatchInfo, error) {
 		return BatchInfo{Seq: e.seq}, err
 	}
 	info, err := e.executeBatch(batch, skip, coalesced)
-	if err == nil && info.Applied > 0 && e.hook != nil && !e.replaying {
+	if err == nil && info.Applied > 0 && !e.replaying && (e.hook != nil || e.tap != nil) {
 		err = e.runApplyHook(batch, skip, &info)
 	}
 	return info, err

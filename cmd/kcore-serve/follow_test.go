@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"kcore/internal/gen"
+	"kcore/internal/server"
+	"kcore/internal/server/wire"
+)
+
+// startServe boots one kcore-serve process via run() on a random port and
+// returns its base URL plus a shutdown func that asserts a clean exit.
+func startServe(t *testing.T, args ...string) (string, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var out bytes.Buffer
+	addrCh := make(chan string, 1)
+	runDone := make(chan error, 1)
+	go func() {
+		runDone <- run(ctx, append([]string{"-addr", "127.0.0.1:0", "-drain-timeout", "5s"}, args...),
+			&out, func(addr string) { addrCh <- addr })
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-runDone:
+		cancel()
+		t.Fatalf("run %v exited before listening: %v\n%s", args, err, out.String())
+	case <-time.After(20 * time.Second):
+		cancel()
+		t.Fatalf("server %v never became ready\n%s", args, out.String())
+	}
+	return "http://" + addr, func() {
+		cancel()
+		select {
+		case err := <-runDone:
+			if err != nil {
+				t.Errorf("run %v: %v\n%s", args, err, out.String())
+			}
+		case <-time.After(15 * time.Second):
+			t.Errorf("run %v never exited\n%s", args, out.String())
+		}
+	}
+}
+
+// TestFollowE2E boots a primary and a follower exactly as main would and
+// checks the follower converges to the primary's cores, reports staleness,
+// and rejects writes.
+func TestFollowE2E(t *testing.T) {
+	ctx := context.Background()
+	primaryURL, stopPrimary := startServe(t)
+	defer stopPrimary()
+	pc, err := server.NewClient(primaryURL, nil)
+	if err != nil {
+		t.Fatalf("NewClient(primary): %v", err)
+	}
+
+	// State before the follower exists: replicated via snapshot bootstrap.
+	g := gen.BarabasiAlbert(200, 3, 7)
+	edges := g.Edges()
+	half := len(edges) / 2
+	if _, err := pc.AddEdges(ctx, edges[:half]); err != nil {
+		t.Fatalf("primary ingest: %v", err)
+	}
+
+	followerURL, stopFollower := startServe(t, "-follow", primaryURL, "-follow-poll", "50ms")
+	defer stopFollower()
+	fc, err := server.NewClient(followerURL, nil)
+	if err != nil {
+		t.Fatalf("NewClient(follower): %v", err)
+	}
+
+	// State after: replicated via the live stream.
+	if _, err := pc.AddEdges(ctx, edges[half:]); err != nil {
+		t.Fatalf("primary ingest: %v", err)
+	}
+
+	pst, err := pc.Stats(ctx)
+	if err != nil {
+		t.Fatalf("primary stats: %v", err)
+	}
+	if pst.Replication == nil || pst.Replication.Role != "primary" {
+		t.Fatalf("primary must replicate by default, stats = %+v", pst.Replication)
+	}
+
+	// Converge: poll the follower's replication stats until seq_lag hits 0
+	// at the primary's seq.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		fst, err := fc.Stats(ctx)
+		if err == nil && fst.Replication != nil && fst.Replication.Follower != nil {
+			f := fst.Replication.Follower
+			if f.AppliedSeq >= pst.Seq && f.SeqLag == 0 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			fst, _ := fc.Stats(ctx)
+			t.Fatalf("follower never caught up to seq %d: %+v", pst.Seq, fst)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Spot-check served cores agree between the two processes.
+	for _, v := range []int{0, 1, 5, 42, 120, 199} {
+		want, err := pc.Core(ctx, v)
+		if err != nil {
+			t.Fatalf("primary core(%d): %v", v, err)
+		}
+		got, err := fc.Core(ctx, v)
+		if err != nil {
+			t.Fatalf("follower core(%d): %v", v, err)
+		}
+		if got.Core != want.Core {
+			t.Fatalf("core(%d): follower %d, primary %d", v, got.Core, want.Core)
+		}
+	}
+
+	// Writes bounce with the stable code, pointing at the primary.
+	if _, err := fc.AddEdges(ctx, [][2]int{{900, 901}}); err == nil ||
+		!strings.Contains(err.Error(), wire.CodeReadOnly) {
+		t.Fatalf("follower write: err = %v, want %s", err, wire.CodeReadOnly)
+	}
+}

@@ -11,6 +11,8 @@
 //	kcore-serve -workers 4 -max-batch 50000      tune engine and admission
 //	kcore-serve -data-dir /var/lib/kcore         durable: snapshot + WAL
 //	kcore-serve -data-dir d -fsync always        fsync the WAL per batch
+//	kcore-serve -follow http://primary:8080      read-scaling follower
+//	kcore-serve -read-only                       serve reads, reject writes
 //
 // With -data-dir the engine state survives restarts: boot recovers the
 // snapshot plus write-ahead log (truncating a torn tail) before the
@@ -20,6 +22,15 @@
 // directory without prior state. The -fsync policy trades durability
 // against throughput: "always" (per batch), "interval" (grouped, every
 // -sync-every), or "off" (OS-paced; a process crash still loses nothing).
+//
+// Every server (unless -replicate-history is negative) is also a
+// replication primary: followers bootstrap and stream applied batches from
+// GET /v1/replicate. With -follow the process is instead a follower: it
+// boots by catching up from the primary, applies its stream while serving
+// the read and watch endpoints locally, rejects writes with the stable
+// "read_only" error, and reports staleness as replication.follower.seq_lag
+// in /v1/stats. Replication is asynchronous — a follower read may trail a
+// write acknowledged by the primary.
 //
 // The process drains gracefully on SIGINT/SIGTERM: new writes are refused
 // (HTTP 503), queued batches flush, watch streams end, in-flight requests
@@ -34,11 +45,13 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"kcore"
 	"kcore/internal/persist"
+	"kcore/internal/replicate"
 	"kcore/internal/server"
 )
 
@@ -73,9 +86,23 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 		fsync        = fs.String("fsync", "interval", "WAL fsync policy with -data-dir: always|interval|off")
 		syncEvery    = fs.Duration("sync-every", 100*time.Millisecond, "fsync period for -fsync interval")
 		compactEvery = fs.Int64("compact-every", 64<<20, "WAL bytes that trigger snapshot compaction with -data-dir (negative disables)")
+		follow       = fs.String("follow", "", "run as a replication follower of the primary kcore-serve at this base URL (implies read-only)")
+		followPoll   = fs.Duration("follow-poll", time.Second, "staleness poll period against the primary in follower mode")
+		readOnly     = fs.Bool("read-only", false, "reject writes with the stable read_only error; reads keep working")
+		replHistory  = fs.Int("replicate-history", 4<<20, "in-memory replication frame history bytes for follower resume (negative disables the replication endpoint)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *follow != "" {
+		// A follower's state IS the primary's stream; local durability or
+		// preloads would diverge from it.
+		if *dataDir != "" {
+			return fmt.Errorf("-follow and -data-dir are mutually exclusive (follower state comes from the primary)")
+		}
+		if *load != "" {
+			return fmt.Errorf("-follow and -load are mutually exclusive (follower state comes from the primary)")
+		}
 	}
 
 	opts := []kcore.Option{kcore.WithSeed(*seed)}
@@ -88,7 +115,23 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 
 	var engine *kcore.Engine
 	var store *persist.Store
-	if *dataDir != "" {
+	var fol *replicate.Follower
+	if *follow != "" {
+		// StartFollower blocks (retrying) until the bootstrap succeeds, so
+		// the listener only accepts once the engine holds real state —
+		// mirroring the -data-dir recovery-before-accept behavior.
+		f, err := replicate.StartFollower(ctx, *follow, replicate.FollowerOptions{
+			Engine:       opts,
+			PollInterval: *followPoll,
+		})
+		if err != nil {
+			return fmt.Errorf("follow %s: %w", *follow, err)
+		}
+		defer f.Close()
+		fol = f
+		engine = f.Engine()
+		fmt.Fprintf(out, "following %s: bootstrapped at seq %d\n", f.Primary(), engine.Seq())
+	} else if *dataDir != "" {
 		policy, err := persist.ParseSyncPolicy(*fsync)
 		if err != nil {
 			return err
@@ -122,6 +165,21 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 	fmt.Fprintf(out, "engine ready: %d vertices, %d edges, degeneracy %d\n",
 		view.NumVertices(), view.NumEdges(), view.Degeneracy())
 
+	// Every non-follower is a replication primary unless disabled: the
+	// publisher taps the engine's apply path and serves GET /v1/replicate.
+	// Chained replication (a follower re-publishing) is not supported.
+	var pub *replicate.Publisher
+	if fol == nil && *replHistory >= 0 {
+		popts := replicate.PublisherOptions{HistoryBytes: *replHistory}
+		if store != nil {
+			// With persistence, reconnecting followers can also resume from
+			// the on-disk WAL after the in-memory history was evicted.
+			popts.WALPath = filepath.Join(store.Dir(), persist.WALFile)
+		}
+		pub = replicate.NewPublisher(engine, popts)
+		defer pub.Close()
+	}
+
 	// Bind before constructing the Server: New starts the ingest flusher
 	// goroutine, so a listen failure must not leave one behind.
 	l, err := net.Listen("tcp", *addr)
@@ -133,6 +191,9 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 		MaxPending:  *maxPending,
 		WatchBuffer: *watchBuffer,
 		Persist:     store,
+		ReadOnly:    *readOnly,
+		Publisher:   pub,
+		Follower:    fol,
 	})
 	fmt.Fprintf(out, "listening on %s\n", l.Addr())
 	if ready != nil {

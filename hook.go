@@ -28,6 +28,11 @@ type AppliedBatch struct {
 // update) failed. See SetApplyHook.
 type ApplyHook func(AppliedBatch) error
 
+// ApplyTap observes one applied batch like an ApplyHook, but cannot fail:
+// it watches what the engine's in-memory state did, not what was made
+// durable. See SetApplyTap.
+type ApplyTap func(AppliedBatch)
+
 // SetApplyHook registers fn to be called after every successfully applied
 // batch with at least one surviving update (nil unregisters). The hook runs
 // synchronously while the engine's write lock is held, so invocations are
@@ -47,6 +52,21 @@ func (e *Engine) SetApplyHook(fn ApplyHook) {
 	e.hook = fn
 }
 
+// SetApplyTap registers fn as a second, error-free observer of applied
+// batches (nil unregisters). It runs under the same write lock as the apply
+// hook, after it, and — unlike the hook — even when the hook failed: the tap
+// observes the engine's in-memory state, which advanced regardless of
+// whether durability succeeded. Replication (internal/replicate) uses the
+// tap so it can coexist with a persistence hook on the same engine. The
+// same constraints apply: no calling back into the engine, keep it fast,
+// copy (or encode) AppliedBatch.Updates before the call returns. Replay and
+// ReplayNotify never invoke it.
+func (e *Engine) SetApplyTap(fn ApplyTap) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.tap = fn
+}
+
 // Replay applies a batch exactly like Apply — same validation, same
 // execution strategies, same BatchInfo — but silently: subscribers receive
 // no CoreChange events and the apply hook is not invoked. It exists for
@@ -58,14 +78,29 @@ func (e *Engine) SetApplyHook(fn ApplyHook) {
 func (e *Engine) Replay(batch Batch) (BatchInfo, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.replaying, e.silent = true, true
+	defer func() { e.replaying, e.silent = false, false }()
+	return e.applyLocked(batch)
+}
+
+// ReplayNotify applies a batch like Replay — the apply hook and tap are not
+// invoked — but subscribers DO receive CoreChange events. It exists for
+// replication followers (internal/replicate): a follower applying streamed
+// frames must not feed them back into its own durability or replication
+// taps, yet for its local watchers the changes are new information, exactly
+// as if the batch had been applied here.
+func (e *Engine) ReplayNotify(batch Batch) (BatchInfo, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.replaying = true
 	defer func() { e.replaying = false }()
 	return e.applyLocked(batch)
 }
 
-// runApplyHook invokes the registered hook for a successful batch, building
-// the surviving-update record. Caller holds the write lock and has already
-// checked e.hook != nil, !e.replaying, and info.Applied > 0.
+// runApplyHook invokes the registered hook and tap for a successful batch,
+// building the surviving-update record. Caller holds the write lock and has
+// already checked !e.replaying, info.Applied > 0, and that a hook or tap is
+// registered.
 func (e *Engine) runApplyHook(batch Batch, skip []bool, info *BatchInfo) error {
 	updates := batch
 	if info.Coalesced > 0 {
@@ -79,8 +114,15 @@ func (e *Engine) runApplyHook(batch Batch, skip []bool, info *BatchInfo) error {
 		e.hookBuf = buf
 		updates = Batch(buf)
 	}
-	if err := e.hook(AppliedBatch{Seq: info.Seq, Updates: updates}); err != nil {
-		return &HookError{Err: err}
+	rec := AppliedBatch{Seq: info.Seq, Updates: updates}
+	var err error
+	if e.hook != nil {
+		if herr := e.hook(rec); herr != nil {
+			err = &HookError{Err: herr}
+		}
 	}
-	return nil
+	if e.tap != nil {
+		e.tap(rec)
+	}
+	return err
 }

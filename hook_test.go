@@ -162,6 +162,128 @@ func TestReplaySilentAcrossStrategies(t *testing.T) {
 	}
 }
 
+// TestApplyTap: the tap observes every applied batch after the hook, fires
+// even when the hook fails (in-memory state advanced regardless), and is
+// silent under Replay and ReplayNotify.
+func TestApplyTap(t *testing.T) {
+	e := NewEngine()
+	boom := errors.New("disk full")
+	hookErr := error(nil)
+	e.SetApplyHook(func(rec AppliedBatch) error { return hookErr })
+	type logged struct {
+		seq     uint64
+		updates []Update
+	}
+	var tapped []logged
+	e.SetApplyTap(func(rec AppliedBatch) {
+		tapped = append(tapped, logged{rec.Seq, slices.Clone(rec.Updates)})
+	})
+
+	if _, err := e.Apply(Batch{Add(0, 1), Add(1, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	hookErr = boom
+	_, err := e.Apply(Batch{Add(0, 2)})
+	var he *HookError
+	if !errors.As(err, &he) {
+		t.Fatalf("err = %v, want *HookError", err)
+	}
+	if len(tapped) != 2 {
+		t.Fatalf("tap saw %d batches, want 2 (must fire even on hook failure): %+v", len(tapped), tapped)
+	}
+	if tapped[1].seq != 3 || !slices.Equal(tapped[1].updates, []Update{Add(0, 2)}) {
+		t.Fatalf("tap record = %+v, want seq 3 / [Add(0,2)]", tapped[1])
+	}
+
+	// Replay and ReplayNotify are both re-applications of state that
+	// originated elsewhere: neither reaches the tap.
+	hookErr = nil
+	if _, err := e.Replay(Batch{Add(5, 6)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ReplayNotify(Batch{Add(6, 7)}); err != nil {
+		t.Fatal(err)
+	}
+	if len(tapped) != 2 {
+		t.Fatalf("tap invoked by Replay/ReplayNotify: %+v", tapped[2:])
+	}
+
+	// A tap without a hook still fires.
+	e.SetApplyHook(nil)
+	if _, err := e.AddEdge(8, 9); err != nil {
+		t.Fatal(err)
+	}
+	if len(tapped) != 3 || tapped[2].seq != 6 {
+		t.Fatalf("tap without hook: %+v", tapped)
+	}
+	// Detach: further applies are unobserved.
+	e.SetApplyTap(nil)
+	if _, err := e.AddEdge(9, 10); err != nil {
+		t.Fatal(err)
+	}
+	if len(tapped) != 3 {
+		t.Fatal("detached tap still invoked")
+	}
+}
+
+// TestReplayNotify: ReplayNotify skips the hook and tap like Replay, but
+// subscribers DO see the changes — the follower-side apply contract.
+func TestReplayNotify(t *testing.T) {
+	e := NewEngine()
+	hooked, tapped := 0, 0
+	e.SetApplyHook(func(AppliedBatch) error { hooked++; return nil })
+	e.SetApplyTap(func(AppliedBatch) { tapped++ })
+	events, cancel := e.Subscribe(WithBuffer(64))
+	defer cancel()
+
+	info, err := e.ReplayNotify(Batch{Add(0, 1), Add(1, 2), Add(0, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Applied != 3 || info.Seq != 3 {
+		t.Fatalf("info = %+v", info)
+	}
+	if hooked != 0 || tapped != 0 {
+		t.Fatalf("hook/tap invoked %d/%d times; ReplayNotify must skip both", hooked, tapped)
+	}
+	seen := 0
+	for len(events) > 0 {
+		ev := <-events
+		if ev.Seq == 0 || ev.Seq > 3 {
+			t.Fatalf("event with out-of-range seq: %+v", ev)
+		}
+		seen++
+	}
+	if seen == 0 {
+		t.Fatal("ReplayNotify delivered no subscriber events")
+	}
+	if e.Core(0) != 2 {
+		t.Fatalf("core(0) = %d, want 2", e.Core(0))
+	}
+}
+
+// TestReplayNotifyAcrossStrategies: subscriber delivery holds for the
+// rebuild strategy too (notifyDiff path).
+func TestReplayNotifyAcrossStrategies(t *testing.T) {
+	e := NewEngine(WithRebuildThreshold(4, 0.0))
+	events, cancel := e.Subscribe(WithBuffer(256))
+	defer cancel()
+	batch := make(Batch, 0, 40)
+	for i := 0; i < 40; i++ {
+		batch = append(batch, Add(i%7, 7+i))
+	}
+	info, err := e.ReplayNotify(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Recomputed {
+		t.Fatalf("expected the rebuild strategy, got %+v", info)
+	}
+	if len(events) == 0 {
+		t.Fatal("recomputed ReplayNotify delivered no events")
+	}
+}
+
 // TestHookSeesParallelAndRebuildBatches: the hook fires once per Apply for
 // every execution strategy with the right survivors.
 func TestHookSeesParallelAndRebuildBatches(t *testing.T) {

@@ -149,85 +149,35 @@ type walScan struct {
 }
 
 // scanWAL reads a WAL byte stream, invoking fn for every complete,
-// CRC-valid record in order. It enforces strictly increasing sequence
-// numbers. An incomplete structure at the end of the stream is reported as
-// a torn tail; every other malformation is an error wrapping ErrCorruptWAL.
-// A zero-length stream is a valid empty WAL.
+// CRC-valid record in order (the decoding itself lives in WALReader; this
+// wrapper adds the file-recovery bookkeeping). It enforces strictly
+// increasing sequence numbers. An incomplete structure at the end of the
+// stream is reported as a torn tail; every other malformation is an error
+// wrapping ErrCorruptWAL. A zero-length stream is a valid empty WAL.
 func scanWAL(r io.Reader, fn func(rec WALRecord) error) (walScan, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
+	wr := NewWALReader(bufio.NewReaderSize(r, 1<<16))
 	var res walScan
-
-	var header [walHeaderLen]byte
-	n, err := io.ReadFull(br, header[:])
-	switch {
-	case err == io.EOF:
-		return res, nil // empty file: valid, no records
-	case err == io.ErrUnexpectedEOF:
-		res.tornBytes = int64(n) // torn header: everything is tail
-		return res, nil
-	case err != nil:
-		return res, fmt.Errorf("persist: WAL read: %w", err)
-	}
-	if [8]byte(header[:8]) != walMagic {
-		return res, fmt.Errorf("%w: bad magic %q", ErrCorruptWAL, header[:8])
-	}
-	if v := binary.LittleEndian.Uint32(header[8:]); v != WALVersion {
-		return res, fmt.Errorf("%w: unsupported WAL version %d (want %d)", ErrCorruptWAL, v, WALVersion)
-	}
-	res.goodOffset = walHeaderLen
-
-	var frame [walFrameLen]byte
-	var payload []byte
 	for {
-		n, err := io.ReadFull(br, frame[:])
-		if err == io.EOF {
+		rec, err := wr.Next()
+		switch {
+		case err == io.EOF:
+			res.goodOffset = wr.Offset()
 			return res, nil
-		}
-		if err == io.ErrUnexpectedEOF {
-			res.tornBytes = int64(n)
+		case errors.Is(err, io.ErrUnexpectedEOF):
+			res.goodOffset, res.tornBytes = wr.Offset(), wr.Torn()
 			return res, nil
-		}
-		if err != nil {
-			return res, fmt.Errorf("persist: WAL read: %w", err)
-		}
-		length := binary.LittleEndian.Uint32(frame[:4])
-		sum := binary.LittleEndian.Uint32(frame[4:])
-		if length == 0 || length > maxWALPayload {
-			return res, fmt.Errorf("%w: implausible record length %d at offset %d",
-				ErrCorruptWAL, length, res.goodOffset)
-		}
-		if cap(payload) < int(length) {
-			payload = make([]byte, length)
-		}
-		payload = payload[:length]
-		n, err = io.ReadFull(br, payload)
-		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			res.tornBytes = walFrameLen + int64(n)
-			return res, nil
-		}
-		if err != nil {
-			return res, fmt.Errorf("persist: WAL read: %w", err)
-		}
-		if got := crc32.ChecksumIEEE(payload); got != sum {
-			// The record is fully present, so this is bit corruption, not a
-			// torn append (torn appends shorten the file).
-			return res, fmt.Errorf("%w: record checksum mismatch at offset %d (have %08x, recorded %08x)",
-				ErrCorruptWAL, res.goodOffset, got, sum)
-		}
-		rec, err := decodeWALPayload(payload)
-		if err != nil {
-			return res, fmt.Errorf("%w at offset %d", err, res.goodOffset)
-		}
-		if res.records > 0 && rec.Seq <= res.lastSeq {
-			return res, fmt.Errorf("%w: sequence regressed from %d to %d at offset %d",
-				ErrCorruptWAL, res.lastSeq, rec.Seq, res.goodOffset)
-		}
-		if err := fn(rec); err != nil {
+		case err != nil:
+			res.goodOffset = wr.Offset()
 			return res, err
 		}
-		res.goodOffset += walFrameLen + int64(length)
-		res.records++
-		res.lastSeq = rec.Seq
+		if err := fn(rec); err != nil {
+			// res still excludes rec: recovery must not count a record the
+			// callback refused (e.g. a chain break) as good.
+			return res, err
+		}
+		res.goodOffset = wr.Offset()
+		res.records = wr.Records()
+		res.lastSeq = wr.LastSeq()
 	}
 }
 

@@ -24,6 +24,9 @@ type Client struct {
 	hc   *http.Client
 }
 
+// BaseURL reports the normalized base URL the client talks to.
+func (c *Client) BaseURL() string { return c.base }
+
 // NewClient builds a client for the server at baseURL (e.g.
 // "http://127.0.0.1:8080"). hc may be nil to use http.DefaultClient.
 func NewClient(baseURL string, hc *http.Client) (*Client, error) {

@@ -52,6 +52,16 @@ func methodGuard(method string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// readOnlyError builds the stable 403 for mutations on a read-only server;
+// on a follower the message names the primary to send writes to.
+func (s *Server) readOnlyError() *wire.Error {
+	msg := "server is read-only"
+	if f := s.opts.Follower; f != nil {
+		msg = fmt.Sprintf("server is a replication follower; send writes to the primary at %s", f.Primary())
+	}
+	return &wire.Error{Code: wire.CodeReadOnly, Status: http.StatusForbidden, Message: msg}
+}
+
 // handleNotFound answers unknown paths with the JSON error envelope.
 func handleNotFound(w http.ResponseWriter, r *http.Request) {
 	writeError(w, &wire.Error{Code: wire.CodeNotFound, Status: http.StatusNotFound,
@@ -119,6 +129,10 @@ func toBatch(updates []wire.Update) (kcore.Batch, *wire.Error) {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if s.readOnly() {
+		writeError(w, s.readOnlyError())
+		return
+	}
 	if s.draining.Load() {
 		writeError(w, toWireError(errShuttingDown))
 		return
@@ -169,7 +183,7 @@ func (s *Server) handleCore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// CoreSeq, not View: the point query must not pay an O(n) snapshot.
-	core, seq := s.engine.CoreSeq(v)
+	core, seq := s.eng().CoreSeq(v)
 	writeJSON(w, http.StatusOK, wire.CoreResponse{Vertex: v, Core: core, Seq: seq})
 }
 
@@ -184,7 +198,7 @@ func (s *Server) handleKCore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("k must be a non-negative integer, got %q", kstr))
 		return
 	}
-	view := s.engine.View()
+	view := s.eng().View()
 	vs := view.KCore(k)
 	if vs == nil {
 		vs = []int{} // an empty core serializes as [], not null
@@ -195,14 +209,15 @@ func (s *Server) handleKCore(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	// Counts, not View: four scalars don't justify an O(n) snapshot —
 	// /v1/stats is the resync signal for lagged watchers, so it gets hit.
-	vertices, edges, degeneracy, seq := s.engine.Counts()
-	ex := s.engine.ExecStats()
+	eng := s.eng()
+	vertices, edges, degeneracy, seq := eng.Counts()
+	ex := eng.ExecStats()
 	resp := wire.StatsResponse{
 		Vertices:   vertices,
 		Edges:      edges,
 		Degeneracy: degeneracy,
 		Seq:        seq,
-		Algorithm:  s.engine.Algorithm().String(),
+		Algorithm:  eng.Algorithm().String(),
 		Watchers:   s.Watchers(),
 		Exec: wire.ExecStats{
 			Sequential: ex.Sequential,
@@ -229,10 +244,62 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			TornBytes:        ps.TornBytes,
 		}
 	}
+	if pub := s.opts.Publisher; pub != nil {
+		rs := pub.Stats()
+		pr := &wire.PrimaryReplication{
+			HeadSeq:        rs.HeadSeq,
+			HistoryBaseSeq: rs.HistoryBase,
+			HistoryBytes:   rs.HistoryBytes,
+			Followers:      []wire.FollowerConn{}, // [] over null for clients
+			Bootstraps:     rs.Bootstraps,
+			Resumes:        rs.Resumes,
+			WALResumes:     rs.WALResumes,
+			Drops:          rs.Drops,
+		}
+		for _, sub := range rs.Subscribers {
+			fc := wire.FollowerConn{
+				Remote:      sub.Remote,
+				FromSeq:     sub.FromSeq,
+				SentSeq:     sub.SentSeq,
+				QueuedBytes: sub.QueuedBytes,
+				ConnectedMS: sub.ConnectedMS,
+			}
+			if rs.HeadSeq > sub.SentSeq {
+				fc.SeqLag = rs.HeadSeq - sub.SentSeq
+			}
+			pr.Followers = append(pr.Followers, fc)
+		}
+		resp.Replication = &wire.ReplicationStats{Role: "primary", Primary: pr}
+	}
+	if f := s.opts.Follower; f != nil {
+		fs := f.Stats()
+		fr := &wire.FollowerReplication{
+			Primary:        fs.Primary,
+			Connected:      fs.Connected,
+			PrimarySeq:     fs.PrimarySeq,
+			AppliedSeq:     fs.AppliedSeq,
+			SeqLag:         fs.SeqLag,
+			FramesApplied:  fs.FramesApplied,
+			UpdatesApplied: fs.UpdatesApplied,
+			Bootstraps:     fs.Bootstraps,
+			Resumes:        fs.Resumes,
+			Reconnects:     fs.Reconnects,
+			Gaps:           fs.Gaps,
+			LastError:      fs.LastError,
+		}
+		if !fs.LastFrame.IsZero() {
+			fr.LastFrameUnixMS = fs.LastFrame.UnixMilli()
+		}
+		resp.Replication = &wire.ReplicationStats{Role: "follower", Follower: fr}
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.readOnly() {
+		writeError(w, s.readOnlyError())
+		return
+	}
 	if s.opts.Persist == nil {
 		writeError(w, &wire.Error{
 			Code: wire.CodeNoPersistence, Status: http.StatusConflict,
@@ -265,5 +332,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, wire.HealthResponse{Status: status, Seq: s.engine.Seq()})
+	writeJSON(w, http.StatusOK, wire.HealthResponse{Status: status, Seq: s.eng().Seq()})
 }

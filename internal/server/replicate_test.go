@@ -1,0 +1,191 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"kcore"
+	"kcore/internal/replicate"
+	"kcore/internal/server/wire"
+)
+
+// TestReadOnlyRejectsWrites pins the wire mapping of the -read-only mode:
+// both mutating endpoints answer 403 read_only while every read keeps
+// working against the engine's preloaded state.
+func TestReadOnlyRejectsWrites(t *testing.T) {
+	eng := kcore.NewEngine()
+	if _, err := eng.Apply(kcore.Batch{kcore.Add(0, 1), kcore.Add(1, 2), kcore.Add(0, 2)}); err != nil {
+		t.Fatalf("preload: %v", err)
+	}
+	_, c := newTestServer(t, eng, Options{ReadOnly: true})
+	ctx := context.Background()
+
+	if _, err := c.AddEdges(ctx, [][2]int{{3, 4}}); !isWireCode(err, wire.CodeReadOnly, http.StatusForbidden) {
+		t.Fatalf("batch on read-only server: err = %v, want %s (403)", err, wire.CodeReadOnly)
+	}
+	if _, err := c.Snapshot(ctx); !isWireCode(err, wire.CodeReadOnly, http.StatusForbidden) {
+		t.Fatalf("snapshot on read-only server: err = %v, want %s (403)", err, wire.CodeReadOnly)
+	}
+
+	core, err := c.Core(ctx, 1)
+	if err != nil || core.Core != 2 {
+		t.Fatalf("core(1) on read-only server = %+v, err %v; reads must keep working", core, err)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil || st.Edges != 3 {
+		t.Fatalf("stats on read-only server = %+v, err %v", st, err)
+	}
+	if st.Replication != nil {
+		t.Fatalf("read-only without replication must not report a replication section: %+v", st.Replication)
+	}
+}
+
+// TestReplicateWithoutPublisher pins the 409 on servers not running as a
+// replication primary.
+func TestReplicateWithoutPublisher(t *testing.T) {
+	_, c := newTestServer(t, kcore.NewEngine(), Options{})
+	resp, err := c.hc.Get(c.base + "/v1/replicate")
+	if err != nil {
+		t.Fatalf("GET /v1/replicate: %v", err)
+	}
+	defer resp.Body.Close()
+	var envelope wire.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Fatalf("decode error envelope: %v", err)
+	}
+	if resp.StatusCode != http.StatusConflict || envelope.Error == nil || envelope.Error.Code != wire.CodeNoReplication {
+		t.Fatalf("replicate without publisher = HTTP %d %+v, want 409 %s",
+			resp.StatusCode, envelope.Error, wire.CodeNoReplication)
+	}
+}
+
+// TestReplicateBadFrom pins the 400 on an unparsable resume point.
+func TestReplicateBadFrom(t *testing.T) {
+	eng := kcore.NewEngine()
+	pub := replicate.NewPublisher(eng, replicate.PublisherOptions{})
+	defer pub.Close()
+	_, c := newTestServer(t, eng, Options{Publisher: pub})
+	resp, err := c.hc.Get(c.base + "/v1/replicate?from=x")
+	if err != nil {
+		t.Fatalf("GET /v1/replicate?from=x: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("replicate with bad from = HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestPrimaryFollowerEndToEnd drives the whole subsystem through the HTTP
+// layer: a primary server with a publisher, a follower bootstrapped over
+// /v1/replicate and serving reads from its replicated engine. It asserts
+// convergence, the stats sections on both roles, and the follower's write
+// rejection naming the primary.
+func TestPrimaryFollowerEndToEnd(t *testing.T) {
+	ctx := context.Background()
+	eng := kcore.NewEngine()
+	pub := replicate.NewPublisher(eng, replicate.PublisherOptions{})
+	defer pub.Close()
+	_, pc := newTestServer(t, eng, Options{Publisher: pub})
+
+	// Writes before the follower exists: covered by the bootstrap snapshot.
+	if _, err := pc.AddEdges(ctx, [][2]int{{0, 1}, {1, 2}, {0, 2}}); err != nil {
+		t.Fatalf("primary ingest: %v", err)
+	}
+
+	fctx, fcancel := context.WithCancel(ctx)
+	defer fcancel()
+	fol, err := replicate.StartFollower(fctx, pc.base, replicate.FollowerOptions{
+		PollInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("StartFollower: %v", err)
+	}
+	defer fol.Close()
+	_, fc := newTestServer(t, fol.Engine(), Options{Follower: fol})
+
+	// Writes after: covered by the live stream.
+	if _, err := pc.AddEdges(ctx, [][2]int{{2, 3}, {3, 0}}); err != nil {
+		t.Fatalf("primary ingest: %v", err)
+	}
+
+	waitFollowerCaughtUp(t, fc, 5)
+
+	core, err := fc.Core(ctx, 3)
+	if err != nil || core.Core != 2 {
+		t.Fatalf("follower core(3) = %+v, err %v, want 2", core, err)
+	}
+
+	// Follower rejects writes, naming the primary.
+	_, err = fc.AddEdges(ctx, [][2]int{{7, 8}})
+	if !isWireCode(err, wire.CodeReadOnly, http.StatusForbidden) {
+		t.Fatalf("write on follower: err = %v, want %s (403)", err, wire.CodeReadOnly)
+	}
+	var we *wire.Error
+	if errors.As(err, &we) && !strings.Contains(we.Message, fol.Primary()) {
+		t.Fatalf("follower read_only message %q does not name primary %q", we.Message, fol.Primary())
+	}
+
+	// Stats sections on both roles.
+	fst, err := fc.Stats(ctx)
+	if err != nil {
+		t.Fatalf("follower stats: %v", err)
+	}
+	fr := fst.Replication
+	if fr == nil || fr.Role != "follower" || fr.Follower == nil || fr.Primary != nil {
+		t.Fatalf("follower replication stats = %+v, want follower role with follower section", fr)
+	}
+	if fr.Follower.Primary != fol.Primary() || !fr.Follower.Connected ||
+		fr.Follower.AppliedSeq != 5 || fr.Follower.SeqLag != 0 ||
+		fr.Follower.Bootstraps != 1 || fr.Follower.LastFrameUnixMS == 0 {
+		t.Fatalf("follower replication section = %+v", fr.Follower)
+	}
+
+	pst, err := pc.Stats(ctx)
+	if err != nil {
+		t.Fatalf("primary stats: %v", err)
+	}
+	pr := pst.Replication
+	if pr == nil || pr.Role != "primary" || pr.Primary == nil || pr.Follower != nil {
+		t.Fatalf("primary replication stats = %+v, want primary role with primary section", pr)
+	}
+	if pr.Primary.HeadSeq != 5 || pr.Primary.Bootstraps != 1 || len(pr.Primary.Followers) != 1 {
+		t.Fatalf("primary replication section = %+v", pr.Primary)
+	}
+	if f := pr.Primary.Followers[0]; f.SentSeq != 5 || f.SeqLag != 0 {
+		t.Fatalf("primary's follower conn = %+v, want sent_seq 5, seq_lag 0", f)
+	}
+}
+
+// waitFollowerCaughtUp polls the follower's /v1/stats until it reports the
+// target applied seq with zero lag.
+func waitFollowerCaughtUp(t *testing.T, fc *Client, seq uint64) {
+	t.Helper()
+	ctx := context.Background()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := fc.Stats(ctx)
+		if err == nil && st.Replication != nil && st.Replication.Follower != nil {
+			f := st.Replication.Follower
+			if f.AppliedSeq >= seq && f.SeqLag == 0 {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			st, _ := fc.Stats(ctx)
+			t.Fatalf("follower never caught up to seq %d: %+v", seq, st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// isWireCode reports whether err is a wire error with the given code and
+// HTTP status.
+func isWireCode(err error, code string, status int) bool {
+	var we *wire.Error
+	return errors.As(err, &we) && we.Code == code && we.Status == status
+}

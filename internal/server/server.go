@@ -25,6 +25,7 @@ import (
 
 	"kcore"
 	"kcore/internal/persist"
+	"kcore/internal/replicate"
 )
 
 // Options tunes the service limits. The zero value picks the defaults.
@@ -58,6 +59,22 @@ type Options struct {
 	// /v1/stats. The caller owns its lifecycle (kcore-serve opens it before
 	// New and closes it after Shutdown).
 	Persist *persist.Store
+	// ReadOnly rejects the mutating endpoints (POST /v1/batch, POST
+	// /v1/snapshot) with the stable wire code "read_only" (HTTP 403).
+	// Implied by Follower.
+	ReadOnly bool
+	// Publisher, when non-nil, makes the server a replication primary: it
+	// enables GET /v1/replicate and the primary replication section of
+	// /v1/stats. The caller owns its lifecycle (attach it to the engine
+	// before New, Close it after Shutdown).
+	Publisher *replicate.Publisher
+	// Follower, when non-nil, makes the server a replication follower: the
+	// read endpoints serve from Follower.Engine() (re-fetched per request —
+	// a re-bootstrap replaces the engine), writes are rejected as with
+	// ReadOnly naming the primary, and /v1/stats carries the follower
+	// replication section. The engine passed to New is only the follower's
+	// boot engine; the caller owns the follower's lifecycle.
+	Follower *replicate.Follower
 }
 
 func (o Options) withDefaults() Options {
@@ -122,9 +139,22 @@ func New(engine *kcore.Engine, opts Options) *Server {
 	s.mux.HandleFunc("/v1/watch", methodGuard(http.MethodGet, s.handleWatch))
 	s.mux.HandleFunc("/v1/healthz", methodGuard(http.MethodGet, s.handleHealthz))
 	s.mux.HandleFunc("/v1/snapshot", methodGuard(http.MethodPost, s.handleSnapshot))
+	s.mux.HandleFunc("/v1/replicate", methodGuard(http.MethodGet, s.handleReplicate))
 	s.mux.HandleFunc("/", handleNotFound)
 	return s
 }
+
+// eng is the engine handlers must read from: the follower's current one
+// (re-fetched per call — a re-bootstrap swaps it) or the server's own.
+func (s *Server) eng() *kcore.Engine {
+	if s.opts.Follower != nil {
+		return s.opts.Follower.Engine()
+	}
+	return s.engine
+}
+
+// readOnly reports whether mutations are rejected.
+func (s *Server) readOnly() bool { return s.opts.ReadOnly || s.opts.Follower != nil }
 
 // Handler returns the service's HTTP handler, for mounting on an existing
 // http.Server (tests use it with httptest). Callers that bypass Serve must

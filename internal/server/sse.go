@@ -44,8 +44,13 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		buffer = min(n, s.opts.MaxWatchBuffer)
 	}
 
+	// The engine is captured once: on a follower a re-bootstrap swaps the
+	// engine underneath the server, orphaning this subscription. The
+	// keepalive tick detects the swap and ends the stream so the client
+	// reconnects onto the new engine.
+	eng := s.eng()
 	var dropped atomic.Uint64
-	ch, cancel := s.engine.Subscribe(
+	ch, cancel := eng.Subscribe(
 		kcore.WithMinCore(minCore),
 		kcore.WithBuffer(buffer),
 		kcore.WithDropCounter(&dropped),
@@ -72,7 +77,7 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	// number is covered by the subscription (an event at the hello seq
 	// itself may additionally be delivered; see wire.HelloEvent).
 	if writeSSE(w, wire.EventHello, wire.HelloEvent{
-		Seq: s.engine.Seq(), MinCore: minCore, Buffer: buffer,
+		Seq: eng.Seq(), MinCore: minCore, Buffer: buffer,
 	}) != nil {
 		return
 	}
@@ -115,6 +120,11 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 			}
 			flusher.Flush()
 		case <-keepalive.C:
+			if s.eng() != eng {
+				// Follower re-bootstrap replaced the engine; this stream's
+				// subscription is on the dead one.
+				return
+			}
 			// Dropped events surface even when the stream has gone quiet
 			// (everything after the overflow was dropped, so no change
 			// event is coming to piggyback on).

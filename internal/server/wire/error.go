@@ -40,6 +40,13 @@ const (
 	// CodeNoPersistence: the snapshot endpoint requires the server to run
 	// with a data directory (HTTP 409).
 	CodeNoPersistence = "no_persistence"
+	// CodeReadOnly: the server does not accept writes — it is a replication
+	// follower or runs with -read-only. Send the mutation to the primary
+	// (the message names it on followers) (HTTP 403).
+	CodeReadOnly = "read_only"
+	// CodeNoReplication: the replication endpoint requires the server to
+	// run as a replicating primary (HTTP 409).
+	CodeNoReplication = "no_replication"
 )
 
 // Error is the structured error body every non-2xx response carries,

@@ -24,6 +24,28 @@
 //	                       compaction now (SnapshotResponse). Requires the
 //	                       server to run with persistence (-data-dir);
 //	                       otherwise it fails with code "no_persistence".
+//	GET  /v1/replicate   — replication stream for followers (binary, not
+//	                       JSON: a bootstrap section, optionally carrying a
+//	                       KCORSNAP snapshot, followed by a live KCOREWAL
+//	                       frame stream; see internal/replicate). The
+//	                       optional ?from=<seq> query asks to resume at that
+//	                       sequence number. Fails with "no_replication" when
+//	                       the server is not a replicating primary.
+//
+// # Replication and read-only mode
+//
+// kcore-serve started with -follow=<primary-url> replicates that primary:
+// it bootstraps from /v1/replicate, applies streamed frames to its local
+// engine, and serves the read endpoints (core, kcore, stats, watch) from
+// it. Replication is asynchronous — follower reads are eventually
+// consistent, read-your-primary-writes is NOT guaranteed — and the
+// staleness is observable: StatsResponse.Replication carries seq_lag on
+// followers and per-follower progress on the primary.
+//
+// Mutating endpoints (POST /v1/batch, POST /v1/snapshot) on a follower, or
+// on any server started with -read-only, fail with the stable code
+// "read_only" (HTTP 403); on followers the error message names the primary
+// to write to.
 //
 // # Durability
 //
@@ -214,6 +236,72 @@ type PersistStats struct {
 	TornBytes        int64  `json:"torn_bytes"`
 }
 
+// ReplicationStats is the replication section of StatsResponse: Role is
+// "primary" (serving /v1/replicate) or "follower" (replicating one), and
+// exactly one of Primary/Follower is set.
+type ReplicationStats struct {
+	Role     string               `json:"role"`
+	Primary  *PrimaryReplication  `json:"primary,omitempty"`
+	Follower *FollowerReplication `json:"follower,omitempty"`
+}
+
+// PrimaryReplication is the primary's view of its followers.
+type PrimaryReplication struct {
+	// HeadSeq is the last published sequence number; HistoryBaseSeq is the
+	// earliest one still resumable from the in-memory frame history
+	// (HistoryBytes big).
+	HeadSeq        uint64 `json:"head_seq"`
+	HistoryBaseSeq uint64 `json:"history_base_seq"`
+	HistoryBytes   int64  `json:"history_bytes"`
+	// Followers lists the connected replication subscribers.
+	Followers []FollowerConn `json:"followers"`
+	// Bootstraps/Resumes/WALResumes count served connection kinds; Drops
+	// counts subscribers disconnected for backpressure (they reconnect).
+	Bootstraps uint64 `json:"bootstraps"`
+	Resumes    uint64 `json:"resumes"`
+	WALResumes uint64 `json:"wal_resumes"`
+	Drops      uint64 `json:"drops"`
+}
+
+// FollowerConn is one connected follower as the primary sees it.
+type FollowerConn struct {
+	Remote string `json:"remote"`
+	// FromSeq is the seq the follower asked to resume from (0 on a fresh
+	// bootstrap); SentSeq is the last seq handed to its transport — the
+	// closest one-way streaming gets to an acked seq; SeqLag is HeadSeq
+	// minus SentSeq.
+	FromSeq     uint64 `json:"from_seq"`
+	SentSeq     uint64 `json:"sent_seq"`
+	SeqLag      uint64 `json:"seq_lag"`
+	QueuedBytes int64  `json:"queued_bytes"`
+	ConnectedMS int64  `json:"connected_ms"`
+}
+
+// FollowerReplication is a follower's replication health.
+type FollowerReplication struct {
+	// Primary is the replicated primary's base URL.
+	Primary   string `json:"primary"`
+	Connected bool   `json:"connected"`
+	// SeqLag is how far this follower's engine trails the primary's last
+	// known seq (stream frames + a periodic healthz poll); PrimarySeq and
+	// AppliedSeq are its terms.
+	PrimarySeq uint64 `json:"primary_seq"`
+	AppliedSeq uint64 `json:"applied_seq"`
+	SeqLag     uint64 `json:"seq_lag"`
+	// LastFrameUnixMS is when the last frame applied (0 before any).
+	LastFrameUnixMS int64  `json:"last_frame_unix_ms"`
+	FramesApplied   uint64 `json:"frames_applied"`
+	UpdatesApplied  uint64 `json:"updates_applied"`
+	// Bootstraps counts snapshot bootstraps (1 is the boot one; more mean
+	// re-bootstraps after gaps), Resumes seamless reconnects, Gaps chain
+	// breaks that forced a re-bootstrap.
+	Bootstraps uint64 `json:"bootstraps"`
+	Resumes    uint64 `json:"resumes"`
+	Reconnects uint64 `json:"reconnects"`
+	Gaps       uint64 `json:"gaps"`
+	LastError  string `json:"last_error,omitempty"`
+}
+
 // SnapshotResponse is the body of POST /v1/snapshot.
 type SnapshotResponse struct {
 	// Seq is the engine sequence number the snapshot captured.
@@ -241,6 +329,9 @@ type StatsResponse struct {
 	// Persist carries the durability counters; nil when the server runs
 	// without persistence.
 	Persist *PersistStats `json:"persist,omitempty"`
+	// Replication carries replication health; nil when the server neither
+	// publishes to followers nor follows a primary.
+	Replication *ReplicationStats `json:"replication,omitempty"`
 }
 
 // HealthResponse is the body of GET /v1/healthz.

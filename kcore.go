@@ -285,13 +285,18 @@ type Engine struct {
 	nextSubID uint64
 	subCount  atomic.Int32
 
-	// Durability tap (guarded by mu; see hook.go): hook observes every
-	// applied batch, hookBuf is its reused surviving-update buffer, and
-	// replaying suppresses both the hook and subscriber notification while
-	// Replay restores pre-crash state.
+	// Apply observers (guarded by mu; see hook.go): hook observes every
+	// applied batch for durability, tap observes it error-free for
+	// replication, hookBuf is their reused surviving-update buffer.
+	// replaying suppresses the hook and tap (Replay and ReplayNotify both
+	// re-apply state that originated elsewhere); silent additionally
+	// suppresses subscriber notification (Replay restores pre-crash state
+	// that is not news, ReplayNotify leaves events on).
 	hook      ApplyHook
+	tap       ApplyTap
 	hookBuf   []Update
 	replaying bool
+	silent    bool
 }
 
 // NewEngine returns an empty engine. Vertices are dense non-negative

@@ -110,8 +110,8 @@ func (e *Engine) Subscribe(opts ...SubscribeOption) (<-chan CoreChange, func()) 
 func (e *Engine) notify(op Op, changed []int) {
 	// Recovery is silent: Replay restores state the engine had already
 	// reached, so subscribers see only post-recovery changes (see
-	// Engine.Replay).
-	if e.replaying || len(changed) == 0 || e.subCount.Load() == 0 {
+	// Engine.Replay; ReplayNotify keeps events on).
+	if e.silent || len(changed) == 0 || e.subCount.Load() == 0 {
 		return
 	}
 	delta := 1
@@ -132,7 +132,7 @@ func (e *Engine) notify(op Op, changed []int) {
 // holds the engine write lock; changed lists the vertices whose core
 // numbers differ from oldCores (implicitly 0 beyond its length).
 func (e *Engine) notifyDiff(changed []int, oldCores []int) {
-	if e.replaying || len(changed) == 0 || e.subCount.Load() == 0 {
+	if e.silent || len(changed) == 0 || e.subCount.Load() == 0 {
 		return
 	}
 	e.subMu.Lock()
