@@ -1,6 +1,11 @@
 package kcore
 
-import "fmt"
+import (
+	"fmt"
+	"runtime/debug"
+
+	"kcore/internal/traversal"
+)
 
 // Batched updates: Apply takes the engine's write lock once, pre-validates
 // the whole batch against the current graph (tracking intra-batch effects),
@@ -137,11 +142,61 @@ func (e *Engine) applyLocked(batch Batch) (BatchInfo, error) {
 	if err != nil {
 		return BatchInfo{Seq: e.seq}, err
 	}
-	info, err := e.executeBatch(batch, skip, coalesced)
+	info, err := e.executeGuarded(batch, skip, coalesced)
 	if err == nil && info.Applied > 0 && !e.replaying && (e.hook != nil || e.tap != nil) {
 		err = e.runApplyHook(batch, skip, &info)
 	}
 	return info, err
+}
+
+// executeGuarded runs the apply probe (the engine surface of the fault
+// plane, see SetApplyProbe) and then executes the batch with panic
+// containment: a panic anywhere in execution — the probe, the maintainer,
+// the parallel runtime — is recovered, the maintained cores and k-order
+// are recomputed wholesale from the graph (the one repair that needs no
+// assumptions about how far the batch got), and the batch is rejected
+// with a *PanicError. Callers hold the write lock.
+func (e *Engine) executeGuarded(batch Batch, skip []bool, coalesced int) (info BatchInfo, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			info, err = e.containPanic(r)
+		}
+	}()
+	if e.probe != nil {
+		e.probe(len(batch) - coalesced)
+	}
+	return e.executeBatch(batch, skip, coalesced)
+}
+
+// containPanic repairs the engine after a batch execution panic. The
+// graph structures are mutated update-by-update, so after an arbitrary
+// panic they reflect some applied prefix of the batch; the maintained
+// cores/k-order, however, may be mid-flight. Reseeding recomputes them
+// from the graph as it stands, and subscribers receive diff events for
+// any repair-visible core changes (panics injected via the apply probe
+// fire pre-mutation, so their diff is empty). If the repair itself
+// panics, the engine is beyond recovery and the panic propagates.
+func (e *Engine) containPanic(r any) (BatchInfo, error) {
+	oldCores := e.m.Cores()
+	switch impl := e.m.(type) {
+	case orderImpl:
+		impl.m.Reseed()
+	case travImpl:
+		e.m = travImpl{traversal.New(e.g, e.cfg.hops)}
+	}
+	var changed []int
+	for v := 0; v < e.g.NumVertices(); v++ {
+		old := 0
+		if v < len(oldCores) {
+			old = oldCores[v]
+		}
+		if e.m.Core(v) != old {
+			changed = append(changed, v)
+		}
+	}
+	e.notifyDiff(changed, oldCores)
+	e.exec.Panics++
+	return BatchInfo{Seq: e.seq}, &PanicError{Value: r, Stack: debug.Stack()}
 }
 
 // executeBatch routes a validated batch to an execution strategy.

@@ -31,7 +31,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment name: all|batchapi|parallel|serve|persist|replicate|"+strings.Join(bench.ExperimentNames, "|"))
+		experiment = flag.String("experiment", "all", "experiment name: all|batchapi|parallel|serve|persist|replicate|chaos|"+strings.Join(bench.ExperimentNames, "|"))
 		edges      = flag.Int("edges", 10000, "workload edges per dataset (paper: 100000)")
 		groups     = flag.Int("groups", 10, "stability-test groups (paper: 100)")
 		hops       = flag.String("hops", "2,3,4,5,6", "traversal hop variants")
@@ -106,6 +106,11 @@ func main() {
 		report.Results = append(report.Results, replicateExperiment(cfg)...)
 		writeReport(report, *jsonPath)
 		return
+	case "chaos":
+		fmt.Println("=== chaos ===")
+		report.Results = append(report.Results, chaosExperiment(cfg)...)
+		writeReport(report, *jsonPath)
+		return
 	case "hotpath":
 		fmt.Println("=== hotpath ===")
 		report.Results = append(report.Results, bench.Hotpath(cfg)...)
@@ -117,7 +122,7 @@ func main() {
 	names := bench.ExperimentNames
 	if *experiment != "all" {
 		if _, ok := bench.Experiments[*experiment]; !ok {
-			fatal(fmt.Errorf("unknown experiment %q (valid: all, batchapi, parallel, serve, persist, replicate, %s)",
+			fatal(fmt.Errorf("unknown experiment %q (valid: all, batchapi, parallel, serve, persist, replicate, chaos, %s)",
 				*experiment, strings.Join(bench.ExperimentNames, ", ")))
 		}
 		names = []string{*experiment}

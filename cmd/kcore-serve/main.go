@@ -43,6 +43,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -50,6 +51,7 @@ import (
 	"time"
 
 	"kcore"
+	"kcore/internal/fault"
 	"kcore/internal/persist"
 	"kcore/internal/replicate"
 	"kcore/internal/server"
@@ -90,9 +92,23 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 		followPoll   = fs.Duration("follow-poll", time.Second, "staleness poll period against the primary in follower mode")
 		readOnly     = fs.Bool("read-only", false, "reject writes with the stable read_only error; reads keep working")
 		replHistory  = fs.Int("replicate-history", 4<<20, "in-memory replication frame history bytes for follower resume (negative disables the replication endpoint)")
+		chaosSpec    = fs.String("chaos", "", "FAULT INJECTION (testing only): internal/fault rule spec, e.g. \"seed=42;wal.write:p=0.01;conn.read:p=0.005,drop;apply:panic,count=2\"")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// The chaos plane is built empty here (so the store can carry it
+	// through recovery un-faulted) and armed with the spec's rules only
+	// once the engine is ready — faults target live traffic, not boot.
+	var plane *fault.Plane
+	var chaosRules []fault.Rule
+	if *chaosSpec != "" {
+		seed, rules, err := fault.ParseRules(*chaosSpec)
+		if err != nil {
+			return fmt.Errorf("-chaos: %w", err)
+		}
+		plane = fault.New(seed)
+		chaosRules = rules
 	}
 	if *follow != "" {
 		// A follower's state IS the primary's stream; local durability or
@@ -120,10 +136,17 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 		// StartFollower blocks (retrying) until the bootstrap succeeds, so
 		// the listener only accepts once the engine holds real state —
 		// mirroring the -data-dir recovery-before-accept behavior.
-		f, err := replicate.StartFollower(ctx, *follow, replicate.FollowerOptions{
+		fopts := replicate.FollowerOptions{
 			Engine:       opts,
 			PollInterval: *followPoll,
-		})
+		}
+		if plane != nil {
+			// Chaos in follower mode faults the replication stream's dialer.
+			fopts.Client = &http.Client{Transport: &http.Transport{
+				DialContext: fault.Dialer(plane, nil),
+			}}
+		}
+		f, err := replicate.StartFollower(ctx, *follow, fopts)
 		if err != nil {
 			return fmt.Errorf("follow %s: %w", *follow, err)
 		}
@@ -142,6 +165,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 			CompactBytes: *compactEvery,
 			Engine:       opts,
 			Init:         func() (*kcore.Engine, error) { return buildEngine(*load, opts) },
+			Fault:        plane,
 		})
 		if err != nil {
 			return fmt.Errorf("recover %s: %w", *dataDir, err)
@@ -164,6 +188,13 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 	view := engine.View()
 	fmt.Fprintf(out, "engine ready: %d vertices, %d edges, degeneracy %d\n",
 		view.NumVertices(), view.NumEdges(), view.Degeneracy())
+	if plane != nil {
+		for _, r := range chaosRules {
+			plane.Add(r)
+		}
+		engine.SetApplyProbe(plane.ApplyProbe())
+		fmt.Fprintf(out, "CHAOS MODE: fault plane armed (%s)\n", plane)
+	}
 
 	// Every non-follower is a replication primary unless disabled: the
 	// publisher taps the engine's apply path and serves GET /v1/replicate.
@@ -185,6 +216,9 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fmt.Errorf("listen on %s: %w", *addr, err)
+	}
+	if plane != nil {
+		l = fault.WrapListener(plane, l)
 	}
 	srv := server.New(engine, server.Options{
 		MaxBatch:    *maxBatch,

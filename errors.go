@@ -73,3 +73,27 @@ func (e *HookError) Error() string { return "kcore: apply hook: " + e.Err.Error(
 
 // Unwrap exposes the hook's error to errors.Is / errors.As.
 func (e *HookError) Unwrap() error { return e.Err }
+
+// PanicError reports that a batch was quarantined: its execution panicked,
+// the engine recovered, and the maintained cores and k-order were
+// recomputed wholesale from the graph (see ExecStats.Panics). The engine
+// stays usable; the batch is rejected.
+//
+// A quarantined batch may have applied a prefix of its updates before the
+// panic (Seq tells how far the sequence advanced). Those updates were NOT
+// handed to the apply hook or tap, so a persistence layer will refuse the
+// next append as a sequence gap until it heals by snapshot, and a
+// replication follower crossing the gap re-bootstraps — both by design:
+// the durability and replication planes never paper over a hole. Panics
+// injected through the fault plane's apply probe fire before any mutation,
+// so they quarantine cleanly with no prefix.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("kcore: batch quarantined after panic: %v", e.Value)
+}

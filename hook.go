@@ -67,6 +67,23 @@ func (e *Engine) SetApplyTap(fn ApplyTap) {
 	e.tap = fn
 }
 
+// SetApplyProbe registers fn to be called at the start of every batch
+// execution — after validation, before any mutation — with the number of
+// surviving updates (nil unregisters). It is the engine surface of the
+// fault-injection plane (internal/fault): the probe may sleep to model a
+// slow apply, or panic to exercise the engine's panic containment. A probe
+// panic is caught by the same quarantine machinery as a real execution
+// panic (see PanicError), but because it fires before any mutation the
+// batch is rejected with the engine state untouched.
+//
+// The probe runs under the engine write lock (its latency is added to every
+// mutation) and also fires during Replay/ReplayNotify.
+func (e *Engine) SetApplyProbe(fn func(updates int)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.probe = fn
+}
+
 // Replay applies a batch exactly like Apply — same validation, same
 // execution strategies, same BatchInfo — but silently: subscribers receive
 // no CoreChange events and the apply hook is not invoked. It exists for

@@ -1,0 +1,793 @@
+// Package chaos is a deterministic fault-injection soak harness for the
+// full serving stack: it stands up a primary kcore-serve (engine +
+// persistence + publisher + HTTP server on a real listener) with two
+// replicating followers, runs concurrent writers against it, and drives a
+// seeded schedule of fault episodes through the internal/fault plane —
+// disk write blips and outages, WAL seals, injected apply panics, apply
+// delays, follower connection drops, slow SSE consumers, and follower
+// kills with re-bootstrap.
+//
+// Throughout the run a health prober polls GET /v1/healthz and asserts it
+// ALWAYS answers (liveness is never lost, only write availability), and
+// measures degraded→healthy recovery times. Each writer keeps a local
+// model of its (vertex-disjoint) edge set, committing the model exactly
+// when the server acknowledged application — including "applied but not
+// durable" persistence_failed responses — and rolling back on overloaded /
+// degraded / shutting-down / internal rejections. Because writers own
+// disjoint vertex ranges, the union of their final models IS the final
+// graph, so Run can prove end-to-end correctness three ways:
+//
+//   - the primary's core numbers equal a fresh fault-free engine fed the
+//     union edge set (classification exactness: one mis-classified write
+//     diverges the models and the cores differ);
+//   - both followers converge to the primary's seq with identical cores
+//     (no frame lost or reordered across drops, kills and re-bootstraps);
+//   - reopening the primary's data directory recovers the identical state
+//     at the identical seq (the WAL/snapshot chain is gap-free).
+//
+// Everything is seeded: Config.Seed fixes the fault plane, the episode
+// schedule, and every writer's workload, so a failing run is replayed by
+// rerunning its seed.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"kcore"
+	"kcore/internal/fault"
+	"kcore/internal/persist"
+	"kcore/internal/replicate"
+	"kcore/internal/server"
+	"kcore/internal/server/wire"
+)
+
+// Config tunes one chaos run. The zero value of every field picks a
+// default; Seed 0 is a valid (and fixed) seed.
+type Config struct {
+	// Seed fixes the fault plane, episode schedule and writer workloads.
+	Seed uint64
+	// Episodes is the number of fault episodes to run. The first len(kinds)
+	// episodes cover every episode kind once (in seeded order), the rest
+	// are drawn at random. Default 12.
+	Episodes int
+	// EpisodeDur is how long each episode's faults stay armed before the
+	// quiesce. Default 250ms.
+	EpisodeDur time.Duration
+	// Writers is the number of concurrent writer goroutines. Each owns a
+	// disjoint vertex range. Default 4.
+	Writers int
+	// VertexSpan is the width of each writer's vertex range. Default 24.
+	VertexSpan int
+	// BatchSize caps the updates per writer batch (each batch draws
+	// 1..BatchSize). Default 8.
+	BatchSize int
+	// Followers is the replicating follower count. Default 2.
+	Followers int
+	// Dir is the primary's data directory. Empty creates (and removes) a
+	// temp dir.
+	Dir string
+	// Logf, when non-nil, receives progress lines (episode starts, quiesce
+	// results). Nil is silent.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Episodes <= 0 {
+		c.Episodes = 12
+	}
+	if c.EpisodeDur <= 0 {
+		c.EpisodeDur = 250 * time.Millisecond
+	}
+	if c.Writers <= 0 {
+		c.Writers = 4
+	}
+	if c.VertexSpan <= 0 {
+		c.VertexSpan = 24
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 8
+	}
+	if c.Followers <= 0 {
+		c.Followers = 2
+	}
+	return c
+}
+
+// Report is the outcome of one chaos run. A non-nil Report is returned
+// even alongside an error, so callers can see how far the run got.
+type Report struct {
+	Seed     uint64 `json:"seed"`
+	Episodes int    `json:"episodes"`
+
+	// Writer outcomes. Applied includes PersistFailed (the batch took
+	// effect; only durability lagged).
+	Writes             int     `json:"writes"`
+	Applied            int     `json:"applied"`
+	PersistFailed      int     `json:"persist_failed"`
+	RejectedDegraded   int     `json:"rejected_degraded"`
+	RejectedOverloaded int     `json:"rejected_overloaded"`
+	RejectedInternal   int     `json:"rejected_internal"`
+	WriteAvailability  float64 `json:"write_availability"`
+
+	// Liveness: healthz must answer every probe, fault or no fault.
+	HealthzProbes   int `json:"healthz_probes"`
+	HealthzFailures int `json:"healthz_failures"`
+
+	// Degraded-mode accounting, observed through /v1/healthz transitions.
+	Degradations     int       `json:"degradations"`
+	Recoveries       int       `json:"recoveries"`
+	RecoveryMS       []float64 `json:"recovery_ms"`
+	MedianRecoveryMS float64   `json:"median_recovery_ms"`
+
+	// EnginePanics is the primary engine's quarantined-batch count
+	// (injected apply panics contained by the engine).
+	EnginePanics  uint64 `json:"engine_panics"`
+	FollowerKills int    `json:"follower_kills"`
+
+	FinalSeq   uint64  `json:"final_seq"`
+	FinalEdges int     `json:"final_edges"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+}
+
+// episode kinds, in coverage order before the schedule goes random.
+var kinds = []string{
+	"disk-blip", "disk-outage", "wal-seal", "apply-panic",
+	"apply-delay", "conn-drop", "slow-sse", "follower-kill",
+}
+
+// writer drives one vertex-disjoint workload and records what the server
+// acknowledged.
+type writer struct {
+	id     int
+	lo, hi int // vertex range [lo, hi)
+	batch  int
+	rng    *rand.Rand
+	client *server.Client
+	model  map[[2]int]bool
+	// stop asks the writer to exit at the next batch boundary. In-flight
+	// requests always run to completion: cancelling one mid-flight would
+	// leave its outcome unknown (the server may have applied it), and an
+	// unknown outcome breaks the differential model.
+	stop chan struct{}
+
+	writes, applied, persistFailed          int
+	rejDegraded, rejOverloaded, rejInternal int
+	fatal                                   error
+}
+
+func edgeKey(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+func (w *writer) run(ctx context.Context) {
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-ctx.Done():
+			return
+		default:
+		}
+		updates, staged := w.propose()
+		if len(updates) == 0 {
+			continue
+		}
+		w.writes++
+		_, err := w.client.Batch(ctx, updates)
+		switch classify(err) {
+		case outcomeApplied:
+			w.applied++
+			w.model = staged
+		case outcomePersistFailed:
+			w.applied++
+			w.persistFailed++
+			w.model = staged
+		case outcomeDegraded:
+			w.rejDegraded++
+		case outcomeOverloaded:
+			w.rejOverloaded++
+		case outcomeInternal:
+			w.rejInternal++
+		case outcomeCtxDone:
+			return
+		default:
+			w.fatal = fmt.Errorf("writer %d: unclassifiable batch outcome: %w", w.id, err)
+			return
+		}
+		// A short seeded pause keeps the coalescer mixing requests from
+		// different writers without saturating MaxPending.
+		select {
+		case <-w.stop:
+			return
+		case <-ctx.Done():
+			return
+		case <-time.After(time.Duration(w.rng.IntN(400)) * time.Microsecond):
+		}
+	}
+}
+
+// propose builds the next batch against a staged copy of the model, so a
+// rejected batch rolls back by discarding the copy.
+func (w *writer) propose() ([]wire.Update, map[[2]int]bool) {
+	staged := make(map[[2]int]bool, len(w.model)+w.rng.IntN(8))
+	for k := range w.model {
+		staged[k] = true
+	}
+	n := 1 + w.rng.IntN(w.batch)
+	updates := make([]wire.Update, 0, n)
+	for i := 0; i < n; i++ {
+		u := w.lo + w.rng.IntN(w.hi-w.lo)
+		v := w.lo + w.rng.IntN(w.hi-w.lo)
+		if u == v {
+			continue
+		}
+		k := edgeKey(u, v)
+		if staged[k] {
+			delete(staged, k)
+			updates = append(updates, wire.Update{Op: wire.OpRemove, U: u, V: v})
+		} else {
+			staged[k] = true
+			updates = append(updates, wire.Update{Op: wire.OpAdd, U: u, V: v})
+		}
+	}
+	return updates, staged
+}
+
+type outcome int
+
+const (
+	outcomeApplied outcome = iota
+	outcomePersistFailed
+	outcomeDegraded
+	outcomeOverloaded
+	outcomeInternal
+	outcomeCtxDone
+	outcomeUnknown
+)
+
+// classify maps a Batch error to whether the batch took effect. The
+// differential core check downstream proves these rules exact: a single
+// wrong classification diverges the writer model from the engine and the
+// final cores disagree.
+func classify(err error) outcome {
+	if err == nil {
+		return outcomeApplied
+	}
+	var we *wire.Error
+	if errors.As(err, &we) {
+		switch we.Code {
+		case wire.CodePersistenceFailed:
+			// Applied; only durability failed (deferred frame heals later).
+			return outcomePersistFailed
+		case wire.CodeDegraded:
+			return outcomeDegraded
+		case wire.CodeOverloaded:
+			return outcomeOverloaded
+		case wire.CodeInternal:
+			// Panic containment: the probe fires before any mutation, so a
+			// quarantined batch is a clean rejection.
+			return outcomeInternal
+		case wire.CodeShuttingDown:
+			return outcomeCtxDone
+		}
+		return outcomeUnknown
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return outcomeCtxDone
+	}
+	return outcomeUnknown
+}
+
+// prober polls healthz and tracks liveness plus degraded→ok transitions.
+type prober struct {
+	client *server.Client
+
+	mu         sync.Mutex
+	probes     int
+	failures   int
+	inDegraded bool
+	degradedAt time.Time
+	recoveries []time.Duration
+	degrades   int
+}
+
+// snapshot copies the prober's counters into the report.
+func (p *prober) snapshot(rep *Report) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rep.HealthzProbes = p.probes
+	rep.HealthzFailures = p.failures
+	rep.Degradations = p.degrades
+	rep.Recoveries = len(p.recoveries)
+	rep.RecoveryMS = rep.RecoveryMS[:0]
+	for _, d := range p.recoveries {
+		rep.RecoveryMS = append(rep.RecoveryMS, float64(d.Microseconds())/1000)
+	}
+}
+
+func (p *prober) run(ctx context.Context) {
+	t := time.NewTicker(10 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		hctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		h, err := p.client.Health(hctx)
+		cancel()
+		if ctx.Err() != nil {
+			return
+		}
+		p.mu.Lock()
+		p.probes++
+		if err != nil {
+			p.failures++
+		} else {
+			switch {
+			case h.Status == "degraded" && !p.inDegraded:
+				p.inDegraded = true
+				p.degradedAt = time.Now()
+				p.degrades++
+			case h.Status == "ok" && p.inDegraded:
+				p.inDegraded = false
+				p.recoveries = append(p.recoveries, time.Since(p.degradedAt))
+			}
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Run executes one seeded chaos soak and returns its report. err is
+// non-nil when any invariant failed (healthz missed a probe, cores
+// diverged, followers failed to converge, recovery state mismatched).
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rep := &Report{Seed: cfg.Seed, Episodes: cfg.Episodes}
+	start := time.Now()
+
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "kcore-chaos-*")
+		if err != nil {
+			return rep, err
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	// Primary: faulted store + engine apply probe + publisher + server on a
+	// real listener. The listener itself stays un-faulted so every writer
+	// POST has an unambiguous outcome (connection faults are exercised on
+	// the follower dialers and the raw slow-SSE connection instead).
+	pl := fault.New(cfg.Seed)
+	st, err := persist.Open(dir, persist.Options{
+		Sync:         persist.SyncOff,
+		Fault:        pl,
+		RetryBackoff: 200 * time.Microsecond,
+	})
+	if err != nil {
+		return rep, fmt.Errorf("open primary store: %w", err)
+	}
+	defer st.Close()
+	eng := st.Engine()
+	eng.SetApplyProbe(pl.ApplyProbe())
+
+	pub := replicate.NewPublisher(eng, replicate.PublisherOptions{
+		WALPath: filepath.Join(dir, persist.WALFile),
+	})
+	defer pub.Close()
+
+	srv := server.New(eng, server.Options{
+		Persist:      st,
+		Publisher:    pub,
+		WriteTimeout: 2 * time.Second,
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return rep, err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+	defer srv.Close()
+	base := "http://" + l.Addr().String()
+
+	// Followers, each dialing through its own fault plane so connection
+	// faults hit exactly one replication stream.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	type follower struct {
+		fol   *replicate.Follower
+		plane *fault.Plane
+	}
+	startFollower := func(seed uint64) (follower, error) {
+		fpl := fault.New(seed)
+		bctx, bcancel := context.WithTimeout(ctx, 10*time.Second)
+		defer bcancel()
+		fol, err := replicate.StartFollower(bctx, base, replicate.FollowerOptions{
+			Client: &http.Client{Transport: &http.Transport{
+				DialContext: fault.Dialer(fpl, nil),
+			}},
+			ReconnectMin: 20 * time.Millisecond,
+			ReconnectMax: 250 * time.Millisecond,
+			PollInterval: 50 * time.Millisecond,
+		})
+		return follower{fol: fol, plane: fpl}, err
+	}
+	fols := make([]follower, cfg.Followers)
+	for i := range fols {
+		if fols[i], err = startFollower(cfg.Seed + uint64(i) + 1); err != nil {
+			return rep, fmt.Errorf("start follower %d: %w", i, err)
+		}
+	}
+	defer func() {
+		for _, f := range fols {
+			if f.fol != nil {
+				f.fol.Close()
+			}
+		}
+	}()
+
+	// Health prober: liveness + recovery timing.
+	probeClient, err := server.NewClient(base, &http.Client{Timeout: 2 * time.Second})
+	if err != nil {
+		return rep, err
+	}
+	probeClient.Retry = nil
+	pr := &prober{client: probeClient}
+	var probeWG sync.WaitGroup
+	probeWG.Add(1)
+	go func() { defer probeWG.Done(); pr.run(ctx) }()
+
+	// Writers: disjoint vertex ranges, raw (non-retrying) clients so every
+	// outcome is classified exactly once.
+	writers := make([]*writer, cfg.Writers)
+	stopWriters := make(chan struct{})
+	var writerWG sync.WaitGroup
+	for i := range writers {
+		wc, err := server.NewClient(base, &http.Client{Timeout: 10 * time.Second})
+		if err != nil {
+			return rep, err
+		}
+		wc.Retry = nil
+		writers[i] = &writer{
+			id:     i,
+			lo:     i * cfg.VertexSpan,
+			hi:     (i + 1) * cfg.VertexSpan,
+			batch:  cfg.BatchSize,
+			rng:    rand.New(rand.NewPCG(cfg.Seed, uint64(i)+0x57)),
+			client: wc,
+			model:  make(map[[2]int]bool),
+			stop:   stopWriters,
+		}
+		writerWG.Add(1)
+		go func(w *writer) { defer writerWG.Done(); w.run(ctx) }(writers[i])
+	}
+
+	// waitHealthy blocks until healthz reports ok (the recovery probe has
+	// healed the store) or the deadline passes.
+	waitHealthy := func(deadline time.Duration) error {
+		t0 := time.Now()
+		for time.Since(t0) < deadline {
+			hctx, hcancel := context.WithTimeout(ctx, time.Second)
+			h, err := probeClient.Health(hctx)
+			hcancel()
+			if err == nil && h.Status == "ok" {
+				return nil
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		return fmt.Errorf("server did not return to healthy within %v", deadline)
+	}
+
+	// Seeded episode schedule: every kind once (seeded order), then random.
+	erng := rand.New(rand.NewPCG(cfg.Seed, 0xC4A05))
+	schedule := make([]string, 0, cfg.Episodes)
+	perm := erng.Perm(len(kinds))
+	for _, i := range perm {
+		schedule = append(schedule, kinds[i])
+	}
+	for len(schedule) < cfg.Episodes {
+		schedule = append(schedule, kinds[erng.IntN(len(kinds))])
+	}
+	schedule = schedule[:cfg.Episodes]
+
+	errBlip := errors.New("chaos: injected disk blip")
+	errOutage := errors.New("chaos: injected disk outage")
+
+	runErr := func() error {
+		for ep, kind := range schedule {
+			logf("episode %d/%d: %s", ep+1, cfg.Episodes, kind)
+			switch kind {
+			case "disk-blip":
+				// One-shot write failure; the store's in-line retry should
+				// absorb it without any caller seeing an error.
+				pl.Fail(fault.WALWrite, 1, errBlip)
+				time.Sleep(cfg.EpisodeDur)
+
+			case "disk-outage":
+				// Every WAL write fails until cleared: writers see
+				// persistence_failed, the health monitor degrades to
+				// read-only, the recovery probe heals after the clear.
+				pl.Add(fault.Rule{Op: fault.WALWrite, Kind: fault.KindError, Err: errOutage})
+				time.Sleep(cfg.EpisodeDur)
+				pl.ClearOp(fault.WALWrite)
+				if err := waitHealthy(30 * time.Second); err != nil {
+					return fmt.Errorf("episode %d (%s): %w", ep+1, kind, err)
+				}
+
+			case "wal-seal":
+				// A failed append whose rollback truncate ALSO fails seals
+				// the WAL (unrecoverable through traffic) — the server must
+				// degrade immediately and heal only via the probe's
+				// compaction.
+				pl.Fail(fault.WALWrite, 1, errOutage)
+				pl.Fail(fault.WALTruncate, 1, errOutage)
+				time.Sleep(cfg.EpisodeDur)
+				pl.ClearOp(fault.WALWrite)
+				pl.ClearOp(fault.WALTruncate)
+				if err := waitHealthy(30 * time.Second); err != nil {
+					return fmt.Errorf("episode %d (%s): %w", ep+1, kind, err)
+				}
+
+			case "apply-panic":
+				// The engine must contain the panic, quarantine the batch
+				// and keep serving; callers get a clean internal rejection.
+				pl.Add(fault.Rule{
+					Op: fault.Apply, Kind: fault.KindPanic,
+					Count: 1 + erng.IntN(3),
+				})
+				time.Sleep(cfg.EpisodeDur)
+				pl.ClearOp(fault.Apply)
+
+			case "apply-delay":
+				pl.Add(fault.Rule{
+					Op: fault.Apply, Kind: fault.KindDelay,
+					Delay: time.Duration(1+erng.IntN(4)) * time.Millisecond,
+					Count: 40,
+				})
+				time.Sleep(cfg.EpisodeDur)
+				pl.ClearOp(fault.Apply)
+
+			case "conn-drop":
+				// Sever one follower's replication stream mid-flight; it
+				// must reconnect (resume or re-bootstrap) on its own.
+				f := fols[erng.IntN(len(fols))]
+				f.plane.Add(fault.Rule{
+					Op: fault.ConnRead, Kind: fault.KindDrop,
+					Count: 1 + erng.IntN(2),
+				})
+				f.fol.DropConnection()
+				time.Sleep(cfg.EpisodeDur)
+				f.plane.ClearOp(fault.ConnRead)
+
+			case "slow-sse":
+				// A watcher that stops reading: the per-write SSE deadline
+				// and drop-on-full subscriptions keep it from parking the
+				// server.
+				conn, err := net.Dial("tcp", l.Addr().String())
+				if err != nil {
+					return fmt.Errorf("episode %d (%s): dial: %w", ep+1, kind, err)
+				}
+				fmt.Fprintf(conn, "GET /v1/watch HTTP/1.1\r\nHost: chaos\r\nAccept: text/event-stream\r\n\r\n")
+				buf := make([]byte, 512)
+				conn.SetReadDeadline(time.Now().Add(time.Second))
+				conn.Read(buf) // consume a little, then stall
+				time.Sleep(cfg.EpisodeDur)
+				conn.Close()
+
+			case "follower-kill":
+				// Kill a follower outright and boot a replacement that
+				// must re-bootstrap from the live primary.
+				i := erng.IntN(len(fols))
+				fols[i].fol.Close()
+				rep.FollowerKills++
+				time.Sleep(cfg.EpisodeDur)
+				nf, err := startFollower(cfg.Seed + uint64(rep.FollowerKills)*101)
+				if err != nil {
+					return fmt.Errorf("episode %d (%s): restart follower: %w", ep+1, kind, err)
+				}
+				fols[i] = nf
+			}
+		}
+
+		// Quiesce: clear every fault surface and wait for full health.
+		pl.Clear()
+		for _, f := range fols {
+			f.plane.Clear()
+		}
+		if err := waitHealthy(30 * time.Second); err != nil {
+			return err
+		}
+		return nil
+	}()
+
+	// Stop writers at their batch boundaries and collect their outcomes
+	// regardless of runErr.
+	close(stopWriters)
+	writerWG.Wait()
+	finalEdges := make([][2]int, 0, 256)
+	for _, w := range writers {
+		rep.Writes += w.writes
+		rep.Applied += w.applied
+		rep.PersistFailed += w.persistFailed
+		rep.RejectedDegraded += w.rejDegraded
+		rep.RejectedOverloaded += w.rejOverloaded
+		rep.RejectedInternal += w.rejInternal
+		if w.fatal != nil && runErr == nil {
+			runErr = w.fatal
+		}
+		for k := range w.model {
+			finalEdges = append(finalEdges, k)
+		}
+	}
+	if rep.Writes > 0 {
+		rep.WriteAvailability = float64(rep.Applied) / float64(rep.Writes)
+	}
+	rep.FinalEdges = len(finalEdges)
+	pr.snapshot(rep)
+	if runErr != nil {
+		return rep, runErr
+	}
+
+	// The writers have stopped; give the coalescer a beat to drain, then
+	// pin the final seq.
+	if err := waitSettled(eng); err != nil {
+		return rep, err
+	}
+	finalSeq := eng.Seq()
+	rep.FinalSeq = finalSeq
+	rep.EnginePanics = eng.ExecStats().Panics
+
+	maxVertex := cfg.Writers * cfg.VertexSpan
+
+	// Invariant 1: primary cores == fault-free reference of the acked edge
+	// set. This is the exactness proof for the classification rules.
+	sort.Slice(finalEdges, func(i, j int) bool {
+		if finalEdges[i][0] != finalEdges[j][0] {
+			return finalEdges[i][0] < finalEdges[j][0]
+		}
+		return finalEdges[i][1] < finalEdges[j][1]
+	})
+	ref := kcore.NewEngine()
+	if len(finalEdges) > 0 {
+		if _, err := ref.AddEdges(finalEdges); err != nil {
+			return rep, fmt.Errorf("reference engine rejected acked edges: %w", err)
+		}
+	}
+	if got, want := eng.NumEdges(), ref.NumEdges(); got != want {
+		return rep, fmt.Errorf("primary has %d edges, acked model has %d", got, want)
+	}
+	engSet := make(map[[2]int]bool, len(finalEdges))
+	for _, e := range eng.Edges() {
+		engSet[edgeKey(e[0], e[1])] = true
+	}
+	for _, e := range finalEdges {
+		if !engSet[e] {
+			return rep, fmt.Errorf("edge %v acked to a writer but absent from the primary", e)
+		}
+		delete(engSet, e)
+	}
+	for e := range engSet {
+		return rep, fmt.Errorf("edge %v present on the primary but never acked to a writer", e)
+	}
+	for v := 0; v < maxVertex; v++ {
+		if got, want := eng.Core(v), ref.Core(v); got != want {
+			return rep, fmt.Errorf("core(%d): primary %d, fault-free reference %d", v, got, want)
+		}
+	}
+
+	// Invariant 2: followers converge to the primary's seq with identical
+	// cores, across every drop, kill and re-bootstrap.
+	for i, f := range fols {
+		if err := waitFollower(f.fol, finalSeq, 30*time.Second); err != nil {
+			return rep, fmt.Errorf("follower %d: %w", i, err)
+		}
+		fe := f.fol.Engine()
+		for v := 0; v < maxVertex; v++ {
+			if got, want := fe.Core(v), eng.Core(v); got != want {
+				return rep, fmt.Errorf("follower %d core(%d) = %d, primary %d", i, v, got, want)
+			}
+		}
+	}
+
+	// Probe accounting: liveness must have held the whole time.
+	cancel()
+	probeWG.Wait()
+	pr.snapshot(rep)
+	if rep.HealthzFailures > 0 {
+		return rep, fmt.Errorf("healthz failed to answer %d of %d probes", rep.HealthzFailures, rep.HealthzProbes)
+	}
+	if rep.Degradations != rep.Recoveries {
+		return rep, fmt.Errorf("%d degradations but %d observed recoveries — server did not re-enter healthy", rep.Degradations, rep.Recoveries)
+	}
+	sort.Float64s(rep.RecoveryMS)
+	if n := len(rep.RecoveryMS); n > 0 {
+		rep.MedianRecoveryMS = rep.RecoveryMS[n/2]
+	}
+
+	// Invariant 3: shut the fleet down and recover the data directory —
+	// the reopened engine must be bit-identical (same seq, same cores).
+	for _, f := range fols {
+		f.fol.Close()
+	}
+	if err := srv.Close(); err != nil {
+		return rep, fmt.Errorf("server close: %w", err)
+	}
+	<-serveDone
+	pub.Close()
+	if _, err := st.Snapshot(); err != nil {
+		return rep, fmt.Errorf("final snapshot: %w", err)
+	}
+	if err := st.Close(); err != nil {
+		return rep, fmt.Errorf("store close: %w", err)
+	}
+	st2, err := persist.Open(dir, persist.Options{Sync: persist.SyncOff, CompactBytes: -1})
+	if err != nil {
+		return rep, fmt.Errorf("recovery reopen: %w", err)
+	}
+	defer st2.Close()
+	re := st2.Engine()
+	if re.Seq() != finalSeq {
+		return rep, fmt.Errorf("recovered seq %d, want %d (gap in the WAL chain)", re.Seq(), finalSeq)
+	}
+	if got, want := re.NumEdges(), ref.NumEdges(); got != want {
+		return rep, fmt.Errorf("recovered %d edges, want %d", got, want)
+	}
+	for v := 0; v < maxVertex; v++ {
+		if got, want := re.Core(v), ref.Core(v); got != want {
+			return rep, fmt.Errorf("recovered core(%d) = %d, want %d", v, got, want)
+		}
+	}
+
+	rep.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	return rep, nil
+}
+
+// waitSettled waits for the engine's seq to stop moving (the coalescer has
+// drained every in-flight request).
+func waitSettled(e *kcore.Engine) error {
+	last := e.Seq()
+	for i := 0; i < 200; i++ {
+		time.Sleep(10 * time.Millisecond)
+		if s := e.Seq(); s == last {
+			return nil
+		} else {
+			last = s
+		}
+	}
+	return errors.New("engine seq did not settle after writers stopped")
+}
+
+// waitFollower waits until the follower's engine reaches seq.
+func waitFollower(f *replicate.Follower, seq uint64, deadline time.Duration) error {
+	t0 := time.Now()
+	for time.Since(t0) < deadline {
+		if f.Engine().Seq() >= seq {
+			if f.Engine().Seq() == seq {
+				return nil
+			}
+			return fmt.Errorf("follower seq %d beyond primary %d", f.Engine().Seq(), seq)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("did not reach seq %d within %v (at %d)", seq, deadline, f.Engine().Seq())
+}

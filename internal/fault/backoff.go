@@ -1,0 +1,68 @@
+package fault
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// Backoff is the repository's shared jittered exponential backoff: the
+// replication follower's reconnect loop, the HTTP client's Retry-After
+// retries, the store's bounded WAL append retry, and the server's
+// degraded-mode recovery probe all pace themselves with it.
+//
+// Each Next call draws uniformly from [base/2, base] — the documented
+// jitter envelope: never less than half the nominal delay, never more
+// than it — then doubles base, capped at Max. Reset returns base to Min;
+// callers invoke it after a success so the next failure starts cheap
+// again. The zero value is not usable; set Min and Max (Min > Max is
+// normalized to Max).
+//
+// Backoff is not safe for concurrent use; each retry loop owns its own.
+type Backoff struct {
+	// Min is the first nominal delay.
+	Min time.Duration
+	// Max caps the nominal delay growth.
+	Max time.Duration
+	// Rand overrides the jitter source (tests); nil uses the process-wide
+	// generator.
+	Rand func(n int64) int64
+
+	cur      time.Duration
+	attempts int
+}
+
+// Next returns the delay to sleep before the upcoming attempt and
+// advances the schedule.
+func (b *Backoff) Next() time.Duration {
+	base := b.cur
+	if base <= 0 {
+		base = b.Min
+	}
+	if b.Max > 0 && base > b.Max {
+		base = b.Max
+	}
+	if base <= 0 {
+		return 0
+	}
+	// Double for the next round before jittering this one.
+	b.cur = base * 2
+	if b.Max > 0 && b.cur > b.Max {
+		b.cur = b.Max
+	}
+	b.attempts++
+	intn := b.Rand
+	if intn == nil {
+		intn = rand.Int64N
+	}
+	return base/2 + time.Duration(intn(int64(base/2)+1))
+}
+
+// Reset returns the schedule to Min, as after a success.
+func (b *Backoff) Reset() {
+	b.cur = 0
+	b.attempts = 0
+}
+
+// Attempts reports how many Next calls have happened since the last
+// Reset.
+func (b *Backoff) Attempts() int { return b.attempts }

@@ -1,0 +1,406 @@
+// Package fault is the repository's single fault-injection plane: a
+// deterministic, seedable registry of injection rules consulted from named
+// probe points threaded through the storage layer (WAL append, fsync,
+// truncate, snapshot IO, rename), the network layer (accepted and dialed
+// connections), and the engine apply path (delays and panics).
+//
+// Production code probes the plane through a *Plane value that is almost
+// always nil; every method is nil-safe and a nil plane costs one pointer
+// comparison per probe. Tests (and the hidden -chaos flag on kcore-serve)
+// install rules naming the operation to sabotage:
+//
+//	pl := fault.New(42)
+//	pl.Fail(fault.WALWrite, 1, errors.New("injected: no space left"))
+//
+// Rules fire a bounded number of times (Count) with a probability (Prob,
+// default 1), drawing from the plane's seeded generator, so a fixed seed
+// plus a fixed probe order reproduces a fault schedule exactly. Outcomes
+// are returned to the probe site as an Outcome value: an error to surface,
+// a delay to sleep, a short write/read fraction, a connection drop, or a
+// panic. The plane never acts on its own — each wrapped site interprets
+// the outcome with local knowledge (e.g. the WAL turns a short write into
+// a torn frame, a conn wrapper closes the socket on a drop).
+//
+// The package also hosts Backoff, the jittered exponential backoff shared
+// by the replication follower's reconnect loop, the HTTP client's
+// Retry-After handling, the store's bounded append retry, and the server's
+// degraded-mode recovery probe.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Op names one probe point. The convention is "<site>.<action>"; the
+// constants below cover every point wired in this repository, but the
+// plane accepts arbitrary names so tests can add private points.
+type Op string
+
+// Probe points threaded through the repository.
+const (
+	// Storage surface (internal/persist).
+	WALWrite    Op = "wal.write"    // WAL frame write
+	WALSync     Op = "wal.sync"     // WAL fsync
+	WALTruncate Op = "wal.truncate" // WAL rollback/compaction truncate
+	WALCompact  Op = "wal.compact"  // whole-log compaction rewrite
+	SnapWrite   Op = "snap.write"   // snapshot temp-file write
+	SnapSync    Op = "snap.sync"    // snapshot fsync
+	SnapRename  Op = "snap.rename"  // snapshot atomic rename
+
+	// Network surface (fault.Listener / fault.Conn / fault.Dialer).
+	Accept    Op = "accept"     // listener accept
+	ConnRead  Op = "conn.read"  // per-connection read
+	ConnWrite Op = "conn.write" // per-connection write
+
+	// Engine surface (Engine apply probe).
+	Apply Op = "apply" // start of every batch apply
+)
+
+// Kind classifies what a fired rule does to the probed operation.
+type Kind int
+
+const (
+	// KindError makes the operation fail with the rule's error.
+	KindError Kind = iota
+	// KindShort makes a write (or read) transfer only a prefix and then
+	// fail with the rule's error — a torn frame or partial read.
+	KindShort
+	// KindDelay stalls the operation without failing it.
+	KindDelay
+	// KindDrop closes the connection mid-operation (network sites only).
+	KindDrop
+	// KindPanic panics at the probe site (engine apply site only).
+	KindPanic
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindShort:
+		return "short"
+	case KindDelay:
+		return "delay"
+	case KindDrop:
+		return "drop"
+	case KindPanic:
+		return "panic"
+	}
+	return "kind(" + strconv.Itoa(int(k)) + ")"
+}
+
+// ErrInjected is the default error carried by rules that don't specify
+// their own. Probe sites wrap or return it verbatim; tests can match it
+// with errors.Is.
+var ErrInjected = errors.New("fault: injected error")
+
+// Rule describes one injection: which operation, what happens, how often,
+// and how many times.
+type Rule struct {
+	// Op is the probe point the rule arms.
+	Op Op
+	// Kind selects the outcome; the zero value is KindError.
+	Kind Kind
+	// Count bounds how many times the rule fires; 0 means unlimited.
+	Count int
+	// Prob is the per-probe firing probability in (0, 1]; 0 means 1
+	// (always fire while Count remains).
+	Prob float64
+	// Err overrides ErrInjected for KindError and KindShort.
+	Err error
+	// Delay is the stall for KindDelay.
+	Delay time.Duration
+}
+
+// Outcome is what a probe point must do. The zero value means "proceed
+// normally".
+type Outcome struct {
+	// Err is non-nil for KindError and KindShort outcomes.
+	Err error
+	// Delay is non-zero for KindDelay outcomes; the site sleeps for it.
+	Delay time.Duration
+	// ShortFrac is in (0,1) for KindShort outcomes: the fraction of the
+	// buffer to transfer before failing with Err.
+	ShortFrac float64
+	// Drop tells a network site to close the connection.
+	Drop bool
+	// Panic tells the engine probe to panic.
+	Panic bool
+}
+
+type rule struct {
+	Rule
+	fired uint64
+}
+
+// Plane is a registry of injection rules plus the seeded generator that
+// drives probabilistic firing. A nil *Plane is valid and inert, so
+// production structs embed one unconditionally and probe it on every
+// operation. All methods are safe for concurrent use; probes serialize on
+// an internal mutex, so determinism across runs requires a deterministic
+// probe order (single-threaded tests, or schedules armed between episodes
+// as the chaos harness does).
+type Plane struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	seed  uint64
+	rules []*rule
+	hits  map[Op]uint64
+}
+
+// New builds a plane whose probabilistic draws are driven by seed.
+func New(seed uint64) *Plane {
+	return &Plane{
+		rng:  rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+		seed: seed,
+		hits: make(map[Op]uint64),
+	}
+}
+
+// Seed reports the seed the plane was built with (for failure reports).
+func (p *Plane) Seed() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.seed
+}
+
+// Add arms a rule. Rules for the same op fire in the order added; at most
+// one rule fires per probe.
+func (p *Plane) Add(r Rule) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rules = append(p.rules, &rule{Rule: r})
+}
+
+// Fail is shorthand for the dominant test pattern: make op fail count
+// times with err (err nil means ErrInjected).
+func (p *Plane) Fail(op Op, count int, err error) {
+	p.Add(Rule{Op: op, Kind: KindError, Count: count, Err: err})
+}
+
+// Clear disarms every rule. Fired counters are retained.
+func (p *Plane) Clear() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rules = nil
+}
+
+// ClearOp disarms every rule for one op, leaving the rest armed.
+func (p *Plane) ClearOp(op Op) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	kept := p.rules[:0]
+	for _, r := range p.rules {
+		if r.Op != op {
+			kept = append(kept, r)
+		}
+	}
+	p.rules = kept
+}
+
+// Fired reports how many times any rule has fired at op.
+func (p *Plane) Fired(op Op) uint64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits[op]
+}
+
+// Check probes one operation. It returns the zero Outcome when no rule
+// fires (including on a nil plane).
+func (p *Plane) Check(op Op) Outcome {
+	if p == nil {
+		return Outcome{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, r := range p.rules {
+		if r.Op != op {
+			continue
+		}
+		if r.Count > 0 && r.fired >= uint64(r.Count) {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 && p.rng.Float64() >= r.Prob {
+			continue
+		}
+		r.fired++
+		p.hits[op]++
+		return p.outcome(r)
+	}
+	return Outcome{}
+}
+
+func (p *Plane) outcome(r *rule) Outcome {
+	err := r.Err
+	if err == nil {
+		err = ErrInjected
+	}
+	switch r.Kind {
+	case KindError:
+		return Outcome{Err: err}
+	case KindShort:
+		// Tear somewhere strictly inside the buffer; the exact point is
+		// part of the deterministic schedule.
+		return Outcome{Err: err, ShortFrac: 0.1 + 0.8*p.rng.Float64()}
+	case KindDelay:
+		return Outcome{Delay: r.Delay}
+	case KindDrop:
+		return Outcome{Drop: true}
+	case KindPanic:
+		return Outcome{Panic: true}
+	}
+	return Outcome{}
+}
+
+// ApplyProbe adapts the plane to the engine's apply-probe contract
+// (Engine.SetApplyProbe): it sleeps on delay outcomes and panics on panic
+// outcomes. The panic happens before the engine mutates any state, so a
+// quarantined batch is rejected cleanly.
+func (p *Plane) ApplyProbe() func(updates int) {
+	return func(updates int) {
+		out := p.Check(Apply)
+		if out.Delay > 0 {
+			time.Sleep(out.Delay)
+		}
+		if out.Panic {
+			panic(fmt.Sprintf("fault: injected apply panic (%d updates)", updates))
+		}
+	}
+}
+
+// String summarizes armed rules and fire counts (for logs and failure
+// reports).
+func (p *Plane) String() string {
+	if p == nil {
+		return "fault.Plane(nil)"
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault.Plane(seed=%d", p.seed)
+	for _, r := range p.rules {
+		fmt.Fprintf(&b, " %s:%s", r.Op, r.Kind)
+		if r.Count > 0 {
+			fmt.Fprintf(&b, "/%d", r.Count)
+		}
+		if r.Prob > 0 && r.Prob < 1 {
+			fmt.Fprintf(&b, "@%g", r.Prob)
+		}
+	}
+	ops := make([]string, 0, len(p.hits))
+	for op := range p.hits {
+		ops = append(ops, string(op))
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		fmt.Fprintf(&b, " fired[%s]=%d", op, p.hits[Op(op)])
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Parse builds a plane from a chaos spec string — the format behind
+// kcore-serve's hidden -chaos flag. The spec is semicolon-separated
+// entries; the first entry may set the seed, every other entry arms one
+// rule:
+//
+//	seed=42;wal.write:p=0.01;conn.read:p=0.005,drop;apply:panic,count=2
+//	wal.sync:count=3;apply:delay=5ms,p=0.1;conn.write:short,p=0.02
+//
+// An entry is "<op>:<param>,<param>,..." where params are p=<float>,
+// count=<int>, delay=<duration>, and the kind words error (default),
+// short, drop, panic. A delay= param implies the delay kind.
+func Parse(spec string) (*Plane, error) {
+	seed, rules, err := ParseRules(spec)
+	if err != nil {
+		return nil, err
+	}
+	p := New(seed)
+	for _, r := range rules {
+		p.Add(r)
+	}
+	return p, nil
+}
+
+// ParseRules parses a spec (see Parse) without building a plane, so a
+// caller can construct the plane early (e.g. hand it to a store before
+// recovery) and arm the rules later (after recovery, so boot-time replay is
+// never faulted).
+func ParseRules(spec string) (seed uint64, rules []Rule, err error) {
+	seed = 1
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(entry, "seed="); ok {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return 0, nil, fmt.Errorf("fault: bad seed %q: %w", v, err)
+			}
+			seed = n
+			continue
+		}
+		op, params, ok := strings.Cut(entry, ":")
+		if !ok {
+			return 0, nil, fmt.Errorf("fault: entry %q needs an <op>:<params> form", entry)
+		}
+		r := Rule{Op: Op(strings.TrimSpace(op))}
+		for _, param := range strings.Split(params, ",") {
+			param = strings.TrimSpace(param)
+			switch {
+			case param == "error":
+				r.Kind = KindError
+			case param == "short":
+				r.Kind = KindShort
+			case param == "drop":
+				r.Kind = KindDrop
+			case param == "panic":
+				r.Kind = KindPanic
+			case strings.HasPrefix(param, "p="):
+				f, err := strconv.ParseFloat(param[2:], 64)
+				if err != nil || f <= 0 || f > 1 {
+					return 0, nil, fmt.Errorf("fault: bad probability %q in %q", param, entry)
+				}
+				r.Prob = f
+			case strings.HasPrefix(param, "count="):
+				n, err := strconv.Atoi(param[6:])
+				if err != nil || n < 0 {
+					return 0, nil, fmt.Errorf("fault: bad count %q in %q", param, entry)
+				}
+				r.Count = n
+			case strings.HasPrefix(param, "delay="):
+				d, err := time.ParseDuration(param[6:])
+				if err != nil || d < 0 {
+					return 0, nil, fmt.Errorf("fault: bad delay %q in %q", param, entry)
+				}
+				r.Kind = KindDelay
+				r.Delay = d
+			default:
+				return 0, nil, fmt.Errorf("fault: unknown param %q in %q", param, entry)
+			}
+		}
+		rules = append(rules, r)
+	}
+	return seed, rules, nil
+}

@@ -1,0 +1,264 @@
+package fault
+
+import (
+	"errors"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestNilPlaneIsInert(t *testing.T) {
+	var p *Plane
+	if out := p.Check(WALWrite); out != (Outcome{}) {
+		t.Fatalf("nil plane Check = %+v, want zero", out)
+	}
+	p.Add(Rule{Op: WALWrite})
+	p.Fail(WALWrite, 1, nil)
+	p.Clear()
+	p.ClearOp(WALWrite)
+	if got := p.Fired(WALWrite); got != 0 {
+		t.Fatalf("nil plane Fired = %d", got)
+	}
+	if got := p.Seed(); got != 0 {
+		t.Fatalf("nil plane Seed = %d", got)
+	}
+}
+
+func TestCountedRuleFiresExactly(t *testing.T) {
+	p := New(1)
+	boom := errors.New("boom")
+	p.Fail(WALWrite, 2, boom)
+	for i := 0; i < 2; i++ {
+		if out := p.Check(WALWrite); !errors.Is(out.Err, boom) {
+			t.Fatalf("probe %d: err = %v, want boom", i, out.Err)
+		}
+	}
+	if out := p.Check(WALWrite); out.Err != nil {
+		t.Fatalf("exhausted rule still fires: %v", out.Err)
+	}
+	if got := p.Fired(WALWrite); got != 2 {
+		t.Fatalf("Fired = %d, want 2", got)
+	}
+	// Other ops are unaffected.
+	if out := p.Check(WALSync); out.Err != nil {
+		t.Fatalf("unrelated op fired: %v", out.Err)
+	}
+}
+
+func TestDefaultErrorIsErrInjected(t *testing.T) {
+	p := New(1)
+	p.Fail(SnapRename, 1, nil)
+	if out := p.Check(SnapRename); !errors.Is(out.Err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", out.Err)
+	}
+}
+
+func TestProbabilisticDeterminism(t *testing.T) {
+	run := func() []bool {
+		p := New(7)
+		p.Add(Rule{Op: ConnRead, Kind: KindDrop, Prob: 0.3})
+		fired := make([]bool, 100)
+		for i := range fired {
+			fired[i] = p.Check(ConnRead).Drop
+		}
+		return fired
+	}
+	a, b := run(), run()
+	hits := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at probe %d", i)
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(a) {
+		t.Fatalf("p=0.3 fired %d/%d times, want a strict subset", hits, len(a))
+	}
+}
+
+func TestClearOpKeepsOtherRules(t *testing.T) {
+	p := New(1)
+	p.Fail(WALWrite, 0, nil)
+	p.Fail(WALSync, 0, nil)
+	p.ClearOp(WALWrite)
+	if out := p.Check(WALWrite); out.Err != nil {
+		t.Fatalf("cleared op still fires: %v", out.Err)
+	}
+	if out := p.Check(WALSync); out.Err == nil {
+		t.Fatal("surviving rule stopped firing")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	p, err := Parse("seed=42; wal.write:count=2 ; apply:panic,count=1; conn.read:drop,p=1; apply:delay=3ms")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if p.Seed() != 42 {
+		t.Fatalf("seed = %d, want 42", p.Seed())
+	}
+	if out := p.Check(WALWrite); !errors.Is(out.Err, ErrInjected) {
+		t.Fatalf("wal.write outcome = %+v", out)
+	}
+	if out := p.Check(Apply); !out.Panic {
+		t.Fatalf("apply outcome = %+v, want panic", out)
+	}
+	if out := p.Check(Apply); out.Delay != 3*time.Millisecond {
+		t.Fatalf("second apply outcome = %+v, want 3ms delay", out)
+	}
+	if out := p.Check(ConnRead); !out.Drop {
+		t.Fatalf("conn.read outcome = %+v, want drop", out)
+	}
+	for _, bad := range []string{
+		"nocolon", "wal.write:p=2", "wal.write:count=x",
+		"apply:delay=zzz", "wal.write:wat", "seed=abc;wal.write:error",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestFileShortWriteTearsFrame(t *testing.T) {
+	p := New(3)
+	dir := t.TempDir()
+	f, err := Open(p, "wal", filepath.Join(dir, "log"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer f.Close()
+	p.Add(Rule{Op: "wal.write", Kind: KindShort, Count: 1})
+	buf := make([]byte, 1000)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	n, err := f.Write(buf)
+	if err == nil {
+		t.Fatal("short write returned no error")
+	}
+	if n <= 0 || n >= len(buf) {
+		t.Fatalf("short write transferred %d of %d bytes, want a strict prefix", n, len(buf))
+	}
+	st, err := os.Stat(f.Name())
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if st.Size() != int64(n) {
+		t.Fatalf("file holds %d bytes, reported %d — torn frame must be real", st.Size(), n)
+	}
+	// The fault is spent: the next write goes through whole.
+	if _, err := f.Write(buf); err != nil {
+		t.Fatalf("post-fault write: %v", err)
+	}
+}
+
+func TestFileSyncAndRenameFaults(t *testing.T) {
+	p := New(1)
+	dir := t.TempDir()
+	f, err := CreateTemp(p, "snap", dir, "snap-*")
+	if err != nil {
+		t.Fatalf("CreateTemp: %v", err)
+	}
+	defer f.Close()
+	p.Fail(SnapSync, 1, nil)
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Sync err = %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("post-fault Sync: %v", err)
+	}
+	p.Fail(SnapRename, 1, nil)
+	dst := filepath.Join(dir, "final")
+	if err := Rename(p, "snap", f.Name(), dst); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Rename err = %v", err)
+	}
+	if err := Rename(p, "snap", f.Name(), dst); err != nil {
+		t.Fatalf("post-fault Rename: %v", err)
+	}
+}
+
+func TestConnDropClosesUnderlying(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	p := New(1)
+	c := WrapConn(p, client)
+	p.Add(Rule{Op: ConnWrite, Kind: KindDrop, Count: 1})
+	if _, err := c.Write([]byte("x")); err == nil {
+		t.Fatal("dropped write returned no error")
+	}
+	// The underlying conn really closed: the peer's read ends.
+	server.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := server.Read(make([]byte, 1)); err == nil {
+		t.Fatal("peer read succeeded after drop")
+	}
+}
+
+func TestConnReadFault(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	p := New(1)
+	c := WrapConn(p, client)
+	boom := errors.New("stalled")
+	p.Add(Rule{Op: ConnRead, Kind: KindError, Count: 1, Err: boom})
+	if _, err := c.Read(make([]byte, 4)); !errors.Is(err, boom) {
+		t.Fatalf("read err = %v, want boom", err)
+	}
+	go server.Write([]byte("ok"))
+	buf := make([]byte, 2)
+	if _, err := c.Read(buf); err != nil {
+		t.Fatalf("post-fault read: %v", err)
+	}
+}
+
+func TestBackoffEnvelopeAndCap(t *testing.T) {
+	b := &Backoff{Min: 100 * time.Millisecond, Max: time.Second}
+	base := b.Min
+	for i := 0; i < 10; i++ {
+		d := b.Next()
+		if d < base/2 || d > base {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", i, d, base/2, base)
+		}
+		base *= 2
+		if base > b.Max {
+			base = b.Max
+		}
+	}
+	// After enough doublings every draw sits inside the capped envelope.
+	for i := 0; i < 20; i++ {
+		if d := b.Next(); d < b.Max/2 || d > b.Max {
+			t.Fatalf("capped delay %v outside [%v, %v]", d, b.Max/2, b.Max)
+		}
+	}
+}
+
+func TestBackoffResetRestartsSchedule(t *testing.T) {
+	b := &Backoff{Min: 80 * time.Millisecond, Max: time.Second}
+	for i := 0; i < 6; i++ {
+		b.Next()
+	}
+	if b.Attempts() != 6 {
+		t.Fatalf("Attempts = %d, want 6", b.Attempts())
+	}
+	b.Reset()
+	if b.Attempts() != 0 {
+		t.Fatalf("Attempts after Reset = %d, want 0", b.Attempts())
+	}
+	if d := b.Next(); d < b.Min/2 || d > b.Min {
+		t.Fatalf("post-Reset delay %v outside [%v, %v]", d, b.Min/2, b.Min)
+	}
+}
+
+func TestBackoffDeterministicWithInjectedRand(t *testing.T) {
+	b := &Backoff{Min: 100 * time.Millisecond, Max: time.Second, Rand: func(n int64) int64 { return 0 }}
+	want := []time.Duration{50, 100, 200, 400, 500, 500}
+	for i, w := range want {
+		if d := b.Next(); d != w*time.Millisecond {
+			t.Fatalf("attempt %d: delay %v, want %v", i, d, w*time.Millisecond)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package fault
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+// WrapListener wraps l so accepted connections probe the plane on every
+// read and write, and the accept loop itself probes "accept". A nil plane
+// returns l unchanged.
+func WrapListener(p *Plane, l net.Listener) net.Listener {
+	if p == nil {
+		return l
+	}
+	return &listener{Listener: l, p: p}
+}
+
+type listener struct {
+	net.Listener
+	p *Plane
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	out := l.p.Check(Accept)
+	if out.Delay > 0 {
+		time.Sleep(out.Delay)
+	}
+	if out.Err != nil || out.Drop {
+		// Model "accept worked but the connection is dead": close it and
+		// keep accepting. Returning an error would stop http.Server.
+		c.Close()
+		return l.Accept()
+	}
+	return &Conn{Conn: c, p: l.p}, nil
+}
+
+// Conn wraps a net.Conn so reads and writes probe the plane ("conn.read"
+// / "conn.write"), modeling drops (close mid-operation), stalls (delay)
+// and partial transfers (short outcome).
+type Conn struct {
+	net.Conn
+	p *Plane
+}
+
+// WrapConn wraps c against the plane; a nil plane returns c unchanged.
+func WrapConn(p *Plane, c net.Conn) net.Conn {
+	if p == nil {
+		return c
+	}
+	return &Conn{Conn: c, p: p}
+}
+
+func (c *Conn) Read(b []byte) (int, error) {
+	out := c.p.Check(ConnRead)
+	if out.Delay > 0 {
+		time.Sleep(out.Delay)
+	}
+	if out.Drop {
+		c.Conn.Close()
+		return 0, net.ErrClosed
+	}
+	if out.Err != nil {
+		if out.ShortFrac > 0 && len(b) > 1 {
+			// Partial read: deliver a prefix now; the error surfaces on a
+			// later call if the fault persists.
+			n := int(out.ShortFrac * float64(len(b)))
+			if n < 1 {
+				n = 1
+			}
+			return c.Conn.Read(b[:n])
+		}
+		return 0, out.Err
+	}
+	return c.Conn.Read(b)
+}
+
+func (c *Conn) Write(b []byte) (int, error) {
+	out := c.p.Check(ConnWrite)
+	if out.Delay > 0 {
+		time.Sleep(out.Delay)
+	}
+	if out.Drop {
+		c.Conn.Close()
+		return 0, net.ErrClosed
+	}
+	if out.Err != nil {
+		if out.ShortFrac > 0 && len(b) > 1 {
+			n := int(out.ShortFrac * float64(len(b)))
+			if n < 1 {
+				n = 1
+			}
+			wrote, werr := c.Conn.Write(b[:n])
+			if werr != nil {
+				return wrote, werr
+			}
+			return wrote, out.Err
+		}
+		return 0, out.Err
+	}
+	return c.Conn.Write(b)
+}
+
+// DialFunc matches net.Dialer.DialContext / http.Transport.DialContext.
+type DialFunc func(ctx context.Context, network, addr string) (net.Conn, error)
+
+// Dialer wraps a dial function so every produced connection probes the
+// plane — how the chaos harness injects faults into a follower's
+// replication stream without touching unrelated traffic. base nil uses a
+// default net.Dialer. A nil plane returns base (or the default dialer)
+// unchanged.
+func Dialer(p *Plane, base DialFunc) DialFunc {
+	if base == nil {
+		var d net.Dialer
+		base = d.DialContext
+	}
+	if p == nil {
+		return base
+	}
+	return func(ctx context.Context, network, addr string) (net.Conn, error) {
+		c, err := base(ctx, network, addr)
+		if err != nil {
+			return nil, err
+		}
+		return &Conn{Conn: c, p: p}, nil
+	}
+}

@@ -102,6 +102,7 @@ import (
 	"time"
 
 	"kcore"
+	"kcore/internal/fault"
 )
 
 // Structural corruption sentinels. Every snapshot- or WAL-shaped failure
@@ -197,6 +198,23 @@ type Options struct {
 	// an edge list. Its engine is snapshotted immediately so the seed state
 	// is durable before Open returns. Ignored when prior state exists.
 	Init func() (*kcore.Engine, error)
+	// Fault, when non-nil, injects faults into the store's file operations
+	// (WAL writes/fsyncs/truncates/compaction, snapshot writes/renames) —
+	// see internal/fault. Production stores leave it nil.
+	Fault *fault.Plane
+	// AppendRetries bounds the in-line retries of a transiently failed WAL
+	// append: after a failed write whose frame was deferred cleanly, the
+	// apply hook sleeps a short jittered backoff (RetryBackoff envelope)
+	// and re-flushes, so a blip (one-off EIO, ENOSPC that clears) never
+	// surfaces to the Apply caller at all. The retries run under the
+	// engine's write lock, so the bound keeps worst-case added latency to a
+	// few milliseconds. 0 selects the default of 2; negative disables
+	// in-line retries (the deferred backlog still heals on the next
+	// append).
+	AppendRetries int
+	// RetryBackoff is the minimum backoff before the first append retry
+	// (default 500µs); each retry doubles it, jittered, capped at 8×.
+	RetryBackoff time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -205,6 +223,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CompactBytes == 0 {
 		o.CompactBytes = 64 << 20
+	}
+	if o.AppendRetries == 0 {
+		o.AppendRetries = 2
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 500 * time.Microsecond
 	}
 	return o
 }
@@ -222,6 +246,10 @@ type Stats struct {
 	WALBytes   int64
 	// Appends counts batches logged over the store's lifetime.
 	Appends uint64
+	// AppendRetrySaves counts appends that failed transiently and then
+	// succeeded within the bounded in-line retry (Options.AppendRetries):
+	// faults the Apply caller never saw.
+	AppendRetrySaves uint64
 	// Syncs counts fsyncs issued by the WAL append path.
 	Syncs uint64
 	// Compactions counts snapshots written (Open's initial snapshot,

@@ -11,6 +11,7 @@ import (
 	"slices"
 
 	"kcore"
+	"kcore/internal/fault"
 )
 
 // SnapshotVersion is the current snapshot format version. Bump it — and
@@ -261,7 +262,7 @@ func Save(path string, e *kcore.Engine) error {
 	if err != nil {
 		return err
 	}
-	return atomicWrite(path, data)
+	return atomicWrite(nil, path, data)
 }
 
 // Load reads the snapshot at path into a reconstructed engine (see
@@ -275,10 +276,12 @@ func Load(path string, opts ...kcore.Option) (*kcore.Engine, error) {
 	return ReadSnapshot(f, opts...)
 }
 
-// atomicWrite writes data to path via temp file + fsync + rename + dir sync.
-func atomicWrite(path string, data []byte) error {
+// atomicWrite writes data to path via temp file + fsync + rename + dir
+// sync. plane (nil in production) injects faults at the "snap.*" probe
+// points — see internal/fault.
+func atomicWrite(plane *fault.Plane, path string, data []byte) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	tmp, err := fault.CreateTemp(plane, "snap", dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("persist: snapshot temp file: %w", err)
 	}
@@ -295,7 +298,7 @@ func atomicWrite(path string, data []byte) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("persist: snapshot close: %w", err)
 	}
-	if err := os.Rename(tmpName, path); err != nil {
+	if err := fault.Rename(plane, "snap", tmpName, path); err != nil {
 		return fmt.Errorf("persist: snapshot rename: %w", err)
 	}
 	syncDir(dir)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"kcore"
+	"kcore/internal/fault"
 )
 
 // File names inside a Store directory.
@@ -39,20 +40,21 @@ type Store struct {
 	// mu guards the WAL handle and the counters below. The apply hook takes
 	// it under the engine's write lock, so nothing holding mu may acquire
 	// engine locks.
-	mu        sync.Mutex
-	wal       *wal
-	closed    bool
-	snapSeq   uint64
-	snapBytes int64
-	appends   uint64
-	compacts  uint64
-	cErrs     uint64
-	lastCErr  error
-	sErrs     uint64
-	lastSErr  error
-	recovered uint64
-	recSeq    uint64
-	torn      int64
+	mu         sync.Mutex
+	wal        *wal
+	closed     bool
+	snapSeq    uint64
+	snapBytes  int64
+	appends    uint64
+	compacts   uint64
+	cErrs      uint64
+	lastCErr   error
+	sErrs      uint64
+	lastSErr   error
+	recovered  uint64
+	recSeq     uint64
+	torn       int64
+	retrySaves uint64
 
 	compactCh chan struct{}
 	stop      chan struct{}
@@ -147,7 +149,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		}
 	}
 	var err error
-	if s.wal, err = openWAL(walPath, opts.Sync, opts.SyncEvery, walRecords, walLastSeq, s.snapSeq); err != nil {
+	if s.wal, err = openWAL(walPath, opts.Sync, opts.SyncEvery, walRecords, walLastSeq, s.snapSeq, opts.Fault); err != nil {
 		return nil, err
 	}
 
@@ -261,7 +263,11 @@ func (s *Store) onApply(rec kcore.AppliedBatch) error {
 	if s.closed {
 		return errStoreClosed
 	}
-	if err := s.wal.append(rec.Seq, rec.Updates); err != nil {
+	err := s.wal.append(rec.Seq, rec.Updates)
+	if err != nil {
+		err = s.retryAppend(err)
+	}
+	if err != nil {
 		if s.opts.CompactBytes > 0 { // negative disables background compaction entirely
 			select {
 			case s.compactCh <- struct{}{}:
@@ -278,6 +284,35 @@ func (s *Store) onApply(rec kcore.AppliedBatch) error {
 		}
 	}
 	return nil
+}
+
+// retryAppend is the bounded in-line retry of a transiently failed append
+// (Options.AppendRetries): when the frame was deferred cleanly — the chain
+// is intact, only the write blipped — it sleeps a short jittered backoff
+// and re-flushes the backlog, so the Apply caller never sees the fault.
+// Appends refused as gaps, sealed logs, and backlog overflows are not
+// retried: those need the snapshot heal. The caller holds s.mu (and the
+// engine write lock above it), so the backoff bound is the worst-case
+// latency added to every concurrent engine operation.
+func (s *Store) retryAppend(err error) error {
+	if s.opts.AppendRetries <= 0 || errors.Is(err, errWALGap) ||
+		s.wal.failed || s.wal.pendingRecords == 0 {
+		return err
+	}
+	bo := fault.Backoff{Min: s.opts.RetryBackoff, Max: 8 * s.opts.RetryBackoff}
+	for i := 0; i < s.opts.AppendRetries; i++ {
+		time.Sleep(bo.Next())
+		ferr := s.wal.flushDeferred()
+		if ferr == nil {
+			s.retrySaves++
+			return nil
+		}
+		err = ferr
+		if s.wal.failed || s.wal.pendingRecords == 0 {
+			break // rollback failed or the backlog overflowed: only a heal helps
+		}
+	}
+	return err
 }
 
 // compactLoop runs automatic compactions off the apply path.
@@ -368,7 +403,7 @@ func (s *Store) writeSnapshot() error {
 	if err != nil {
 		return err
 	}
-	if err := atomicWrite(filepath.Join(s.dir, SnapshotFile), data); err != nil {
+	if err := atomicWrite(s.opts.Fault, filepath.Join(s.dir, SnapshotFile), data); err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -376,6 +411,51 @@ func (s *Store) writeSnapshot() error {
 	s.snapBytes = int64(len(data))
 	s.compacts++
 	s.mu.Unlock()
+	return nil
+}
+
+// WALAppendable reports whether the log can accept the next append: the
+// handle is usable and the chain is caught up with the engine. It is the
+// health probe behind the server's availability state machine — false
+// means every write is currently answered with a durability failure and
+// the store needs a heal. It reads the engine's sequence number before
+// taking the store lock (nothing holding mu may acquire engine locks);
+// the two reads can race a concurrent apply, which at worst reports a
+// transiently stale verdict — callers poll.
+func (s *Store) WALAppendable() bool {
+	seq := s.engine.Seq()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.closed && s.wal != nil && !s.wal.failed &&
+		s.wal.chainSeq() == seq && s.wal.pendingRecords == 0
+}
+
+// Sealed reports whether the WAL handle is unusable — the log refuses
+// every append until a compaction rebuilds the file. Sealed is strictly
+// worse than !WALAppendable: a non-sealed, non-appendable log (deferred
+// backlog) still self-heals on the next successful append, while a sealed
+// one cannot accept appends at all.
+func (s *Store) Sealed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.closed && s.wal != nil && s.wal.failed
+}
+
+// Heal restores WAL appendability after a durability failure by forcing
+// the compaction snapshot described on Snapshot: the fresh snapshot
+// captures the engine state the log is missing and rebuilds a sealed log
+// file. A store that is already appendable returns nil immediately, so
+// the server's degraded-mode recovery probe can call it blindly.
+func (s *Store) Heal() error {
+	if s.WALAppendable() {
+		return nil
+	}
+	if _, err := s.Snapshot(); err != nil && !errors.Is(err, ErrCompaction) {
+		return err
+	}
+	if !s.WALAppendable() {
+		return fmt.Errorf("persist: WAL still not appendable after snapshot")
+	}
 	return nil
 }
 
@@ -387,6 +467,7 @@ func (s *Store) Stats() Stats {
 		SnapshotSeq:      s.snapSeq,
 		SnapshotBytes:    s.snapBytes,
 		Appends:          s.appends,
+		AppendRetrySaves: s.retrySaves,
 		Compactions:      s.compacts,
 		CompactErrors:    s.cErrs,
 		SyncErrors:       s.sErrs,

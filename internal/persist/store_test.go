@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"kcore"
+	"kcore/internal/fault"
 	"kcore/internal/gen"
 	"kcore/internal/graph"
 	"kcore/internal/workload"
@@ -503,7 +504,10 @@ func TestStoreAutoHealAfterAppendFailure(t *testing.T) {
 // successful append, no heal or restart needed.
 func TestStoreTransientAppendFailureNoLoss(t *testing.T) {
 	dir := t.TempDir()
-	st, err := Open(dir, Options{Sync: SyncOff, CompactBytes: -1})
+	pl := fault.New(1)
+	// AppendRetries: -1 disables the in-line retry so the fault surfaces
+	// to the caller (the retry path has its own test below).
+	st, err := Open(dir, Options{Sync: SyncOff, CompactBytes: -1, Fault: pl, AppendRetries: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -511,9 +515,7 @@ func TestStoreTransientAppendFailureNoLoss(t *testing.T) {
 	if _, err := e.AddEdge(0, 1); err != nil {
 		t.Fatal(err)
 	}
-	st.mu.Lock()
-	st.wal.injectWriteErr = errors.New("transient: no space left on device")
-	st.mu.Unlock()
+	pl.Fail(fault.WALWrite, 1, errors.New("transient: no space left on device"))
 	var he *kcore.HookError
 	if _, err := e.AddEdge(1, 2); !errors.As(err, &he) {
 		t.Fatalf("failed append = %v, want *kcore.HookError", err)
@@ -536,14 +538,14 @@ func TestStoreTransientAppendFailureNoLoss(t *testing.T) {
 	assertSameState(t, e, st2.Engine())
 }
 
-// TestStoreSnapshotPartialCompactionFailure: when the snapshot file lands,
-// the WAL shrink fails, but the log remains append-ready, Snapshot reports
-// partial success — a valid SnapshotInfo plus an ErrCompaction-wrapped
-// error — appends keep working, and the directory still recovers (replay
-// skips the records the snapshot covers).
-func TestStoreSnapshotPartialCompactionFailure(t *testing.T) {
+// TestStoreAppendRetryAbsorbsBlip: with the default in-line retry enabled,
+// a one-shot write fault never surfaces to the Apply caller at all — the
+// hook re-flushes the deferred frame after a short backoff, the caller sees
+// nil, and Stats counts the save.
+func TestStoreAppendRetryAbsorbsBlip(t *testing.T) {
 	dir := t.TempDir()
-	st, err := Open(dir, Options{Sync: SyncOff, CompactBytes: -1})
+	pl := fault.New(1)
+	st, err := Open(dir, Options{Sync: SyncOff, CompactBytes: -1, Fault: pl})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -551,9 +553,92 @@ func TestStoreSnapshotPartialCompactionFailure(t *testing.T) {
 	if _, err := e.AddEdge(0, 1); err != nil {
 		t.Fatal(err)
 	}
-	st.mu.Lock()
-	st.wal.injectCompactErr = errors.New("transient compaction failure")
-	st.mu.Unlock()
+	pl.Fail(fault.WALWrite, 1, errors.New("transient: EIO blip"))
+	if _, err := e.AddEdge(1, 2); err != nil {
+		t.Fatalf("append with one-shot fault = %v, want nil (absorbed by in-line retry)", err)
+	}
+	if got := st.Stats().AppendRetrySaves; got != 1 {
+		t.Fatalf("AppendRetrySaves = %d, want 1", got)
+	}
+	if !st.WALAppendable() {
+		t.Fatal("store should be fully appendable after the retry save")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir, Options{Sync: SyncOff, CompactBytes: -1})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st2.Close()
+	if st2.Engine().Seq() != 2 {
+		t.Fatalf("recovered seq = %d, want 2 (the retried batch is durable)", st2.Engine().Seq())
+	}
+	assertSameState(t, e, st2.Engine())
+}
+
+// TestStoreAppendRetryGivesUpOnPersistentFault: a fault that outlasts the
+// retry budget surfaces as *kcore.HookError, and the deferred record still
+// rides ahead of the next successful append — the bounded retry changes
+// latency, never durability semantics.
+func TestStoreAppendRetryGivesUpOnPersistentFault(t *testing.T) {
+	dir := t.TempDir()
+	pl := fault.New(1)
+	st, err := Open(dir, Options{Sync: SyncOff, CompactBytes: -1, Fault: pl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := st.Engine()
+	if _, err := e.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Default budget is 1 initial try + 2 retries; arm 3 failures.
+	pl.Fail(fault.WALWrite, 3, errors.New("persistent: no space left on device"))
+	var he *kcore.HookError
+	if _, err := e.AddEdge(1, 2); !errors.As(err, &he) {
+		t.Fatalf("append past retry budget = %v, want *kcore.HookError", err)
+	}
+	if st.WALAppendable() {
+		t.Fatal("store should report a WAL backlog after exhausted retries")
+	}
+	// Fault spent: the next batch flushes the backlog and heals.
+	if _, err := e.AddEdge(2, 3); err != nil {
+		t.Fatalf("append after fault cleared: %v", err)
+	}
+	if !st.WALAppendable() {
+		t.Fatal("store should be appendable again once the backlog flushed")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir, Options{Sync: SyncOff, CompactBytes: -1})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st2.Close()
+	if st2.Engine().Seq() != 3 {
+		t.Fatalf("recovered seq = %d, want 3 (no loss)", st2.Engine().Seq())
+	}
+	assertSameState(t, e, st2.Engine())
+}
+
+// TestStoreSnapshotPartialCompactionFailure: when the snapshot file lands,
+// the WAL shrink fails, but the log remains append-ready, Snapshot reports
+// partial success — a valid SnapshotInfo plus an ErrCompaction-wrapped
+// error — appends keep working, and the directory still recovers (replay
+// skips the records the snapshot covers).
+func TestStoreSnapshotPartialCompactionFailure(t *testing.T) {
+	dir := t.TempDir()
+	pl := fault.New(1)
+	st, err := Open(dir, Options{Sync: SyncOff, CompactBytes: -1, Fault: pl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := st.Engine()
+	if _, err := e.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	pl.Fail(fault.WALCompact, 1, errors.New("transient compaction failure"))
 	info, err := st.Snapshot()
 	if !errors.Is(err, ErrCompaction) {
 		t.Fatalf("err = %v, want ErrCompaction", err)

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"kcore"
+	"kcore/internal/fault"
 )
 
 // WALVersion is the current write-ahead-log format version. Bump it — and
@@ -197,10 +198,11 @@ func ScanWALFile(path string, fn func(rec WALRecord) error) (records uint64, tor
 // wal is the append side of the write-ahead log. It is not safe for
 // concurrent use; the Store serializes access.
 type wal struct {
-	f      *os.File
+	f      *fault.File
 	path   string
 	policy SyncPolicy
 	every  time.Duration
+	fault  *fault.Plane // nil in production; see internal/fault
 
 	buf      []byte // frame scratch, one Write call per append
 	size     int64  // current file size
@@ -220,21 +222,12 @@ type wal struct {
 	// maxPendingBytes; an overflow falls back to gap refusal + heal.
 	pending        []byte
 	pendingRecords uint64
-
-	// injectWriteErr / injectCompactErr, when non-nil, make the next write
-	// (resp. compactTo) fail with the given error while touching nothing.
-	// Test-only fault injection for the transient-failure paths, which are
-	// otherwise unreachable without breaking the handle.
-	injectWriteErr   error
-	injectCompactErr error
 }
 
-// write performs one file write (with test fault injection).
+// write performs one file write. Fault injection (errors, short writes,
+// latency) happens inside the fault.File wrapper — a short write leaves a
+// real partial frame behind for rollback to truncate away.
 func (w *wal) write(b []byte) error {
-	if err := w.injectWriteErr; err != nil {
-		w.injectWriteErr = nil
-		return err
-	}
 	_, err := w.f.Write(b)
 	return err
 }
@@ -277,6 +270,28 @@ func (w *wal) flushPending() error {
 	return nil
 }
 
+// flushDeferred retries the deferred backlog immediately, honoring the sync
+// policy on success — the bounded in-line retry path of the apply hook (see
+// Options.AppendRetries). On success the log has fully caught up with the
+// engine and the append that deferred is as durable as a first-try append.
+func (w *wal) flushDeferred() error {
+	if w.failed {
+		return fmt.Errorf("persist: WAL sealed after a failed write (a snapshot will rebuild it)")
+	}
+	if err := w.flushPending(); err != nil {
+		return fmt.Errorf("persist: WAL append retry: %w", err)
+	}
+	switch w.policy {
+	case SyncAlways:
+		return w.sync()
+	case SyncInterval:
+		if time.Since(w.lastSync) >= w.every {
+			return w.sync()
+		}
+	}
+	return nil
+}
+
 // deferFrame retains an encoded frame whose write failed, keeping the chain
 // alive for a later flushPending. Past the backlog cap (or with an unusable
 // file) the frame is dropped — the chain check then refuses further appends
@@ -304,8 +319,8 @@ var errWALGap = errors.New("persist: WAL behind engine state (batch not logged; 
 // during recovery before calling openWAL. base is the sequence number the
 // current snapshot covers: when the log is empty, the first appended record
 // must chain onto it (replayWAL starts its cursor there).
-func openWAL(path string, policy SyncPolicy, every time.Duration, records uint64, lastSeq uint64, base uint64) (*wal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+func openWAL(path string, policy SyncPolicy, every time.Duration, records uint64, lastSeq uint64, base uint64, plane *fault.Plane) (*wal, error) {
+	f, err := fault.Open(plane, "wal", path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("persist: open WAL: %w", err)
 	}
@@ -314,7 +329,7 @@ func openWAL(path string, policy SyncPolicy, every time.Duration, records uint64
 		f.Close()
 		return nil, fmt.Errorf("persist: stat WAL: %w", err)
 	}
-	w := &wal{f: f, path: path, policy: policy, every: every,
+	w := &wal{f: f, path: path, policy: policy, every: every, fault: plane,
 		size: st.Size(), records: records, lastSeq: lastSeq, base: base, lastSync: time.Now()}
 	if w.size == 0 {
 		var hdr [walHeaderLen]byte
@@ -412,9 +427,8 @@ func (w *wal) sync() error {
 // trusted — and a successful rewrite clears the seal: the snapshot at upto
 // covers everything the rebuilt log lacks, so appends may resume.
 func (w *wal) compactTo(upto uint64) error {
-	if err := w.injectCompactErr; err != nil {
-		w.injectCompactErr = nil
-		return err
+	if out := w.fault.Check(fault.WALCompact); out.Err != nil {
+		return fmt.Errorf("persist: WAL compact: %w", out.Err)
 	}
 	// lastSeq covers deferred frames too, so the fast path only fires when
 	// the snapshot covers the entire chain, file and backlog alike.
@@ -452,7 +466,7 @@ func (w *wal) compactTo(upto uint64) error {
 	// second handle from the start (a fresh open by path, so this also works
 	// when the old handle is orphaned or the file ends in a partial frame —
 	// the scan drops an incomplete tail as torn).
-	tmp, err := os.CreateTemp(filepath.Dir(w.path), "wal.tmp-*")
+	tmp, err := fault.CreateTemp(w.fault, "wal", filepath.Dir(w.path), "wal.tmp-*")
 	if err != nil {
 		return fmt.Errorf("persist: WAL rewrite temp: %w", err)
 	}
@@ -497,7 +511,7 @@ func (w *wal) compactTo(upto uint64) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("persist: WAL rewrite close: %w", err)
 	}
-	if err := os.Rename(tmpName, w.path); err != nil {
+	if err := fault.Rename(w.fault, "wal", tmpName, w.path); err != nil {
 		return fmt.Errorf("persist: WAL rewrite rename: %w", err)
 	}
 	syncDir(filepath.Dir(w.path))
@@ -507,7 +521,7 @@ func (w *wal) compactTo(upto uint64) error {
 	// report success while landing in an orphaned file, silently losing
 	// acknowledged batches on the next restart.
 	old := w.f
-	f, err := os.OpenFile(w.path, os.O_RDWR, 0o644)
+	f, err := fault.Open(w.fault, "wal", w.path, os.O_RDWR, 0o644)
 	if err != nil {
 		w.failed = true
 		return fmt.Errorf("persist: reopen WAL: %w", err)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"kcore"
+	"kcore/internal/fault"
 )
 
 // buildWAL assembles WAL file bytes from records (test helper; the golden
@@ -137,7 +138,7 @@ func TestWALRejectsCorruption(t *testing.T) {
 // next Open and make the whole log unrecoverable.
 func TestWALRefusesGapAppend(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.kcl")
-	w, err := openWAL(path, SyncOff, time.Second, 0, 0, 0)
+	w, err := openWAL(path, SyncOff, time.Second, 0, 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestWALRefusesGapAppend(t *testing.T) {
 	// Crash window between a compaction's snapshot rename and WAL shrink:
 	// every leftover record is covered by the snapshot (base > lastSeq), so
 	// the next append chains onto the snapshot seq, not the stale records.
-	w2, err := openWAL(path, SyncOff, time.Second, 2, 4, 9)
+	w2, err := openWAL(path, SyncOff, time.Second, 2, 4, 9, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,14 +192,15 @@ func TestWALRefusesGapAppend(t *testing.T) {
 // on-disk chain stays contiguous.
 func TestWALDeferredFlushAfterTransientFailure(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.kcl")
-	w, err := openWAL(path, SyncOff, time.Second, 0, 0, 0)
+	pl := fault.New(1)
+	w, err := openWAL(path, SyncOff, time.Second, 0, 0, 0, pl)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := w.append(1, []kcore.Update{kcore.Add(0, 1)}); err != nil {
 		t.Fatal(err)
 	}
-	w.injectWriteErr = errors.New("transient: no space left on device")
+	pl.Fail(fault.WALWrite, 1, errors.New("transient: no space left on device"))
 	if err := w.append(2, []kcore.Update{kcore.Add(1, 2)}); err == nil {
 		t.Fatal("append with a failing write must report the error")
 	}
@@ -235,7 +237,8 @@ func TestWALDeferredFlushAfterTransientFailure(t *testing.T) {
 // rewrite and flushes into the rebuilt file.
 func TestWALRewriteRetainsDeferredFrames(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.kcl")
-	w, err := openWAL(path, SyncOff, time.Second, 0, 0, 0)
+	pl := fault.New(1)
+	w, err := openWAL(path, SyncOff, time.Second, 0, 0, 0, pl)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +247,7 @@ func TestWALRewriteRetainsDeferredFrames(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	w.injectWriteErr = errors.New("transient")
+	pl.Fail(fault.WALWrite, 1, errors.New("transient"))
 	if err := w.append(3, []kcore.Update{kcore.Add(2, 3)}); err == nil {
 		t.Fatal("append with a failing write must report the error")
 	}
@@ -280,7 +283,7 @@ func TestWALRewriteRetainsDeferredFrames(t *testing.T) {
 // file, which replays cleanly.
 func TestWALSealedRebuildByCompact(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.kcl")
-	w, err := openWAL(path, SyncOff, time.Second, 0, 0, 0)
+	w, err := openWAL(path, SyncOff, time.Second, 0, 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,7 +322,7 @@ func TestWALSealedRebuildByCompact(t *testing.T) {
 
 func TestWALAppendAndCompact(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.kcl")
-	w, err := openWAL(path, SyncAlways, time.Second, 0, 0, 0)
+	w, err := openWAL(path, SyncAlways, time.Second, 0, 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

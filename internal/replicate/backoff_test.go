@@ -1,0 +1,46 @@
+package replicate
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFollowerBackoffEnvelope pins the follower's reconnect pacing to its
+// options: every delay stays inside the jitter envelope [min/2, min] →
+// doubling → [max/2, max], and a fresh outage starts a fresh envelope
+// (run builds a new Backoff per disconnect, so a success resets the
+// delay). The fault package owns the Backoff unit tests; this test guards
+// the option mapping.
+func TestFollowerBackoffEnvelope(t *testing.T) {
+	f := &Follower{opts: FollowerOptions{
+		ReconnectMin: 80 * time.Millisecond,
+		ReconnectMax: 300 * time.Millisecond,
+	}.withDefaults()}
+
+	bo := f.backoff()
+	if bo.Min != 80*time.Millisecond || bo.Max != 300*time.Millisecond {
+		t.Fatalf("backoff envelope = [%v, %v], want the reconnect options", bo.Min, bo.Max)
+	}
+	base := 80 * time.Millisecond
+	for i := 0; i < 10; i++ {
+		d := bo.Next()
+		if d < base/2 || d > base {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", i, d, base/2, base)
+		}
+		base = min(base*2, 300*time.Millisecond)
+	}
+
+	// A fresh envelope (what run builds after each successful stream)
+	// starts back at the minimum.
+	fresh := f.backoff()
+	if d := fresh.Next(); d > 80*time.Millisecond {
+		t.Fatalf("fresh envelope first delay %v, want <= ReconnectMin", d)
+	}
+
+	// Defaults apply when the options are zero.
+	fd := &Follower{opts: FollowerOptions{}.withDefaults()}
+	bo = fd.backoff()
+	if bo.Min != 100*time.Millisecond || bo.Max != 5*time.Second {
+		t.Fatalf("default envelope = [%v, %v], want [100ms, 5s]", bo.Min, bo.Max)
+	}
+}

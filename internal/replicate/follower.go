@@ -7,7 +7,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand/v2"
 	"net"
 	"net/http"
 	"net/url"
@@ -17,6 +16,7 @@ import (
 	"time"
 
 	"kcore"
+	"kcore/internal/fault"
 	"kcore/internal/persist"
 	"kcore/internal/server/wire"
 )
@@ -115,7 +115,7 @@ func StartFollower(ctx context.Context, primaryURL string, opts FollowerOptions)
 	f := &Follower{primary: u.String(), opts: opts.withDefaults()}
 	f.ctx, f.cancel = context.WithCancel(context.Background())
 
-	backoff := f.opts.ReconnectMin
+	bo := f.backoff()
 	for {
 		st, err := f.connect()
 		if err == nil {
@@ -128,10 +128,15 @@ func StartFollower(ctx context.Context, primaryURL string, opts FollowerOptions)
 		case <-ctx.Done():
 			f.cancel()
 			return nil, fmt.Errorf("replicate: bootstrap from %s: %w (last attempt: %v)", f.primary, ctx.Err(), err)
-		case <-time.After(jitter(backoff)):
+		case <-time.After(bo.Next()):
 		}
-		backoff = min(backoff*2, f.opts.ReconnectMax)
 	}
+}
+
+// backoff builds the follower's jittered exponential reconnect envelope.
+// Jitter keeps severed followers from reconnecting in lockstep.
+func (f *Follower) backoff() fault.Backoff {
+	return fault.Backoff{Min: f.opts.ReconnectMin, Max: f.opts.ReconnectMax}
 }
 
 // Primary is the primary's base URL.
@@ -290,7 +295,9 @@ func (f *Follower) run(st *stream) {
 			return
 		}
 
-		backoff := f.opts.ReconnectMin
+		// A fresh envelope per outage: a successful stream resets the
+		// delay, so a long-lived follower never pays a stale maximum.
+		bo := f.backoff()
 		for {
 			f.mu.Lock()
 			f.reconnects++
@@ -306,9 +313,8 @@ func (f *Follower) run(st *stream) {
 			select {
 			case <-f.ctx.Done():
 				return
-			case <-time.After(jitter(backoff)):
+			case <-time.After(bo.Next()):
 			}
-			backoff = min(backoff*2, f.opts.ReconnectMax)
 		}
 	}
 }
@@ -420,10 +426,4 @@ func decodeWireError(resp *http.Response) error {
 		return envelope.Error
 	}
 	return fmt.Errorf("replicate: primary answered %s", resp.Status)
-}
-
-// jitter spreads a backoff delay to 50–100% of d so severed followers do
-// not reconnect in lockstep.
-func jitter(d time.Duration) time.Duration {
-	return d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
 }

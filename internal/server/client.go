@@ -5,15 +5,47 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
+	"kcore/internal/fault"
 	"kcore/internal/server/wire"
 )
+
+// RetryPolicy controls the client's automatic retry of transient
+// rejections. Only responses whose retry is provably safe are retried:
+// 429 "overloaded" and 503 "degraded", where the server rejected the
+// request before applying anything. "shutting_down" (the server is going
+// away) and "persistence_failed" (the batch DID apply; a retry would
+// double-apply) are never retried. The server's Retry-After header, when
+// present, overrides the computed backoff delay (capped at Backoff.Max).
+type RetryPolicy struct {
+	// Attempts is the total number of tries, including the first
+	// (default 4; 1 disables retries).
+	Attempts int
+	// Backoff is the jittered exponential delay envelope between tries
+	// (default 50ms min, 1s max). The zero value selects the defaults.
+	Backoff fault.Backoff
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 4
+	}
+	if p.Backoff.Min <= 0 {
+		p.Backoff.Min = 50 * time.Millisecond
+	}
+	if p.Backoff.Max <= 0 {
+		p.Backoff.Max = time.Second
+	}
+	return p
+}
 
 // Client is the in-process Go client for kcore-serve. It speaks exactly the
 // wire protocol over a standard http.Client, so it exercises the real HTTP
@@ -22,6 +54,10 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
+
+	// Retry is the transient-rejection retry policy. NewClient installs
+	// the default policy; set it to nil to fail fast on 429/503 instead.
+	Retry *RetryPolicy
 }
 
 // BaseURL reports the normalized base URL the client talks to.
@@ -40,7 +76,8 @@ func NewClient(baseURL string, hc *http.Client) (*Client, error) {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(u.String(), "/"), hc: hc}, nil
+	pol := RetryPolicy{}.withDefaults()
+	return &Client{base: strings.TrimRight(u.String(), "/"), hc: hc, Retry: &pol}, nil
 }
 
 // Batch applies a mixed update batch via POST /v1/batch. A non-2xx response
@@ -119,22 +156,61 @@ func (c *Client) Health(ctx context.Context) (*wire.HealthResponse, error) {
 	return &resp, nil
 }
 
-// do issues one JSON request/response exchange. Non-2xx responses decode
-// the error envelope into a *wire.Error.
+// do issues one JSON exchange, retrying safely-retryable rejections per
+// the client's RetryPolicy. The request body is rebuilt from the marshaled
+// bytes on every attempt.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var data []byte
 	if in != nil {
-		data, err := json.Marshal(in)
-		if err != nil {
+		var err error
+		if data, err = json.Marshal(in); err != nil {
 			return fmt.Errorf("server client: marshal request: %w", err)
 		}
+	}
+	if c.Retry == nil {
+		return c.doOnce(ctx, method, path, data, in != nil, out)
+	}
+	pol := c.Retry.withDefaults()
+	bo := pol.Backoff
+	for attempt := 1; ; attempt++ {
+		err := c.doOnce(ctx, method, path, data, in != nil, out)
+		var we *wire.Error
+		if err == nil || attempt >= pol.Attempts ||
+			!errors.As(err, &we) || !retryable(we) {
+			return err
+		}
+		delay := bo.Next()
+		if we.RetryAfter > 0 {
+			// The server's explicit pacing hint wins, bounded by the
+			// policy's envelope so a bogus header cannot park the caller.
+			delay = min(we.RetryAfter, pol.Backoff.Max)
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return err
+		}
+	}
+}
+
+// retryable reports whether a wire error is provably safe to retry: the
+// server rejected the request without applying it.
+func retryable(we *wire.Error) bool {
+	return we.Code == wire.CodeOverloaded || we.Code == wire.CodeDegraded
+}
+
+// doOnce issues one JSON request/response exchange. Non-2xx responses
+// decode the error envelope into a *wire.Error.
+func (c *Client) doOnce(ctx context.Context, method, path string, data []byte, hasBody bool, out any) error {
+	var body io.Reader
+	if hasBody {
 		body = bytes.NewReader(data)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return fmt.Errorf("server client: %w", err)
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.hc.Do(req)
@@ -149,6 +225,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 				method, path, resp.StatusCode)
 		}
 		envelope.Error.Status = resp.StatusCode
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+			envelope.Error.RetryAfter = time.Duration(secs) * time.Second
+		}
 		return envelope.Error
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {

@@ -58,6 +58,10 @@ func (s *ingestStats) wire() wire.IngestStats {
 type coalescer struct {
 	engine     *kcore.Engine
 	maxPending int // max updates buffered across queued requests
+	// observe, when non-nil, is told every engine Apply outcome (nil on
+	// success) — the server's availability state machine watches for
+	// durability-failure streaks through it. Set before the first submit.
+	observe func(error)
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -142,6 +146,7 @@ func (c *coalescer) flush(reqs []*pending) {
 	c.stats.requests.Add(uint64(len(reqs)))
 	if len(reqs) == 1 {
 		info, err := c.engine.Apply(reqs[0].batch)
+		c.observed(err)
 		reqs[0].done <- singleResult(info, err, 1)
 		return
 	}
@@ -152,6 +157,7 @@ func (c *coalescer) flush(reqs []*pending) {
 		combined = append(combined, r.batch...)
 	}
 	info, err := c.engine.Apply(combined)
+	c.observed(err)
 	if err != nil {
 		// A *kcore.HookError means the combined batch APPLIED in memory but
 		// the durability hook (WAL append) failed afterwards: re-applying
@@ -171,11 +177,19 @@ func (c *coalescer) flush(reqs []*pending) {
 		c.stats.fallbacks.Add(1)
 		for _, r := range reqs {
 			ri, rerr := c.engine.Apply(r.batch)
+			c.observed(rerr)
 			r.done <- singleResult(ri, rerr, 1)
 		}
 		return
 	}
 	c.splitGroup(reqs, info)
+}
+
+// observed forwards one Apply outcome to the observer, if any.
+func (c *coalescer) observed(err error) {
+	if c.observe != nil {
+		c.observe(err)
+	}
 }
 
 // splitGroup maps a successful combined BatchInfo back onto the individual

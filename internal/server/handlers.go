@@ -25,8 +25,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeError serializes the structured error envelope with its HTTP status.
+// writeError serializes the structured error envelope with its HTTP
+// status. Backpressure rejections (429 overloaded, 503 degraded or
+// shutting down) carry a Retry-After header so well-behaved clients pace
+// their retries instead of hammering.
 func writeError(w http.ResponseWriter, e *wire.Error) {
+	if e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, e.Status, wire.ErrorResponse{Error: e})
 }
 
@@ -128,6 +134,16 @@ func toBatch(updates []wire.Update) (kcore.Batch, *wire.Error) {
 	return batch, nil
 }
 
+// degradedError builds the stable 503 for writes on a degraded server.
+// Unlike persistence_failed, the rejected write never applied: retrying
+// (after Retry-After) is safe.
+func degradedError(cause string) *wire.Error {
+	return &wire.Error{
+		Code: wire.CodeDegraded, Status: http.StatusServiceUnavailable,
+		Message: "server is degraded (read-only) while its durability layer heals: " + cause,
+	}
+}
+
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if s.readOnly() {
 		writeError(w, s.readOnlyError())
@@ -137,9 +153,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, toWireError(errShuttingDown))
 		return
 	}
+	if s.health != nil {
+		if degraded, cause := s.health.current(); degraded {
+			writeError(w, degradedError(cause))
+			return
+		}
+	}
+	// Per-request read deadline: a client trickling its body cannot park
+	// this handler past ReadTimeout (server-wide ReadTimeout would kill
+	// SSE streams instead; see Serve). Cleared again after the decode so
+	// the connection's later keep-alive requests are unaffected.
+	rc := http.NewResponseController(w)
+	_ = rc.SetReadDeadline(time.Now().Add(s.opts.ReadTimeout))
 	var req wire.BatchRequest
 	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
+	err := json.NewDecoder(body).Decode(&req)
+	_ = rc.SetReadDeadline(time.Time{})
+	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			writeError(w, &wire.Error{
@@ -224,6 +254,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Replayed:   ex.Replayed,
 			Live:       ex.Live,
 			Recomputed: ex.Recomputed,
+			Panics:     ex.Panics,
 		},
 		Ingest: s.co.stats.wire(),
 	}
@@ -235,6 +266,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			WALRecords:       ps.WALRecords,
 			WALBytes:         ps.WALBytes,
 			Appends:          ps.Appends,
+			AppendRetrySaves: ps.AppendRetrySaves,
 			Syncs:            ps.Syncs,
 			Compactions:      ps.Compactions,
 			CompactErrors:    ps.CompactErrors,
@@ -243,6 +275,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			RecoveredSeq:     ps.RecoveredSeq,
 			TornBytes:        ps.TornBytes,
 		}
+	}
+	if h := s.health; h != nil {
+		av := &wire.AvailabilityStats{
+			State:        "healthy",
+			Degradations: h.degradations.Load(),
+			Recoveries:   h.recoveries.Load(),
+			Probes:       h.probes.Load(),
+		}
+		if degraded, cause := h.current(); degraded {
+			av.State, av.Cause = "degraded", cause
+			av.DegradedForMS = h.degradedFor().Milliseconds()
+		}
+		resp.Availability = av
 	}
 	if pub := s.opts.Publisher; pub != nil {
 		rs := pub.Stats()
@@ -327,10 +372,25 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleHealthz always answers 200 — it is a liveness probe and must keep
+// answering precisely when the server is unwell. Status and Mode carry
+// the availability verdict; load balancers route writes on those.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	status := "ok"
-	if s.draining.Load() {
-		status = "draining"
+	resp := wire.HealthResponse{Status: "ok", Mode: "read_write", Seq: s.eng().Seq()}
+	switch {
+	case s.opts.Follower != nil:
+		resp.Mode = "follower"
+	case s.opts.ReadOnly:
+		resp.Mode = "read_only"
 	}
-	writeJSON(w, http.StatusOK, wire.HealthResponse{Status: status, Seq: s.eng().Seq()})
+	if s.health != nil {
+		if degraded, cause := s.health.current(); degraded {
+			resp.Status, resp.Cause = "degraded", cause
+			resp.Mode = "read_only"
+		}
+	}
+	if s.draining.Load() {
+		resp.Status = "draining"
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

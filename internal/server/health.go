@@ -1,0 +1,159 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kcore"
+	"kcore/internal/fault"
+	"kcore/internal/persist"
+)
+
+// degradeAfter is the number of consecutive durability (apply-hook)
+// failures that flips a healthy server to degraded read-only mode. A
+// sealed WAL degrades immediately — it cannot heal through traffic — but
+// a deferred-backlog failure may clear on the very next append, so a
+// single blip that the store's own in-line retry missed does not give up
+// write availability.
+const degradeAfter = 3
+
+// health is the server's availability state machine. A persisted writable
+// server is either healthy (writes flow) or degraded (read-only: writes
+// answer 503 "degraded" with Retry-After until the durability layer
+// heals). Transitions:
+//
+//	healthy --(WAL sealed, or degradeAfter consecutive hook failures)--> degraded
+//	degraded --(recovery probe heals the log)--> healthy
+//
+// While degraded, a background probe repeatedly calls persist.Store.Heal
+// (snapshot + log rebuild) under jittered exponential backoff; recovery
+// is automatic, no operator action required for transient faults.
+type health struct {
+	store *persist.Store
+
+	mu          sync.Mutex
+	degraded    bool
+	cause       string
+	since       time.Time
+	consecFails int
+
+	degradations atomic.Uint64
+	recoveries   atomic.Uint64
+	probes       atomic.Uint64
+
+	kick     chan struct{} // buffered(1): wakes the recovery probe
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+func newHealth(store *persist.Store) *health {
+	h := &health{
+		store: store,
+		kick:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+	}
+	h.wg.Add(1)
+	go h.probeLoop()
+	return h
+}
+
+// observe is called by the ingest coalescer with every engine Apply
+// outcome. Only durability failures (*kcore.HookError) count against the
+// consecutive-failure budget; validation failures say nothing about the
+// log's health, and a success resets the streak.
+func (h *health) observe(err error) {
+	var he *kcore.HookError
+	if err == nil {
+		h.mu.Lock()
+		h.consecFails = 0
+		h.mu.Unlock()
+		return
+	}
+	if !errors.As(err, &he) {
+		return
+	}
+	h.mu.Lock()
+	h.consecFails++
+	trip := h.consecFails >= degradeAfter
+	h.mu.Unlock()
+	if trip || h.store.Sealed() {
+		h.degrade(fmt.Sprintf("write-ahead log append failing: %v", he.Err))
+	}
+}
+
+// degrade flips to degraded (idempotent) and kicks the recovery probe.
+func (h *health) degrade(cause string) {
+	h.mu.Lock()
+	if h.degraded {
+		h.mu.Unlock()
+		return
+	}
+	h.degraded = true
+	h.cause = cause
+	h.since = time.Now()
+	h.mu.Unlock()
+	h.degradations.Add(1)
+	select {
+	case h.kick <- struct{}{}:
+	default:
+	}
+}
+
+// current reports the state for the write path and the health endpoint.
+func (h *health) current() (degraded bool, cause string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.degraded, h.cause
+}
+
+// degradedFor reports how long the server has been degraded (0 if not).
+func (h *health) degradedFor() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.degraded {
+		return 0
+	}
+	return time.Since(h.since)
+}
+
+// probeLoop runs for the server's lifetime: each kick starts a recovery
+// loop that heals the store under backoff until the log accepts appends
+// again, then re-enters healthy and waits for the next kick.
+func (h *health) probeLoop() {
+	defer h.wg.Done()
+	for {
+		select {
+		case <-h.stop:
+			return
+		case <-h.kick:
+		}
+		bo := fault.Backoff{Min: 25 * time.Millisecond, Max: 2 * time.Second}
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-time.After(bo.Next()):
+			}
+			h.probes.Add(1)
+			if err := h.store.Heal(); err == nil && h.store.WALAppendable() {
+				h.mu.Lock()
+				h.degraded = false
+				h.cause = ""
+				h.consecFails = 0
+				h.mu.Unlock()
+				h.recoveries.Add(1)
+				break
+			}
+		}
+	}
+}
+
+// close stops the recovery probe. Idempotent.
+func (h *health) close() {
+	h.stopOnce.Do(func() { close(h.stop) })
+	h.wg.Wait()
+}

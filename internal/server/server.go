@@ -42,9 +42,18 @@ type Options struct {
 	WatchBuffer int
 	// MaxWatchBuffer caps the per-request ?buffer= parameter. Default 65536.
 	MaxWatchBuffer int
-	// ReadHeaderTimeout guards Serve against slow-header clients.
-	// Default 10s.
+	// ReadHeaderTimeout guards Serve against slow-header clients (a
+	// slowloris opener never parks a connection past it). Default 10s.
 	ReadHeaderTimeout time.Duration
+	// ReadTimeout bounds reading one mutation request's body (applied
+	// per-request via a read deadline on the write endpoints, NOT as
+	// http.Server.ReadTimeout — a server-wide read deadline would kill
+	// long-lived watch streams). A client trickling a POST body cannot
+	// park a handler past it. Default 30s.
+	ReadTimeout time.Duration
+	// IdleTimeout caps how long Serve keeps an idle keep-alive connection
+	// open between requests. Default 2m.
+	IdleTimeout time.Duration
 	// Keepalive paces comment lines (and pending lagged reports) on idle
 	// watch streams. Default 15s.
 	Keepalive time.Duration
@@ -93,6 +102,12 @@ func (o Options) withDefaults() Options {
 	if o.ReadHeaderTimeout <= 0 {
 		o.ReadHeaderTimeout = 10 * time.Second
 	}
+	if o.ReadTimeout <= 0 {
+		o.ReadTimeout = 30 * time.Second
+	}
+	if o.IdleTimeout <= 0 {
+		o.IdleTimeout = 2 * time.Minute
+	}
 	if o.Keepalive <= 0 {
 		o.Keepalive = 15 * time.Second
 	}
@@ -111,6 +126,9 @@ type Server struct {
 	opts   Options
 	co     *coalescer
 	mux    *http.ServeMux
+	// health is the availability state machine; nil when the server runs
+	// without persistence or is read-only (nothing to degrade on).
+	health *health
 
 	httpMu   sync.Mutex
 	httpSrv  *http.Server
@@ -128,6 +146,10 @@ func New(engine *kcore.Engine, opts Options) *Server {
 		stop:   make(chan struct{}),
 	}
 	s.co = newCoalescer(engine, s.opts.MaxPending)
+	if s.opts.Persist != nil && !s.opts.ReadOnly && s.opts.Follower == nil {
+		s.health = newHealth(s.opts.Persist)
+		s.co.observe = s.health.observe
+	}
 	// Method-less patterns with an explicit guard (rather than "GET /path"
 	// patterns) so wrong-method and unknown-path responses carry the wire
 	// protocol's JSON error envelope instead of ServeMux's plain text.
@@ -173,9 +195,13 @@ func (s *Server) Serve(l net.Listener) error {
 		s.httpMu.Unlock()
 		return fmt.Errorf("server: Serve called twice")
 	}
+	// ReadTimeout is deliberately NOT set here: a server-wide read deadline
+	// fires mid-stream on long-lived SSE watch responses. The write
+	// endpoints arm a per-request read deadline instead (see handleBatch).
 	s.httpSrv = &http.Server{
 		Handler:           s.mux,
 		ReadHeaderTimeout: s.opts.ReadHeaderTimeout,
+		IdleTimeout:       s.opts.IdleTimeout,
 	}
 	srv := s.httpSrv
 	s.httpMu.Unlock()
@@ -193,6 +219,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.stopOnce.Do(func() {
 		s.co.close() // reject new writes, drain queued ones
+		if s.health != nil {
+			s.health.close()
+		}
 		close(s.stop)
 	})
 	s.httpMu.Lock()
@@ -212,6 +241,9 @@ func (s *Server) Close() error {
 	s.draining.Store(true)
 	s.stopOnce.Do(func() {
 		s.co.close()
+		if s.health != nil {
+			s.health.close()
+		}
 		close(s.stop)
 	})
 	s.httpMu.Lock()

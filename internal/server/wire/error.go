@@ -1,6 +1,9 @@
 package wire
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Error codes carried in ErrorResponse. Mutation codes mirror the kcore
 // sentinel errors one-to-one so clients can branch without string matching.
@@ -25,6 +28,12 @@ const (
 	// CodeShuttingDown: the server is draining and no longer accepts writes
 	// (HTTP 503).
 	CodeShuttingDown = "shutting_down"
+	// CodeDegraded: the server entered degraded read-only mode because its
+	// durability layer is failing (sealed write-ahead log or repeated append
+	// failures); writes are rejected until the automatic recovery probe
+	// heals the log. The response carries a Retry-After header — the write
+	// IS safe to retry, unlike "persistence_failed" (HTTP 503).
+	CodeDegraded = "degraded"
 	// CodeNotFound: no such endpoint or resource (HTTP 404).
 	CodeNotFound = "not_found"
 	// CodeMethodNotAllowed: the endpoint exists but not for this HTTP
@@ -65,6 +74,9 @@ type Error struct {
 	// Status is the HTTP status the error was served with. It is set by the
 	// client from the response and not serialized.
 	Status int `json:"-"`
+	// RetryAfter is the parsed Retry-After header of a 429/503 response
+	// (zero when absent). Set by the client, not serialized.
+	RetryAfter time.Duration `json:"-"`
 }
 
 // Error renders the wire error for logs and error chains.

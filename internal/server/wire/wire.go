@@ -71,6 +71,20 @@
 // still 200 with SnapshotResponse.Warning set — the data is safe, the log
 // merely kept its size — rather than a misleading 500.
 //
+// # Degraded mode
+//
+// A persisted server tracks its durability layer's health. When the
+// write-ahead log seals itself (unusable handle) or several consecutive
+// batches fail their append, the server flips to degraded read-only mode:
+// POST /v1/batch and /v1/snapshot answer 503 with the stable code
+// "degraded" and a Retry-After header (the write never applied — retrying
+// it is safe, unlike "persistence_failed"), reads keep working, and
+// GET /v1/healthz reports status "degraded" with the cause. A background
+// recovery probe repeatedly tries to heal the log (snapshot + rebuild)
+// with jittered exponential backoff; once the log accepts appends again
+// the server re-enters healthy mode on its own. The transitions are
+// observable in StatsResponse.Availability.
+//
 // Reads never block writes, and every query response carries the engine
 // sequence number ("seq") of the state it describes. The k-core listing is
 // served from an immutable engine snapshot (kcore.Engine.View); the
@@ -186,12 +200,16 @@ type KCoreResponse struct {
 }
 
 // ExecStats mirrors kcore.ExecStats: lifetime update counts per batch
-// execution mode.
+// execution mode, plus the count of contained engine panics.
 type ExecStats struct {
 	Sequential uint64 `json:"sequential"`
 	Replayed   uint64 `json:"replayed"`
 	Live       uint64 `json:"live"`
 	Recomputed uint64 `json:"recomputed"`
+	// Panics counts batches quarantined by the engine's panic containment:
+	// the batch was rejected and the maintained state rebuilt wholesale.
+	// Non-zero values deserve investigation.
+	Panics uint64 `json:"panics,omitempty"`
 }
 
 // IngestStats counts the ingest coalescer's lifetime activity.
@@ -221,9 +239,12 @@ type PersistStats struct {
 	WALRecords uint64 `json:"wal_records"`
 	WALBytes   int64  `json:"wal_bytes"`
 	// Appends, Syncs and Compactions are lifetime durability counters.
-	Appends     uint64 `json:"appends"`
-	Syncs       uint64 `json:"syncs"`
-	Compactions uint64 `json:"compactions"`
+	// AppendRetrySaves counts appends that failed transiently and succeeded
+	// within the store's bounded in-line retry — faults callers never saw.
+	Appends          uint64 `json:"appends"`
+	AppendRetrySaves uint64 `json:"append_retry_saves,omitempty"`
+	Syncs            uint64 `json:"syncs"`
+	Compactions      uint64 `json:"compactions"`
 	// CompactErrors counts failed background compactions; SyncErrors counts
 	// failed background interval fsyncs. Both should stay 0 — a non-zero
 	// value means acknowledged batches may have reduced durability.
@@ -329,15 +350,48 @@ type StatsResponse struct {
 	// Persist carries the durability counters; nil when the server runs
 	// without persistence.
 	Persist *PersistStats `json:"persist,omitempty"`
+	// Availability carries the degraded-mode state machine's counters; nil
+	// when the server runs without persistence (it then has no durability
+	// layer to degrade on).
+	Availability *AvailabilityStats `json:"availability,omitempty"`
 	// Replication carries replication health; nil when the server neither
 	// publishes to followers nor follows a primary.
 	Replication *ReplicationStats `json:"replication,omitempty"`
 }
 
-// HealthResponse is the body of GET /v1/healthz.
+// AvailabilityStats is the availability section of StatsResponse: the
+// current state of the degraded-mode state machine and its lifetime
+// transition counters.
+type AvailabilityStats struct {
+	// State is "healthy" or "degraded". While degraded the server is
+	// read-only: writes answer 503 "degraded" with a Retry-After header.
+	State string `json:"state"`
+	// Cause describes what degraded the server; empty while healthy.
+	Cause string `json:"cause,omitempty"`
+	// DegradedForMS is how long the server has been degraded (0 while
+	// healthy).
+	DegradedForMS int64 `json:"degraded_for_ms,omitempty"`
+	// Degradations and Recoveries count state transitions; Probes counts
+	// recovery-probe attempts (each tries to heal the durability layer).
+	Degradations uint64 `json:"degradations"`
+	Recoveries   uint64 `json:"recoveries"`
+	Probes       uint64 `json:"probes"`
+}
+
+// HealthResponse is the body of GET /v1/healthz. The endpoint always
+// answers 200 — it is a liveness probe; route write traffic on Status
+// ("ok") and Mode ("read_write") instead.
 type HealthResponse struct {
-	Status string `json:"status"` // "ok", or "draining" during shutdown
-	Seq    uint64 `json:"seq"`
+	// Status is "ok", "degraded" (durability failing, writes rejected with
+	// 503 until the recovery probe heals the log), or "draining" (shutdown
+	// in progress).
+	Status string `json:"status"`
+	// Mode is the write-path mode: "read_write", "read_only" (started with
+	// -read-only, or temporarily while degraded), or "follower".
+	Mode string `json:"mode"`
+	// Cause explains a degraded status; empty otherwise.
+	Cause string `json:"cause,omitempty"`
+	Seq   uint64 `json:"seq"`
 }
 
 // SSE event names sent on /v1/watch streams.

@@ -294,6 +294,7 @@ type Engine struct {
 	// that is not news, ReplayNotify leaves events on).
 	hook      ApplyHook
 	tap       ApplyTap
+	probe     func(updates int)
 	hookBuf   []Update
 	replaying bool
 	silent    bool
@@ -394,6 +395,10 @@ type ExecStats struct {
 	Live uint64
 	// Recomputed counts updates absorbed by a wholesale recomputation.
 	Recomputed uint64
+	// Panics counts batches quarantined by panic containment: their
+	// execution panicked, the engine recovered and recomputed its
+	// maintained state wholesale, and the Apply caller got a *PanicError.
+	Panics uint64
 }
 
 // ExecStats reports cumulative batch execution counters.
