@@ -102,6 +102,28 @@ func TestCompareReportsMalformed(t *testing.T) {
 	}
 }
 
+// Old reports carry allocs_per_op/bytes_per_op on every result (including a
+// meaningless 0 on latency-style rows); new ones omit them when unmeasured.
+// -compare must accept both generations on either side.
+func TestCompareReportsToleratesAllocSchemaChange(t *testing.T) {
+	dir := t.TempDir()
+	oldStyle := filepath.Join(dir, "old.json")
+	if err := os.WriteFile(oldStyle, []byte(`{"schema":"`+bench.ReportSchema+`","go":"go1.24","arch":"amd64",`+
+		`"results":[{"name":"engine/apply-batch","ns_per_op":1000,"allocs_per_op":0,"bytes_per_op":0,"iterations":3}]}`),
+		0o644); err != nil {
+		t.Fatal(err)
+	}
+	newStyle := writeTestReport(t, dir, "new.json", func(r *bench.Report) {
+		r.Results[0].NsPerOp = 1100 // no alloc fields at all
+	})
+	if err := compareReports(oldStyle+","+newStyle, "engine/apply-batch", 1.2); err != nil {
+		t.Fatalf("cross-generation compare failed: %v", err)
+	}
+	if err := compareReports(newStyle+","+oldStyle, "engine/apply-batch", 1.2); err != nil {
+		t.Fatalf("reversed cross-generation compare failed: %v", err)
+	}
+}
+
 func TestCompareReportsMissingResult(t *testing.T) {
 	dir := t.TempDir()
 	oldP := writeTestReport(t, dir, "old.json", nil)

@@ -9,6 +9,7 @@
 //	kcore-bench -datasets facebook-sim,ca-sim   restrict datasets
 //	kcore-bench -experiment hotpath -json out.json   machine-readable results
 //	kcore-bench -experiment parallel -workers 1,2,4,8 -json BENCH_parallel.json
+//	kcore-bench -experiment serve2 -fanout 100,1000,10000 -json BENCH_serve.json
 //	kcore-bench -compare OLD.json,NEW.json -compare-name engine/apply-batch -max-ratio 1.2
 package main
 
@@ -31,7 +32,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment name: all|batchapi|parallel|serve|persist|replicate|chaos|"+strings.Join(bench.ExperimentNames, "|"))
+		experiment = flag.String("experiment", "all", "experiment name: all|batchapi|parallel|serve|serve2|persist|replicate|chaos|"+strings.Join(bench.ExperimentNames, "|"))
 		edges      = flag.Int("edges", 10000, "workload edges per dataset (paper: 100000)")
 		groups     = flag.Int("groups", 10, "stability-test groups (paper: 100)")
 		hops       = flag.String("hops", "2,3,4,5,6", "traversal hop variants")
@@ -42,8 +43,12 @@ func main() {
 		compare    = flag.String("compare", "", "regression guard: OLD.json,NEW.json — compare the -compare-name result and exit 1 when NEW exceeds OLD by more than -max-ratio")
 		cmpName    = flag.String("compare-name", "engine/apply-batch", "result name checked by -compare")
 		maxRatio   = flag.Float64("max-ratio", 1.2, "largest allowed NEW/OLD ns-per-op ratio for -compare")
+		fanout     = flag.String("fanout", "100,1000,10000", "watcher tiers the serve2 fan-out sweep runs")
+		minSpeedup = flag.Float64("min-speedup", 0, "serve2 guard: fail unless binary ingest beats JSON by this factor (0 = off)")
+		jsonMerge  = flag.Bool("json-merge", false, "merge -json results into an existing report instead of overwriting it (same-name rows are replaced)")
 	)
 	flag.Parse()
+	mergeReports = *jsonMerge
 
 	if *compare != "" {
 		if err := compareReports(*compare, *cmpName, *maxRatio); err != nil {
@@ -98,6 +103,18 @@ func main() {
 		report.Results = append(report.Results, serveExperiment(cfg)...)
 		writeReport(report, *jsonPath)
 		return
+	case "serve2":
+		var tiers []int
+		for _, f := range strings.Split(*fanout, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || v < 1 {
+				fatal(fmt.Errorf("bad fanout tier %q", f))
+			}
+			tiers = append(tiers, v)
+		}
+		report.Results = append(report.Results, serve2Experiment(cfg, tiers, *minSpeedup)...)
+		writeReport(report, *jsonPath)
+		return
 	case "persist":
 		report.Results = append(report.Results, persistExperiment(cfg)...)
 		writeReport(report, *jsonPath)
@@ -122,7 +139,7 @@ func main() {
 	names := bench.ExperimentNames
 	if *experiment != "all" {
 		if _, ok := bench.Experiments[*experiment]; !ok {
-			fatal(fmt.Errorf("unknown experiment %q (valid: all, batchapi, parallel, serve, persist, replicate, chaos, %s)",
+			fatal(fmt.Errorf("unknown experiment %q (valid: all, batchapi, parallel, serve, serve2, persist, replicate, chaos, %s)",
 				*experiment, strings.Join(bench.ExperimentNames, ", ")))
 		}
 		names = []string{*experiment}
@@ -143,9 +160,41 @@ func main() {
 
 // writeReport writes the JSON document when -json was given. An empty
 // result list still produces a valid (schema-stamped) report.
+// mergeReports makes writeReport fold results into an existing report file
+// (set by -json-merge); BENCH_serve.json carries both the serve and serve2
+// experiments this way.
+var mergeReports bool
+
 func writeReport(r *bench.Report, path string) {
 	if path == "" {
 		return
+	}
+	if mergeReports {
+		if old, err := loadReportDoc(path); err == nil {
+			fresh := make(map[string]bench.Result, len(r.Results))
+			order := []string{}
+			for _, res := range r.Results {
+				if _, ok := fresh[res.Name]; !ok {
+					order = append(order, res.Name)
+				}
+				fresh[res.Name] = res
+			}
+			merged := make([]bench.Result, 0, len(old.Results)+len(r.Results))
+			for _, res := range old.Results {
+				if nres, ok := fresh[res.Name]; ok {
+					merged = append(merged, nres)
+					delete(fresh, nres.Name)
+					continue
+				}
+				merged = append(merged, res)
+			}
+			for _, name := range order {
+				if res, ok := fresh[name]; ok {
+					merged = append(merged, res)
+				}
+			}
+			r.Results = merged
+		}
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -256,6 +305,23 @@ func reportHint(path string) string {
 		`{"schema":%q,"go":...,"arch":...,"results":[{"name":...,"ns_per_op":...}]}); `+
 		"regenerate it with: go run ./cmd/kcore-bench -experiment <name> -json %s",
 		path, bench.ReportSchema, bench.ReportSchema, path)
+}
+
+// loadReportDoc reads one report document whole, for -json-merge.
+func loadReportDoc(path string) (*bench.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep bench.Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, err
+	}
+	if rep.Schema != bench.ReportSchema {
+		return nil, fmt.Errorf("%s has schema %q, want %q", path, rep.Schema, bench.ReportSchema)
+	}
+	return &rep, nil
 }
 
 // loadReport reads one BENCH_*.json report into a name-indexed result map,

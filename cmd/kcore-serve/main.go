@@ -7,7 +7,7 @@
 // Usage:
 //
 //	kcore-serve                                  serve an empty engine on :8080
-//	kcore-serve -addr :9090 -load graph.txt      preload an edge list
+//	kcore-serve -addr :9090 -load graph.txt      preload an edge list or snapshot
 //	kcore-serve -workers 4 -max-batch 50000      tune engine and admission
 //	kcore-serve -data-dir /var/lib/kcore         durable: snapshot + WAL
 //	kcore-serve -data-dir d -fsync always        fsync the WAL per batch
@@ -38,6 +38,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -75,7 +76,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 	fs.SetOutput(out)
 	var (
 		addr         = fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
-		load         = fs.String("load", "", "edge-list file to preload (whitespace-separated \"u v\" lines)")
+		load         = fs.String("load", "", "file to preload: an edge list (whitespace-separated \"u v\" lines) or a KCORSNAP snapshot image")
 		seed         = fs.Uint64("seed", 1, "engine randomization seed")
 		workers      = fs.Int("workers", 0, "parallel batch maintenance workers (0 = auto)")
 		rebuildFloor = fs.Int("rebuild-floor", -2, "maintain-vs-recompute floor (-2 = engine default, -1 = never recompute)")
@@ -83,6 +84,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 		maxBatch     = fs.Int("max-batch", 10000, "largest accepted updates per batch request (HTTP 413 beyond)")
 		maxPending   = fs.Int("max-pending", 100000, "ingest backpressure budget in buffered updates (HTTP 429 beyond)")
 		watchBuffer  = fs.Int("watch-buffer", 256, "default per-watch subscription buffer")
+		watchRing    = fs.Int("watch-ring", 4096, "shared watch broadcast ring capacity (every change is encoded once into it; per-watch buffers are clamped to it)")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget for in-flight requests")
 		dataDir      = fs.String("data-dir", "", "durable state directory (snapshot + write-ahead log); empty serves in memory only")
 		fsync        = fs.String("fsync", "interval", "WAL fsync policy with -data-dir: always|interval|off")
@@ -224,6 +226,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 		MaxBatch:    *maxBatch,
 		MaxPending:  *maxPending,
 		WatchBuffer: *watchBuffer,
+		WatchRing:   *watchRing,
 		Persist:     store,
 		ReadOnly:    *readOnly,
 		Publisher:   pub,
@@ -267,8 +270,10 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 	return nil
 }
 
-// buildEngine constructs the engine, preloading an edge list when -load was
-// given.
+// buildEngine constructs the engine, preloading the -load file when given.
+// A KCORSNAP image (saved from GET /v1/snapshot/export, a -data-dir, or
+// kcore-gen -snapshot) is restored with full verification and keeps its
+// seq; anything else is parsed as a whitespace-separated edge list.
 func buildEngine(path string, opts []kcore.Option) (*kcore.Engine, error) {
 	if path == "" {
 		return kcore.NewEngine(opts...), nil
@@ -278,7 +283,14 @@ func buildEngine(path string, opts []kcore.Option) (*kcore.Engine, error) {
 		return nil, fmt.Errorf("load %s: %w", path, err)
 	}
 	defer f.Close()
-	e, err := kcore.Load(f, opts...)
+	br := bufio.NewReader(f)
+	prefix, _ := br.Peek(8)
+	var e *kcore.Engine
+	if persist.IsSnapshot(prefix) {
+		e, err = persist.ReadSnapshot(br, opts...)
+	} else {
+		e, err = kcore.Load(br, opts...)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("load %s: %w", path, err)
 	}

@@ -5,12 +5,14 @@ import (
 	"context"
 	"os"
 	"path/filepath"
+	"slices"
 	"strings"
 	"testing"
 	"time"
 
 	"kcore"
 	"kcore/internal/gen"
+	"kcore/internal/persist"
 	"kcore/internal/server"
 	"kcore/internal/server/wire"
 )
@@ -200,6 +202,55 @@ func TestRunLoadsEdgeList(t *testing.T) {
 	resp, err := c.Core(ctx, 0)
 	if err != nil || resp.Core != 2 {
 		t.Fatalf("core(0) = %+v, err %v; want preloaded triangle core 2", resp, err)
+	}
+	cancel()
+	if err := <-runDone; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// TestRunLoadsSnapshot covers -load with a KCORSNAP image: the bytes
+// streamed from GET /v1/snapshot/export boot a fresh server with the same
+// cores and seq.
+func TestRunLoadsSnapshot(t *testing.T) {
+	eng := kcore.NewEngine()
+	if _, err := eng.AddEdges([][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "graph.snap")
+	if err := persist.Save(path, eng); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out bytes.Buffer
+	addrCh := make(chan string, 1)
+	runDone := make(chan error, 1)
+	go func() {
+		runDone <- run(ctx, []string{"-addr", "127.0.0.1:0", "-load", path},
+			&out, func(addr string) { addrCh <- addr })
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-runDone:
+		t.Fatalf("run exited before listening: %v\n%s", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	c, err := server.NewClient("http://"+addr, nil)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	resp, err := c.Cores(ctx)
+	if err != nil {
+		t.Fatalf("Cores: %v", err)
+	}
+	if want := eng.Cores(); !slices.Equal(resp.Cores, want) {
+		t.Fatalf("restored cores = %v, want %v", resp.Cores, want)
+	}
+	if resp.Seq != eng.Seq() {
+		t.Fatalf("restored seq = %d, want %d", resp.Seq, eng.Seq())
 	}
 	cancel()
 	if err := <-runDone; err != nil {

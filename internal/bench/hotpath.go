@@ -22,13 +22,25 @@ import (
 
 // Result is one measured benchmark, serializable into the BENCH_*.json
 // trajectory format.
+//
+// AllocsPerOp and BytesPerOp are pointers so that a result which never
+// measured allocations (the latency-style experiments: serve, replicate,
+// chaos) omits the fields entirely instead of reporting a misleading 0,
+// while a genuinely measured zero — the whole point of the hot-path
+// experiments — still serializes as 0. Use Measured to set them.
 type Result struct {
 	Name        string         `json:"name"`
 	NsPerOp     float64        `json:"ns_per_op"`
-	AllocsPerOp int64          `json:"allocs_per_op"`
-	BytesPerOp  int64          `json:"bytes_per_op"`
+	AllocsPerOp *int64         `json:"allocs_per_op,omitempty"`
+	BytesPerOp  *int64         `json:"bytes_per_op,omitempty"`
 	Iterations  int            `json:"iterations"`
 	Params      map[string]any `json:"params,omitempty"`
+}
+
+// Measured stamps an allocation measurement onto the result.
+func (r *Result) Measured(allocsPerOp, bytesPerOp int64) {
+	r.AllocsPerOp = &allocsPerOp
+	r.BytesPerOp = &bytesPerOp
 }
 
 // Report is the one-document JSON format kcore-bench -json writes and
@@ -89,15 +101,14 @@ func StampParams(params map[string]any) map[string]any {
 func RunMeasured(w io.Writer, name string, params map[string]any, fn func(b *testing.B)) Result {
 	r := benchRunner(fn)
 	res := Result{
-		Name:        name,
-		NsPerOp:     float64(r.NsPerOp()),
-		AllocsPerOp: r.AllocsPerOp(),
-		BytesPerOp:  r.AllocedBytesPerOp(),
-		Iterations:  r.N,
-		Params:      StampParams(params),
+		Name:       name,
+		NsPerOp:    float64(r.NsPerOp()),
+		Iterations: r.N,
+		Params:     StampParams(params),
 	}
+	res.Measured(r.AllocsPerOp(), r.AllocedBytesPerOp())
 	fmt.Fprintf(w, "%-28s %14.0f %12d %12d\n",
-		res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		res.Name, res.NsPerOp, *res.BytesPerOp, *res.AllocsPerOp)
 	return res
 }
 

@@ -1,0 +1,91 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"kcore"
+)
+
+// BatchVersion is the current binary batch-frame format version. Bump it —
+// and regenerate the golden fixture (see golden_test.go) — whenever the
+// byte format changes.
+const BatchVersion = 1
+
+var batchMagic = [8]byte{'K', 'C', 'O', 'R', 'B', 'T', 'C', 'H'}
+
+// batchHeaderLen is magic + version; the frame ends with a 4-byte CRC.
+const batchHeaderLen = 8 + 4
+
+// batchTrailerLen is the CRC-32 trailer.
+const batchTrailerLen = 4
+
+// ErrCorruptBatch reports a malformed binary batch frame. The server maps
+// it to a 400 with a stable wire code, exactly like a JSON syntax error.
+var ErrCorruptBatch = errors.New("persist: corrupt batch frame")
+
+// AppendBatchFrame encodes updates as one self-contained binary batch frame
+// onto buf and returns the extended slice. The frame is the wire form of a
+// POST /v1/batch body under Content-Type application/x-kcore-batch:
+//
+//	magic "KCORBTCH"        8 bytes
+//	version                 u32 LE (BatchVersion)
+//	count                   uvarint
+//	count x update          op byte (0=add, 1=remove), uvarint u, uvarint v
+//	crc                     u32 LE, CRC-32 (IEEE) of count + updates
+//
+// The update encoding is byte-identical to the WAL record payload, so the
+// two formats share one proven codec.
+func AppendBatchFrame(buf []byte, updates []kcore.Update) ([]byte, error) {
+	buf = append(buf, batchMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, BatchVersion)
+	payloadStart := len(buf)
+	buf = binary.AppendUvarint(buf, uint64(len(updates)))
+	buf, err := appendUpdates(buf, updates)
+	if err != nil {
+		return nil, err
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[payloadStart:])), nil
+}
+
+// DecodeBatchFrame parses one binary batch frame, appending the decoded
+// updates to scratch[:0] (pass nil to allocate). Every malformation wraps
+// ErrCorruptBatch; on error the returned slice is scratch[:0] resliced and
+// must not be interpreted.
+func DecodeBatchFrame(data []byte, scratch []kcore.Update) ([]kcore.Update, error) {
+	dst := scratch[:0]
+	if len(data) < batchHeaderLen+batchTrailerLen {
+		return dst, fmt.Errorf("%w: %d bytes is shorter than the fixed framing", ErrCorruptBatch, len(data))
+	}
+	if [8]byte(data[:8]) != batchMagic {
+		return dst, fmt.Errorf("%w: bad magic %q", ErrCorruptBatch, data[:8])
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != BatchVersion {
+		return dst, fmt.Errorf("%w: unsupported version %d (want %d)", ErrCorruptBatch, v, BatchVersion)
+	}
+	payload := data[batchHeaderLen : len(data)-batchTrailerLen]
+	want := binary.LittleEndian.Uint32(data[len(data)-batchTrailerLen:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return dst, fmt.Errorf("%w: CRC mismatch (got %08x, frame says %08x)", ErrCorruptBatch, got, want)
+	}
+	count, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return dst, fmt.Errorf("%w: truncated update count", ErrCorruptBatch)
+	}
+	payload = payload[n:]
+	if count > uint64(len(payload)) {
+		// Each update takes >= 3 bytes; a count beyond the payload length is
+		// structurally impossible and would force a huge scratch growth.
+		return dst, fmt.Errorf("%w: implausible update count %d", ErrCorruptBatch, count)
+	}
+	dst, payload, err := decodeUpdates(payload, count, dst, ErrCorruptBatch)
+	if err != nil {
+		return scratch[:0], err
+	}
+	if len(payload) != 0 {
+		return scratch[:0], fmt.Errorf("%w: %d trailing bytes", ErrCorruptBatch, len(payload))
+	}
+	return dst, nil
+}

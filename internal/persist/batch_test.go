@@ -1,0 +1,142 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"reflect"
+	"testing"
+
+	"kcore"
+)
+
+func TestBatchFrameRoundTrip(t *testing.T) {
+	cases := [][]kcore.Update{
+		nil,
+		{kcore.Add(0, 1)},
+		{kcore.Add(0, 1), kcore.Remove(1, 2), kcore.Add(0, 300), kcore.Add(1<<20, 7)},
+	}
+	for _, updates := range cases {
+		frame, err := AppendBatchFrame(nil, updates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeBatchFrame(frame, nil)
+		if err != nil {
+			t.Fatalf("decode %d updates: %v", len(updates), err)
+		}
+		if len(got) != len(updates) || (len(updates) > 0 && !reflect.DeepEqual(got, updates)) {
+			t.Fatalf("round trip mismatch: %v vs %v", got, updates)
+		}
+	}
+}
+
+func TestBatchFrameScratchReuse(t *testing.T) {
+	frame, err := AppendBatchFrame(nil, []kcore.Update{kcore.Add(1, 2), kcore.Remove(3, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]kcore.Update, 0, 8)
+	got, err := DecodeBatchFrame(frame, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &scratch[:1][0] {
+		t.Fatal("decode did not reuse the scratch backing array")
+	}
+	// A second decode over the same scratch must not see stale entries.
+	frame2, err := AppendBatchFrame(nil, []kcore.Update{kcore.Add(9, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = DecodeBatchFrame(frame2, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != kcore.Add(9, 10) {
+		t.Fatalf("scratch reuse decode = %v", got)
+	}
+}
+
+func TestBatchFrameRejectsCorruption(t *testing.T) {
+	frame, err := AppendBatchFrame(nil, []kcore.Update{kcore.Add(0, 1), kcore.Add(1, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := func(f func(b []byte) []byte) []byte {
+		return f(append([]byte(nil), frame...))
+	}
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       frame[:batchHeaderLen+batchTrailerLen-1],
+		"bad magic":   mut(func(b []byte) []byte { b[0] ^= 0xff; return b }),
+		"bad version": mut(func(b []byte) []byte { b[8] = 99; return b }),
+		"payload flip": mut(func(b []byte) []byte {
+			b[batchHeaderLen+1] ^= 0x01
+			return b
+		}),
+		"crc flip":  mut(func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b }),
+		"truncated": frame[:len(frame)-6],
+		"trailing": mut(func(b []byte) []byte {
+			// Keep the CRC valid over an extended payload so the trailing-byte
+			// check itself is what fires.
+			payload := append([]byte(nil), b[batchHeaderLen:len(b)-batchTrailerLen]...)
+			payload = append(payload, 0x00)
+			out := append(b[:batchHeaderLen], payload...)
+			return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+		}),
+	}
+	for name, data := range cases {
+		if _, err := DecodeBatchFrame(data, nil); !errors.Is(err, ErrCorruptBatch) {
+			t.Errorf("%s: err = %v, want ErrCorruptBatch", name, err)
+		}
+	}
+}
+
+func TestBatchFrameRejectsBadUpdates(t *testing.T) {
+	if _, err := AppendBatchFrame(nil, []kcore.Update{{Op: 42, U: 0, V: 1}}); err == nil {
+		t.Fatal("unknown op encoded")
+	}
+	if _, err := AppendBatchFrame(nil, []kcore.Update{{Op: kcore.OpAdd, U: -1, V: 1}}); err == nil {
+		t.Fatal("negative vertex encoded")
+	}
+}
+
+// FuzzBatchFrameDecode: arbitrary bytes must either decode to a batch that
+// survives an encode/decode round trip or fail with ErrCorruptBatch — never
+// panic. (Byte-level canonicality is NOT asserted: Uvarint tolerates
+// redundant encodings, so a CRC-valid non-minimal frame may legitimately
+// re-encode shorter.)
+func FuzzBatchFrameDecode(f *testing.F) {
+	valid, err := AppendBatchFrame(nil, []kcore.Update{kcore.Add(0, 1), kcore.Remove(1, 300)})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	flipped := append([]byte(nil), valid...)
+	flipped[batchHeaderLen] ^= 0x08
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte("KCORBTCH"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		updates, err := DecodeBatchFrame(data, nil)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptBatch) {
+				t.Fatalf("non-structured batch error: %v", err)
+			}
+			return
+		}
+		again, err := AppendBatchFrame(nil, updates)
+		if err != nil {
+			t.Fatalf("accepted batch does not re-encode: %v", err)
+		}
+		back, err := DecodeBatchFrame(again, nil)
+		if err != nil {
+			t.Fatalf("re-encoded batch does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(back, updates) && (len(back) != 0 || len(updates) != 0) {
+			t.Fatalf("round trip mismatch: %v vs %v", back, updates)
+		}
+	})
+}

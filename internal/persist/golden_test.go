@@ -122,6 +122,32 @@ func TestGoldenWALFormat(t *testing.T) {
 	}
 }
 
+// TestGoldenBatchFormat pins the binary batch-frame byte format used as the
+// application/x-kcore-batch wire body.
+func TestGoldenBatchFormat(t *testing.T) {
+	updates := []kcore.Update{
+		kcore.Add(0, 1), kcore.Add(1, 2), kcore.Remove(0, 1), kcore.Add(0, 300),
+	}
+	data, err := AppendBatchFrame(nil, updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "batch_v1.bin", data)
+
+	got, err := DecodeBatchFrame(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(updates) {
+		t.Fatalf("golden batch decoded %d updates, want %d", len(got), len(updates))
+	}
+	for i := range got {
+		if got[i] != updates[i] {
+			t.Fatalf("golden batch update %d = %+v, want %+v", i, got[i], updates[i])
+		}
+	}
+}
+
 // TestFormatVersionsPinned makes a format-version bump an explicit,
 // reviewed act: changing either constant fails here until the golden
 // fixtures (and this test) are updated together.
@@ -135,5 +161,10 @@ func TestFormatVersionsPinned(t *testing.T) {
 		t.Fatalf("WALVersion = %d; the golden fixtures pin version 1. "+
 			"Add a wal_v%d.bin fixture, keep (or explicitly drop, with a "+
 			"migration note) the v1 decoder, and update this test.", WALVersion, WALVersion)
+	}
+	if BatchVersion != 1 {
+		t.Fatalf("BatchVersion = %d; the golden fixtures pin version 1. "+
+			"Add a batch_v%d.bin fixture, keep (or explicitly drop, with a "+
+			"migration note) the v1 decoder, and update this test.", BatchVersion, BatchVersion)
 	}
 }

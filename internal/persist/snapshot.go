@@ -25,6 +25,13 @@ var snapshotMagic = [8]byte{'K', 'C', 'O', 'R', 'S', 'N', 'A', 'P'}
 // seed + seq; the varint-coded body follows.
 const snapshotHeaderLen = 8 + 4 + 4 + 8 + 8
 
+// IsSnapshot reports whether prefix begins with the snapshot magic — the
+// first 8 bytes are enough to tell a KCORSNAP image apart from other
+// formats (e.g. a text edge list) when a loader accepts both.
+func IsSnapshot(prefix []byte) bool {
+	return len(prefix) >= 8 && [8]byte(prefix[:8]) == snapshotMagic
+}
+
 // maxSnapshotDim bounds the vertex and edge counts a snapshot may claim,
 // matching the engine's dense-int32 vertex ids.
 const maxSnapshotDim = 1 << 31

@@ -49,13 +49,9 @@ type WALRecord struct {
 	Updates []kcore.Update
 }
 
-// appendWALRecord encodes one record frame (length + crc + payload) onto buf.
-func appendWALRecord(buf []byte, seq uint64, updates []kcore.Update) ([]byte, error) {
-	start := len(buf)
-	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // frame prefix placeholder
-	payloadStart := len(buf)
-	buf = binary.AppendUvarint(buf, seq)
-	buf = binary.AppendUvarint(buf, uint64(len(updates)))
+// appendUpdates encodes updates in the op-byte + uvarint-vertex form shared
+// by the WAL record payload and the batch frame (see batch.go).
+func appendUpdates(buf []byte, updates []kcore.Update) ([]byte, error) {
 	for _, up := range updates {
 		var op byte
 		switch up.Op {
@@ -64,14 +60,59 @@ func appendWALRecord(buf []byte, seq uint64, updates []kcore.Update) ([]byte, er
 		case kcore.OpRemove:
 			op = 1
 		default:
-			return nil, fmt.Errorf("persist: WAL record with unknown op %d", up.Op)
+			return nil, fmt.Errorf("persist: record with unknown op %d", up.Op)
 		}
 		if up.U < 0 || up.V < 0 {
-			return nil, fmt.Errorf("persist: WAL record with negative vertex (%d,%d)", up.U, up.V)
+			return nil, fmt.Errorf("persist: record with negative vertex (%d,%d)", up.U, up.V)
 		}
 		buf = append(buf, op)
 		buf = binary.AppendUvarint(buf, uint64(up.U))
 		buf = binary.AppendUvarint(buf, uint64(up.V))
+	}
+	return buf, nil
+}
+
+// decodeUpdates parses count updates off payload, appending them to dst.
+// Malformed input errors wrap sentinel (ErrCorruptWAL or ErrCorruptBatch).
+func decodeUpdates(payload []byte, count uint64, dst []kcore.Update, sentinel error) ([]kcore.Update, []byte, error) {
+	for i := uint64(0); i < count; i++ {
+		if len(payload) == 0 {
+			return dst, payload, fmt.Errorf("%w: truncated update %d", sentinel, i)
+		}
+		op := payload[0]
+		payload = payload[1:]
+		u, n := binary.Uvarint(payload)
+		if n <= 0 || u > maxSnapshotDim {
+			return dst, payload, fmt.Errorf("%w: bad vertex in update %d", sentinel, i)
+		}
+		payload = payload[n:]
+		v, n := binary.Uvarint(payload)
+		if n <= 0 || v > maxSnapshotDim {
+			return dst, payload, fmt.Errorf("%w: bad vertex in update %d", sentinel, i)
+		}
+		payload = payload[n:]
+		switch op {
+		case 0:
+			dst = append(dst, kcore.Add(int(u), int(v)))
+		case 1:
+			dst = append(dst, kcore.Remove(int(u), int(v)))
+		default:
+			return dst, payload, fmt.Errorf("%w: unknown op %d in update %d", sentinel, op, i)
+		}
+	}
+	return dst, payload, nil
+}
+
+// appendWALRecord encodes one record frame (length + crc + payload) onto buf.
+func appendWALRecord(buf []byte, seq uint64, updates []kcore.Update) ([]byte, error) {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // frame prefix placeholder
+	payloadStart := len(buf)
+	buf = binary.AppendUvarint(buf, seq)
+	buf = binary.AppendUvarint(buf, uint64(len(updates)))
+	buf, err := appendUpdates(buf, updates)
+	if err != nil {
+		return nil, err
 	}
 	payload := buf[payloadStart:]
 	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
@@ -101,32 +142,11 @@ func decodeWALPayload(payload []byte) (WALRecord, error) {
 		return rec, fmt.Errorf("%w: implausible update count %d", ErrCorruptWAL, count)
 	}
 	rec.Seq = seq
-	rec.Updates = make([]kcore.Update, count)
-	for i := range rec.Updates {
-		if len(payload) == 0 {
-			return rec, fmt.Errorf("%w: truncated update %d", ErrCorruptWAL, i)
-		}
-		op := payload[0]
-		payload = payload[1:]
-		u, n := binary.Uvarint(payload)
-		if n <= 0 || u > maxSnapshotDim {
-			return rec, fmt.Errorf("%w: bad vertex in update %d", ErrCorruptWAL, i)
-		}
-		payload = payload[n:]
-		v, n := binary.Uvarint(payload)
-		if n <= 0 || v > maxSnapshotDim {
-			return rec, fmt.Errorf("%w: bad vertex in update %d", ErrCorruptWAL, i)
-		}
-		payload = payload[n:]
-		switch op {
-		case 0:
-			rec.Updates[i] = kcore.Add(int(u), int(v))
-		case 1:
-			rec.Updates[i] = kcore.Remove(int(u), int(v))
-		default:
-			return rec, fmt.Errorf("%w: unknown op %d in update %d", ErrCorruptWAL, op, i)
-		}
+	updates, payload, err := decodeUpdates(payload, count, make([]kcore.Update, 0, count), ErrCorruptWAL)
+	if err != nil {
+		return rec, err
 	}
+	rec.Updates = updates
 	if len(payload) != 0 {
 		return rec, fmt.Errorf("%w: %d trailing bytes in record payload", ErrCorruptWAL, len(payload))
 	}

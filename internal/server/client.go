@@ -8,13 +8,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"kcore/internal/fault"
+	"kcore/internal/persist"
 	"kcore/internal/server/wire"
 )
 
@@ -58,6 +61,17 @@ type Client struct {
 	// Retry is the transient-rejection retry policy. NewClient installs
 	// the default policy; set it to nil to fail fast on 429/503 instead.
 	Retry *RetryPolicy
+	// Binary makes the client prefer the binary wire protocol: batch
+	// bodies and acknowledgements as application/x-kcore-batch, the cores
+	// dump as application/x-kcore-cores, and watch streams as
+	// application/x-kcore-events. A server that answers 415 (an older
+	// build) makes the client fall back to JSON for the rest of its
+	// lifetime, so Binary is always safe to set.
+	Binary bool
+
+	// binaryOff remembers a 415 from the server: the binary protocol is
+	// not spoken there, so later calls go straight to JSON.
+	binaryOff atomic.Bool
 }
 
 // BaseURL reports the normalized base URL the client talks to.
@@ -81,14 +95,85 @@ func NewClient(baseURL string, hc *http.Client) (*Client, error) {
 }
 
 // Batch applies a mixed update batch via POST /v1/batch. A non-2xx response
-// is returned as a *wire.Error (branch on its Code and Status).
+// is returned as a *wire.Error (branch on its Code and Status). With Binary
+// set, the batch travels as a binary frame (falling back to JSON once if
+// the server answers 415).
 func (c *Client) Batch(ctx context.Context, updates []wire.Update) (*wire.BatchResponse, error) {
+	if c.useBinary() {
+		resp, err := c.batchBinary(ctx, updates)
+		if !c.fellBack(err) {
+			return resp, err
+		}
+	}
 	var resp wire.BatchResponse
 	err := c.do(ctx, http.MethodPost, "/v1/batch", wire.BatchRequest{Updates: updates}, &resp)
 	if err != nil {
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// useBinary reports whether the binary protocol should be attempted.
+func (c *Client) useBinary() bool { return c.Binary && !c.binaryOff.Load() }
+
+// fellBack inspects a binary-protocol error: a 415 flips the client to
+// JSON permanently and asks the caller to retry the JSON way.
+func (c *Client) fellBack(err error) bool {
+	var we *wire.Error
+	if errors.As(err, &we) && we.Code == wire.CodeUnsupportedMedia {
+		c.binaryOff.Store(true)
+		return true
+	}
+	return false
+}
+
+// batchBinary issues POST /v1/batch with a binary frame body and a binary
+// acknowledgement response.
+func (c *Client) batchBinary(ctx context.Context, updates []wire.Update) (*wire.BatchResponse, error) {
+	batch, werr := toBatch(updates)
+	if werr != nil {
+		return nil, werr
+	}
+	frame, err := persist.AppendBatchFrame(nil, batch)
+	if err != nil {
+		return nil, fmt.Errorf("server client: encode batch frame: %w", err)
+	}
+	var resp wire.BatchResponse
+	if err := c.exchange(ctx, http.MethodPost, "/v1/batch", frame,
+		wire.ContentTypeBatch, wire.ContentTypeBatch, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Cores fetches the full core-number dump via GET /v1/cores (binary when
+// the client prefers it, JSON otherwise).
+func (c *Client) Cores(ctx context.Context) (*wire.CoresResponse, error) {
+	var resp wire.CoresResponse
+	if c.useBinary() {
+		err := c.exchange(ctx, http.MethodGet, "/v1/cores", nil, "", wire.ContentTypeCores, &resp)
+		if !c.fellBack(err) {
+			if err != nil {
+				return nil, err
+			}
+			return &resp, nil
+		}
+	}
+	if err := c.exchange(ctx, http.MethodGet, "/v1/cores", nil, "", wire.ContentTypeJSON, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// SnapshotExport fetches a KCORSNAP image of the server's current state via
+// GET /v1/snapshot/export. The image loads with persist.ReadSnapshot.
+func (c *Client) SnapshotExport(ctx context.Context) ([]byte, error) {
+	var raw []byte
+	if err := c.exchange(ctx, http.MethodGet, "/v1/snapshot/export", nil, "",
+		wire.ContentTypeSnapshot, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
 }
 
 // AddEdges applies a pure-insertion batch.
@@ -157,23 +242,31 @@ func (c *Client) Health(ctx context.Context) (*wire.HealthResponse, error) {
 }
 
 // do issues one JSON exchange, retrying safely-retryable rejections per
-// the client's RetryPolicy. The request body is rebuilt from the marshaled
-// bytes on every attempt.
+// the client's RetryPolicy.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var data []byte
+	contentType := ""
 	if in != nil {
 		var err error
 		if data, err = json.Marshal(in); err != nil {
 			return fmt.Errorf("server client: marshal request: %w", err)
 		}
+		contentType = wire.ContentTypeJSON
 	}
+	return c.exchange(ctx, method, path, data, contentType, "", out)
+}
+
+// exchange issues one request/response exchange in the given encodings,
+// retrying safely-retryable rejections per the client's RetryPolicy. The
+// request body is rebuilt from data on every attempt.
+func (c *Client) exchange(ctx context.Context, method, path string, data []byte, contentType, accept string, out any) error {
 	if c.Retry == nil {
-		return c.doOnce(ctx, method, path, data, in != nil, out)
+		return c.doOnce(ctx, method, path, data, contentType, accept, out)
 	}
 	pol := c.Retry.withDefaults()
 	bo := pol.Backoff
 	for attempt := 1; ; attempt++ {
-		err := c.doOnce(ctx, method, path, data, in != nil, out)
+		err := c.doOnce(ctx, method, path, data, contentType, accept, out)
 		var we *wire.Error
 		if err == nil || attempt >= pol.Attempts ||
 			!errors.As(err, &we) || !retryable(we) {
@@ -199,19 +292,24 @@ func retryable(we *wire.Error) bool {
 	return we.Code == wire.CodeOverloaded || we.Code == wire.CodeDegraded
 }
 
-// doOnce issues one JSON request/response exchange. Non-2xx responses
-// decode the error envelope into a *wire.Error.
-func (c *Client) doOnce(ctx context.Context, method, path string, data []byte, hasBody bool, out any) error {
+// doOnce issues one request/response exchange. Non-2xx responses always
+// decode the JSON error envelope into a *wire.Error (the server serves
+// errors as JSON regardless of negotiation); 2xx bodies decode by the
+// response's Content-Type.
+func (c *Client) doOnce(ctx context.Context, method, path string, data []byte, contentType, accept string, out any) error {
 	var body io.Reader
-	if hasBody {
+	if contentType != "" {
 		body = bytes.NewReader(data)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return fmt.Errorf("server client: %w", err)
 	}
-	if hasBody {
-		req.Header.Set("Content-Type", "application/json")
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -229,6 +327,55 @@ func (c *Client) doOnce(ctx context.Context, method, path string, data []byte, h
 			envelope.Error.RetryAfter = time.Duration(secs) * time.Second
 		}
 		return envelope.Error
+	}
+	return decodeResponse(resp, method, path, out)
+}
+
+// decodeResponse decodes one 2xx body by its Content-Type.
+func decodeResponse(resp *http.Response, method, path string, out any) error {
+	if raw, ok := out.(*[]byte); ok {
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return fmt.Errorf("server client: %s %s: read response: %w", method, path, err)
+		}
+		*raw = data
+		return nil
+	}
+	ct := resp.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ct); err == nil {
+		ct = mt
+	}
+	switch ct {
+	case wire.ContentTypeBatch:
+		br, ok := out.(*wire.BatchResponse)
+		if !ok {
+			return fmt.Errorf("server client: %s %s: unexpected binary batch ack", method, path)
+		}
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return fmt.Errorf("server client: %s %s: read response: %w", method, path, err)
+		}
+		ack, err := wire.DecodeBatchAck(data)
+		if err != nil {
+			return fmt.Errorf("server client: %s %s: %w", method, path, err)
+		}
+		*br = *ack
+		return nil
+	case wire.ContentTypeCores:
+		cr, ok := out.(*wire.CoresResponse)
+		if !ok {
+			return fmt.Errorf("server client: %s %s: unexpected binary cores dump", method, path)
+		}
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return fmt.Errorf("server client: %s %s: read response: %w", method, path, err)
+		}
+		seq, cores, err := wire.DecodeCoresDump(data)
+		if err != nil {
+			return fmt.Errorf("server client: %s %s: %w", method, path, err)
+		}
+		cr.Seq, cr.Cores = seq, cores
+		return nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return fmt.Errorf("server client: %s %s: decode response: %w", method, path, err)
@@ -254,11 +401,20 @@ type Event struct {
 	Lagged *wire.LaggedEvent
 }
 
-// Watch opens GET /v1/watch and parses the SSE stream into events. The
-// returned channel closes when the stream ends for any reason (server
-// shutdown, network error, or ctx cancellation — cancel ctx to stop
-// watching). The first event is always the "hello" frame.
+// Watch opens GET /v1/watch and parses the stream (SSE, or binary event
+// frames when Binary is set) into events. The returned channel closes when
+// the stream ends for any reason (server shutdown, network error, or ctx
+// cancellation — cancel ctx to stop watching). The first event is always
+// the "hello" frame.
 func (c *Client) Watch(ctx context.Context, opts WatchOptions) (<-chan Event, error) {
+	out, err := c.watch(ctx, opts, c.useBinary())
+	if c.fellBack(err) {
+		out, err = c.watch(ctx, opts, false)
+	}
+	return out, err
+}
+
+func (c *Client) watch(ctx context.Context, opts WatchOptions, binary bool) (<-chan Event, error) {
 	q := url.Values{}
 	if opts.MinCore > 0 {
 		q.Set("min_core", strconv.Itoa(opts.MinCore))
@@ -274,7 +430,11 @@ func (c *Client) Watch(ctx context.Context, opts WatchOptions) (<-chan Event, er
 	if err != nil {
 		return nil, fmt.Errorf("server client: %w", err)
 	}
-	req.Header.Set("Accept", "text/event-stream")
+	accept := wire.ContentTypeSSE
+	if binary {
+		accept = wire.ContentTypeEvents
+	}
+	req.Header.Set("Accept", accept)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("server client: watch: %w", err)
@@ -293,9 +453,45 @@ func (c *Client) Watch(ctx context.Context, opts WatchOptions) (<-chan Event, er
 	go func() {
 		defer close(out)
 		defer resp.Body.Close()
-		parseSSE(ctx, resp.Body, out)
+		if binary {
+			parseEventFrames(ctx, resp.Body, out)
+		} else {
+			parseSSE(ctx, resp.Body, out)
+		}
 	}()
 	return out, nil
+}
+
+// parseEventFrames scans a binary watch stream into events until it ends or
+// ctx is cancelled. Malformed frames end the stream (binary framing has no
+// per-frame resynchronization point, unlike SSE's blank-line delimiter).
+func parseEventFrames(ctx context.Context, r io.Reader, out chan<- Event) {
+	br := bufio.NewReaderSize(r, 32*1024)
+	for {
+		f, err := wire.ReadEventFrame(br)
+		if err != nil {
+			return
+		}
+		var ev Event
+		switch f.Type {
+		case wire.FrameKeepalive:
+			continue
+		case wire.FrameHello:
+			h := f.Hello
+			ev = Event{Type: wire.EventHello, Hello: &h}
+		case wire.FrameChange:
+			c := f.Change
+			ev = Event{Type: wire.EventChange, Change: &c}
+		case wire.FrameLagged:
+			l := f.Lagged
+			ev = Event{Type: wire.EventLagged, Lagged: &l}
+		}
+		select {
+		case out <- ev:
+		case <-ctx.Done():
+			return
+		}
+	}
 }
 
 // parseSSE scans an SSE byte stream into events until the stream ends or

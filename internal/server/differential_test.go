@@ -113,12 +113,19 @@ func TestServeDifferential(t *testing.T) {
 	// Writers: each sends its batches in order, waiting for each response
 	// (so the writer's own updates keep their order; cross-writer
 	// interleaving is arbitrary but harmless on disjoint vertex blocks).
+	// Odd-numbered writers speak the binary wire protocol, so JSON and
+	// binary ingest interleave through the same coalescer.
+	cb := binaryClient(t, c)
 	for w := 0; w < writers; w++ {
 		wgWriters.Add(1)
 		go func(w int) {
 			defer wgWriters.Done()
+			cw := c
+			if w%2 == 1 {
+				cw = cb
+			}
 			for _, b := range scripts[w] {
-				if _, err := c.Batch(ctx, toWire(b)); err != nil {
+				if _, err := cw.Batch(ctx, toWire(b)); err != nil {
 					errCh <- err
 					return
 				}
@@ -201,6 +208,9 @@ poll:
 	wgReaders.Wait()
 	if firstErr != nil {
 		t.Fatalf("concurrent client failed: %v", firstErr)
+	}
+	if cb.binaryOff.Load() {
+		t.Fatal("binary writers silently fell back to JSON")
 	}
 	cancel() // end the watch stream
 	select {

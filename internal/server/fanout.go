@@ -1,0 +1,125 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kcore"
+)
+
+// FanoutStats reports one FanoutLoad run.
+type FanoutStats struct {
+	// Watchers is the subscriber count; Changes the number of core-change
+	// events the engine emitted.
+	Watchers int
+	Changes  uint64
+	// Delivered is the total number of events handed to subscribers across
+	// all cursors (Watchers x Changes when nothing was dropped); Dropped is
+	// the summed lagged count.
+	Delivered uint64
+	Dropped   uint64
+	// EncodedSSE/EncodedBin are the ring's encode counters — by construction
+	// one per event per framing, independent of Watchers.
+	EncodedSSE uint64
+	EncodedBin uint64
+	// Bytes is the summed length of the pre-encoded SSE frames subscribers
+	// read (the work a real handler would write to its socket).
+	Bytes uint64
+	// Elapsed covers first Apply to last subscriber exit.
+	Elapsed time.Duration
+}
+
+// FanoutLoad measures watch fan-out through the shared broadcast ring with
+// in-process subscribers: watchers cursors drain the ring concurrently while
+// the engine emits changes core-change events (a growing star: each new
+// spoke changes one vertex's core).
+//
+// Subscribers are in-process cursors rather than real /v1/watch connections
+// deliberately: N TCP watchers cost 2N file descriptors (client + server
+// end), which caps a 10k-watcher run well above typical nofile limits, and
+// the per-connection HTTP write path would measure socket throughput, not
+// fan-out. The cursors run the same poll loop the watch handler runs, so
+// the measured cost is the ring's.
+func FanoutLoad(watchers, changes, ringSize int) (FanoutStats, error) {
+	if watchers < 1 || changes < 1 || ringSize < 1 {
+		return FanoutStats{}, fmt.Errorf("server: FanoutLoad wants positive watchers, changes and ringSize")
+	}
+	eng := kcore.NewEngine()
+	hub := newWatchHub(ringSize)
+	defer hub.close()
+	ring := hub.ringFor(eng)
+
+	var delivered, dropped, bytes atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < watchers; w++ {
+		cursor := ring.subscribe(ringSize, 0)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lagged uint64
+			scratch := make([]ringEvent, 0, 64)
+			for {
+				events, drops, wait, closed := cursor.poll(scratch)
+				if closed {
+					dropped.Add(lagged)
+					return
+				}
+				if len(events) > 0 {
+					var n uint64
+					for _, ev := range events {
+						n += uint64(len(ev.sse))
+					}
+					bytes.Add(n)
+					delivered.Add(uint64(len(events)))
+					lagged = drops
+					continue
+				}
+				lagged = drops
+				<-wait
+			}
+		}()
+	}
+
+	start := time.Now()
+	// A growing star: spoke i's core flips 0 -> 1, one change per add (plus
+	// one extra for the hub vertex on the first edge).
+	const batch = 100
+	for next := 1; next <= changes; next += batch {
+		b := kcore.Batch{}
+		for v := next; v <= changes && v < next+batch; v++ {
+			b = append(b, kcore.Add(0, v))
+		}
+		if _, err := eng.Apply(b); err != nil {
+			hub.close()
+			wg.Wait()
+			return FanoutStats{}, fmt.Errorf("server: fanout apply: %w", err)
+		}
+	}
+	// The feed goroutine appends asynchronously; wait for the encode counter
+	// to quiesce before closing the ring under the subscribers.
+	var last uint64
+	for i := 0; i < 1000; i++ {
+		n := ring.encodedSSE.Load()
+		if n >= uint64(changes) && n == last {
+			break
+		}
+		last = n
+		time.Sleep(2 * time.Millisecond)
+	}
+	hub.close()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	return FanoutStats{
+		Watchers:   watchers,
+		Changes:    ring.encodedSSE.Load(),
+		Delivered:  delivered.Load(),
+		Dropped:    dropped.Load(),
+		EncodedSSE: ring.encodedSSE.Load(),
+		EncodedBin: ring.encodedBin.Load(),
+		Bytes:      bytes.Load(),
+		Elapsed:    elapsed,
+	}, nil
+}

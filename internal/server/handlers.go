@@ -4,8 +4,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"mime"
 	"net/http"
 	"strconv"
+	"strings"
+	"sync"
 	"time"
 
 	"kcore"
@@ -16,6 +20,54 @@ import (
 // maxBodyBytes bounds POST bodies defensively; the per-request update count
 // is separately limited by Options.MaxBatch.
 const maxBodyBytes = 16 << 20
+
+// requestMediaType extracts a request's Content-Type media type (parameters
+// stripped, lowercased). An absent header defaults to JSON; an unparseable
+// one is returned verbatim so the 415 message can name it.
+func requestMediaType(r *http.Request) string {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return wire.ContentTypeJSON
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return strings.ToLower(strings.TrimSpace(ct))
+	}
+	return mt
+}
+
+// negotiate picks the first offered media type the Accept header admits.
+// An absent Accept admits everything (the first offer — the server's
+// preferred encoding — wins); q-values are ignored, so among admitted
+// offers the server's preference order decides.
+func negotiate(accept string, offers ...string) (string, bool) {
+	if strings.TrimSpace(accept) == "" {
+		return offers[0], true
+	}
+	var accepted []string
+	for _, part := range strings.Split(accept, ",") {
+		mt, _, err := mime.ParseMediaType(strings.TrimSpace(part))
+		if err != nil {
+			continue
+		}
+		accepted = append(accepted, mt)
+	}
+	for _, offer := range offers {
+		for _, a := range accepted {
+			if a == offer || a == "*/*" ||
+				(strings.HasSuffix(a, "/*") && strings.HasPrefix(offer, a[:len(a)-1])) {
+				return offer, true
+			}
+		}
+	}
+	return "", false
+}
+
+// unsupportedMedia builds the stable 415 wire error.
+func unsupportedMedia(format string, args ...any) *wire.Error {
+	return &wire.Error{Code: wire.CodeUnsupportedMedia, Status: http.StatusUnsupportedMediaType,
+		Message: fmt.Sprintf(format, args...)}
+}
 
 // writeJSON serializes one response body.
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -144,6 +196,39 @@ func degradedError(cause string) *wire.Error {
 	}
 }
 
+// batchScratch is the pooled per-request state of the binary ingest path:
+// the body read buffer, the decoded update scratch, and the response frame
+// buffer. Safe to recycle once the handler returns — coalescer.submit
+// blocks until its flush completes, so nothing retains the update slice.
+type batchScratch struct {
+	body    []byte
+	updates []kcore.Update
+	ack     []byte
+}
+
+var batchPool = sync.Pool{New: func() any {
+	return &batchScratch{body: make([]byte, 0, 64<<10)}
+}}
+
+// readAllInto reads r to EOF into buf[:0], growing only past buf's existing
+// capacity — the zero-steady-state-alloc read of the binary ingest path.
+func readAllInto(r io.Reader, buf []byte) ([]byte, error) {
+	buf = buf[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if s.readOnly() {
 		writeError(w, s.readOnlyError())
@@ -159,51 +244,123 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	ct := requestMediaType(r)
+	if ct != wire.ContentTypeJSON && ct != wire.ContentTypeBatch {
+		writeError(w, unsupportedMedia("/v1/batch accepts %s or %s request bodies, got %q",
+			wire.ContentTypeJSON, wire.ContentTypeBatch, ct))
+		return
+	}
+	// The response encoding is negotiated BEFORE the batch is decoded or
+	// applied: an Accept header admitting neither encoding must fail the
+	// request while it is still side-effect free.
+	respType, ok := negotiate(r.Header.Get("Accept"), wire.ContentTypeJSON, wire.ContentTypeBatch)
+	if !ok {
+		writeError(w, unsupportedMedia("/v1/batch responds with %s or %s, none admitted by Accept %q",
+			wire.ContentTypeJSON, wire.ContentTypeBatch, r.Header.Get("Accept")))
+		return
+	}
+
 	// Per-request read deadline: a client trickling its body cannot park
 	// this handler past ReadTimeout (server-wide ReadTimeout would kill
 	// SSE streams instead; see Serve). Cleared again after the decode so
 	// the connection's later keep-alive requests are unaffected.
 	rc := http.NewResponseController(w)
 	_ = rc.SetReadDeadline(time.Now().Add(s.opts.ReadTimeout))
-	var req wire.BatchRequest
 	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	err := json.NewDecoder(body).Decode(&req)
-	_ = rc.SetReadDeadline(time.Time{})
-	if err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			writeError(w, &wire.Error{
-				Code: wire.CodeBatchTooLarge, Status: http.StatusRequestEntityTooLarge,
-				Message: fmt.Sprintf("request body exceeds %d bytes; split the batch", tooLarge.Limit),
-			})
+
+	var batch kcore.Batch
+	var sc *batchScratch
+	if ct == wire.ContentTypeBatch {
+		// Binary fast path: read into pooled scratch, decode with the persist
+		// varint codec straight into a pooled update slice, and hand that to
+		// the coalescer — no JSON, no per-request allocation at steady state.
+		sc = batchPool.Get().(*batchScratch)
+		defer batchPool.Put(sc)
+		var err error
+		sc.body, err = readAllInto(body, sc.body)
+		_ = rc.SetReadDeadline(time.Time{})
+		if err != nil {
+			writeError(w, bodyReadError(err))
 			return
 		}
-		writeError(w, badRequest("invalid batch request body: %v", err))
-		return
-	}
-	if len(req.Updates) == 0 {
-		writeError(w, badRequest("updates must be non-empty"))
-		return
-	}
-	if len(req.Updates) > s.opts.MaxBatch {
-		writeError(w, &wire.Error{
-			Code: wire.CodeBatchTooLarge, Status: http.StatusRequestEntityTooLarge,
-			Message: fmt.Sprintf("batch has %d updates, limit is %d; split the batch",
-				len(req.Updates), s.opts.MaxBatch),
-		})
-		return
-	}
-	batch, werr := toBatch(req.Updates)
-	if werr != nil {
-		writeError(w, werr)
-		return
+		updates, err := persist.DecodeBatchFrame(sc.body, sc.updates)
+		sc.updates = updates[:0]
+		if err != nil {
+			writeError(w, badRequest("invalid binary batch frame: %v", err))
+			return
+		}
+		sc.updates = updates
+		if werr := checkBatchSize(len(updates), s.opts.MaxBatch); werr != nil {
+			writeError(w, werr)
+			return
+		}
+		batch = kcore.Batch(updates)
+	} else {
+		var req wire.BatchRequest
+		err := json.NewDecoder(body).Decode(&req)
+		_ = rc.SetReadDeadline(time.Time{})
+		if err != nil {
+			writeError(w, bodyReadError(err))
+			return
+		}
+		if werr := checkBatchSize(len(req.Updates), s.opts.MaxBatch); werr != nil {
+			writeError(w, werr)
+			return
+		}
+		var werr *wire.Error
+		if batch, werr = toBatch(req.Updates); werr != nil {
+			writeError(w, werr)
+			return
+		}
 	}
 	resp, err := s.co.submit(batch)
 	if err != nil {
 		writeError(w, toWireError(err))
 		return
 	}
+	if respType == wire.ContentTypeBatch {
+		var buf []byte
+		if sc != nil {
+			buf = sc.ack[:0]
+		}
+		buf = wire.AppendBatchAck(buf, resp)
+		if sc != nil {
+			sc.ack = buf[:0]
+		}
+		w.Header().Set("Content-Type", wire.ContentTypeBatch)
+		w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(buf)
+		return
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// checkBatchSize enforces the shape limits both batch encodings share.
+func checkBatchSize(n, maxBatch int) *wire.Error {
+	if n == 0 {
+		return badRequest("updates must be non-empty")
+	}
+	if n > maxBatch {
+		return &wire.Error{
+			Code: wire.CodeBatchTooLarge, Status: http.StatusRequestEntityTooLarge,
+			Message: fmt.Sprintf("batch has %d updates, limit is %d; split the batch", n, maxBatch),
+		}
+	}
+	return nil
+}
+
+// bodyReadError maps a mutation-body read/decode failure onto the wire
+// protocol: an over-limit body is the stable 413, anything else a 400.
+func bodyReadError(err error) *wire.Error {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return &wire.Error{
+			Code: wire.CodeBatchTooLarge, Status: http.StatusRequestEntityTooLarge,
+			Message: fmt.Sprintf("request body exceeds %d bytes; split the batch", tooLarge.Limit),
+		}
+	}
+	return badRequest("invalid batch request body: %v", err)
 }
 
 func (s *Server) handleCore(w http.ResponseWriter, r *http.Request) {
@@ -234,6 +391,59 @@ func (s *Server) handleKCore(w http.ResponseWriter, r *http.Request) {
 		vs = []int{} // an empty core serializes as [], not null
 	}
 	writeJSON(w, http.StatusOK, wire.KCoreResponse{K: k, Count: len(vs), Vertices: vs, Seq: view.Seq()})
+}
+
+// handleCores serves the full core-number dump, binary (the server's
+// preferred encoding) or JSON by Accept negotiation.
+func (s *Server) handleCores(w http.ResponseWriter, r *http.Request) {
+	typ, ok := negotiate(r.Header.Get("Accept"), wire.ContentTypeCores, wire.ContentTypeJSON)
+	if !ok {
+		writeError(w, unsupportedMedia("/v1/cores responds with %s or %s, none admitted by Accept %q",
+			wire.ContentTypeCores, wire.ContentTypeJSON, r.Header.Get("Accept")))
+		return
+	}
+	view := s.eng().View()
+	cores := view.Cores()
+	if typ == wire.ContentTypeJSON {
+		if cores == nil {
+			cores = []int{} // an empty graph serializes as [], not null
+		}
+		writeJSON(w, http.StatusOK, wire.CoresResponse{Cores: cores, Seq: view.Seq()})
+		return
+	}
+	buf := wire.AppendCoresDump(nil, view.Seq(), cores)
+	w.Header().Set("Content-Type", wire.ContentTypeCores)
+	w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf)
+}
+
+// handleSnapshotExport streams a KCORSNAP image of the current engine state
+// (View(WithIndex()), one read-lock capture), so followers and tools can
+// bootstrap without JSON — and without requiring the server to persist.
+func (s *Server) handleSnapshotExport(w http.ResponseWriter, r *http.Request) {
+	if _, ok := negotiate(r.Header.Get("Accept"), wire.ContentTypeSnapshot); !ok {
+		writeError(w, unsupportedMedia("/v1/snapshot/export responds with %s, not admitted by Accept %q",
+			wire.ContentTypeSnapshot, r.Header.Get("Accept")))
+		return
+	}
+	st, err := s.eng().View(kcore.WithIndex()).Index()
+	if err != nil {
+		writeError(w, &wire.Error{Code: wire.CodeInternal, Status: http.StatusInternalServerError,
+			Message: fmt.Sprintf("engine cannot export its index: %v", err)})
+		return
+	}
+	data, err := persist.EncodeSnapshot(st)
+	if err != nil {
+		writeError(w, &wire.Error{Code: wire.CodeInternal, Status: http.StatusInternalServerError,
+			Message: fmt.Sprintf("snapshot encode failed: %v", err)})
+		return
+	}
+	w.Header().Set("Content-Type", wire.ContentTypeSnapshot)
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Header().Set("X-Kcore-Seq", strconv.FormatUint(st.Seq, 10))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,229 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"kcore"
+	"kcore/internal/server/wire"
+)
+
+// The watch broadcast ring replaces per-subscriber re-encoding on /v1/watch:
+// one hub goroutine drains a single engine subscription, encodes every
+// CoreChange exactly once into BOTH stream framings (the SSE frame and the
+// binary event frame, cached side by side in one ring slot), and each watch
+// handler carries only a cursor into the ring plus its own min_core filter.
+// 10k watchers therefore cost one serialization per event, not 10k.
+//
+// Lagged-drop semantics are preserved: a subscriber whose cursor falls more
+// than its lag window behind the ring head skips the overwritten events and
+// reports them through the cumulative "lagged" count, and the engine-side
+// feed subscription's own drops (the hub falling behind the engine) are
+// folded into the same count. The engine never blocks on any watcher.
+
+// ringEvent is one broadcast slot. The byte slices are immutable once
+// written — an overwriting append replaces the slot's slice headers, never
+// the bytes — so a copied-out ringEvent stays valid without holding the
+// ring lock.
+type ringEvent struct {
+	oldCore, newCore int // for per-subscriber min_core filtering
+	sse              []byte
+	bin              []byte
+}
+
+// broadcastRing is a fixed-capacity single-writer multi-reader event ring.
+type broadcastRing struct {
+	size uint64
+
+	mu     sync.Mutex
+	buf    []ringEvent
+	head   uint64        // next slot to write; valid slots are [head-min(head,size), head)
+	notify chan struct{} // closed and replaced on every append (and on close)
+	closed bool
+	cancel func() // engine subscription cancel; set by the hub
+
+	// feedDropped counts events the ENGINE dropped because the hub's own
+	// subscription buffer overflowed — losses shared by every subscriber.
+	feedDropped atomic.Uint64
+	// encodedSSE/encodedBin count encode operations, one per event per
+	// framing by construction; tests assert they stay independent of the
+	// subscriber count.
+	encodedSSE atomic.Uint64
+	encodedBin atomic.Uint64
+}
+
+func newBroadcastRing(size int) *broadcastRing {
+	return &broadcastRing{
+		size:   uint64(size),
+		buf:    make([]ringEvent, size),
+		notify: make(chan struct{}),
+	}
+}
+
+// append encodes one change event (once per framing) and publishes it.
+func (r *broadcastRing) append(ev kcore.CoreChange) {
+	ce := wire.ChangeEvent{Vertex: ev.Vertex, OldCore: ev.OldCore, NewCore: ev.NewCore, Seq: ev.Seq}
+	data, err := json.Marshal(ce)
+	if err != nil {
+		return // cannot happen for a struct of ints
+	}
+	r.encodedSSE.Add(1)
+	sse := fmt.Appendf(nil, "event: %s\ndata: %s\n\n", wire.EventChange, data)
+	r.encodedBin.Add(1)
+	bin := wire.AppendChangeFrame(nil, ce)
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.buf[r.head%r.size] = ringEvent{oldCore: ev.OldCore, newCore: ev.NewCore, sse: sse, bin: bin}
+	r.head++
+	close(r.notify)
+	r.notify = make(chan struct{})
+	r.mu.Unlock()
+}
+
+// close ends the ring: the feed subscription is cancelled and every blocked
+// subscriber wakes up to observe closed. Idempotent.
+func (r *broadcastRing) close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	close(r.notify)
+	cancel := r.cancel
+	r.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// ringCursor is one subscriber's read position.
+type ringCursor struct {
+	r        *broadcastRing
+	next     uint64 // next absolute event index to read
+	window   uint64 // lag window: events older than head-window are lost
+	minCore  int
+	skipped  uint64 // events overwritten before this cursor read them
+	feedBase uint64 // feedDropped at subscribe time
+}
+
+// subscribe attaches a cursor at the current head. window is the
+// subscriber's requested buffer, clamped to the ring capacity; minCore
+// mirrors kcore.WithMinCore (deliver when max(OldCore, NewCore) >= k).
+func (r *broadcastRing) subscribe(window int, minCore int) *ringCursor {
+	w := uint64(window)
+	if w < 1 {
+		w = 1
+	}
+	if w > r.size {
+		w = r.size
+	}
+	r.mu.Lock()
+	c := &ringCursor{r: r, next: r.head, window: w, minCore: minCore,
+		feedBase: r.feedDropped.Load()}
+	r.mu.Unlock()
+	return c
+}
+
+// poll reads the next batch of events into dst[:0] (bounded by cap(dst)),
+// applying the cursor's min_core filter. When no event is pending it
+// returns a wait channel that closes on the next append; when the ring is
+// closed it reports closed. dropped is the cumulative drop count (skipped
+// overwrites + the feed's engine-side drops since subscribe).
+func (c *ringCursor) poll(dst []ringEvent) (events []ringEvent, dropped uint64, wait <-chan struct{}, closed bool) {
+	r := c.r
+	events = dst[:0]
+	r.mu.Lock()
+	if oldest := r.head - min(r.head, c.window); c.next < oldest {
+		c.skipped += oldest - c.next
+		c.next = oldest
+	}
+	for c.next < r.head && len(events) < cap(events) {
+		ev := r.buf[c.next%r.size]
+		c.next++
+		if ev.newCore < c.minCore && ev.oldCore < c.minCore {
+			continue
+		}
+		events = append(events, ev)
+	}
+	if len(events) == 0 && c.next == r.head {
+		if r.closed {
+			r.mu.Unlock()
+			return nil, 0, nil, true
+		}
+		wait = r.notify
+	}
+	r.mu.Unlock()
+	dropped = c.skipped + (r.feedDropped.Load() - c.feedBase)
+	return events, dropped, wait, false
+}
+
+// watchHub owns the broadcast ring of the engine currently being served.
+// On a follower a re-bootstrap swaps the engine; the first watch request
+// that observes the new engine retires the old ring (ending its streams)
+// and starts a fresh feed.
+type watchHub struct {
+	size int
+
+	mu      sync.Mutex
+	eng     *kcore.Engine
+	ring    *broadcastRing
+	stopped bool
+}
+
+func newWatchHub(size int) *watchHub { return &watchHub{size: size} }
+
+// ringFor returns the broadcast ring feeding from eng, starting (or
+// restarting, after an engine swap) the feed as needed. It returns nil
+// after close.
+func (h *watchHub) ringFor(eng *kcore.Engine) *broadcastRing {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.stopped {
+		return nil
+	}
+	if h.ring != nil && h.eng == eng {
+		return h.ring
+	}
+	if h.ring != nil {
+		h.ring.close()
+	}
+	r := newBroadcastRing(h.size)
+	// The feed buffer matches the ring: the hub only lags the engine when a
+	// burst outruns JSON encoding by a full ring, and those losses are
+	// reported through feedDropped.
+	ch, cancel := eng.Subscribe(kcore.WithBuffer(h.size), kcore.WithDropCounter(&r.feedDropped))
+	r.cancel = cancel
+	go func() {
+		for ev := range ch {
+			r.append(ev)
+		}
+	}()
+	h.eng, h.ring = eng, r
+	return r
+}
+
+// current returns the active ring (nil when none started); tests use it to
+// read the encode counters.
+func (h *watchHub) current() *broadcastRing {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ring
+}
+
+// close retires the hub and its ring. Idempotent.
+func (h *watchHub) close() {
+	h.mu.Lock()
+	h.stopped = true
+	r := h.ring
+	h.ring = nil
+	h.mu.Unlock()
+	if r != nil {
+		r.close()
+	}
+}

@@ -42,6 +42,10 @@ type Options struct {
 	WatchBuffer int
 	// MaxWatchBuffer caps the per-request ?buffer= parameter. Default 65536.
 	MaxWatchBuffer int
+	// WatchRing is the capacity of the shared watch broadcast ring: every
+	// change event is encoded once into it, and each watcher reads through
+	// a cursor whose lag window is min(?buffer=, WatchRing). Default 4096.
+	WatchRing int
 	// ReadHeaderTimeout guards Serve against slow-header clients (a
 	// slowloris opener never parks a connection past it). Default 10s.
 	ReadHeaderTimeout time.Duration
@@ -99,6 +103,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxWatchBuffer <= 0 {
 		o.MaxWatchBuffer = 65536
 	}
+	if o.WatchRing <= 0 {
+		o.WatchRing = 4096
+	}
 	if o.ReadHeaderTimeout <= 0 {
 		o.ReadHeaderTimeout = 10 * time.Second
 	}
@@ -125,6 +132,7 @@ type Server struct {
 	engine *kcore.Engine
 	opts   Options
 	co     *coalescer
+	hub    *watchHub
 	mux    *http.ServeMux
 	// health is the availability state machine; nil when the server runs
 	// without persistence or is read-only (nothing to degrade on).
@@ -146,6 +154,7 @@ func New(engine *kcore.Engine, opts Options) *Server {
 		stop:   make(chan struct{}),
 	}
 	s.co = newCoalescer(engine, s.opts.MaxPending)
+	s.hub = newWatchHub(s.opts.WatchRing)
 	if s.opts.Persist != nil && !s.opts.ReadOnly && s.opts.Follower == nil {
 		s.health = newHealth(s.opts.Persist)
 		s.co.observe = s.health.observe
@@ -156,11 +165,13 @@ func New(engine *kcore.Engine, opts Options) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/batch", methodGuard(http.MethodPost, s.handleBatch))
 	s.mux.HandleFunc("/v1/core/{v}", methodGuard(http.MethodGet, s.handleCore))
+	s.mux.HandleFunc("/v1/cores", methodGuard(http.MethodGet, s.handleCores))
 	s.mux.HandleFunc("/v1/kcore", methodGuard(http.MethodGet, s.handleKCore))
 	s.mux.HandleFunc("/v1/stats", methodGuard(http.MethodGet, s.handleStats))
 	s.mux.HandleFunc("/v1/watch", methodGuard(http.MethodGet, s.handleWatch))
 	s.mux.HandleFunc("/v1/healthz", methodGuard(http.MethodGet, s.handleHealthz))
 	s.mux.HandleFunc("/v1/snapshot", methodGuard(http.MethodPost, s.handleSnapshot))
+	s.mux.HandleFunc("/v1/snapshot/export", methodGuard(http.MethodGet, s.handleSnapshotExport))
 	s.mux.HandleFunc("/v1/replicate", methodGuard(http.MethodGet, s.handleReplicate))
 	s.mux.HandleFunc("/", handleNotFound)
 	return s
@@ -222,6 +233,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		if s.health != nil {
 			s.health.close()
 		}
+		s.hub.close()
 		close(s.stop)
 	})
 	s.httpMu.Lock()
@@ -244,6 +256,7 @@ func (s *Server) Close() error {
 		if s.health != nil {
 			s.health.close()
 		}
+		s.hub.close()
 		close(s.stop)
 	})
 	s.httpMu.Lock()

@@ -5,18 +5,20 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
-	"sync/atomic"
 	"time"
 
-	"kcore"
 	"kcore/internal/server/wire"
 )
 
-// handleWatch streams CoreChange events over Server-Sent Events on top of
-// Engine.Subscribe. The engine's non-blocking drop-on-full delivery is
-// preserved end to end: a slow consumer loses events (never stalling
-// writers) and learns about it through "lagged" events carrying the
-// cumulative drop count. See the wire package comment for the schema.
+// handleWatch streams CoreChange events, as Server-Sent Events by default
+// or as binary event frames when the request's Accept header selects
+// application/x-kcore-events. Events come from the shared broadcast ring
+// (see ring.go): each change is encoded once per framing regardless of the
+// watcher count, and this handler only walks its cursor. The engine's
+// non-blocking drop-on-full delivery is preserved end to end: a slow
+// consumer loses events (never stalling writers) and learns about it
+// through "lagged" events carrying the cumulative drop count. See the wire
+// package comment for the schema.
 func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
@@ -24,6 +26,13 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 			Message: "response writer does not support streaming"})
 		return
 	}
+	stream, ok := negotiate(r.Header.Get("Accept"), wire.ContentTypeSSE, wire.ContentTypeEvents)
+	if !ok {
+		writeError(w, unsupportedMedia("/v1/watch streams %s or %s",
+			wire.ContentTypeSSE, wire.ContentTypeEvents))
+		return
+	}
+	binary := stream == wire.ContentTypeEvents
 	q := r.URL.Query()
 	minCore := 0
 	if v := q.Get("min_core"); v != "" {
@@ -45,22 +54,22 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// The engine is captured once: on a follower a re-bootstrap swaps the
-	// engine underneath the server, orphaning this subscription. The
+	// engine underneath the server, orphaning this stream's ring. The
 	// keepalive tick detects the swap and ends the stream so the client
-	// reconnects onto the new engine.
+	// reconnects onto the new engine (the next watch request also retires
+	// the old ring, which ends its streams immediately).
 	eng := s.eng()
-	var dropped atomic.Uint64
-	ch, cancel := eng.Subscribe(
-		kcore.WithMinCore(minCore),
-		kcore.WithBuffer(buffer),
-		kcore.WithDropCounter(&dropped),
-	)
-	defer cancel()
+	ring := s.hub.ringFor(eng)
+	if ring == nil {
+		writeError(w, toWireError(errShuttingDown))
+		return
+	}
+	cursor := ring.subscribe(buffer, minCore)
 	s.watchers.Add(1)
 	defer s.watchers.Add(-1)
 
 	h := w.Header()
-	h.Set("Content-Type", "text/event-stream")
+	h.Set("Content-Type", stream)
 	h.Set("Cache-Control", "no-cache")
 	h.Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
@@ -73,12 +82,11 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	arm := func() { _ = rc.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout)) }
 	arm()
 
-	// Seq is read after Subscribe so every change with a greater sequence
-	// number is covered by the subscription (an event at the hello seq
-	// itself may additionally be delivered; see wire.HelloEvent).
-	if writeSSE(w, wire.EventHello, wire.HelloEvent{
-		Seq: eng.Seq(), MinCore: minCore, Buffer: buffer,
-	}) != nil {
+	// Seq is read after the cursor is attached, so every change with a
+	// greater sequence number is covered; changes at or before the hello seq
+	// may additionally be delivered (see wire.HelloEvent).
+	out := newEventWriter(w, binary)
+	if out.hello(wire.HelloEvent{Seq: eng.Seq(), MinCore: minCore, Buffer: buffer}) != nil {
 		return
 	}
 	flusher.Flush()
@@ -86,55 +94,51 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	keepalive := time.NewTicker(s.opts.Keepalive)
 	defer keepalive.Stop()
 	var lagged uint64
+	scratch := make([]ringEvent, 0, 64)
 	for {
-		select {
-		case ev, open := <-ch:
-			if !open {
-				return
-			}
+		events, dropped, wait, closed := cursor.poll(scratch)
+		if closed {
+			return
+		}
+		if len(events) > 0 {
 			arm()
-			if writeChange(w, ev) != nil {
-				return
-			}
-			// Drain whatever queued behind it before flushing once, so a
-			// bursty update doesn't pay one syscall per event.
-		drain:
-			for {
-				select {
-				case ev, open := <-ch:
-					if !open {
-						return
-					}
-					if writeChange(w, ev) != nil {
-						return
-					}
-				default:
-					break drain
+			for _, ev := range events {
+				if out.change(ev) != nil {
+					return
 				}
 			}
-			if d := dropped.Load(); d != lagged {
-				lagged = d
-				if writeSSE(w, wire.EventLagged, wire.LaggedEvent{Dropped: d}) != nil {
+			// One flush per polled chunk (up to cap(scratch) events), so a
+			// bursty update doesn't pay one syscall per event.
+			if dropped != lagged {
+				lagged = dropped
+				if out.lagged(wire.LaggedEvent{Dropped: dropped}) != nil {
 					return
 				}
 			}
 			flusher.Flush()
+			continue
+		}
+		if dropped != lagged {
+			// Dropped events surface even when the stream has gone quiet
+			// (everything after the overflow was dropped, so no change event
+			// is coming to piggyback on).
+			arm()
+			lagged = dropped
+			if out.lagged(wire.LaggedEvent{Dropped: dropped}) != nil {
+				return
+			}
+			flusher.Flush()
+		}
+		select {
+		case <-wait:
 		case <-keepalive.C:
 			if s.eng() != eng {
 				// Follower re-bootstrap replaced the engine; this stream's
-				// subscription is on the dead one.
+				// ring feeds from the dead one.
 				return
 			}
-			// Dropped events surface even when the stream has gone quiet
-			// (everything after the overflow was dropped, so no change
-			// event is coming to piggyback on).
 			arm()
-			if d := dropped.Load(); d != lagged {
-				lagged = d
-				if writeSSE(w, wire.EventLagged, wire.LaggedEvent{Dropped: d}) != nil {
-					return
-				}
-			} else if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+			if out.keepalive() != nil {
 				return
 			}
 			flusher.Flush()
@@ -146,13 +150,58 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func writeChange(w http.ResponseWriter, ev kcore.CoreChange) error {
-	return writeSSE(w, wire.EventChange, wire.ChangeEvent{
-		Vertex: ev.Vertex, OldCore: ev.OldCore, NewCore: ev.NewCore, Seq: ev.Seq,
-	})
+// eventWriter writes watch frames in the negotiated encoding. Change events
+// come pre-encoded from the ring; only the per-subscriber frames (hello,
+// lagged, keepalive) are encoded here.
+type eventWriter struct {
+	w      http.ResponseWriter
+	binary bool
+	buf    []byte // scratch for the per-subscriber frames
 }
 
-// writeSSE writes one SSE frame: "event: <name>\ndata: <json>\n\n".
+func newEventWriter(w http.ResponseWriter, binary bool) *eventWriter {
+	return &eventWriter{w: w, binary: binary}
+}
+
+func (e *eventWriter) hello(h wire.HelloEvent) error {
+	if e.binary {
+		e.buf = wire.AppendHelloFrame(e.buf[:0], h)
+		_, err := e.w.Write(e.buf)
+		return err
+	}
+	return writeSSE(e.w, wire.EventHello, h)
+}
+
+func (e *eventWriter) change(ev ringEvent) error {
+	frame := ev.sse
+	if e.binary {
+		frame = ev.bin
+	}
+	_, err := e.w.Write(frame)
+	return err
+}
+
+func (e *eventWriter) lagged(l wire.LaggedEvent) error {
+	if e.binary {
+		e.buf = wire.AppendLaggedFrame(e.buf[:0], l)
+		_, err := e.w.Write(e.buf)
+		return err
+	}
+	return writeSSE(e.w, wire.EventLagged, l)
+}
+
+func (e *eventWriter) keepalive() error {
+	if e.binary {
+		_, err := e.w.Write([]byte{wire.FrameKeepalive})
+		return err
+	}
+	_, err := fmt.Fprint(e.w, ": keepalive\n\n")
+	return err
+}
+
+// writeSSE writes one SSE frame: "event: <name>\ndata: <json>\n\n". Used
+// for the per-subscriber frames; change events stream pre-encoded from the
+// broadcast ring.
 func writeSSE(w http.ResponseWriter, event string, v any) error {
 	data, err := json.Marshal(v)
 	if err != nil {

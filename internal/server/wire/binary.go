@@ -1,0 +1,291 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Binary content types negotiated by the server. The batch body format
+// itself (magic "KCORBTCH") lives in internal/persist; this file defines
+// the service-layer frames: the binary batch acknowledgement, the bulk
+// cores dump, and the binary watch event stream.
+const (
+	// ContentTypeJSON is the default protocol for every endpoint.
+	ContentTypeJSON = "application/json"
+	// ContentTypeBatch is the binary POST /v1/batch body (a persist batch
+	// frame) and, when sent as Accept, the binary BatchResponse encoding.
+	ContentTypeBatch = "application/x-kcore-batch"
+	// ContentTypeCores is the binary GET /v1/cores dump.
+	ContentTypeCores = "application/x-kcore-cores"
+	// ContentTypeSnapshot is the GET /v1/snapshot/export body: a raw
+	// KCORSNAP image as written by internal/persist.
+	ContentTypeSnapshot = "application/x-kcore-snapshot"
+	// ContentTypeEvents is the binary GET /v1/watch stream (Accept
+	// negotiated; the default remains text/event-stream).
+	ContentTypeEvents = "application/x-kcore-events"
+	// ContentTypeSSE is the default GET /v1/watch stream encoding.
+	ContentTypeSSE = "text/event-stream"
+)
+
+// ErrMalformedFrame reports a structurally invalid binary service frame
+// (batch ack, cores dump, or watch event).
+var ErrMalformedFrame = errors.New("wire: malformed binary frame")
+
+// ackVersion is the binary BatchResponse encoding version (leading byte).
+const ackVersion = 1
+
+// ackFlagRecomputed marks BatchResponse.Recomputed in the flags byte.
+const ackFlagRecomputed = 0x01
+
+// AppendBatchAck encodes a BatchResponse as the application/x-kcore-batch
+// response body:
+//
+//	version      byte (1)
+//	flags        byte (bit 0: recomputed)
+//	seq          uvarint
+//	applied      uvarint
+//	coalesced    uvarint
+//	flushed_with uvarint
+//	visited      uvarint
+//	changed      uvarint count, then count x uvarint vertex
+func AppendBatchAck(buf []byte, r *BatchResponse) []byte {
+	var flags byte
+	if r.Recomputed {
+		flags |= ackFlagRecomputed
+	}
+	buf = append(buf, ackVersion, flags)
+	buf = binary.AppendUvarint(buf, r.Seq)
+	buf = binary.AppendUvarint(buf, uint64(r.Applied))
+	buf = binary.AppendUvarint(buf, uint64(r.Coalesced))
+	buf = binary.AppendUvarint(buf, uint64(r.FlushedWith))
+	buf = binary.AppendUvarint(buf, uint64(r.Visited))
+	buf = binary.AppendUvarint(buf, uint64(len(r.CoreChanged)))
+	for _, v := range r.CoreChanged {
+		buf = binary.AppendUvarint(buf, uint64(v))
+	}
+	return buf
+}
+
+// DecodeBatchAck parses an AppendBatchAck body.
+func DecodeBatchAck(data []byte) (*BatchResponse, error) {
+	if len(data) < 2 {
+		return nil, fmt.Errorf("%w: batch ack of %d bytes", ErrMalformedFrame, len(data))
+	}
+	if data[0] != ackVersion {
+		return nil, fmt.Errorf("%w: batch ack version %d (want %d)", ErrMalformedFrame, data[0], ackVersion)
+	}
+	flags := data[1]
+	data = data[2:]
+	var r BatchResponse
+	r.Recomputed = flags&ackFlagRecomputed != 0
+	fields := []*uint64{&r.Seq}
+	ints := []*int{&r.Applied, &r.Coalesced, &r.FlushedWith, &r.Visited}
+	for _, p := range fields {
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: truncated batch ack", ErrMalformedFrame)
+		}
+		*p, data = v, data[n:]
+	}
+	for _, p := range ints {
+		v, n := binary.Uvarint(data)
+		if n <= 0 || v > 1<<31 {
+			return nil, fmt.Errorf("%w: truncated batch ack", ErrMalformedFrame)
+		}
+		*p, data = int(v), data[n:]
+	}
+	count, n := binary.Uvarint(data)
+	if n <= 0 || count > uint64(len(data)) {
+		return nil, fmt.Errorf("%w: bad batch ack change count", ErrMalformedFrame)
+	}
+	data = data[n:]
+	if count > 0 {
+		r.CoreChanged = make([]int, 0, count)
+		for i := uint64(0); i < count; i++ {
+			v, n := binary.Uvarint(data)
+			if n <= 0 || v > 1<<31 {
+				return nil, fmt.Errorf("%w: bad batch ack change vertex", ErrMalformedFrame)
+			}
+			r.CoreChanged = append(r.CoreChanged, int(v))
+			data = data[n:]
+		}
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes in batch ack", ErrMalformedFrame, len(data))
+	}
+	return &r, nil
+}
+
+// CoresResponse is the JSON body of GET /v1/cores (Accept:
+// application/json); the binary form is the cores dump below.
+type CoresResponse struct {
+	// Cores holds every vertex's core number, indexed by vertex id
+	// (0 for vertices never seen).
+	Cores []int  `json:"cores"`
+	Seq   uint64 `json:"seq"`
+}
+
+// coresMagic frames the binary cores dump.
+var coresMagic = [8]byte{'K', 'C', 'O', 'R', 'D', 'U', 'M', 'P'}
+
+// CoresDumpVersion is the binary cores dump format version.
+const CoresDumpVersion = 1
+
+const coresHeaderLen = 8 + 4
+
+// AppendCoresDump encodes the application/x-kcore-cores body:
+//
+//	magic "KCORDUMP"  8 bytes
+//	version           u32 LE
+//	seq               uvarint
+//	n                 uvarint (vertex count)
+//	n x core          uvarint, indexed by vertex id
+//	crc               u32 LE, CRC-32 (IEEE) of seq + n + cores
+func AppendCoresDump(buf []byte, seq uint64, cores []int) []byte {
+	buf = append(buf, coresMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, CoresDumpVersion)
+	payloadStart := len(buf)
+	buf = binary.AppendUvarint(buf, seq)
+	buf = binary.AppendUvarint(buf, uint64(len(cores)))
+	for _, c := range cores {
+		buf = binary.AppendUvarint(buf, uint64(c))
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[payloadStart:]))
+}
+
+// DecodeCoresDump parses an AppendCoresDump body.
+func DecodeCoresDump(data []byte) (seq uint64, cores []int, err error) {
+	if len(data) < coresHeaderLen+4 {
+		return 0, nil, fmt.Errorf("%w: cores dump of %d bytes", ErrMalformedFrame, len(data))
+	}
+	if [8]byte(data[:8]) != coresMagic {
+		return 0, nil, fmt.Errorf("%w: bad cores dump magic %q", ErrMalformedFrame, data[:8])
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != CoresDumpVersion {
+		return 0, nil, fmt.Errorf("%w: cores dump version %d (want %d)", ErrMalformedFrame, v, CoresDumpVersion)
+	}
+	payload := data[coresHeaderLen : len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return 0, nil, fmt.Errorf("%w: cores dump CRC mismatch", ErrMalformedFrame)
+	}
+	seq, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: truncated cores dump seq", ErrMalformedFrame)
+	}
+	payload = payload[n:]
+	count, n := binary.Uvarint(payload)
+	if n <= 0 || count > uint64(len(payload)) {
+		return 0, nil, fmt.Errorf("%w: implausible cores dump count", ErrMalformedFrame)
+	}
+	payload = payload[n:]
+	cores = make([]int, count)
+	for i := range cores {
+		v, n := binary.Uvarint(payload)
+		if n <= 0 || v > 1<<31 {
+			return 0, nil, fmt.Errorf("%w: bad core value at vertex %d", ErrMalformedFrame, i)
+		}
+		cores[i] = int(v)
+		payload = payload[n:]
+	}
+	if len(payload) != 0 {
+		return 0, nil, fmt.Errorf("%w: %d trailing bytes in cores dump", ErrMalformedFrame, len(payload))
+	}
+	return seq, cores, nil
+}
+
+// Binary watch event frame types (application/x-kcore-events). Each frame
+// is a type byte followed by the event's uvarint fields; uvarints are
+// self-delimiting, so the stream needs no length prefixes.
+const (
+	// FrameKeepalive is a bare type byte sent periodically so dead
+	// connections surface; it carries no payload.
+	FrameKeepalive = byte(0x00)
+	// FrameHello carries HelloEvent: seq, min_core, buffer.
+	FrameHello = byte(0x01)
+	// FrameChange carries ChangeEvent: vertex, old_core, new_core, seq.
+	FrameChange = byte(0x02)
+	// FrameLagged carries LaggedEvent: dropped.
+	FrameLagged = byte(0x03)
+)
+
+// AppendHelloFrame encodes a hello event frame.
+func AppendHelloFrame(buf []byte, h HelloEvent) []byte {
+	buf = append(buf, FrameHello)
+	buf = binary.AppendUvarint(buf, h.Seq)
+	buf = binary.AppendUvarint(buf, uint64(h.MinCore))
+	return binary.AppendUvarint(buf, uint64(h.Buffer))
+}
+
+// AppendChangeFrame encodes a change event frame.
+func AppendChangeFrame(buf []byte, c ChangeEvent) []byte {
+	buf = append(buf, FrameChange)
+	buf = binary.AppendUvarint(buf, uint64(c.Vertex))
+	buf = binary.AppendUvarint(buf, uint64(c.OldCore))
+	buf = binary.AppendUvarint(buf, uint64(c.NewCore))
+	return binary.AppendUvarint(buf, c.Seq)
+}
+
+// AppendLaggedFrame encodes a lagged event frame.
+func AppendLaggedFrame(buf []byte, l LaggedEvent) []byte {
+	buf = append(buf, FrameLagged)
+	return binary.AppendUvarint(buf, l.Dropped)
+}
+
+// EventFrame is one decoded binary watch frame. Type selects which field is
+// set; a FrameKeepalive carries nothing.
+type EventFrame struct {
+	Type   byte
+	Hello  HelloEvent
+	Change ChangeEvent
+	Lagged LaggedEvent
+}
+
+// ReadEventFrame reads the next frame off a binary watch stream. It returns
+// the reader's error (io.EOF at a clean end) verbatim, and wraps
+// ErrMalformedFrame for an unknown frame type or overflowing field.
+func ReadEventFrame(br *bufio.Reader) (EventFrame, error) {
+	var f EventFrame
+	t, err := br.ReadByte()
+	if err != nil {
+		return f, err
+	}
+	f.Type = t
+	read := func() (uint64, error) { return binary.ReadUvarint(br) }
+	readInt := func() (int, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, err
+		}
+		if v > 1<<31 {
+			return 0, fmt.Errorf("%w: field overflow", ErrMalformedFrame)
+		}
+		return int(v), nil
+	}
+	switch t {
+	case FrameKeepalive:
+		return f, nil
+	case FrameHello:
+		if f.Hello.Seq, err = read(); err == nil {
+			if f.Hello.MinCore, err = readInt(); err == nil {
+				f.Hello.Buffer, err = readInt()
+			}
+		}
+	case FrameChange:
+		if f.Change.Vertex, err = readInt(); err == nil {
+			if f.Change.OldCore, err = readInt(); err == nil {
+				if f.Change.NewCore, err = readInt(); err == nil {
+					f.Change.Seq, err = read()
+				}
+			}
+		}
+	case FrameLagged:
+		f.Lagged.Dropped, err = read()
+	default:
+		return f, fmt.Errorf("%w: unknown watch frame type 0x%02x", ErrMalformedFrame, t)
+	}
+	return f, err
+}

@@ -1,0 +1,140 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+func TestBatchAckRoundTrip(t *testing.T) {
+	cases := []BatchResponse{
+		{},
+		{Seq: 42, Applied: 10, Coalesced: 2, FlushedWith: 3, Visited: 17},
+		{Seq: 1 << 40, Applied: 1, Recomputed: true, FlushedWith: 1},
+		{Seq: 7, Applied: 2, FlushedWith: 1, CoreChanged: []int{0, 5, 300}, Visited: 9},
+	}
+	for i, in := range cases {
+		data := AppendBatchAck(nil, &in)
+		out, err := DecodeBatchAck(data)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(*out, in) {
+			t.Fatalf("case %d: round trip %+v -> %+v", i, in, *out)
+		}
+	}
+}
+
+func TestBatchAckRejectsMalformed(t *testing.T) {
+	valid := AppendBatchAck(nil, &BatchResponse{Seq: 9, Applied: 1, FlushedWith: 1, CoreChanged: []int{1, 2}})
+	cases := map[string][]byte{
+		"empty":       {},
+		"one byte":    {ackVersion},
+		"bad version": append([]byte{99}, valid[1:]...),
+		"truncated":   valid[:len(valid)-1],
+		"trailing":    append(append([]byte(nil), valid...), 0x00),
+	}
+	for name, data := range cases {
+		if _, err := DecodeBatchAck(data); !errors.Is(err, ErrMalformedFrame) {
+			t.Errorf("%s: err = %v, want ErrMalformedFrame", name, err)
+		}
+	}
+}
+
+func TestCoresDumpRoundTrip(t *testing.T) {
+	cases := []struct {
+		seq   uint64
+		cores []int
+	}{
+		{0, nil},
+		{12, []int{0, 1, 2, 2, 2, 0, 300}},
+	}
+	for i, c := range cases {
+		data := AppendCoresDump(nil, c.seq, c.cores)
+		seq, cores, err := DecodeCoresDump(data)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if seq != c.seq || len(cores) != len(c.cores) {
+			t.Fatalf("case %d: got seq %d, %d cores; want seq %d, %d cores",
+				i, seq, len(cores), c.seq, len(c.cores))
+		}
+		for v := range cores {
+			if cores[v] != c.cores[v] {
+				t.Fatalf("case %d: core[%d] = %d, want %d", i, v, cores[v], c.cores[v])
+			}
+		}
+	}
+}
+
+func TestCoresDumpRejectsMalformed(t *testing.T) {
+	valid := AppendCoresDump(nil, 5, []int{1, 2, 3})
+	flip := append([]byte(nil), valid...)
+	flip[coresHeaderLen] ^= 0x01
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("XXXXXXXX"), valid[8:]...),
+		"flip":      flip,
+		"truncated": valid[:len(valid)-2],
+	}
+	for name, data := range cases {
+		if _, _, err := DecodeCoresDump(data); !errors.Is(err, ErrMalformedFrame) {
+			t.Errorf("%s: err = %v, want ErrMalformedFrame", name, err)
+		}
+	}
+}
+
+func TestEventFrameRoundTrip(t *testing.T) {
+	var stream []byte
+	stream = AppendHelloFrame(stream, HelloEvent{Seq: 10, MinCore: 2, Buffer: 256})
+	stream = AppendChangeFrame(stream, ChangeEvent{Vertex: 7, OldCore: 1, NewCore: 2, Seq: 11})
+	stream = append(stream, FrameKeepalive)
+	stream = AppendLaggedFrame(stream, LaggedEvent{Dropped: 1 << 33})
+	stream = AppendChangeFrame(stream, ChangeEvent{Vertex: 0, OldCore: 3, NewCore: 2, Seq: 12})
+
+	br := bufio.NewReader(bytes.NewReader(stream))
+	var frames []EventFrame
+	for {
+		f, err := ReadEventFrame(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, f)
+	}
+	if len(frames) != 5 {
+		t.Fatalf("decoded %d frames, want 5", len(frames))
+	}
+	if frames[0].Type != FrameHello || frames[0].Hello != (HelloEvent{Seq: 10, MinCore: 2, Buffer: 256}) {
+		t.Fatalf("hello = %+v", frames[0])
+	}
+	if frames[1].Type != FrameChange || frames[1].Change != (ChangeEvent{Vertex: 7, OldCore: 1, NewCore: 2, Seq: 11}) {
+		t.Fatalf("change = %+v", frames[1])
+	}
+	if frames[2].Type != FrameKeepalive {
+		t.Fatalf("keepalive = %+v", frames[2])
+	}
+	if frames[3].Type != FrameLagged || frames[3].Lagged.Dropped != 1<<33 {
+		t.Fatalf("lagged = %+v", frames[3])
+	}
+	if frames[4].Type != FrameChange || frames[4].Change.Seq != 12 {
+		t.Fatalf("change 2 = %+v", frames[4])
+	}
+}
+
+func TestEventFrameRejectsUnknownType(t *testing.T) {
+	br := bufio.NewReader(bytes.NewReader([]byte{0xEE}))
+	if _, err := ReadEventFrame(br); !errors.Is(err, ErrMalformedFrame) {
+		t.Fatalf("err = %v, want ErrMalformedFrame", err)
+	}
+	// A truncated frame reports the reader's error, not a panic.
+	br = bufio.NewReader(bytes.NewReader([]byte{FrameChange, 0x07}))
+	if _, err := ReadEventFrame(br); err == nil {
+		t.Fatal("truncated change frame decoded")
+	}
+}

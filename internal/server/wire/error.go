@@ -56,6 +56,10 @@ const (
 	// CodeNoReplication: the replication endpoint requires the server to
 	// run as a replicating primary (HTTP 409).
 	CodeNoReplication = "no_replication"
+	// CodeUnsupportedMedia: the request declared a Content-Type the endpoint
+	// does not speak, or its Accept header admits none of the encodings the
+	// endpoint can produce. The message names the supported types (HTTP 415).
+	CodeUnsupportedMedia = "unsupported_media_type"
 )
 
 // Error is the structured error body every non-2xx response carries,

@@ -7,23 +7,34 @@
 //
 // # Endpoints
 //
-// All bodies are JSON; all successful responses use status 200 unless noted.
+// Bodies are JSON unless the binary protocol is negotiated (see the Binary
+// protocol section); all successful responses use status 200 unless noted.
 //
 //	POST /v1/batch       — apply a mixed add/remove update batch (BatchRequest
-//	                       → BatchResponse). Each request is atomic: either
-//	                       every surviving update applies or none does.
+//	                       → BatchResponse, or their binary framings). Each
+//	                       request is atomic: either every surviving update
+//	                       applies or none does.
 //	GET  /v1/core/{v}    — core number of one vertex (CoreResponse).
+//	GET  /v1/cores       — bulk dump of every vertex's core number
+//	                       (CoresResponse as JSON, or the binary KCORDUMP
+//	                       frame — the default when the Accept header does
+//	                       not ask for JSON).
 //	GET  /v1/kcore?k=K   — vertices of the k-core (KCoreResponse).
 //	GET  /v1/stats       — graph size, degeneracy, execution, ingest and
 //	                       persistence counters (StatsResponse).
-//	GET  /v1/watch       — live CoreChange events over Server-Sent Events;
-//	                       query parameters min_core and buffer configure the
-//	                       subscription (see the SSE section below).
+//	GET  /v1/watch       — live CoreChange events over Server-Sent Events or
+//	                       binary event frames; query parameters min_core and
+//	                       buffer configure the subscription (see the watch
+//	                       section below).
 //	GET  /v1/healthz     — liveness probe (HealthResponse).
 //	POST /v1/snapshot    — admin: force a durability snapshot + WAL
 //	                       compaction now (SnapshotResponse). Requires the
 //	                       server to run with persistence (-data-dir);
 //	                       otherwise it fails with code "no_persistence".
+//	GET  /v1/snapshot/export — stream the current engine state as a raw
+//	                       KCORSNAP image (application/x-kcore-snapshot,
+//	                       loadable with internal/persist.ReadSnapshot; the
+//	                       X-Kcore-Seq response header carries its seq).
 //	GET  /v1/replicate   — replication stream for followers (binary, not
 //	                       JSON: a bootstrap section, optionally carrying a
 //	                       KCORSNAP snapshot, followed by a live KCOREWAL
@@ -31,6 +42,36 @@
 //	                       optional ?from=<seq> query asks to resume at that
 //	                       sequence number. Fails with "no_replication" when
 //	                       the server is not a replicating primary.
+//
+// # Binary protocol
+//
+// The hot paths — bulk ingest, bulk reads and the watch stream — have binary
+// framings negotiated per request through the standard HTTP headers:
+//
+//   - POST /v1/batch with Content-Type: application/x-kcore-batch sends the
+//     updates as one persist batch frame (KCORBTCH magic, varint-encoded
+//     updates, CRC-32 trailer; see internal/persist.AppendBatchFrame) instead
+//     of a BatchRequest. The server decodes it into pooled scratch — the
+//     steady state allocates nothing per request.
+//   - Accept: application/x-kcore-batch on POST /v1/batch selects the binary
+//     batch ack (AppendBatchAck) over the JSON BatchResponse.
+//   - GET /v1/cores answers the binary KCORDUMP frame unless Accept asks for
+//     application/json specifically (absent and wildcard Accept both pick
+//     binary — the dump exists for bulk transfer).
+//   - Accept: application/x-kcore-events on GET /v1/watch selects binary
+//     event frames (ReadEventFrame) over SSE.
+//
+// A request whose Content-Type the endpoint cannot decode, or whose Accept
+// header rules out every representation the endpoint can produce, fails with
+// HTTP 415 and the stable code "unsupported_media_type" — before any side
+// effect, so a 415 never applied anything. Error responses always use the
+// JSON envelope regardless of negotiation (errors are rare and need no
+// binary fast path; a client that can send the binary protocol can parse
+// JSON). Absent headers mean JSON everywhere except GET /v1/cores, so plain
+// curl and pre-binary clients observe the exact JSON protocol that existed
+// before the binary framings. The Go Client negotiates automatically when
+// its Binary field is set: one 415 from a pre-binary server downgrades it to
+// JSON permanently, so Binary is always safe to enable.
 //
 // # Replication and read-only mode
 //
@@ -118,10 +159,12 @@
 //     attribution does not exist: CoreChanged is omitted and Applied reports
 //     the request's submitted update count.
 //
-// # SSE events
+// # Watch events
 //
-// GET /v1/watch responds with Content-Type: text/event-stream. Three event
-// types are sent, each with a JSON data payload:
+// GET /v1/watch responds with Content-Type: text/event-stream (SSE) by
+// default, or with application/x-kcore-events (binary frames) when Accept
+// selects it. Three event types are sent; as SSE each carries a JSON data
+// payload:
 //
 //	event: hello    data: HelloEvent   — once, immediately: subscription
 //	                                     parameters and the current seq.
@@ -129,12 +172,18 @@
 //	event: lagged   data: LaggedEvent  — the subscriber fell behind and
 //	                                     events were dropped.
 //
-// Delivery inherits kcore.Subscribe's drop-on-full semantics: the engine
-// never blocks on a slow watcher. Events that overflow the subscription
-// buffer (query parameter "buffer", default 256) are dropped, and the next
-// time the stream catches up a "lagged" event reports the cumulative drop
-// count. Consumers that must not miss changes should treat "lagged" as a
-// signal to resynchronize via GET /v1/stats + /v1/kcore.
+// Events fan out through a shared broadcast ring: each change is encoded
+// once per framing (not once per watcher), and every watcher walks the ring
+// through its own cursor. Delivery keeps kcore.Subscribe's drop-on-full
+// semantics: the engine never blocks on a slow watcher. Events that fall out
+// of a watcher's lag window — the "buffer" query parameter (default 256),
+// effectively clamped to the ring capacity (kcore-serve -watch-ring,
+// default 4096) — are dropped, and the next time the stream catches up a
+// "lagged" event reports the cumulative drop count. The count may slightly
+// over-report for min_core-filtered subscribers: drops are counted before
+// the filter, so some dropped events would have been filtered out anyway.
+// Consumers that must not miss changes should treat "lagged" as a signal to
+// resynchronize via GET /v1/cores (or /v1/stats + /v1/kcore).
 package wire
 
 // Update is one edge update in a batch request. Op is "add" or "remove".
@@ -405,7 +454,9 @@ const (
 type HelloEvent struct {
 	// Seq is the engine sequence number when the subscription was created;
 	// changes with Seq greater than this value will be delivered (modulo
-	// drops).
+	// drops). Changes at or before this value MAY additionally be delivered:
+	// the cursor attaches to the broadcast ring before Seq is read, so a
+	// change racing the subscription can appear on both sides of the hello.
 	Seq uint64 `json:"seq"`
 	// MinCore and Buffer echo the subscription parameters in effect.
 	MinCore int `json:"min_core"`
