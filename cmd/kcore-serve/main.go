@@ -1,5 +1,5 @@
-// Command kcore-serve serves a dynamic k-core decomposition engine over
-// HTTP/JSON: a mutation path (POST /v1/batch through an ingest coalescer),
+// Command kcore-serve serves dynamic k-core decomposition engines over
+// HTTP/JSON: a mutation path (POST .../batch through an ingest coalescer),
 // a query path (core/kcore/stats from immutable snapshots), and a live path
 // (core-change events over SSE). The wire protocol is documented in
 // kcore/internal/server/wire.
@@ -13,6 +13,15 @@
 //	kcore-serve -data-dir d -fsync always        fsync the WAL per batch
 //	kcore-serve -follow http://primary:8080      read-scaling follower
 //	kcore-serve -read-only                       serve reads, reject writes
+//	kcore-serve -max-tenants 16 -tenant-idle 5m  bound and pace tenant hosting
+//
+// One process hosts many independent graphs: the tenant-scoped routes
+// /v1/t/{tenant}/... create tenants on first write, recover them lazily
+// from <data-dir>/tenants/<name>/ after a restart, and evict them back to
+// disk after -tenant-idle without traffic (bounded at -max-tenants
+// resident). The unscoped /v1/... routes alias the pinned "default" tenant
+// — the engine -load/-data-dir describe — so pre-tenant clients are
+// unaffected. GET /v1/tenants lists tenants; DELETE /v1/t/{name} evicts.
 //
 // With -data-dir the engine state survives restarts: boot recovers the
 // snapshot plus write-ahead log (truncating a torn tail) before the
@@ -56,6 +65,7 @@ import (
 	"kcore/internal/persist"
 	"kcore/internal/replicate"
 	"kcore/internal/server"
+	"kcore/internal/tenant"
 )
 
 func main() {
@@ -93,6 +103,8 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 		follow       = fs.String("follow", "", "run as a replication follower of the primary kcore-serve at this base URL (implies read-only)")
 		followPoll   = fs.Duration("follow-poll", time.Second, "staleness poll period against the primary in follower mode")
 		readOnly     = fs.Bool("read-only", false, "reject writes with the stable read_only error; reads keep working")
+		maxTenants   = fs.Int("max-tenants", 64, "largest number of resident tenants (HTTP 429 tenant_limit beyond)")
+		tenantIdle   = fs.Duration("tenant-idle", 15*time.Minute, "evict durable tenants untouched this long back to disk (0 disables; requires -data-dir)")
 		replHistory  = fs.Int("replicate-history", 4<<20, "in-memory replication frame history bytes for follower resume (negative disables the replication endpoint)")
 		chaosSpec    = fs.String("chaos", "", "FAULT INJECTION (testing only): internal/fault rule spec, e.g. \"seed=42;wal.write:p=0.01;conn.read:p=0.005,drop;apply:panic,count=2\"")
 	)
@@ -130,6 +142,12 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 	if *rebuildFloor != -2 {
 		opts = append(opts, kcore.WithRebuildThreshold(*rebuildFloor, *rebuildFrac))
 	}
+	// Parsed up front (not inside the -data-dir branch): named tenants use
+	// the same durability policy for their per-tenant stores.
+	policy, err := persist.ParseSyncPolicy(*fsync)
+	if err != nil {
+		return err
+	}
 
 	var engine *kcore.Engine
 	var store *persist.Store
@@ -157,10 +175,7 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 		engine = f.Engine()
 		fmt.Fprintf(out, "following %s: bootstrapped at seq %d\n", f.Primary(), engine.Seq())
 	} else if *dataDir != "" {
-		policy, err := persist.ParseSyncPolicy(*fsync)
-		if err != nil {
-			return err
-		}
+		var err error
 		store, err = persist.Open(*dataDir, persist.Options{
 			Sync:         policy,
 			SyncEvery:    *syncEvery,
@@ -222,6 +237,23 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 	if plane != nil {
 		l = fault.WrapListener(plane, l)
 	}
+	topts := tenant.Options{
+		MaxTenants: *maxTenants,
+		IdleAfter:  *tenantIdle,
+		Engine:     opts,
+		Persist: persist.Options{
+			Sync:         policy,
+			SyncEvery:    *syncEvery,
+			CompactBytes: *compactEvery,
+			Fault:        plane,
+		},
+	}
+	if store != nil {
+		// Named tenants persist under <data-dir>/tenants/<name>; followers
+		// and memory-only servers host memory-only tenants (never idle-
+		// evicted — there is nowhere to put them).
+		topts.DataDir = *dataDir
+	}
 	srv := server.New(engine, server.Options{
 		MaxBatch:    *maxBatch,
 		MaxPending:  *maxPending,
@@ -231,7 +263,13 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 		ReadOnly:    *readOnly,
 		Publisher:   pub,
 		Follower:    fol,
+		Tenants:     topts,
 	})
+	idle := "off"
+	if *tenantIdle > 0 && store != nil {
+		idle = tenantIdle.String()
+	}
+	fmt.Fprintf(out, "tenant hosting: max %d resident, idle eviction %s\n", *maxTenants, idle)
 	fmt.Fprintf(out, "listening on %s\n", l.Addr())
 	if ready != nil {
 		ready(l.Addr().String())

@@ -1,0 +1,69 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Per-tenant data layout. A kcore-serve data directory serves double duty:
+// its root holds the default tenant's snapshot + WAL (the exact layout
+// single-tenant builds used, so pre-tenant data directories keep booting
+// unchanged), and every other tenant gets its own store in a subdirectory:
+//
+//	<data-dir>/snapshot.kcs            default tenant snapshot
+//	<data-dir>/wal.kcl                 default tenant write-ahead log
+//	<data-dir>/tenants/<name>/snapshot.kcs
+//	<data-dir>/tenants/<name>/wal.kcl
+//
+// Each tenant directory is a complete, self-contained Store: it opens,
+// recovers, compacts and heals independently of every other tenant.
+
+// TenantsDirName is the subdirectory of a data directory that holds the
+// non-default tenants' stores.
+const TenantsDirName = "tenants"
+
+// TenantDir returns the store directory for tenant name under root. The
+// caller must have validated name (see the tenant package); this function
+// only joins paths.
+func TenantDir(root, name string) string {
+	return filepath.Join(root, TenantsDirName, name)
+}
+
+// HasState reports whether dir contains durable store state (a snapshot or
+// a WAL file). A directory that merely exists but holds neither is treated
+// as stateless — opening it would initialize a fresh store.
+func HasState(dir string) bool {
+	for _, f := range []string{SnapshotFile, WALFile} {
+		if st, err := os.Stat(filepath.Join(dir, f)); err == nil && st.Mode().IsRegular() {
+			return true
+		}
+	}
+	return false
+}
+
+// ListTenantDirs returns the sorted names of tenant subdirectories under
+// root that contain durable state. A root without a tenants directory lists
+// empty — a single-tenant data directory is a valid multi-tenant one with
+// zero named tenants.
+func ListTenantDirs(root string) ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(root, TenantsDirName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("persist: list tenants: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if HasState(TenantDir(root, e.Name())) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}

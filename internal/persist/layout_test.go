@@ -1,0 +1,61 @@
+package persist
+
+import (
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+)
+
+func TestTenantLayout(t *testing.T) {
+	root := t.TempDir()
+	if names, err := ListTenantDirs(root); err != nil || names != nil {
+		t.Fatalf("empty root: names=%v err=%v", names, err)
+	}
+	if HasState(root) {
+		t.Fatal("empty root claims state")
+	}
+
+	// A directory with no store files is stateless and must not list.
+	if err := os.MkdirAll(TenantDir(root, "empty"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// A stray regular file under tenants/ must be ignored.
+	if err := os.WriteFile(filepath.Join(root, TenantsDirName, "junk.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, name := range []string{"beta", "alpha"} {
+		st, err := Open(TenantDir(root, name), Options{Sync: SyncOff})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Engine().AddEdge(0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !HasState(TenantDir(root, name)) {
+			t.Fatalf("tenant %s has no state after Open+Close", name)
+		}
+	}
+
+	names, err := ListTenantDirs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(names, []string{"alpha", "beta"}) {
+		t.Fatalf("ListTenantDirs = %v, want [alpha beta]", names)
+	}
+
+	// The default tenant's root-level store never shadows a named tenant.
+	if st, err := Open(root, Options{Sync: SyncOff}); err != nil {
+		t.Fatal(err)
+	} else if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if names, err = ListTenantDirs(root); err != nil || !slices.Equal(names, []string{"alpha", "beta"}) {
+		t.Fatalf("after root store: names=%v err=%v", names, err)
+	}
+}

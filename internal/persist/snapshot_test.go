@@ -55,6 +55,52 @@ func assertSameState(t *testing.T, want, got *kcore.Engine) {
 	}
 }
 
+// assertEquivalentState fails unless two engines agree on seq, core numbers,
+// and edge set, and got maintains a valid k-order. Unlike assertSameState it
+// does NOT demand a bit-identical k-order: snapshots store edges canonically
+// sorted, so a restored engine's adjacency ordering differs from the live
+// engine's historical swap-remove ordering, and replaying a WAL tail recorded
+// after a mid-churn compaction can then break k-order ties differently. Both
+// orders are valid maintained decompositions of the same graph (Validate
+// proves order-validity); demanding Order bit-equality across a compaction
+// boundary was a ~15% flake. Deterministic round-trip tests (no compaction
+// mid-churn) still use the strict assertSameState.
+func assertEquivalentState(t *testing.T, want, got *kcore.Engine) {
+	t.Helper()
+	ws, gs := stateOf(t, want), stateOf(t, got)
+	if ws.Seq != gs.Seq {
+		t.Fatalf("seq = %d, want %d", gs.Seq, ws.Seq)
+	}
+	if !slices.Equal(ws.Cores, gs.Cores) {
+		t.Fatalf("core numbers differ\n got %v\nwant %v", gs.Cores, ws.Cores)
+	}
+	if we, ge := canonicalEdges(ws.Edges), canonicalEdges(gs.Edges); !slices.Equal(we, ge) {
+		t.Fatalf("edge sets differ\n got %v\nwant %v", ge, we)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("restored engine invalid: %v", err)
+	}
+}
+
+// canonicalEdges normalizes endpoint order and sorts, so edge sets compare
+// independently of adjacency history.
+func canonicalEdges(edges [][2]int) [][2]int {
+	out := make([][2]int, len(edges))
+	for i, e := range edges {
+		if e[0] > e[1] {
+			e[0], e[1] = e[1], e[0]
+		}
+		out[i] = e
+	}
+	slices.SortFunc(out, func(a, b [2]int) int {
+		if a[0] != b[0] {
+			return a[0] - b[0]
+		}
+		return a[1] - b[1]
+	})
+	return out
+}
+
 func TestSnapshotRoundTrip(t *testing.T) {
 	e := testEngine(t)
 	path := filepath.Join(t.TempDir(), "snap.kcs")

@@ -165,10 +165,10 @@ func TestStoreCompaction(t *testing.T) {
 		t.Fatalf("reopen after compaction: %v", err)
 	}
 	defer st2.Close()
-	assertSameState(t, e, st2.Engine())
-	if err := st2.Engine().Validate(); err != nil {
-		t.Fatal(err)
-	}
+	// Equivalence, not bit-equality: compaction mid-churn rebuilds adjacency
+	// in canonical order, so the recovered k-order may break ties differently
+	// from the live engine's. See assertEquivalentState for the rationale.
+	assertEquivalentState(t, e, st2.Engine())
 }
 
 // TestStoreManualSnapshot covers Store.Snapshot (the admin-endpoint path):

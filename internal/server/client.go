@@ -54,6 +54,12 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 // wire protocol over a standard http.Client, so it exercises the real HTTP
 // surface (routing, serialization, status mapping) — the server's tests and
 // the CI end-to-end smoke drive the service through it.
+//
+// The graph-scoped calls (Batch, Cores, Watch, ...) exist in two forms:
+// scoped to a named tenant through Tenant(name), or directly on Client,
+// where they hit the legacy unscoped /v1 routes — exact aliases for the
+// "default" tenant. The direct forms are kept for pre-tenant callers; new
+// multi-tenant code should scope explicitly.
 type Client struct {
 	base string
 	hc   *http.Client
@@ -94,23 +100,55 @@ func NewClient(baseURL string, hc *http.Client) (*Client, error) {
 	return &Client{base: strings.TrimRight(u.String(), "/"), hc: hc, Retry: &pol}, nil
 }
 
-// Batch applies a mixed update batch via POST /v1/batch. A non-2xx response
+// TenantClient is a Client view scoped to one tenant: its calls hit the
+// /v1/t/{tenant}/... routes and share the parent client's connection,
+// retry policy, and binary-protocol negotiation state. Build one with
+// Client.Tenant; the zero value is not usable.
+type TenantClient struct {
+	c      *Client
+	name   string
+	prefix string // "/v1/t/<name>" (escaped), or "/v1" for the legacy view
+}
+
+// Tenant returns a view of the client scoped to the named tenant. The
+// tenant need not exist yet — the first Batch/AddEdges call creates it
+// (reads of a never-written tenant fail with code "unknown_tenant").
+func (c *Client) Tenant(name string) *TenantClient {
+	return &TenantClient{c: c, name: name, prefix: "/v1/t/" + url.PathEscape(name)}
+}
+
+// legacy is the default-tenant view behind the unscoped /v1 aliases; the
+// Client's top-level graph methods delegate through it.
+func (c *Client) legacy() *TenantClient {
+	return &TenantClient{c: c, name: "default", prefix: "/v1"}
+}
+
+// Name reports the tenant this view is scoped to.
+func (tc *TenantClient) Name() string { return tc.name }
+
+// Batch applies a mixed update batch via POST .../batch. A non-2xx response
 // is returned as a *wire.Error (branch on its Code and Status). With Binary
 // set, the batch travels as a binary frame (falling back to JSON once if
 // the server answers 415).
-func (c *Client) Batch(ctx context.Context, updates []wire.Update) (*wire.BatchResponse, error) {
-	if c.useBinary() {
-		resp, err := c.batchBinary(ctx, updates)
-		if !c.fellBack(err) {
+func (tc *TenantClient) Batch(ctx context.Context, updates []wire.Update) (*wire.BatchResponse, error) {
+	if tc.c.useBinary() {
+		resp, err := tc.batchBinary(ctx, updates)
+		if !tc.c.fellBack(err) {
 			return resp, err
 		}
 	}
 	var resp wire.BatchResponse
-	err := c.do(ctx, http.MethodPost, "/v1/batch", wire.BatchRequest{Updates: updates}, &resp)
+	err := tc.c.do(ctx, http.MethodPost, tc.prefix+"/batch", wire.BatchRequest{Updates: updates}, &resp)
 	if err != nil {
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// Batch applies a batch on the default tenant — the pre-tenant call kept
+// for existing callers; new code should scope explicitly with Tenant.
+func (c *Client) Batch(ctx context.Context, updates []wire.Update) (*wire.BatchResponse, error) {
+	return c.legacy().Batch(ctx, updates)
 }
 
 // useBinary reports whether the binary protocol should be attempted.
@@ -127,9 +165,9 @@ func (c *Client) fellBack(err error) bool {
 	return false
 }
 
-// batchBinary issues POST /v1/batch with a binary frame body and a binary
+// batchBinary issues POST .../batch with a binary frame body and a binary
 // acknowledgement response.
-func (c *Client) batchBinary(ctx context.Context, updates []wire.Update) (*wire.BatchResponse, error) {
+func (tc *TenantClient) batchBinary(ctx context.Context, updates []wire.Update) (*wire.BatchResponse, error) {
 	batch, werr := toBatch(updates)
 	if werr != nil {
 		return nil, werr
@@ -139,103 +177,164 @@ func (c *Client) batchBinary(ctx context.Context, updates []wire.Update) (*wire.
 		return nil, fmt.Errorf("server client: encode batch frame: %w", err)
 	}
 	var resp wire.BatchResponse
-	if err := c.exchange(ctx, http.MethodPost, "/v1/batch", frame,
+	if err := tc.c.exchange(ctx, http.MethodPost, tc.prefix+"/batch", frame,
 		wire.ContentTypeBatch, wire.ContentTypeBatch, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
-// Cores fetches the full core-number dump via GET /v1/cores (binary when
+// Cores fetches the full core-number dump via GET .../cores (binary when
 // the client prefers it, JSON otherwise).
-func (c *Client) Cores(ctx context.Context) (*wire.CoresResponse, error) {
+func (tc *TenantClient) Cores(ctx context.Context) (*wire.CoresResponse, error) {
 	var resp wire.CoresResponse
-	if c.useBinary() {
-		err := c.exchange(ctx, http.MethodGet, "/v1/cores", nil, "", wire.ContentTypeCores, &resp)
-		if !c.fellBack(err) {
+	if tc.c.useBinary() {
+		err := tc.c.exchange(ctx, http.MethodGet, tc.prefix+"/cores", nil, "", wire.ContentTypeCores, &resp)
+		if !tc.c.fellBack(err) {
 			if err != nil {
 				return nil, err
 			}
 			return &resp, nil
 		}
 	}
-	if err := c.exchange(ctx, http.MethodGet, "/v1/cores", nil, "", wire.ContentTypeJSON, &resp); err != nil {
+	if err := tc.c.exchange(ctx, http.MethodGet, tc.prefix+"/cores", nil, "", wire.ContentTypeJSON, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
-// SnapshotExport fetches a KCORSNAP image of the server's current state via
-// GET /v1/snapshot/export. The image loads with persist.ReadSnapshot.
-func (c *Client) SnapshotExport(ctx context.Context) ([]byte, error) {
+// Cores fetches the default tenant's dump — pre-tenant call, see Batch.
+func (c *Client) Cores(ctx context.Context) (*wire.CoresResponse, error) {
+	return c.legacy().Cores(ctx)
+}
+
+// SnapshotExport fetches a KCORSNAP image of the tenant's current state via
+// GET .../snapshot/export. The image loads with persist.ReadSnapshot.
+func (tc *TenantClient) SnapshotExport(ctx context.Context) ([]byte, error) {
 	var raw []byte
-	if err := c.exchange(ctx, http.MethodGet, "/v1/snapshot/export", nil, "",
+	if err := tc.c.exchange(ctx, http.MethodGet, tc.prefix+"/snapshot/export", nil, "",
 		wire.ContentTypeSnapshot, &raw); err != nil {
 		return nil, err
 	}
 	return raw, nil
 }
 
+// SnapshotExport exports the default tenant — pre-tenant call, see Batch.
+func (c *Client) SnapshotExport(ctx context.Context) ([]byte, error) {
+	return c.legacy().SnapshotExport(ctx)
+}
+
 // AddEdges applies a pure-insertion batch.
-func (c *Client) AddEdges(ctx context.Context, edges [][2]int) (*wire.BatchResponse, error) {
+func (tc *TenantClient) AddEdges(ctx context.Context, edges [][2]int) (*wire.BatchResponse, error) {
 	updates := make([]wire.Update, len(edges))
 	for i, e := range edges {
 		updates[i] = wire.Update{Op: wire.OpAdd, U: e[0], V: e[1]}
 	}
-	return c.Batch(ctx, updates)
+	return tc.Batch(ctx, updates)
+}
+
+// AddEdges inserts on the default tenant — pre-tenant call, see Batch.
+func (c *Client) AddEdges(ctx context.Context, edges [][2]int) (*wire.BatchResponse, error) {
+	return c.legacy().AddEdges(ctx, edges)
 }
 
 // RemoveEdges applies a pure-removal batch.
-func (c *Client) RemoveEdges(ctx context.Context, edges [][2]int) (*wire.BatchResponse, error) {
+func (tc *TenantClient) RemoveEdges(ctx context.Context, edges [][2]int) (*wire.BatchResponse, error) {
 	updates := make([]wire.Update, len(edges))
 	for i, e := range edges {
 		updates[i] = wire.Update{Op: wire.OpRemove, U: e[0], V: e[1]}
 	}
-	return c.Batch(ctx, updates)
+	return tc.Batch(ctx, updates)
+}
+
+// RemoveEdges removes on the default tenant — pre-tenant call, see Batch.
+func (c *Client) RemoveEdges(ctx context.Context, edges [][2]int) (*wire.BatchResponse, error) {
+	return c.legacy().RemoveEdges(ctx, edges)
 }
 
 // Core fetches one vertex's core number.
-func (c *Client) Core(ctx context.Context, v int) (*wire.CoreResponse, error) {
+func (tc *TenantClient) Core(ctx context.Context, v int) (*wire.CoreResponse, error) {
 	var resp wire.CoreResponse
-	if err := c.do(ctx, http.MethodGet, "/v1/core/"+strconv.Itoa(v), nil, &resp); err != nil {
+	if err := tc.c.do(ctx, http.MethodGet, tc.prefix+"/core/"+strconv.Itoa(v), nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// Core reads the default tenant — pre-tenant call, see Batch.
+func (c *Client) Core(ctx context.Context, v int) (*wire.CoreResponse, error) {
+	return c.legacy().Core(ctx, v)
 }
 
 // KCore fetches the vertices of the k-core.
-func (c *Client) KCore(ctx context.Context, k int) (*wire.KCoreResponse, error) {
+func (tc *TenantClient) KCore(ctx context.Context, k int) (*wire.KCoreResponse, error) {
 	var resp wire.KCoreResponse
-	if err := c.do(ctx, http.MethodGet, "/v1/kcore?k="+strconv.Itoa(k), nil, &resp); err != nil {
+	if err := tc.c.do(ctx, http.MethodGet, tc.prefix+"/kcore?k="+strconv.Itoa(k), nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
-// Stats fetches the server's stats snapshot.
-func (c *Client) Stats(ctx context.Context) (*wire.StatsResponse, error) {
+// KCore reads the default tenant — pre-tenant call, see Batch.
+func (c *Client) KCore(ctx context.Context, k int) (*wire.KCoreResponse, error) {
+	return c.legacy().KCore(ctx, k)
+}
+
+// Stats fetches the tenant's stats snapshot.
+func (tc *TenantClient) Stats(ctx context.Context) (*wire.StatsResponse, error) {
 	var resp wire.StatsResponse
-	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &resp); err != nil {
+	if err := tc.c.do(ctx, http.MethodGet, tc.prefix+"/stats", nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
-// Snapshot asks the server to write a durability snapshot and compact its
-// WAL now (POST /v1/snapshot). Servers running without persistence answer
-// with a *wire.Error carrying code "no_persistence".
-func (c *Client) Snapshot(ctx context.Context) (*wire.SnapshotResponse, error) {
+// Stats reads the default tenant — pre-tenant call, see Batch.
+func (c *Client) Stats(ctx context.Context) (*wire.StatsResponse, error) {
+	return c.legacy().Stats(ctx)
+}
+
+// Snapshot asks the server to write a durability snapshot of the tenant and
+// compact its WAL now (POST .../snapshot). Tenants running without
+// persistence answer with a *wire.Error carrying code "no_persistence".
+func (tc *TenantClient) Snapshot(ctx context.Context) (*wire.SnapshotResponse, error) {
 	var resp wire.SnapshotResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/snapshot", nil, &resp); err != nil {
+	if err := tc.c.do(ctx, http.MethodPost, tc.prefix+"/snapshot", nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// Snapshot snapshots the default tenant — pre-tenant call, see Batch.
+func (c *Client) Snapshot(ctx context.Context) (*wire.SnapshotResponse, error) {
+	return c.legacy().Snapshot(ctx)
 }
 
 // Health fetches the liveness probe.
 func (c *Client) Health(ctx context.Context) (*wire.HealthResponse, error) {
 	var resp wire.HealthResponse
 	if err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Tenants lists every tenant the server knows — resident or cold on disk —
+// with lifecycle state and the manager's admission counters.
+func (c *Client) Tenants(ctx context.Context) (*wire.TenantsResponse, error) {
+	var resp wire.TenantsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/tenants", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// EvictTenant evicts one tenant from residency (DELETE /v1/t/{name}):
+// durable tenants are snapshotted and closed, memory-only tenants lose
+// their graph. Evicting an already-cold durable tenant succeeds.
+func (c *Client) EvictTenant(ctx context.Context, name string) (*wire.EvictResponse, error) {
+	var resp wire.EvictResponse
+	if err := c.do(ctx, http.MethodDelete, "/v1/t/"+url.PathEscape(name), nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -401,20 +500,25 @@ type Event struct {
 	Lagged *wire.LaggedEvent
 }
 
-// Watch opens GET /v1/watch and parses the stream (SSE, or binary event
+// Watch opens GET .../watch and parses the stream (SSE, or binary event
 // frames when Binary is set) into events. The returned channel closes when
 // the stream ends for any reason (server shutdown, network error, or ctx
 // cancellation — cancel ctx to stop watching). The first event is always
 // the "hello" frame.
-func (c *Client) Watch(ctx context.Context, opts WatchOptions) (<-chan Event, error) {
-	out, err := c.watch(ctx, opts, c.useBinary())
-	if c.fellBack(err) {
-		out, err = c.watch(ctx, opts, false)
+func (tc *TenantClient) Watch(ctx context.Context, opts WatchOptions) (<-chan Event, error) {
+	out, err := tc.watch(ctx, opts, tc.c.useBinary())
+	if tc.c.fellBack(err) {
+		out, err = tc.watch(ctx, opts, false)
 	}
 	return out, err
 }
 
-func (c *Client) watch(ctx context.Context, opts WatchOptions, binary bool) (<-chan Event, error) {
+// Watch streams the default tenant — pre-tenant call, see Batch.
+func (c *Client) Watch(ctx context.Context, opts WatchOptions) (<-chan Event, error) {
+	return c.legacy().Watch(ctx, opts)
+}
+
+func (tc *TenantClient) watch(ctx context.Context, opts WatchOptions, binary bool) (<-chan Event, error) {
 	q := url.Values{}
 	if opts.MinCore > 0 {
 		q.Set("min_core", strconv.Itoa(opts.MinCore))
@@ -422,11 +526,11 @@ func (c *Client) watch(ctx context.Context, opts WatchOptions, binary bool) (<-c
 	if opts.Buffer > 0 {
 		q.Set("buffer", strconv.Itoa(opts.Buffer))
 	}
-	path := "/v1/watch"
+	path := tc.prefix + "/watch"
 	if len(q) > 0 {
 		path += "?" + q.Encode()
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, tc.c.base+path, nil)
 	if err != nil {
 		return nil, fmt.Errorf("server client: %w", err)
 	}
@@ -435,7 +539,7 @@ func (c *Client) watch(ctx context.Context, opts WatchOptions, binary bool) (<-c
 		accept = wire.ContentTypeEvents
 	}
 	req.Header.Set("Accept", accept)
-	resp, err := c.hc.Do(req)
+	resp, err := tc.c.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("server client: watch: %w", err)
 	}

@@ -94,22 +94,6 @@ func badRequest(format string, args ...any) *wire.Error {
 		Message: fmt.Sprintf(format, args...)}
 }
 
-// methodGuard rejects other HTTP methods with the wire protocol's JSON
-// error envelope (ServeMux method patterns would answer in plain text).
-func methodGuard(method string, h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != method {
-			w.Header().Set("Allow", method)
-			writeError(w, &wire.Error{
-				Code: wire.CodeMethodNotAllowed, Status: http.StatusMethodNotAllowed,
-				Message: fmt.Sprintf("%s requires %s, got %s", r.URL.Path, method, r.Method),
-			})
-			return
-		}
-		h(w, r)
-	}
-}
-
 // readOnlyError builds the stable 403 for mutations on a read-only server;
 // on a follower the message names the primary to send writes to.
 func (s *Server) readOnlyError() *wire.Error {
@@ -229,21 +213,9 @@ func readAllInto(r io.Reader, buf []byte) ([]byte, error) {
 	}
 }
 
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	if s.readOnly() {
-		writeError(w, s.readOnlyError())
-		return
-	}
-	if s.draining.Load() {
-		writeError(w, toWireError(errShuttingDown))
-		return
-	}
-	if s.health != nil {
-		if degraded, cause := s.health.current(); degraded {
-			writeError(w, degradedError(cause))
-			return
-		}
-	}
+// handleBatch runs after the route wrapper's gating (read-only, draining,
+// degraded — see routes.go), so the body here is pure decode + submit.
+func (s *Server) handleBatch(ts *tenantServing, w http.ResponseWriter, r *http.Request) {
 	ct := requestMediaType(r)
 	if ct != wire.ContentTypeJSON && ct != wire.ContentTypeBatch {
 		writeError(w, unsupportedMedia("/v1/batch accepts %s or %s request bodies, got %q",
@@ -313,7 +285,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	resp, err := s.co.submit(batch)
+	resp, err := ts.co.submit(batch)
 	if err != nil {
 		writeError(w, toWireError(err))
 		return
@@ -363,18 +335,18 @@ func bodyReadError(err error) *wire.Error {
 	return badRequest("invalid batch request body: %v", err)
 }
 
-func (s *Server) handleCore(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleCore(ts *tenantServing, w http.ResponseWriter, r *http.Request) {
 	v, err := strconv.Atoi(r.PathValue("v"))
 	if err != nil || v < 0 {
 		writeError(w, badRequest("vertex must be a non-negative integer, got %q", r.PathValue("v")))
 		return
 	}
 	// CoreSeq, not View: the point query must not pay an O(n) snapshot.
-	core, seq := s.eng().CoreSeq(v)
+	core, seq := ts.eng().CoreSeq(v)
 	writeJSON(w, http.StatusOK, wire.CoreResponse{Vertex: v, Core: core, Seq: seq})
 }
 
-func (s *Server) handleKCore(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleKCore(ts *tenantServing, w http.ResponseWriter, r *http.Request) {
 	kstr := r.URL.Query().Get("k")
 	if kstr == "" {
 		writeError(w, badRequest("missing required query parameter k"))
@@ -385,7 +357,7 @@ func (s *Server) handleKCore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("k must be a non-negative integer, got %q", kstr))
 		return
 	}
-	view := s.eng().View()
+	view := ts.eng().View()
 	vs := view.KCore(k)
 	if vs == nil {
 		vs = []int{} // an empty core serializes as [], not null
@@ -395,14 +367,14 @@ func (s *Server) handleKCore(w http.ResponseWriter, r *http.Request) {
 
 // handleCores serves the full core-number dump, binary (the server's
 // preferred encoding) or JSON by Accept negotiation.
-func (s *Server) handleCores(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleCores(ts *tenantServing, w http.ResponseWriter, r *http.Request) {
 	typ, ok := negotiate(r.Header.Get("Accept"), wire.ContentTypeCores, wire.ContentTypeJSON)
 	if !ok {
 		writeError(w, unsupportedMedia("/v1/cores responds with %s or %s, none admitted by Accept %q",
 			wire.ContentTypeCores, wire.ContentTypeJSON, r.Header.Get("Accept")))
 		return
 	}
-	view := s.eng().View()
+	view := ts.eng().View()
 	cores := view.Cores()
 	if typ == wire.ContentTypeJSON {
 		if cores == nil {
@@ -421,13 +393,13 @@ func (s *Server) handleCores(w http.ResponseWriter, r *http.Request) {
 // handleSnapshotExport streams a KCORSNAP image of the current engine state
 // (View(WithIndex()), one read-lock capture), so followers and tools can
 // bootstrap without JSON — and without requiring the server to persist.
-func (s *Server) handleSnapshotExport(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSnapshotExport(ts *tenantServing, w http.ResponseWriter, r *http.Request) {
 	if _, ok := negotiate(r.Header.Get("Accept"), wire.ContentTypeSnapshot); !ok {
 		writeError(w, unsupportedMedia("/v1/snapshot/export responds with %s, not admitted by Accept %q",
 			wire.ContentTypeSnapshot, r.Header.Get("Accept")))
 		return
 	}
-	st, err := s.eng().View(kcore.WithIndex()).Index()
+	st, err := ts.eng().View(kcore.WithIndex()).Index()
 	if err != nil {
 		writeError(w, &wire.Error{Code: wire.CodeInternal, Status: http.StatusInternalServerError,
 			Message: fmt.Sprintf("engine cannot export its index: %v", err)})
@@ -446,19 +418,20 @@ func (s *Server) handleSnapshotExport(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(data)
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleStats(ts *tenantServing, w http.ResponseWriter, r *http.Request) {
 	// Counts, not View: four scalars don't justify an O(n) snapshot —
 	// /v1/stats is the resync signal for lagged watchers, so it gets hit.
-	eng := s.eng()
+	eng := ts.eng()
 	vertices, edges, degeneracy, seq := eng.Counts()
 	ex := eng.ExecStats()
 	resp := wire.StatsResponse{
+		Tenant:     ts.t.Name(),
 		Vertices:   vertices,
 		Edges:      edges,
 		Degeneracy: degeneracy,
 		Seq:        seq,
 		Algorithm:  eng.Algorithm().String(),
-		Watchers:   s.Watchers(),
+		Watchers:   int(ts.watchers.Load()),
 		Exec: wire.ExecStats{
 			Sequential: ex.Sequential,
 			Replayed:   ex.Replayed,
@@ -466,10 +439,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Recomputed: ex.Recomputed,
 			Panics:     ex.Panics,
 		},
-		Ingest: s.co.stats.wire(),
+		Ingest: ts.co.stats.wire(),
 	}
-	if s.opts.Persist != nil {
-		ps := s.opts.Persist.Stats()
+	if st := ts.t.Store(); st != nil {
+		ps := st.Stats()
 		resp.Persist = &wire.PersistStats{
 			SnapshotSeq:      ps.SnapshotSeq,
 			SnapshotBytes:    ps.SnapshotBytes,
@@ -486,7 +459,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			TornBytes:        ps.TornBytes,
 		}
 	}
-	if h := s.health; h != nil {
+	if h := ts.health; h != nil {
 		av := &wire.AvailabilityStats{
 			State:        "healthy",
 			Degradations: h.degradations.Load(),
@@ -499,7 +472,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Availability = av
 	}
-	if pub := s.opts.Publisher; pub != nil {
+	if pub := ts.pub; pub != nil {
 		rs := pub.Stats()
 		pr := &wire.PrimaryReplication{
 			HeadSeq:        rs.HeadSeq,
@@ -526,7 +499,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Replication = &wire.ReplicationStats{Role: "primary", Primary: pr}
 	}
-	if f := s.opts.Follower; f != nil {
+	if f := ts.fol; f != nil {
 		fs := f.Stats()
 		fr := &wire.FollowerReplication{
 			Primary:        fs.Primary,
@@ -550,20 +523,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	if s.readOnly() {
-		writeError(w, s.readOnlyError())
-		return
-	}
-	if s.opts.Persist == nil {
+// handleSnapshot runs after the route wrapper's read-only gate, but is NOT
+// degraded-gated: forcing a snapshot is the manual heal path and must work
+// precisely while the durability layer is unwell.
+func (s *Server) handleSnapshot(ts *tenantServing, w http.ResponseWriter, r *http.Request) {
+	st := ts.t.Store()
+	if st == nil {
 		writeError(w, &wire.Error{
 			Code: wire.CodeNoPersistence, Status: http.StatusConflict,
-			Message: "server runs without persistence; start kcore-serve with -data-dir",
+			Message: "tenant has no persistence; start kcore-serve with -data-dir",
 		})
 		return
 	}
 	start := time.Now()
-	info, err := s.opts.Persist.Snapshot()
+	info, err := st.Snapshot()
 	if err != nil && !errors.Is(err, persist.ErrCompaction) {
 		writeError(w, &wire.Error{Code: wire.CodeInternal, Status: http.StatusInternalServerError,
 			Message: fmt.Sprintf("snapshot failed: %v", err)})
@@ -585,16 +558,16 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 // handleHealthz always answers 200 — it is a liveness probe and must keep
 // answering precisely when the server is unwell. Status and Mode carry
 // the availability verdict; load balancers route writes on those.
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	resp := wire.HealthResponse{Status: "ok", Mode: "read_write", Seq: s.eng().Seq()}
+func (s *Server) handleHealthz(ts *tenantServing, w http.ResponseWriter, r *http.Request) {
+	resp := wire.HealthResponse{Status: "ok", Mode: "read_write", Seq: ts.eng().Seq()}
 	switch {
-	case s.opts.Follower != nil:
+	case ts.fol != nil:
 		resp.Mode = "follower"
 	case s.opts.ReadOnly:
 		resp.Mode = "read_only"
 	}
-	if s.health != nil {
-		if degraded, cause := s.health.current(); degraded {
+	if ts.health != nil {
+		if degraded, cause := ts.health.current(); degraded {
 			resp.Status, resp.Cause = "degraded", cause
 			resp.Mode = "read_only"
 		}

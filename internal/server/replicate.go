@@ -21,8 +21,8 @@ import (
 // The stream is one-way. Errors detected before the first byte get the JSON
 // error envelope; after that the only signal is closing the connection —
 // the follower treats EOF as a reconnect cue and malformed bytes as a gap.
-func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
-	pub := s.opts.Publisher
+func (s *Server) handleReplicate(ts *tenantServing, w http.ResponseWriter, r *http.Request) {
+	pub := ts.pub
 	if pub == nil {
 		writeError(w, &wire.Error{
 			Code: wire.CodeNoReplication, Status: http.StatusConflict,

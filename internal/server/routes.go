@@ -1,0 +1,190 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"kcore/internal/server/wire"
+	"kcore/internal/tenant"
+)
+
+// The v1 route surface is declared once, in routeTable: the mux patterns,
+// the method guard, the tenant resolution (legacy /v1/... aliases the
+// "default" tenant; /v1/t/{tenant}/... scopes any tenant), and the
+// read-only / draining / degraded write gating are all driven from the
+// table instead of ad-hoc per-handler checks.
+
+// routeClass is a route's write-gating class.
+type routeClass uint8
+
+const (
+	// classRead routes are never write-gated: they serve on read-only,
+	// draining, and degraded servers alike.
+	classRead routeClass = iota
+	// classWrite routes mutate the graph: rejected on read-only servers
+	// (403), while draining (503), and while the tenant's durability layer
+	// is degraded (503 + Retry-After).
+	classWrite
+	// classMaint routes are maintenance writes: rejected on read-only
+	// servers but deliberately NOT degraded-gated — POST /v1/snapshot is the
+	// manual heal path, it must work precisely while degraded.
+	classMaint
+)
+
+// route is one row of the v1 API surface.
+type route struct {
+	method string
+	// path is the unscoped pattern. Tenant-scoped rows (suffix != "") use it
+	// as the legacy default-tenant alias and additionally register
+	// /v1/t/{tenant}/<suffix>.
+	path   string
+	suffix string
+	// create admits an unknown tenant name on this route (create by touch);
+	// without it unknown names answer 404 unknown_tenant.
+	create  bool
+	class   routeClass
+	handler func(*Server, *tenantServing, http.ResponseWriter, *http.Request)
+}
+
+var routeTable = []route{
+	{method: http.MethodPost, path: "/v1/batch", suffix: "batch", create: true, class: classWrite, handler: (*Server).handleBatch},
+	{method: http.MethodGet, path: "/v1/core/{v}", suffix: "core/{v}", class: classRead, handler: (*Server).handleCore},
+	{method: http.MethodGet, path: "/v1/cores", suffix: "cores", class: classRead, handler: (*Server).handleCores},
+	{method: http.MethodGet, path: "/v1/kcore", suffix: "kcore", class: classRead, handler: (*Server).handleKCore},
+	{method: http.MethodGet, path: "/v1/stats", suffix: "stats", class: classRead, handler: (*Server).handleStats},
+	{method: http.MethodGet, path: "/v1/watch", suffix: "watch", class: classRead, handler: (*Server).handleWatch},
+	{method: http.MethodPost, path: "/v1/snapshot", suffix: "snapshot", class: classMaint, handler: (*Server).handleSnapshot},
+	{method: http.MethodGet, path: "/v1/snapshot/export", suffix: "snapshot/export", class: classRead, handler: (*Server).handleSnapshotExport},
+	{method: http.MethodGet, path: "/v1/healthz", class: classRead, handler: (*Server).handleHealthz},
+	{method: http.MethodGet, path: "/v1/replicate", class: classRead, handler: (*Server).handleReplicate},
+	{method: http.MethodGet, path: "/v1/tenants", class: classRead, handler: (*Server).handleTenants},
+	{method: http.MethodDelete, path: "/v1/t/{tenant}", class: classRead, handler: (*Server).handleEvictTenant},
+}
+
+// registerRoutes builds the mux from routeTable. Method-less patterns with
+// an explicit guard (rather than "GET /path" patterns) so wrong-method and
+// unknown-path responses carry the wire protocol's JSON error envelope
+// instead of ServeMux's plain text.
+func (s *Server) registerRoutes() {
+	s.mux = http.NewServeMux()
+	for _, rt := range routeTable {
+		s.mux.HandleFunc(rt.path, s.route(rt, false))
+		if rt.suffix != "" {
+			s.mux.HandleFunc("/v1/t/{tenant}/"+rt.suffix, s.route(rt, true))
+		}
+	}
+	s.mux.HandleFunc("/", handleNotFound)
+}
+
+// route wraps one table row into a handler: method guard, write gating,
+// tenant resolution, and reference lifetime around the handler call.
+func (s *Server) route(rt route, scoped bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != rt.method {
+			w.Header().Set("Allow", rt.method)
+			writeError(w, &wire.Error{
+				Code: wire.CodeMethodNotAllowed, Status: http.StatusMethodNotAllowed,
+				Message: fmt.Sprintf("%s requires %s, got %s", r.URL.Path, rt.method, r.Method),
+			})
+			return
+		}
+		if rt.class != classRead && s.readOnly() {
+			writeError(w, s.readOnlyError())
+			return
+		}
+		if rt.class == classWrite && s.draining.Load() {
+			writeError(w, toWireError(errShuttingDown))
+			return
+		}
+		// The default tenant is pinned — resident for the server's lifetime —
+		// so its routes (every legacy alias included) skip the acquire/release
+		// reference dance entirely and behave exactly as the single-tenant
+		// server did.
+		ts := s.def
+		if rt.suffix != "" && scoped {
+			if name := r.PathValue("tenant"); name != tenant.DefaultName {
+				t, err := s.mgr.Acquire(name, rt.create)
+				if err != nil {
+					writeError(w, tenantError(err))
+					return
+				}
+				defer t.Release()
+				ts = t.Attachment().(*tenantServing)
+			}
+		}
+		if rt.class == classWrite && ts.health != nil {
+			if degraded, cause := ts.health.current(); degraded {
+				writeError(w, degradedError(cause))
+				return
+			}
+		}
+		rt.handler(s, ts, w, r)
+	}
+}
+
+// tenantError maps tenant manager errors onto the wire protocol. The
+// mapping lives here (not in wire) so the wire package stays a pure
+// protocol definition.
+func tenantError(err error) *wire.Error {
+	switch {
+	case errors.Is(err, tenant.ErrUnknownTenant):
+		return &wire.Error{Code: wire.CodeUnknownTenant, Status: http.StatusNotFound,
+			Message: err.Error() + " (tenants are created by their first write)"}
+	case errors.Is(err, tenant.ErrTenantLimit):
+		// 429 + Retry-After (via writeError): a slot frees when a tenant is
+		// evicted or idles out.
+		return &wire.Error{Code: wire.CodeTenantLimit, Status: http.StatusTooManyRequests,
+			Message: err.Error() + "; evict an idle tenant or raise -max-tenants"}
+	case errors.Is(err, tenant.ErrInvalidName), errors.Is(err, tenant.ErrPinned):
+		return badRequest("%v", err)
+	case errors.Is(err, tenant.ErrClosed):
+		return toWireError(errShuttingDown)
+	}
+	return &wire.Error{Code: wire.CodeInternal, Status: http.StatusInternalServerError,
+		Message: err.Error()}
+}
+
+// handleTenants serves the admin tenant listing: every known tenant
+// (resident or cold on disk) with its lifecycle state and size, plus the
+// manager's admission counters.
+func (s *Server) handleTenants(_ *tenantServing, w http.ResponseWriter, r *http.Request) {
+	infos := s.mgr.List()
+	ms := s.mgr.Stats()
+	resp := wire.TenantsResponse{
+		Resident:   ms.Resident,
+		MaxTenants: ms.MaxTenants,
+		Loads:      ms.Loads,
+		Creates:    ms.Creates,
+		Evictions:  ms.Evictions,
+		Rejections: ms.Rejections,
+		Tenants:    make([]wire.TenantInfo, 0, len(infos)), // [] over null
+	}
+	for _, in := range infos {
+		resp.Tenants = append(resp.Tenants, wire.TenantInfo{
+			Name:     in.Name,
+			State:    string(in.State),
+			Pinned:   in.Pinned,
+			Durable:  in.Durable,
+			Refs:     in.Refs,
+			IdleMS:   in.IdleFor.Milliseconds(),
+			Seq:      in.Seq,
+			Vertices: in.Vertices,
+			Edges:    in.Edges,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleEvictTenant serves DELETE /v1/t/{tenant}: close the tenant's serving
+// plane, drain its references, snapshot + close its store (memory-only
+// tenants lose their graph), and drop it from residency. Evicting an
+// already-cold durable tenant is an idempotent success.
+func (s *Server) handleEvictTenant(_ *tenantServing, w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("tenant")
+	if err := s.mgr.Evict(name); err != nil {
+		writeError(w, tenantError(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.EvictResponse{Tenant: name, Evicted: true})
+}

@@ -1,10 +1,15 @@
 // Package server implements kcore-serve: an HTTP/JSON network service over
-// a kcore.Engine. It exposes a mutation path (POST /v1/batch through an
-// ingest coalescer that flushes concurrent client batches through one
-// engine Apply), a query path (core/kcore/stats served from immutable View
-// snapshots, so readers never block writers), and a live path (core-change
-// events over Server-Sent Events on top of Engine.Subscribe, with
-// drop-on-full semantics surfaced as "lagged" events).
+// kcore engines. It exposes a mutation path (POST .../batch through a
+// per-tenant ingest coalescer that flushes concurrent client batches through
+// one engine Apply), a query path (core/kcore/stats served from immutable
+// View snapshots, so readers never block writers), and a live path
+// (core-change events over Server-Sent Events on top of Engine.Subscribe,
+// with drop-on-full semantics surfaced as "lagged" events).
+//
+// One server hosts many independent graphs: the tenant-scoped routes
+// /v1/t/{tenant}/... resolve through a tenant.Manager (create by touch,
+// lazy load from disk, idle eviction), while the legacy /v1/... routes are
+// exact aliases for the pinned "default" tenant — the engine passed to New.
 //
 // The wire protocol — request/response bodies, error envelope and codes,
 // and the SSE event schema — is defined and documented in the nested wire
@@ -26,6 +31,7 @@ import (
 	"kcore"
 	"kcore/internal/persist"
 	"kcore/internal/replicate"
+	"kcore/internal/tenant"
 )
 
 // Options tunes the service limits. The zero value picks the defaults.
@@ -33,7 +39,7 @@ type Options struct {
 	// MaxBatch is the largest number of updates accepted in one POST
 	// /v1/batch request (HTTP 413 beyond it). Default 10000.
 	MaxBatch int
-	// MaxPending is the ingest coalescer's backpressure budget: the largest
+	// MaxPending is each tenant's ingest backpressure budget: the largest
 	// number of updates buffered across queued requests before further
 	// requests are rejected with HTTP 429. Default 100000.
 	MaxPending int
@@ -42,7 +48,7 @@ type Options struct {
 	WatchBuffer int
 	// MaxWatchBuffer caps the per-request ?buffer= parameter. Default 65536.
 	MaxWatchBuffer int
-	// WatchRing is the capacity of the shared watch broadcast ring: every
+	// WatchRing is the capacity of each tenant's watch broadcast ring: every
 	// change event is encoded once into it, and each watcher reads through
 	// a cursor whose lag window is min(?buffer=, WatchRing). Default 4096.
 	WatchRing int
@@ -67,27 +73,38 @@ type Options struct {
 	// is unaffected: the deadline applies per write, not per stream.
 	// Default 30s.
 	WriteTimeout time.Duration
-	// Persist, when non-nil, is the durability store managing the engine:
-	// it enables POST /v1/snapshot and the persistence section of
-	// /v1/stats. The caller owns its lifecycle (kcore-serve opens it before
-	// New and closes it after Shutdown).
+	// Persist, when non-nil, is the durability store managing the default
+	// tenant's engine: it enables POST /v1/snapshot and the persistence
+	// section of /v1/stats for it. The caller owns its lifecycle
+	// (kcore-serve opens it before New and closes it after Shutdown).
+	// Named tenants get their own stores through Tenants.DataDir; those are
+	// owned — opened, snapshotted, and closed — by the tenant manager.
 	Persist *persist.Store
-	// ReadOnly rejects the mutating endpoints (POST /v1/batch, POST
-	// /v1/snapshot) with the stable wire code "read_only" (HTTP 403).
+	// ReadOnly rejects the mutating endpoints (POST .../batch, POST
+	// .../snapshot) with the stable wire code "read_only" (HTTP 403).
 	// Implied by Follower.
 	ReadOnly bool
 	// Publisher, when non-nil, makes the server a replication primary: it
 	// enables GET /v1/replicate and the primary replication section of
-	// /v1/stats. The caller owns its lifecycle (attach it to the engine
-	// before New, Close it after Shutdown).
+	// /v1/stats. Replication spans the default tenant only. The caller owns
+	// its lifecycle (attach it to the engine before New, Close it after
+	// Shutdown).
 	Publisher *replicate.Publisher
 	// Follower, when non-nil, makes the server a replication follower: the
-	// read endpoints serve from Follower.Engine() (re-fetched per request —
-	// a re-bootstrap replaces the engine), writes are rejected as with
-	// ReadOnly naming the primary, and /v1/stats carries the follower
-	// replication section. The engine passed to New is only the follower's
-	// boot engine; the caller owns the follower's lifecycle.
+	// default tenant's read endpoints serve from Follower.Engine()
+	// (re-fetched per request — a re-bootstrap replaces the engine), writes
+	// are rejected as with ReadOnly naming the primary, and /v1/stats
+	// carries the follower replication section. The engine passed to New is
+	// only the follower's boot engine; the caller owns the follower's
+	// lifecycle.
 	Follower *replicate.Follower
+	// Tenants configures the lifecycle manager behind the tenant-scoped
+	// /v1/t/{tenant}/... routes: data directory, residency bound, idle
+	// eviction, and the engine/store options applied to named tenants. The
+	// Attach field is owned by the server and overwritten if set. The
+	// engine passed to New always serves as the pinned "default" tenant,
+	// whatever Tenants says.
+	Tenants tenant.Options
 }
 
 func (o Options) withDefaults() Options {
@@ -124,66 +141,110 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Server serves a kcore.Engine over HTTP. Create it with New, expose it
-// either through Serve (which owns an http.Server) or by mounting Handler
-// on an existing server, and stop it with Shutdown. The engine remains
-// usable directly alongside the server — its own locking arbitrates.
-type Server struct {
-	engine *kcore.Engine
-	opts   Options
+// tenantServing is one tenant's serving plane: the ingest coalescer, the
+// watch broadcast hub, and (for durable, writable tenants) the availability
+// state machine. Built by Server.attach when the tenant becomes resident;
+// closed by the tenant manager during eviction or shutdown.
+type tenantServing struct {
+	t      *tenant.Tenant
 	co     *coalescer
 	hub    *watchHub
-	mux    *http.ServeMux
-	// health is the availability state machine; nil when the server runs
-	// without persistence or is read-only (nothing to degrade on).
+	health *health // nil without a store, or on read-only servers
+	// pub/fol are set only on the default tenant: replication spans the
+	// process's primary graph, not individual tenants.
+	pub *replicate.Publisher
+	fol *replicate.Follower
+
+	watchers atomic.Int64
+}
+
+// eng is the engine handlers must read from: the follower's current one
+// (re-fetched per call — a re-bootstrap swaps it) or the tenant's own.
+func (ts *tenantServing) eng() *kcore.Engine {
+	if ts.fol != nil {
+		return ts.fol.Engine()
+	}
+	return ts.t.Engine()
+}
+
+// Close implements tenant.Attachment: stop admitting writes (draining the
+// queued ones), stop the durability prober, and end every watch stream, so
+// the tenant's reference count can drain.
+func (ts *tenantServing) Close() {
+	ts.co.close()
+	if ts.health != nil {
+		ts.health.close()
+	}
+	ts.hub.close()
+}
+
+// Server serves kcore engines over HTTP. Create it with New, expose it
+// either through Serve (which owns an http.Server) or by mounting Handler
+// on an existing server, and stop it with Shutdown. The default tenant's
+// engine remains usable directly alongside the server — its own locking
+// arbitrates.
+type Server struct {
+	opts Options
+	mgr  *tenant.Manager
+	// def is the pinned default tenant's serving plane — the engine passed
+	// to New. Held directly so the legacy /v1 aliases (and every default-
+	// scoped route) bypass tenant resolution entirely.
+	def *tenantServing
+	mux *http.ServeMux
+
+	// co, hub, and health alias def's plane: the single-tenant server's
+	// fields, kept for white-box tests and internal callers.
+	co     *coalescer
+	hub    *watchHub
 	health *health
 
 	httpMu   sync.Mutex
 	httpSrv  *http.Server
 	stop     chan struct{} // closed by Shutdown: unblocks watch streams
 	stopOnce sync.Once
+	mgrDone  chan struct{} // closed once every tenant has retired
 	draining atomic.Bool
 	watchers atomic.Int64
 }
 
-// New builds a server around an existing engine.
+// New builds a server around an existing engine, which serves as the pinned
+// "default" tenant.
 func New(engine *kcore.Engine, opts Options) *Server {
 	s := &Server{
-		engine: engine,
-		opts:   opts.withDefaults(),
-		stop:   make(chan struct{}),
+		opts:    opts.withDefaults(),
+		stop:    make(chan struct{}),
+		mgrDone: make(chan struct{}),
 	}
-	s.co = newCoalescer(engine, s.opts.MaxPending)
-	s.hub = newWatchHub(s.opts.WatchRing)
-	if s.opts.Persist != nil && !s.opts.ReadOnly && s.opts.Follower == nil {
-		s.health = newHealth(s.opts.Persist)
-		s.co.observe = s.health.observe
+	topts := s.opts.Tenants
+	topts.Attach = s.attach
+	s.mgr = tenant.NewManager(topts)
+	def, err := s.mgr.Adopt(tenant.DefaultName, engine, s.opts.Persist)
+	if err != nil {
+		// Adopting a valid constant name into a fresh manager cannot fail.
+		panic(fmt.Sprintf("server: adopting default tenant: %v", err))
 	}
-	// Method-less patterns with an explicit guard (rather than "GET /path"
-	// patterns) so wrong-method and unknown-path responses carry the wire
-	// protocol's JSON error envelope instead of ServeMux's plain text.
-	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("/v1/batch", methodGuard(http.MethodPost, s.handleBatch))
-	s.mux.HandleFunc("/v1/core/{v}", methodGuard(http.MethodGet, s.handleCore))
-	s.mux.HandleFunc("/v1/cores", methodGuard(http.MethodGet, s.handleCores))
-	s.mux.HandleFunc("/v1/kcore", methodGuard(http.MethodGet, s.handleKCore))
-	s.mux.HandleFunc("/v1/stats", methodGuard(http.MethodGet, s.handleStats))
-	s.mux.HandleFunc("/v1/watch", methodGuard(http.MethodGet, s.handleWatch))
-	s.mux.HandleFunc("/v1/healthz", methodGuard(http.MethodGet, s.handleHealthz))
-	s.mux.HandleFunc("/v1/snapshot", methodGuard(http.MethodPost, s.handleSnapshot))
-	s.mux.HandleFunc("/v1/snapshot/export", methodGuard(http.MethodGet, s.handleSnapshotExport))
-	s.mux.HandleFunc("/v1/replicate", methodGuard(http.MethodGet, s.handleReplicate))
-	s.mux.HandleFunc("/", handleNotFound)
+	s.def = def.Attachment().(*tenantServing)
+	s.co, s.hub, s.health = s.def.co, s.def.hub, s.def.health
+	s.registerRoutes()
 	return s
 }
 
-// eng is the engine handlers must read from: the follower's current one
-// (re-fetched per call — a re-bootstrap swaps it) or the server's own.
-func (s *Server) eng() *kcore.Engine {
-	if s.opts.Follower != nil {
-		return s.opts.Follower.Engine()
+// attach builds a tenant's serving plane; the tenant manager invokes it once
+// per residency (including the adopted default tenant, from New).
+func (s *Server) attach(t *tenant.Tenant) (tenant.Attachment, error) {
+	ts := &tenantServing{t: t}
+	ts.co = newCoalescer(t.Engine(), s.opts.MaxPending)
+	ts.co.pools = s.mgr.Pools()
+	ts.hub = newWatchHub(s.opts.WatchRing)
+	if t.Name() == tenant.DefaultName {
+		ts.pub = s.opts.Publisher
+		ts.fol = s.opts.Follower
 	}
-	return s.engine
+	if t.Store() != nil && !s.readOnly() {
+		ts.health = newHealth(t.Store())
+		ts.co.observe = ts.health.observe
+	}
+	return ts, nil
 }
 
 // readOnly reports whether mutations are rejected.
@@ -191,7 +252,7 @@ func (s *Server) readOnly() bool { return s.opts.ReadOnly || s.opts.Follower != 
 
 // Handler returns the service's HTTP handler, for mounting on an existing
 // http.Server (tests use it with httptest). Callers that bypass Serve must
-// still call Shutdown to drain the ingest queue and close watch streams.
+// still call Shutdown to drain the ingest queues and close watch streams.
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Serve accepts connections on l until Shutdown. It returns nil after a
@@ -222,20 +283,36 @@ func (s *Server) Serve(l net.Listener) error {
 	return nil
 }
 
-// Shutdown drains the server gracefully: it stops admitting writes (new
-// batch requests get HTTP 503), flushes every queued batch, ends all watch
-// streams, and then closes the HTTP listener, waiting for in-flight
-// requests up to ctx's deadline. It is idempotent.
-func (s *Server) Shutdown(ctx context.Context) error {
+// beginStop starts the one-shot teardown: mark the server draining, end the
+// long-lived streams, and retire every tenant in the background. Retiring a
+// tenant drains its ingest queue (queued writes were already accepted, so
+// they commit), snapshots and closes manager-owned stores, and waits for
+// in-flight per-tenant requests to release their references — which is why
+// it runs off this goroutine: Shutdown stays bounded by its context even if
+// a handler takes its full write deadline to unblock.
+func (s *Server) beginStop() {
 	s.draining.Store(true)
 	s.stopOnce.Do(func() {
-		s.co.close() // reject new writes, drain queued ones
-		if s.health != nil {
-			s.health.close()
-		}
-		s.hub.close()
 		close(s.stop)
+		go func() {
+			s.mgr.Close()
+			close(s.mgrDone)
+		}()
 	})
+}
+
+// Shutdown drains the server gracefully: it stops admitting writes (new
+// batch requests get HTTP 503), flushes every queued batch, ends all watch
+// streams, evicts every tenant (snapshotting manager-owned stores), and
+// then closes the HTTP listener, waiting for in-flight requests up to ctx's
+// deadline. It is idempotent. The adopted default store is not closed — its
+// owner closes it after Shutdown returns.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.beginStop()
+	select {
+	case <-s.mgrDone:
+	case <-ctx.Done():
+	}
 	s.httpMu.Lock()
 	srv := s.httpSrv
 	s.httpMu.Unlock()
@@ -246,27 +323,22 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // Close shuts the server down forcefully: like Shutdown it drains the
-// ingest queue (queued writes were already accepted, so they commit), but
+// ingest queues (queued writes were already accepted, so they commit), but
 // in-flight HTTP requests and watch streams are cut instead of awaited.
 // Use it when a graceful Shutdown exceeded its deadline.
 func (s *Server) Close() error {
-	s.draining.Store(true)
-	s.stopOnce.Do(func() {
-		s.co.close()
-		if s.health != nil {
-			s.health.close()
-		}
-		s.hub.close()
-		close(s.stop)
-	})
+	s.beginStop()
 	s.httpMu.Lock()
 	srv := s.httpSrv
 	s.httpMu.Unlock()
-	if srv == nil {
-		return nil
+	var err error
+	if srv != nil {
+		err = srv.Close() // cut in-flight requests so tenant references drain
 	}
-	return srv.Close()
+	<-s.mgrDone
+	return err
 }
 
-// Watchers reports the number of currently connected watch streams.
+// Watchers reports the number of currently connected watch streams, across
+// all tenants.
 func (s *Server) Watchers() int { return int(s.watchers.Load()) }

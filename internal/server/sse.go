@@ -19,7 +19,7 @@ import (
 // consumer loses events (never stalling writers) and learns about it
 // through "lagged" events carrying the cumulative drop count. See the wire
 // package comment for the schema.
-func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleWatch(ts *tenantServing, w http.ResponseWriter, r *http.Request) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, &wire.Error{Code: wire.CodeInternal, Status: http.StatusInternalServerError,
@@ -58,15 +58,19 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	// keepalive tick detects the swap and ends the stream so the client
 	// reconnects onto the new engine (the next watch request also retires
 	// the old ring, which ends its streams immediately).
-	eng := s.eng()
-	ring := s.hub.ringFor(eng)
+	eng := ts.eng()
+	ring := ts.hub.ringFor(eng)
 	if ring == nil {
 		writeError(w, toWireError(errShuttingDown))
 		return
 	}
 	cursor := ring.subscribe(buffer, minCore)
 	s.watchers.Add(1)
-	defer s.watchers.Add(-1)
+	ts.watchers.Add(1)
+	defer func() {
+		s.watchers.Add(-1)
+		ts.watchers.Add(-1)
+	}()
 
 	h := w.Header()
 	h.Set("Content-Type", stream)
@@ -132,7 +136,7 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-wait:
 		case <-keepalive.C:
-			if s.eng() != eng {
+			if ts.eng() != eng {
 				// Follower re-bootstrap replaced the engine; this stream's
 				// ring feeds from the dead one.
 				return

@@ -1,0 +1,356 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"sync"
+	"testing"
+	"time"
+
+	"kcore"
+	"kcore/internal/persist"
+	"kcore/internal/server/wire"
+	"kcore/internal/tenant"
+)
+
+// TestTenantRoutesAliasDefault pins the legacy-alias contract: the unscoped
+// /v1 routes and /v1/t/default/... address the same graph.
+func TestTenantRoutesAliasDefault(t *testing.T) {
+	_, c := newTestServer(t, kcore.NewEngine(), Options{})
+	ctx := context.Background()
+
+	if _, err := c.AddEdges(ctx, [][2]int{{0, 1}, {1, 2}, {0, 2}}); err != nil {
+		t.Fatalf("legacy AddEdges: %v", err)
+	}
+	def := c.Tenant("default")
+	kc, err := def.KCore(ctx, 2)
+	if err != nil {
+		t.Fatalf("scoped KCore: %v", err)
+	}
+	if kc.Count != 3 {
+		t.Fatalf("scoped view of legacy write: 2-core count = %d, want 3", kc.Count)
+	}
+	if _, err := def.AddEdges(ctx, [][2]int{{2, 3}}); err != nil {
+		t.Fatalf("scoped AddEdges: %v", err)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("legacy Stats: %v", err)
+	}
+	if st.Edges != 4 || st.Tenant != "default" {
+		t.Fatalf("legacy view of scoped write: stats = %+v, want 4 edges on tenant default", st)
+	}
+}
+
+// TestTenantErrors pins the tenant error envelope: codes, statuses, and the
+// create-by-touch asymmetry between reads and writes.
+func TestTenantErrors(t *testing.T) {
+	_, c := newTestServer(t, kcore.NewEngine(), Options{
+		Tenants: tenant.Options{MaxTenants: 3}, // default + 2 named
+	})
+	ctx := context.Background()
+
+	// Reads of a never-written tenant do not create it.
+	_, err := c.Tenant("ghost").Stats(ctx)
+	var we *wire.Error
+	if !errors.As(err, &we) || we.Code != wire.CodeUnknownTenant || we.Status != http.StatusNotFound {
+		t.Fatalf("read of unknown tenant: err = %v, want %s/404", err, wire.CodeUnknownTenant)
+	}
+
+	// Writes create; two named tenants fill the residency bound.
+	for _, name := range []string{"alpha", "beta"} {
+		if _, err := c.Tenant(name).AddEdges(ctx, [][2]int{{0, 1}}); err != nil {
+			t.Fatalf("create %s: %v", name, err)
+		}
+	}
+	_, err = c.Tenant("gamma").AddEdges(ctx, [][2]int{{0, 1}})
+	if !errors.As(err, &we) || we.Code != wire.CodeTenantLimit || we.Status != http.StatusTooManyRequests {
+		t.Fatalf("write past tenant limit: err = %v, want %s/429", err, wire.CodeTenantLimit)
+	}
+	if we.RetryAfter <= 0 {
+		t.Fatalf("tenant_limit response carries no Retry-After: %+v", we)
+	}
+
+	// Invalid names are 400s, not 404s (they could never exist).
+	_, err = c.Tenant("Not-Valid!").Stats(ctx)
+	if !errors.As(err, &we) || we.Code != wire.CodeBadRequest || we.Status != http.StatusBadRequest {
+		t.Fatalf("invalid tenant name: err = %v, want %s/400", err, wire.CodeBadRequest)
+	}
+
+	// The pinned default tenant refuses eviction.
+	_, err = c.EvictTenant(ctx, "default")
+	if !errors.As(err, &we) || we.Code != wire.CodeBadRequest {
+		t.Fatalf("evicting default: err = %v, want %s", err, wire.CodeBadRequest)
+	}
+
+	// Evicting a live named tenant frees a slot for gamma.
+	if _, err := c.EvictTenant(ctx, "beta"); err != nil {
+		t.Fatalf("evict beta: %v", err)
+	}
+	if _, err := c.Tenant("gamma").AddEdges(ctx, [][2]int{{0, 1}}); err != nil {
+		t.Fatalf("create gamma after evicting beta: %v", err)
+	}
+
+	// The listing sees the residents (beta had no persistence — it is gone,
+	// not unloaded) and the admission counters.
+	ls, err := c.Tenants(ctx)
+	if err != nil {
+		t.Fatalf("Tenants: %v", err)
+	}
+	var names []string
+	for _, ti := range ls.Tenants {
+		names = append(names, ti.Name)
+	}
+	if !slices.Equal(names, []string{"alpha", "default", "gamma"}) {
+		t.Fatalf("tenant listing = %v, want [alpha default gamma]", names)
+	}
+	if ls.Creates != 3 || ls.Evictions != 1 || ls.Rejections != 1 {
+		t.Fatalf("admission counters = %+v, want creates 3, evictions 1, rejections 1", ls)
+	}
+}
+
+// tenantScript builds a deterministic per-tenant update workload: batches of
+// never-before-seen edge adds, with a removal of a previously added edge
+// mixed in every few batches.
+func tenantScript(seed int64, batches, batchSize int) [][]wire.Update {
+	rng := rand.New(rand.NewSource(seed))
+	var script [][]wire.Update
+	var added [][2]int
+	present := make(map[[2]int]bool)
+	for b := 0; b < batches; b++ {
+		var ups []wire.Update
+		if b%5 == 4 && len(added) > 0 {
+			e := added[rng.Intn(len(added))]
+			ups = append(ups, wire.Update{Op: wire.OpRemove, U: e[0], V: e[1]})
+			delete(present, e)
+			added = slices.DeleteFunc(added, func(x [2]int) bool { return x == e })
+		}
+		for len(ups) < batchSize {
+			u, v := rng.Intn(200), rng.Intn(200)
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if present[[2]int{u, v}] {
+				continue
+			}
+			present[[2]int{u, v}] = true
+			added = append(added, [2]int{u, v})
+			ups = append(ups, wire.Update{Op: wire.OpAdd, U: u, V: v})
+		}
+		script = append(script, ups)
+	}
+	return script
+}
+
+// TestTenantIsolationDifferential is the multi-tenant isolation check: three
+// tenants served concurrently by one process — each with its own writer and
+// watcher, and eviction churn kicking residency out from under all of them —
+// must each end identical to a solo engine replaying exactly the batches the
+// server acknowledged for that tenant. Run with -race; this is the PR's
+// isolation differential.
+func TestTenantIsolationDifferential(t *testing.T) {
+	_, c := newTestServer(t, kcore.NewEngine(), Options{
+		Tenants: tenant.Options{
+			DataDir: t.TempDir(),
+			Persist: persist.Options{Sync: persist.SyncOff},
+		},
+	})
+	ctx := context.Background()
+
+	names := []string{"red", "green", "blue"}
+	const batches, batchSize = 40, 8
+	scripts := make([][][]wire.Update, len(names))
+	acked := make([][][]wire.Update, len(names)) // per tenant: acknowledged batches, in order
+
+	// Seed every tenant with its first batch synchronously so the churn and
+	// watcher goroutines never race tenant creation itself.
+	for i, name := range names {
+		scripts[i] = tenantScript(int64(1000+i), batches, batchSize)
+		if _, err := c.Tenant(name).Batch(ctx, scripts[i][0]); err != nil {
+			t.Fatalf("seed tenant %s: %v", name, err)
+		}
+		acked[i] = append(acked[i], scripts[i][0])
+	}
+
+	var writers, aux sync.WaitGroup
+	stopChurn := make(chan struct{})
+	watchCtx, stopWatch := context.WithCancel(ctx)
+	defer stopWatch()
+	for i, name := range names {
+		tc := c.Tenant(name)
+
+		// Watcher: holds a live stream (and with it a tenant reference) so
+		// eviction always has references to drain. Reconnects when an
+		// eviction ends the stream.
+		aux.Add(1)
+		go func() {
+			defer aux.Done()
+			for watchCtx.Err() == nil {
+				events, err := tc.Watch(watchCtx, WatchOptions{})
+				if err != nil {
+					select {
+					case <-watchCtx.Done():
+					case <-time.After(2 * time.Millisecond):
+					}
+					continue
+				}
+				for range events {
+				}
+			}
+		}()
+
+		// Writer: one per tenant (each graph keeps a total order of its own
+		// updates); the concurrency under test is across tenants. Only
+		// server-acknowledged batches count — a write that loses the race
+		// with an eviction is rejected before it applies, and the client
+		// does not auto-retry that rejection.
+		writers.Add(1)
+		go func(i int) {
+			defer writers.Done()
+			for _, ups := range scripts[i][1:] {
+				if _, err := tc.Batch(ctx, ups); err != nil {
+					var we *wire.Error
+					if !errors.As(err, &we) {
+						t.Errorf("tenant %s: batch failed hard: %v", tc.Name(), err)
+						return
+					}
+					continue // rejected, never applied: drop from the replay too
+				}
+				acked[i] = append(acked[i], ups)
+			}
+		}(i)
+
+		// Eviction churn: repeatedly kick the tenant out mid-traffic. The
+		// tenants are durable, so eviction snapshots and acknowledged
+		// writes survive the reload.
+		aux.Add(1)
+		go func(name string) {
+			defer aux.Done()
+			for {
+				select {
+				case <-stopChurn:
+					return
+				case <-time.After(10 * time.Millisecond):
+					if _, err := c.EvictTenant(ctx, name); err != nil {
+						t.Errorf("evict %s: %v", name, err)
+						return
+					}
+				}
+			}
+		}(name)
+	}
+
+	writers.Wait()
+	close(stopChurn)
+	stopWatch()
+	aux.Wait()
+
+	// Differential: each tenant must equal a solo engine fed exactly its
+	// acknowledged batches in order — independent of its neighbors and of
+	// how often it was evicted and reloaded.
+	for i, name := range names {
+		solo := kcore.NewEngine()
+		var seq uint64
+		for _, ups := range acked[i] {
+			batch, werr := toBatch(ups)
+			if werr != nil {
+				t.Fatalf("tenant %s: replay decode: %v", name, werr)
+			}
+			info, err := solo.Apply(batch)
+			if err != nil {
+				t.Fatalf("tenant %s: solo replay rejected an acknowledged batch: %v", name, err)
+			}
+			seq = info.Seq
+		}
+		got, err := c.Tenant(name).Cores(ctx)
+		if err != nil {
+			t.Fatalf("tenant %s: Cores: %v", name, err)
+		}
+		if got.Seq != seq {
+			t.Fatalf("tenant %s: served seq %d, solo replay seq %d (%d acked batches)",
+				name, got.Seq, seq, len(acked[i]))
+		}
+		if want := solo.View().Cores(); !slices.Equal(got.Cores, want) {
+			t.Fatalf("tenant %s: served cores diverge from solo replay of %d acked batches",
+				name, len(acked[i]))
+		}
+		if err := solo.Validate(); err != nil {
+			t.Fatalf("tenant %s: solo replay invalid: %v", name, err)
+		}
+	}
+}
+
+// TestTenantLazyReloadAcrossRestart pins the durable lifecycle end to end
+// through the HTTP surface: named tenants persist under
+// <data-dir>/tenants/<name>, and a fresh server over the same directory
+// lists them cold and recovers them lazily on first touch.
+func TestTenantLazyReloadAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	topts := tenant.Options{DataDir: dir, Persist: persist.Options{Sync: persist.SyncOff}}
+
+	s1 := New(kcore.NewEngine(), Options{Tenants: topts})
+	ts1 := httptest.NewServer(s1.Handler())
+	c1, err := NewClient(ts1.URL, ts1.Client())
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	if _, err := c1.Tenant("acme").AddEdges(ctx, [][2]int{{0, 1}, {1, 2}, {0, 2}}); err != nil {
+		t.Fatalf("seed acme: %v", err)
+	}
+	sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown first server: %v", err)
+	}
+	ts1.Close()
+
+	s2 := New(kcore.NewEngine(), Options{Tenants: topts})
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s2.Shutdown(sctx); err != nil {
+			t.Errorf("shutdown second server: %v", err)
+		}
+		ts2.Close()
+	})
+	c2, err := NewClient(ts2.URL, ts2.Client())
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+
+	// Before any touch the tenant is known but cold.
+	ls, err := c2.Tenants(ctx)
+	if err != nil {
+		t.Fatalf("Tenants: %v", err)
+	}
+	found := false
+	for _, ti := range ls.Tenants {
+		if ti.Name == "acme" {
+			found = true
+			if ti.State != string(tenant.StateUnloaded) || !ti.Durable {
+				t.Fatalf("acme before touch = %+v, want unloaded and durable", ti)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("restarted server lost tenant acme from its listing: %+v", ls.Tenants)
+	}
+
+	// First read lazily recovers snapshot + WAL from disk.
+	kc, err := c2.Tenant("acme").KCore(ctx, 2)
+	if err != nil {
+		t.Fatalf("lazy reload read: %v", err)
+	}
+	if kc.Count != 3 || kc.Seq != 3 {
+		t.Fatalf("reloaded acme 2-core = %+v, want 3 vertices at seq 3", kc)
+	}
+}

@@ -60,6 +60,14 @@ const (
 	// does not speak, or its Accept header admits none of the encodings the
 	// endpoint can produce. The message names the supported types (HTTP 415).
 	CodeUnsupportedMedia = "unsupported_media_type"
+	// CodeUnknownTenant: the tenant named in a /v1/t/{tenant}/... path is
+	// neither resident nor on disk. Tenants are created by their first write
+	// (POST .../batch); reads of never-written names get this (HTTP 404).
+	CodeUnknownTenant = "unknown_tenant"
+	// CodeTenantLimit: admitting the tenant would exceed the server's
+	// resident-tenant bound (-max-tenants). Retry after an idle tenant is
+	// evicted, or evict one explicitly (HTTP 429, Retry-After).
+	CodeTenantLimit = "tenant_limit"
 )
 
 // Error is the structured error body every non-2xx response carries,

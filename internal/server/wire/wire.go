@@ -42,6 +42,34 @@
 //	                       optional ?from=<seq> query asks to resume at that
 //	                       sequence number. Fails with "no_replication" when
 //	                       the server is not a replicating primary.
+//	GET  /v1/tenants     — admin: list every known tenant, resident or cold
+//	                       on disk, with lifecycle state and admission
+//	                       counters (TenantsResponse).
+//	DELETE /v1/t/{tenant} — admin: evict one tenant from residency
+//	                       (EvictResponse). Durable tenants are snapshotted
+//	                       and closed — one lazy load away from serving
+//	                       again; memory-only tenants lose their graph. The
+//	                       pinned "default" tenant refuses with HTTP 400.
+//
+// # Multi-tenancy
+//
+// One server hosts many independent graphs. Every graph-scoped endpoint
+// above exists in a tenant-scoped form under /v1/t/{tenant}/... — e.g.
+// POST /v1/t/acme/batch, GET /v1/t/acme/kcore?k=3 — with identical
+// request/response bodies. The legacy unscoped /v1/... routes are exact
+// aliases for the pinned "default" tenant, so single-tenant deployments
+// and pre-tenant clients keep working unchanged.
+//
+// Tenants are created by touch: the first POST .../batch to an unknown name
+// admits a fresh tenant (names: lowercase [a-z0-9._-], max 64 bytes,
+// starting alphanumeric). Read requests to names with no state answer 404
+// with the stable code "unknown_tenant". When the server runs with a data
+// directory, each named tenant persists under <data-dir>/tenants/<name>/
+// and is recovered lazily on its first touch after a restart; tenants idle
+// past the server's -tenant-idle are snapshotted and evicted from memory
+// automatically. At most -max-tenants tenants are resident at once; past
+// the bound, admission answers 429 "tenant_limit" with a Retry-After
+// header. GET .../stats echoes the serving tenant in StatsResponse.Tenant.
 //
 // # Binary protocol
 //
@@ -388,6 +416,9 @@ type SnapshotResponse struct {
 
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
+	// Tenant names the graph these stats describe ("default" on the legacy
+	// unscoped route).
+	Tenant     string      `json:"tenant,omitempty"`
 	Vertices   int         `json:"vertices"`
 	Edges      int         `json:"edges"`
 	Degeneracy int         `json:"degeneracy"`
@@ -441,6 +472,50 @@ type HealthResponse struct {
 	// Cause explains a degraded status; empty otherwise.
 	Cause string `json:"cause,omitempty"`
 	Seq   uint64 `json:"seq"`
+}
+
+// TenantInfo is one tenant in TenantsResponse.
+type TenantInfo struct {
+	Name string `json:"name"`
+	// State is the lifecycle phase: "loading" (recovery in progress),
+	// "ready" (serving), "evicting" (draining references / flushing), or
+	// "unloaded" (durable state on disk, not resident).
+	State string `json:"state"`
+	// Pinned marks the default tenant, which cannot be evicted.
+	Pinned bool `json:"pinned,omitempty"`
+	// Durable reports the tenant has (or is) on-disk state.
+	Durable bool `json:"durable"`
+	// Refs is the number of requests currently holding the tenant; IdleMS is
+	// how long it has been unreferenced (0 while referenced or non-resident).
+	Refs   int   `json:"refs"`
+	IdleMS int64 `json:"idle_ms"`
+	// Seq/Vertices/Edges describe the resident engine; all zero for
+	// "unloaded" tenants (sizing them would force the load being avoided).
+	Seq      uint64 `json:"seq"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+}
+
+// TenantsResponse is the body of GET /v1/tenants.
+type TenantsResponse struct {
+	// Resident and MaxTenants describe the residency bound; the admission
+	// counters below are lifetime totals.
+	Resident   int    `json:"resident"`
+	MaxTenants int    `json:"max_tenants"`
+	Loads      uint64 `json:"loads"`
+	Creates    uint64 `json:"creates"`
+	Evictions  uint64 `json:"evictions"`
+	Rejections uint64 `json:"rejections"`
+	// Tenants lists every known tenant, sorted by name.
+	Tenants []TenantInfo `json:"tenants"`
+}
+
+// EvictResponse is the body of DELETE /v1/t/{tenant}.
+type EvictResponse struct {
+	Tenant string `json:"tenant"`
+	// Evicted is true even when the tenant was already cold on disk (the
+	// eviction is idempotent).
+	Evicted bool `json:"evicted"`
 }
 
 // SSE event names sent on /v1/watch streams.

@@ -1,0 +1,66 @@
+package tenant
+
+import (
+	"sync"
+
+	"kcore"
+)
+
+// Pools is allocation scratch shared by every tenant a Manager hosts.
+// Engines already pool their per-update maintenance scratch internally, and
+// the wire codecs pool decode buffers process-wide; Pools covers what used
+// to be per-server allocation — combined ingest batches and encode buffers —
+// so memory cost tracks concurrent load, not resident tenant count.
+//
+// Slices above the retention caps are dropped instead of pooled so one
+// pathological batch cannot pin a huge backing array forever.
+type Pools struct {
+	batches sync.Pool // *kcore.Batch
+	buffers sync.Pool // *[]byte
+}
+
+const (
+	maxPooledBatch  = 1 << 16 // updates
+	maxPooledBuffer = 1 << 20 // bytes
+)
+
+// Batch returns a zero-length update slice with capacity at least capHint.
+func (p *Pools) Batch(capHint int) kcore.Batch {
+	if v, ok := p.batches.Get().(*kcore.Batch); ok && cap(*v) >= capHint {
+		return (*v)[:0]
+	}
+	if capHint < 64 {
+		capHint = 64
+	}
+	return make(kcore.Batch, 0, capHint)
+}
+
+// PutBatch returns a slice obtained from Batch. The caller must not retain
+// any aliases.
+func (p *Pools) PutBatch(b kcore.Batch) {
+	if cap(b) == 0 || cap(b) > maxPooledBatch {
+		return
+	}
+	b = b[:0]
+	p.batches.Put(&b)
+}
+
+// Buffer returns a zero-length byte slice with capacity at least capHint.
+func (p *Pools) Buffer(capHint int) []byte {
+	if v, ok := p.buffers.Get().(*[]byte); ok && cap(*v) >= capHint {
+		return (*v)[:0]
+	}
+	if capHint < 512 {
+		capHint = 512
+	}
+	return make([]byte, 0, capHint)
+}
+
+// PutBuffer returns a slice obtained from Buffer.
+func (p *Pools) PutBuffer(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBuffer {
+		return
+	}
+	b = b[:0]
+	p.buffers.Put(&b)
+}
