@@ -143,6 +143,15 @@ func (e *Engine) applyLocked(batch Batch) (BatchInfo, error) {
 		return BatchInfo{Seq: e.seq}, err
 	}
 	info, err := e.executeGuarded(batch, skip, coalesced)
+	// Publish the post-batch epoch before the durability hook runs, so
+	// readers never wait behind a WAL fsync. Total.CoreChanged is the
+	// complete changed-vertex list on every execution strategy, including
+	// a mid-batch error's applied prefix; the panic path published its own
+	// full rebuild inside containPanic (its diff is relative to the
+	// panic-time cores, not the last epoch, so no patch list exists).
+	if _, panicked := err.(*PanicError); !panicked {
+		e.publishEpoch(info.Total.CoreChanged)
+	}
 	if err == nil && info.Applied > 0 && !e.replaying && (e.hook != nil || e.tap != nil) {
 		err = e.runApplyHook(batch, skip, &info)
 	}
@@ -196,6 +205,7 @@ func (e *Engine) containPanic(r any) (BatchInfo, error) {
 	}
 	e.notifyDiff(changed, oldCores)
 	e.exec.Panics++
+	e.publishEpochFull()
 	return BatchInfo{Seq: e.seq}, &PanicError{Value: r, Stack: debug.Stack()}
 }
 

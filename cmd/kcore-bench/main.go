@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment name: all|batchapi|parallel|serve|serve2|persist|replicate|chaos|"+strings.Join(bench.ExperimentNames, "|"))
+		experiment = flag.String("experiment", "all", "experiment name: all|batchapi|parallel|serve|serve2|persist|replicate|chaos|readpath|"+strings.Join(bench.ExperimentNames, "|"))
 		edges      = flag.Int("edges", 10000, "workload edges per dataset (paper: 100000)")
 		groups     = flag.Int("groups", 10, "stability-test groups (paper: 100)")
 		hops       = flag.String("hops", "2,3,4,5,6", "traversal hop variants")
@@ -44,7 +44,7 @@ func main() {
 		cmpName    = flag.String("compare-name", "engine/apply-batch", "result name checked by -compare")
 		maxRatio   = flag.Float64("max-ratio", 1.2, "largest allowed NEW/OLD ns-per-op ratio for -compare")
 		fanout     = flag.String("fanout", "100,1000,10000", "watcher tiers the serve2 fan-out sweep runs")
-		minSpeedup = flag.Float64("min-speedup", 0, "serve2 guard: fail unless binary ingest beats JSON by this factor (0 = off)")
+		minSpeedup = flag.Float64("min-speedup", 0, "speedup guard: serve2 fails unless binary ingest beats JSON by this factor; readpath fails unless epoch reads beat locked reads by it (0 = off)")
 		jsonMerge  = flag.Bool("json-merge", false, "merge -json results into an existing report instead of overwriting it (same-name rows are replaced)")
 	)
 	flag.Parse()
@@ -128,6 +128,11 @@ func main() {
 		report.Results = append(report.Results, chaosExperiment(cfg)...)
 		writeReport(report, *jsonPath)
 		return
+	case "readpath":
+		fmt.Println("=== readpath ===")
+		report.Results = append(report.Results, readpathExperiment(cfg, *minSpeedup)...)
+		writeReport(report, *jsonPath)
+		return
 	case "hotpath":
 		fmt.Println("=== hotpath ===")
 		report.Results = append(report.Results, bench.Hotpath(cfg)...)
@@ -139,7 +144,7 @@ func main() {
 	names := bench.ExperimentNames
 	if *experiment != "all" {
 		if _, ok := bench.Experiments[*experiment]; !ok {
-			fatal(fmt.Errorf("unknown experiment %q (valid: all, batchapi, parallel, serve, serve2, persist, replicate, chaos, %s)",
+			fatal(fmt.Errorf("unknown experiment %q (valid: all, batchapi, parallel, serve, serve2, persist, replicate, chaos, readpath, %s)",
 				*experiment, strings.Join(bench.ExperimentNames, ", ")))
 		}
 		names = []string{*experiment}

@@ -39,7 +39,9 @@
 // the read and watch endpoints locally, rejects writes with the stable
 // "read_only" error, and reports staleness as replication.follower.seq_lag
 // in /v1/stats. Replication is asynchronous — a follower read may trail a
-// write acknowledged by the primary.
+// write acknowledged by the primary. A follower replicates only the default
+// tenant, so it always runs single-tenant: combining -follow with
+// -max-tenants > 1 or -tenant-idle is rejected at boot.
 //
 // The process drains gracefully on SIGINT/SIGTERM: new writes are refused
 // (HTTP 503), queued batches flush, watch streams end, in-flight requests
@@ -133,6 +135,21 @@ func run(ctx context.Context, args []string, out io.Writer, ready func(addr stri
 		if *load != "" {
 			return fmt.Errorf("-follow and -load are mutually exclusive (follower state comes from the primary)")
 		}
+		// A follower replicates only the default tenant (tenant replication
+		// is future work — see ROADMAP.md). Hosting named tenants on a
+		// follower would serve them unreplicated and silently stale forever,
+		// so asking for multi-tenant hosting alongside -follow is rejected
+		// loudly, and the tenant defaults narrow to single-tenant hosting.
+		set := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if set["max-tenants"] && *maxTenants > 1 {
+			return fmt.Errorf("-follow and -max-tenants %d conflict: a follower replicates only the default tenant, so named tenants would be served unreplicated (tenant replication is future work)", *maxTenants)
+		}
+		if set["tenant-idle"] && *tenantIdle > 0 {
+			return fmt.Errorf("-follow and -tenant-idle conflict: idle eviction manages named durable tenants, which a follower cannot host (tenant replication is future work)")
+		}
+		*maxTenants = 1
+		*tenantIdle = 0
 	}
 
 	opts := []kcore.Option{kcore.WithSeed(*seed)}

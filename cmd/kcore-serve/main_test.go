@@ -268,3 +268,35 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		t.Fatal("run accepted a missing -load file")
 	}
 }
+
+// TestRunRejectsFollowMultiTenant pins the boot-time rejection of -follow
+// combined with multi-tenant hosting: a follower replicates only the
+// default tenant, so explicitly asking it to host named tenants must fail
+// loudly instead of serving them unreplicated. Leaving the tenant flags at
+// their (multi-tenant) defaults must still boot — the follower narrows
+// itself to single-tenant hosting.
+func TestRunRejectsFollowMultiTenant(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"-follow", "http://127.0.0.1:1", "-max-tenants", "8"},
+		{"-follow", "http://127.0.0.1:1", "-tenant-idle", "5m"},
+	} {
+		err := run(context.Background(), args, &out, nil)
+		if err == nil {
+			t.Fatalf("run accepted %v", args)
+		}
+		if !strings.Contains(err.Error(), "conflict") {
+			t.Fatalf("run %v: want a flag-conflict error, got: %v", args, err)
+		}
+	}
+	// Explicit single-tenant values are consistent with following and must
+	// not trip the conflict check (the bootstrap itself fails later on the
+	// unreachable primary, proving the flag gate was passed).
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := run(ctx, []string{
+		"-follow", "http://127.0.0.1:1", "-max-tenants", "1", "-tenant-idle", "0"}, &out, nil)
+	if err == nil || strings.Contains(err.Error(), "conflict") {
+		t.Fatalf("run with single-tenant flags: want a bootstrap error, got: %v", err)
+	}
+}

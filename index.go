@@ -87,5 +87,6 @@ func FromIndex(st *IndexState, opts ...Option) (*Engine, error) {
 	}
 	e := &Engine{g: g, m: orderImpl{m}, cfg: cfg, seq: st.Seq}
 	e.initBatchRuntime()
+	e.publishEpochFull()
 	return e, nil
 }

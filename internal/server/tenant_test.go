@@ -354,3 +354,76 @@ func TestTenantLazyReloadAcrossRestart(t *testing.T) {
 		t.Fatalf("reloaded acme 2-core = %+v, want 3 vertices at seq 3", kc)
 	}
 }
+
+// TestTenantEvictionEpochReaders audits idle/forced eviction against the
+// lock-free epoch read path: a reader that captured a View (or just holds
+// the engine pointer) before the tenant is retired must keep answering from
+// its pre-eviction snapshot — never a use-after-unload — because eviction
+// only closes the store and drops the registry entry; the engine object and
+// every published epoch stay reachable by the holder. DELETE /v1/t/{name}
+// drives the same retire path the -tenant-idle background sweep uses.
+func TestTenantEvictionEpochReaders(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	s, c := newTestServer(t, kcore.NewEngine(), Options{
+		Tenants: tenant.Options{DataDir: dir, Persist: persist.Options{Sync: persist.SyncOff}},
+	})
+
+	acme := c.Tenant("acme")
+	if _, err := acme.AddEdges(ctx, [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}}); err != nil {
+		t.Fatalf("seed acme: %v", err)
+	}
+
+	// Capture the reader's state, then drop the tenant ref so eviction can
+	// drain (retire blocks until the refcount reaches zero).
+	tn, err := s.mgr.Acquire("acme", false)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	eng := tn.Engine()
+	view := eng.View()
+	wantSeq, wantCores := view.Seq(), view.Cores()
+	tn.Release()
+
+	if _, err := c.EvictTenant(ctx, "acme"); err != nil {
+		t.Fatalf("EvictTenant: %v", err)
+	}
+
+	// The held View answers exactly its capture-time state.
+	if view.Seq() != wantSeq {
+		t.Fatalf("post-eviction View seq = %d, want %d", view.Seq(), wantSeq)
+	}
+	if got := view.Cores(); !slices.Equal(got, wantCores) {
+		t.Fatalf("post-eviction View cores = %v, want %v", got, wantCores)
+	}
+	if view.Core(0) != 2 || view.Degeneracy() != 2 {
+		t.Fatalf("post-eviction View point reads = (%d,%d), want (2,2)",
+			view.Core(0), view.Degeneracy())
+	}
+	// Lock-free reads against the unloaded engine still answer its final
+	// epoch (the object outlives the registry entry by construction).
+	if core, seq := eng.CoreSeq(1); core != 2 || seq != wantSeq {
+		t.Fatalf("post-eviction CoreSeq = (%d,%d), want (2,%d)", core, seq, wantSeq)
+	}
+
+	// Re-touching the tenant reloads it from disk into a fresh engine with
+	// the same logical state; the old View is unaffected.
+	kc, err := acme.KCore(ctx, 2)
+	if err != nil {
+		t.Fatalf("reload acme: %v", err)
+	}
+	if kc.Count != 3 {
+		t.Fatalf("reloaded acme 2-core count = %d, want 3", kc.Count)
+	}
+	tn2, err := s.mgr.Acquire("acme", false)
+	if err != nil {
+		t.Fatalf("re-Acquire: %v", err)
+	}
+	if tn2.Engine() == eng {
+		t.Fatal("reload returned the evicted engine object")
+	}
+	tn2.Release()
+	if view.Seq() != wantSeq || view.NumEdges() != 4 {
+		t.Fatalf("old View drifted after reload: seq %d edges %d", view.Seq(), view.NumEdges())
+	}
+}

@@ -30,10 +30,15 @@
 //     batch (a failing batch leaves the engine untouched) and returning
 //     per-update and aggregated BatchInfo. AddEdges/RemoveEdges are
 //     conveniences; AddEdge/RemoveEdge are one-update batches.
-//   - Concurrent reads: every query (Core, Cores, KCore, Degeneracy,
-//     Neighbors, Community, ...) takes a shared read lock and may run in
-//     parallel with other queries. View captures an immutable consistent
-//     snapshot for cheap repeated queries without re-locking.
+//   - Lock-free reads: after every mutation the writer publishes an
+//     immutable epoch snapshot of the maintained read-state (core numbers,
+//     counts, degeneracy, sequence number) with one atomic pointer swap, so
+//     every query over that state (Core, CoreSeq, Cores, KCore, Degeneracy,
+//     Counts, View, ...) answers with zero locking and never contends with
+//     writers (see epoch.go). Queries that walk the adjacency structure
+//     itself (Neighbors, HasEdge, Community, Edges, ...) share a read lock
+//     instead. View captures the current epoch in O(1) for cheap repeated
+//     queries.
 //   - Change subscriptions: Subscribe delivers per-update CoreChange events
 //     (vertex, old core, new core, update sequence number) so streaming
 //     consumers stop polling Cores.
@@ -243,14 +248,24 @@ func (t travImpl) Cores() []int   { return t.m.Cores() }
 
 // Engine is a dynamic k-core decomposition engine. It is safe for
 // concurrent use by multiple goroutines: mutations (Apply, AddEdge, ...)
-// serialize behind a write lock, while queries (Core, Cores, KCore, View,
-// ...) share a read lock and run in parallel with each other.
+// serialize behind a write lock; queries over the maintained read-state
+// (Core, Cores, KCore, View, Counts, ...) read an epoch-published immutable
+// snapshot without any locking, and queries over the adjacency structure
+// (Neighbors, HasEdge, ...) share a read lock.
 type Engine struct {
 	mu  sync.RWMutex
 	g   *graph.Undirected
 	m   maintainer
 	cfg config
 	seq uint64 // updates applied over the engine's lifetime; guarded by mu
+
+	// ep is the epoch-published read-state (see epoch.go): written only by
+	// mutators holding mu, loaded lock-free by the read APIs. Invariant:
+	// whenever mu is not held exclusively, ep.Load().seq == seq. epUpd is
+	// the writer's reusable override-collection scratch — never published,
+	// only its values are copied into each epoch's fresh patch.
+	ep    atomic.Pointer[epoch]
+	epUpd []corePatch
 
 	// Batch-apply scratch (guarded by mu): epoch-stamped per-vertex marks
 	// for deduplicating aggregated CoreChanged, and the reusable edge
@@ -361,6 +376,7 @@ func fromGraph(g *graph.Undirected, cfg config) (*Engine, error) {
 		return nil, fmt.Errorf("kcore: unknown algorithm %d", cfg.algorithm)
 	}
 	e.initBatchRuntime()
+	e.publishEpochFull()
 	return e, nil
 }
 
@@ -401,20 +417,18 @@ type ExecStats struct {
 	Panics uint64
 }
 
-// ExecStats reports cumulative batch execution counters.
+// ExecStats reports cumulative batch execution counters. It reads the
+// current epoch without locking; the counters are consistent with the state
+// the other read APIs observe at the same moment.
 func (e *Engine) ExecStats() ExecStats {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.exec
+	return e.loadEpoch().exec
 }
 
 // Seq reports the number of updates applied over the engine's lifetime.
 // Every applied update increments it by one; BatchInfo, CoreChange and View
-// carry the sequence number of the state they describe.
+// carry the sequence number of the state they describe. Lock-free.
 func (e *Engine) Seq() uint64 {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.seq
+	return e.loadEpoch().seq
 }
 
 // AddEdge inserts the undirected edge (u, v), creating vertices as needed,
@@ -490,18 +504,14 @@ func (e *Engine) HasEdge(u, v int) bool {
 	return e.g.HasEdge(u, v)
 }
 
-// NumVertices reports the vertex count (max vertex id + 1).
+// NumVertices reports the vertex count (max vertex id + 1). Lock-free.
 func (e *Engine) NumVertices() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.g.NumVertices()
+	return e.loadEpoch().vertices
 }
 
-// NumEdges reports the edge count.
+// NumEdges reports the edge count. Lock-free.
 func (e *Engine) NumEdges() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.g.NumEdges()
+	return e.loadEpoch().edges
 }
 
 // Degree reports the degree of v (0 for unknown vertices).
@@ -519,77 +529,53 @@ func (e *Engine) Neighbors(v int) []int {
 }
 
 // Core returns the current core number of v (0 for unknown vertices).
+// Lock-free: it answers from the current epoch snapshot.
 func (e *Engine) Core(v int) int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.m.Core(v)
+	return e.loadEpoch().core(v)
 }
 
 // CoreSeq returns v's current core number together with the update
-// sequence number it was read at, under one lock acquisition. It is the
-// cheap single-vertex form of View: point queries that must report a
-// consistent (core, seq) pair — network serving, most prominently — avoid
-// View's O(n) copy of all core numbers.
+// sequence number it was read at, from one epoch load. It is the cheap
+// single-vertex form of View: point queries that must report a consistent
+// (core, seq) pair — network serving, most prominently — avoid View's O(n)
+// copy of all core numbers. Lock-free.
 func (e *Engine) CoreSeq(v int) (core int, seq uint64) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.m.Core(v), e.seq
+	ep := e.loadEpoch()
+	return ep.core(v), ep.seq
 }
 
 // Counts returns the scalar state summary — vertex count, edge count,
-// degeneracy, and the update sequence number they were read at — under one
-// lock acquisition and, on the order-based engine, without touching the
-// core numbers at all (the maintained level lists answer the degeneracy).
-// Like CoreSeq, it exists so frequent small reads (serving stats and
-// health endpoints) skip View's O(n) snapshot.
+// degeneracy, and the update sequence number they were read at — from one
+// epoch load, without locking or touching the core numbers. Like CoreSeq,
+// it exists so frequent small reads (serving stats and health endpoints)
+// skip View's full snapshot.
 func (e *Engine) Counts() (vertices, edges, degeneracy int, seq uint64) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.g.NumVertices(), e.g.NumEdges(), e.degeneracyLocked(), e.seq
-}
-
-// degeneracyLocked computes the maximum core number under a held lock: the
-// order-based engine answers from its maintained level lists (no
-// allocation); other engines scan a copy of the core numbers.
-func (e *Engine) degeneracyLocked() int {
-	if impl, ok := e.m.(orderImpl); ok {
-		return impl.m.MaxCore()
-	}
-	maxc := 0
-	for _, c := range e.m.Cores() {
-		if c > maxc {
-			maxc = c
-		}
-	}
-	return maxc
+	ep := e.loadEpoch()
+	return ep.vertices, ep.edges, ep.maxCore, ep.seq
 }
 
 // Cores returns a copy of all current core numbers, indexed by vertex.
+// Lock-free.
 func (e *Engine) Cores() []int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.m.Cores()
+	return e.loadEpoch().coresCopy()
 }
 
 // KCore returns the vertices of the current k-core (every vertex whose core
-// number is at least k).
+// number is at least k). Lock-free.
 func (e *Engine) KCore(k int) []int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
 	var out []int
-	for v, c := range e.m.Cores() {
+	e.loadEpoch().forEach(func(v, c int) {
 		if c >= k {
 			out = append(out, v)
 		}
-	}
+	})
 	return out
 }
 
-// Degeneracy returns the maximum core number.
+// Degeneracy returns the maximum core number, maintained incrementally by
+// the writer and read from the current epoch. Lock-free.
 func (e *Engine) Degeneracy() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.degeneracyLocked()
+	return e.loadEpoch().maxCore
 }
 
 // Community answers a core-based community search query (the application
@@ -691,6 +677,7 @@ func LoadIndex(r io.Reader, opts ...Option) (*Engine, error) {
 	}
 	e := &Engine{g: m.Graph(), m: orderImpl{m}, cfg: cfg}
 	e.initBatchRuntime()
+	e.publishEpochFull()
 	return e, nil
 }
 
@@ -700,6 +687,9 @@ func LoadIndex(r io.Reader, opts ...Option) (*Engine, error) {
 func (e *Engine) Validate() error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	if err := e.validateEpochLocked(); err != nil {
+		return err
+	}
 	switch impl := e.m.(type) {
 	case orderImpl:
 		return impl.m.CheckInvariants()
@@ -708,6 +698,54 @@ func (e *Engine) Validate() error {
 	default:
 		return fmt.Errorf("kcore: unknown engine implementation")
 	}
+}
+
+// validateEpochLocked checks the published epoch against the authoritative
+// maintained state: with the read lock held no publication can be in
+// flight, so the epoch must agree exactly with the maintainer and graph.
+// It is the tripwire for incremental-publication bugs (a missed changed
+// vertex would surface here long before a serving differential catches it).
+func (e *Engine) validateEpochLocked() error {
+	ep := e.loadEpoch()
+	if ep == nil {
+		return fmt.Errorf("kcore: no epoch published")
+	}
+	if ep.seq != e.seq {
+		return fmt.Errorf("kcore: epoch seq %d != engine seq %d", ep.seq, e.seq)
+	}
+	n := e.g.NumVertices()
+	if ep.vertices != n || len(ep.cores) > n {
+		return fmt.Errorf("kcore: epoch has %d vertices (cores len %d), graph has %d",
+			ep.vertices, len(ep.cores), n)
+	}
+	if len(ep.patch) > maxEpochPatch {
+		return fmt.Errorf("kcore: epoch patch has %d entries, cap is %d",
+			len(ep.patch), maxEpochPatch)
+	}
+	for i := 1; i < len(ep.patch); i++ {
+		if ep.patch[i-1].v >= ep.patch[i].v {
+			return fmt.Errorf("kcore: epoch patch unsorted at %d (%d >= %d)",
+				i, ep.patch[i-1].v, ep.patch[i].v)
+		}
+	}
+	if ep.edges != e.g.NumEdges() {
+		return fmt.Errorf("kcore: epoch has %d edges, graph has %d", ep.edges, e.g.NumEdges())
+	}
+	maxc := 0
+	for v := 0; v < n; v++ {
+		c := e.m.Core(v)
+		if ep.core(v) != c {
+			return fmt.Errorf("kcore: epoch core[%d] = %d, maintainer has %d",
+				v, ep.core(v), c)
+		}
+		if c > maxc {
+			maxc = c
+		}
+	}
+	if ep.maxCore != maxc {
+		return fmt.Errorf("kcore: epoch degeneracy %d, maintainer has %d", ep.maxCore, maxc)
+	}
+	return nil
 }
 
 // Decompose computes core numbers for a static edge list without building
